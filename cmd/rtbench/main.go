@@ -1,0 +1,33 @@
+// Command rtbench runs the full experiment suite (E1–E9 of DESIGN.md)
+// and prints the tables recorded in EXPERIMENTS.md.
+//
+// Usage:
+//
+//	rtbench [-only E3]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"rtm/internal/experiments"
+)
+
+func main() {
+	only := flag.String("only", "", "run only the experiment with this ID (e.g. E3)")
+	flag.Parse()
+
+	ran := 0
+	for _, t := range experiments.All() {
+		if *only != "" && t.ID != *only {
+			continue
+		}
+		fmt.Println(t)
+		ran++
+	}
+	if ran == 0 {
+		fmt.Fprintf(os.Stderr, "rtbench: no experiment %q\n", *only)
+		os.Exit(1)
+	}
+}

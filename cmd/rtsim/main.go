@@ -1,0 +1,98 @@
+// Command rtsim schedules a specification and drives the resulting
+// system through the closed-loop simulator, optionally exporting the
+// artifacts as JSON.
+//
+// Usage:
+//
+//	rtsim [-seed n] [-adversarial] [-json dir] <spec-file>
+//	rtsim -example
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"rtm/internal/core"
+	"rtm/internal/exec"
+	"rtm/internal/heuristic"
+	"rtm/internal/sched"
+	"rtm/internal/sim"
+	"rtm/internal/spec"
+	"rtm/internal/trace"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "rtsim:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	seed := flag.Int64("seed", 1, "random seed for asynchronous arrivals")
+	adversarial := flag.Bool("adversarial", true, "sweep worst-case asynchronous arrival phases")
+	jsonDir := flag.String("json", "", "write model/schedule/report/record JSON into this directory")
+	example := flag.Bool("example", false, "use the paper's example system")
+	flag.Parse()
+
+	var m *core.Model
+	switch {
+	case *example:
+		m = core.ExampleSystem(core.DefaultExampleParams())
+	case flag.NArg() == 1:
+		data, err := os.ReadFile(flag.Arg(0))
+		if err != nil {
+			return err
+		}
+		sp, err := spec.Parse(string(data))
+		if err != nil {
+			return err
+		}
+		m = sp.Model
+	default:
+		return fmt.Errorf("usage: rtsim [flags] <spec-file> (or -example)")
+	}
+
+	res, err := heuristic.Schedule(m, heuristic.Options{MergeShared: true})
+	if err != nil {
+		return fmt.Errorf("scheduling: %w", err)
+	}
+	fmt.Printf("schedule: cycle %d, utilization %.3f\n", res.Schedule.Len(), res.Schedule.Utilization())
+
+	r := sim.Run(m, res.Schedule, sim.Options{Seed: *seed, Adversarial: *adversarial})
+	fmt.Printf("simulation: %s\n", r)
+	fmt.Printf("worst slack: %d\n", r.WorstSlack)
+	if len(r.PipelineErr) > 0 {
+		fmt.Printf("pipeline violations: %v\n", r.PipelineErr)
+	}
+
+	if *jsonDir != "" {
+		if err := os.MkdirAll(*jsonDir, 0o755); err != nil {
+			return err
+		}
+		rep := sched.Check(m, res.Schedule)
+		rec := exec.Run(m, res.Schedule, 4*m.Hyperperiod())
+		files := map[string]func() ([]byte, error){
+			"model.json":    func() ([]byte, error) { return trace.EncodeModel(m) },
+			"schedule.json": func() ([]byte, error) { return trace.EncodeSchedule(res.Schedule) },
+			"report.json":   func() ([]byte, error) { return trace.EncodeReport(rep) },
+			"record.json":   func() ([]byte, error) { return trace.EncodeRecord(rec) },
+		}
+		for name, gen := range files {
+			data, err := gen()
+			if err != nil {
+				return err
+			}
+			if err := os.WriteFile(filepath.Join(*jsonDir, name), data, 0o644); err != nil {
+				return err
+			}
+		}
+		fmt.Printf("JSON artifacts written to %s\n", *jsonDir)
+	}
+	if !r.AllMet {
+		return fmt.Errorf("deadline misses detected")
+	}
+	return nil
+}

@@ -1,0 +1,120 @@
+// Command rtsynth compiles a requirements specification into a
+// verified static schedule and a synthesized process/monitor program.
+//
+// Usage:
+//
+//	rtsynth [-exact maxlen] [-merge] [-simulate] <spec-file>
+//	rtsynth -example            # use the paper's Figure 1/2 system
+//
+// The specification syntax is documented in internal/spec.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"rtm/internal/analysis"
+	"rtm/internal/core"
+	"rtm/internal/exact"
+	"rtm/internal/heuristic"
+	"rtm/internal/sched"
+	"rtm/internal/sim"
+	"rtm/internal/spec"
+	"rtm/internal/synthesis"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "rtsynth:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	exactLen := flag.Int("exact", 0, "use the exact searcher with this maximum schedule length instead of the heuristic")
+	merge := flag.Bool("merge", true, "apply the shared-operation merge before scheduling")
+	simulate := flag.Bool("simulate", false, "run the closed-loop simulator on the resulting schedule")
+	gantt := flag.Bool("gantt", false, "draw an ASCII timeline of the schedule")
+	analyze := flag.Bool("analyze", false, "print the static schedulability analysis")
+	example := flag.Bool("example", false, "use the paper's example system instead of a spec file")
+	flag.Parse()
+
+	var m *core.Model
+	name := "example"
+	switch {
+	case *example:
+		m = core.ExampleSystem(core.DefaultExampleParams())
+	case flag.NArg() == 1:
+		data, err := os.ReadFile(flag.Arg(0))
+		if err != nil {
+			return err
+		}
+		sp, err := spec.Parse(string(data))
+		if err != nil {
+			return err
+		}
+		m, name = sp.Model, sp.Name
+	default:
+		return fmt.Errorf("usage: rtsynth [flags] <spec-file> (or -example); see -help")
+	}
+
+	fmt.Printf("system %s: %d elements, %d constraints, utilization %.3f, density %.3f\n",
+		name, m.Comm.G.NumNodes(), len(m.Constraints), m.Utilization(), m.DeadlineDensity())
+
+	if *analyze {
+		verdict, report, err := analysis.Decide(m)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("\n%sverdict: %s\n\n", report, verdict)
+		if verdict == analysis.Infeasible {
+			return fmt.Errorf("model is provably infeasible")
+		}
+	}
+
+	var schedule *sched.Schedule
+	if *exactLen > 0 {
+		s, st, err := exact.FindSchedule(m, exact.Options{MaxLen: *exactLen})
+		if err != nil {
+			return fmt.Errorf("exact search: %w (explored %d nodes)", err, st.NodesExplored)
+		}
+		fmt.Printf("exact schedule found after %d nodes / %d candidates\n", st.NodesExplored, st.Candidates)
+		schedule = s
+	} else {
+		res, err := heuristic.Schedule(m, heuristic.Options{MergeShared: *merge})
+		if err != nil {
+			return fmt.Errorf("heuristic: %w", err)
+		}
+		for name, pd := range res.Servers {
+			fmt.Printf("  server %-10s period=%d deadline=%d\n", name, pd[0], pd[1])
+		}
+		schedule = res.Schedule
+	}
+
+	fmt.Printf("\nstatic schedule (cycle %d, utilization %.3f):\n  %s\n\n",
+		schedule.Len(), schedule.Utilization(), schedule)
+	rep := sched.Check(m, schedule)
+	fmt.Print(rep)
+	if *gantt {
+		fmt.Println()
+		fmt.Print(sched.Gantt(m.Comm, schedule, sched.GanttOptions{}))
+		fmt.Print(sched.ComputeStats(schedule))
+	}
+
+	prog, err := synthesis.Synthesize(m)
+	if err != nil {
+		return err
+	}
+	fmt.Println("\nsynthesized program:")
+	fmt.Print(prog.Render())
+
+	if *simulate {
+		r := sim.Run(m, schedule, sim.Options{Adversarial: true})
+		fmt.Printf("\nsimulation: %s (worst slack %d)\n", r, r.WorstSlack)
+		if !r.AllMet {
+			return fmt.Errorf("simulation detected deadline misses")
+		}
+	}
+	return nil
+}

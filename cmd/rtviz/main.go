@@ -1,0 +1,71 @@
+// Command rtviz renders the communication graph (and optionally each
+// constraint's task graph) of a specification in Graphviz DOT syntax.
+//
+// Usage:
+//
+//	rtviz [-tasks] <spec-file>
+//	rtviz -example | dot -Tpng > example.png
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"rtm/internal/core"
+	"rtm/internal/graph"
+	"rtm/internal/spec"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "rtviz:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	tasks := flag.Bool("tasks", false, "also render every constraint's task graph")
+	example := flag.Bool("example", false, "use the paper's example system")
+	flag.Parse()
+
+	var m *core.Model
+	name := "example"
+	switch {
+	case *example:
+		m = core.ExampleSystem(core.DefaultExampleParams())
+	case flag.NArg() == 1:
+		data, err := os.ReadFile(flag.Arg(0))
+		if err != nil {
+			return err
+		}
+		sp, err := spec.Parse(string(data))
+		if err != nil {
+			return err
+		}
+		m, name = sp.Model, sp.Name
+	default:
+		return fmt.Errorf("usage: rtviz [flags] <spec-file> (or -example)")
+	}
+
+	labels := map[string]string{}
+	for _, e := range m.Comm.Elements() {
+		labels[e] = fmt.Sprintf("%s (%d)", e, m.Comm.WeightOf(e))
+	}
+	fmt.Print(m.Comm.G.DOT(graph.DOTOptions{Name: name, Rankdir: "LR", NodeLabels: labels}))
+
+	if *tasks {
+		for _, c := range m.Constraints {
+			tl := map[string]string{}
+			for _, n := range c.Task.Nodes() {
+				tl[n] = fmt.Sprintf("%s [%s]", n, c.Task.ElementOf(n))
+			}
+			fmt.Print(c.Task.G.DOT(graph.DOTOptions{
+				Name:       fmt.Sprintf("task_%s", c.Name),
+				Rankdir:    "LR",
+				NodeLabels: tl,
+			}))
+		}
+	}
+	return nil
+}

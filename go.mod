@@ -1,0 +1,3 @@
+module rtm
+
+go 1.22

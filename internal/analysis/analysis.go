@@ -1,0 +1,178 @@
+// Package analysis provides static schedulability analysis for
+// graph-based models: per-constraint bounds, a necessary capacity
+// condition on feasibility of any static schedule, and the sufficient
+// conditions the paper states (Theorem 3). The necessary condition
+// lets callers reject hopeless instances without search; the
+// sufficient side certifies instances without verification.
+package analysis
+
+import (
+	"fmt"
+	"strings"
+
+	"rtm/internal/core"
+	"rtm/internal/heuristic"
+)
+
+// ConstraintInfo summarizes one timing constraint.
+type ConstraintInfo struct {
+	Name string
+	Kind core.Kind
+	// Work is the total computation time of the task graph — a lower
+	// bound on the completion span of any execution on one processor.
+	Work int
+	// CriticalPath is the maximum-weight directed path through the
+	// task graph — the lower bound that survives even unlimited
+	// parallelism.
+	CriticalPath int
+	// Slack is Deadline − Work; negative means trivially infeasible.
+	Slack int
+	// Density is Work/Deadline.
+	Density float64
+}
+
+// Report is a full static analysis of one model.
+type Report struct {
+	Constraints []ConstraintInfo
+	// ElementPressure maps each functional element to the minimum
+	// long-run fraction of processor slots it must occupy in any
+	// feasible schedule: max over constraints of (demanded slots /
+	// window length). Sharing lets one execution serve several
+	// constraints, hence max rather than sum.
+	ElementPressure map[string]float64
+	// TotalPressure is the sum of element pressures — must be ≤ 1 in
+	// any feasible single-processor schedule.
+	TotalPressure float64
+	// NecessaryOK is false when some necessary condition fails (the
+	// model is certainly infeasible).
+	NecessaryOK bool
+	// NecessaryFailures lists which conditions failed.
+	NecessaryFailures []string
+	// Theorem3OK is true when the paper's sufficient condition
+	// certifies the model (asynchronous-only, hypotheses (i)–(iii)).
+	Theorem3OK bool
+}
+
+// Analyze computes the full report. The model must validate.
+func Analyze(m *core.Model) (*Report, error) {
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	r := &Report{
+		ElementPressure: make(map[string]float64),
+		NecessaryOK:     true,
+	}
+	for _, c := range m.Constraints {
+		w := c.ComputationTime(m.Comm)
+		weight := make(map[string]int, c.Task.G.NumNodes())
+		for _, n := range c.Task.Nodes() {
+			weight[n] = m.Comm.WeightOf(c.Task.ElementOf(n))
+		}
+		_, cp, err := c.Task.G.CriticalPath(weight)
+		if err != nil {
+			return nil, fmt.Errorf("analysis: constraint %q: %w", c.Name, err)
+		}
+		info := ConstraintInfo{
+			Name:         c.Name,
+			Kind:         c.Kind,
+			Work:         w,
+			CriticalPath: cp,
+			Slack:        c.Deadline - w,
+			Density:      float64(w) / float64(c.Deadline),
+		}
+		r.Constraints = append(r.Constraints, info)
+		if info.Slack < 0 {
+			r.NecessaryOK = false
+			r.NecessaryFailures = append(r.NecessaryFailures,
+				fmt.Sprintf("constraint %q needs %d units inside deadline %d", c.Name, w, c.Deadline))
+		}
+
+		// element pressure: demanded slots per window length
+		window := c.Deadline
+		if c.Kind == core.Periodic && c.Period > window {
+			// for periodic constraints with d ≤ p, one execution per
+			// period suffices, so the long-run rate is work/period
+			window = c.Period
+		}
+		need := make(map[string]int)
+		for _, n := range c.Task.Nodes() {
+			e := c.Task.ElementOf(n)
+			need[e] += m.Comm.WeightOf(e)
+		}
+		for e, k := range need {
+			p := float64(k) / float64(window)
+			if p > r.ElementPressure[e] {
+				r.ElementPressure[e] = p
+			}
+		}
+	}
+	for _, p := range r.ElementPressure {
+		r.TotalPressure += p
+	}
+	if r.TotalPressure > 1+1e-9 {
+		r.NecessaryOK = false
+		r.NecessaryFailures = append(r.NecessaryFailures,
+			fmt.Sprintf("total element pressure %.3f exceeds processor capacity 1", r.TotalPressure))
+	}
+	r.Theorem3OK = heuristic.CheckTheorem3Hypotheses(m) == nil
+	return r, nil
+}
+
+// String renders the report.
+func (r *Report) String() string {
+	var b strings.Builder
+	b.WriteString("constraint analysis:\n")
+	for _, c := range r.Constraints {
+		fmt.Fprintf(&b, "  %-12s %-12s work=%-4d critical-path=%-4d slack=%-4d density=%.3f\n",
+			c.Name, c.Kind, c.Work, c.CriticalPath, c.Slack, c.Density)
+	}
+	fmt.Fprintf(&b, "total element pressure: %.3f (must be ≤ 1)\n", r.TotalPressure)
+	fmt.Fprintf(&b, "necessary conditions: %v\n", r.NecessaryOK)
+	for _, f := range r.NecessaryFailures {
+		fmt.Fprintf(&b, "  failure: %s\n", f)
+	}
+	fmt.Fprintf(&b, "Theorem 3 sufficient condition: %v\n", r.Theorem3OK)
+	return b.String()
+}
+
+// Verdict compresses the report into a three-valued answer.
+type Verdict int
+
+const (
+	// Infeasible: a necessary condition fails; no static schedule
+	// exists.
+	Infeasible Verdict = iota
+	// Feasible: a sufficient condition holds; a static schedule
+	// exists (and the constructive scheduler will find one).
+	Feasible
+	// Unknown: neither side decides; search is required (the general
+	// problem is NP-hard — the paper's Theorem 2).
+	Unknown
+)
+
+func (v Verdict) String() string {
+	switch v {
+	case Infeasible:
+		return "infeasible"
+	case Feasible:
+		return "feasible"
+	default:
+		return "unknown"
+	}
+}
+
+// Decide returns the three-valued schedulability verdict for m.
+func Decide(m *core.Model) (Verdict, *Report, error) {
+	r, err := Analyze(m)
+	if err != nil {
+		return Unknown, nil, err
+	}
+	switch {
+	case !r.NecessaryOK:
+		return Infeasible, r, nil
+	case r.Theorem3OK:
+		return Feasible, r, nil
+	default:
+		return Unknown, r, nil
+	}
+}

@@ -1,0 +1,197 @@
+package analysis
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"rtm/internal/core"
+	"rtm/internal/exact"
+	"rtm/internal/heuristic"
+	"rtm/internal/workload"
+)
+
+func TestAnalyzeExample(t *testing.T) {
+	m := core.ExampleSystem(core.DefaultExampleParams())
+	r, err := Analyze(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.NecessaryOK {
+		t.Fatalf("example should pass necessary conditions:\n%s", r)
+	}
+	byName := map[string]ConstraintInfo{}
+	for _, c := range r.Constraints {
+		byName[c.Name] = c
+	}
+	// X = fX(2)+fS(4)+fK(2): chain, so critical path == work == 8
+	if byName["X"].Work != 8 || byName["X"].CriticalPath != 8 {
+		t.Fatalf("X info = %+v", byName["X"])
+	}
+	if byName["X"].Slack != 12 {
+		t.Fatalf("X slack = %d", byName["X"].Slack)
+	}
+	// Z pressure on fS: 4/30; X pressure on fS: 4/20 (period window)
+	if r.ElementPressure["fS"] < 0.199 || r.ElementPressure["fS"] > 0.201 {
+		t.Fatalf("fS pressure = %v", r.ElementPressure["fS"])
+	}
+	if r.Theorem3OK {
+		t.Fatal("example has periodic constraints; Theorem 3 must not certify it")
+	}
+}
+
+func TestAnalyzeBranchingCriticalPath(t *testing.T) {
+	m := core.NewModel()
+	for _, e := range []string{"s", "l", "r", "t"} {
+		m.Comm.AddElement(e, 1)
+	}
+	m.Comm.Weight["l"] = 5
+	m.Comm.AddPath("s", "l")
+	m.Comm.AddPath("s", "r")
+	m.Comm.AddPath("l", "t")
+	m.Comm.AddPath("r", "t")
+	task := core.NewTaskGraph()
+	for _, e := range []string{"s", "l", "r", "t"} {
+		task.AddStep(e, e)
+	}
+	task.AddPrec("s", "l")
+	task.AddPrec("s", "r")
+	task.AddPrec("l", "t")
+	task.AddPrec("r", "t")
+	m.AddConstraint(&core.Constraint{Name: "D", Task: task, Period: 20, Deadline: 20, Kind: core.Periodic})
+	r, err := Analyze(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// work = 1+5+1+1 = 8; critical path = s,l,t = 7
+	if r.Constraints[0].Work != 8 || r.Constraints[0].CriticalPath != 7 {
+		t.Fatalf("info = %+v", r.Constraints[0])
+	}
+}
+
+func TestNecessaryFailsOnOverPressure(t *testing.T) {
+	m := core.NewModel()
+	m.Comm.AddElement("a", 1)
+	m.Comm.AddElement("b", 1)
+	m.AddConstraint(&core.Constraint{
+		Name: "A", Task: core.ChainTask("a"),
+		Period: 2, Deadline: 2, Kind: core.Asynchronous,
+	})
+	m.AddConstraint(&core.Constraint{
+		Name: "B", Task: core.ChainTask("b"),
+		Period: 2, Deadline: 2, Kind: core.Asynchronous,
+	})
+	m.AddConstraint(&core.Constraint{
+		Name: "B2", Task: core.ChainTask("b"),
+		Period: 3, Deadline: 3, Kind: core.Asynchronous,
+	})
+	// pressure: a 1/2 + b max(1/2, 1/3) = 1/2 -> total 1.0 OK; tighten:
+	m.Constraints[0].Deadline = 1
+	m.Constraints[0].Period = 1
+	r, err := Analyze(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// a pressure 1/1 + b 1/2 = 1.5 > 1
+	if r.NecessaryOK {
+		t.Fatalf("over-pressure not detected:\n%s", r)
+	}
+	v, _, err := Decide(m)
+	if err != nil || v != Infeasible {
+		t.Fatalf("verdict = %v, %v", v, err)
+	}
+}
+
+func TestDecideFeasibleViaTheorem3(t *testing.T) {
+	m := core.NewModel()
+	m.Comm.AddElement("a", 1)
+	m.AddConstraint(&core.Constraint{
+		Name: "A", Task: core.ChainTask("a"),
+		Period: 8, Deadline: 8, Kind: core.Asynchronous,
+	})
+	v, r, err := Decide(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != Feasible || !r.Theorem3OK {
+		t.Fatalf("verdict = %v\n%s", v, r)
+	}
+	// the certificate must be honest: the constructive scheduler works
+	if _, err := heuristic.Theorem3Schedule(m); err != nil {
+		t.Fatalf("certified model failed construction: %v", err)
+	}
+}
+
+func TestDecideUnknown(t *testing.T) {
+	m := core.ExampleSystem(core.DefaultExampleParams())
+	v, _, err := Decide(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != Unknown {
+		t.Fatalf("verdict = %v", v)
+	}
+	if v.String() != "unknown" || Infeasible.String() != "infeasible" || Feasible.String() != "feasible" {
+		t.Fatal("verdict strings wrong")
+	}
+}
+
+func TestAnalyzeInvalidModel(t *testing.T) {
+	m := core.NewModel()
+	m.Comm.AddElement("a", 9)
+	m.AddConstraint(&core.Constraint{
+		Name: "A", Task: core.ChainTask("a"),
+		Period: 4, Deadline: 4, Kind: core.Periodic,
+	})
+	if _, err := Analyze(m); err == nil {
+		t.Fatal("invalid model analyzed")
+	}
+}
+
+func TestReportString(t *testing.T) {
+	m := core.ExampleSystem(core.DefaultExampleParams())
+	r, _ := Analyze(m)
+	out := r.String()
+	for _, want := range []string{"constraint analysis:", "total element pressure:", "Theorem 3"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("report missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// Property: the three-valued verdict is never wrong on small random
+// instances — Infeasible instances have no schedule up to a generous
+// length bound, Feasible ones are constructible.
+func TestVerdictSoundnessProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	checked := 0
+	for i := 0; i < 40; i++ {
+		m := workload.AsyncOnly(rng, 2+rng.Intn(2), 0.4+rng.Float64())
+		if m.Validate() != nil {
+			continue
+		}
+		v, _, err := Decide(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		switch v {
+		case Infeasible:
+			ok, _, err := exact.Feasible(m, 6)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if ok {
+				t.Fatalf("Infeasible verdict but schedule found for %+v", m.Constraints)
+			}
+			checked++
+		case Feasible:
+			if _, err := heuristic.Theorem3Schedule(m); err != nil {
+				t.Fatalf("Feasible verdict but construction failed: %v", err)
+			}
+			checked++
+		}
+	}
+	if checked == 0 {
+		t.Skip("no decisive instances drawn")
+	}
+}

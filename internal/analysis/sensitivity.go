@@ -1,0 +1,115 @@
+package analysis
+
+import (
+	"fmt"
+
+	"rtm/internal/core"
+	"rtm/internal/heuristic"
+)
+
+// Sensitivity analysis: how much headroom does a schedulable design
+// have? Two classical questions, answered against the verified
+// heuristic scheduler (the underlying problem is NP-hard, so the
+// results are conservative: "schedulable down to X" is certified by
+// an actual schedule, while the failure side is heuristic).
+
+// schedulable runs the verified heuristic as the probe.
+func schedulable(m *core.Model) bool {
+	if m.Validate() != nil {
+		return false
+	}
+	_, err := heuristic.Schedule(m, heuristic.Options{MergeShared: true})
+	return err == nil
+}
+
+// BreakdownDeadline returns the smallest deadline of the named
+// constraint (keeping everything else fixed) for which the heuristic
+// still produces a verified schedule, found by binary search between
+// the constraint's computation time and its current deadline. The
+// current deadline must be schedulable.
+func BreakdownDeadline(m *core.Model, name string) (int, error) {
+	c := m.ConstraintByName(name)
+	if c == nil {
+		return 0, fmt.Errorf("analysis: unknown constraint %q", name)
+	}
+	if !schedulable(m) {
+		return 0, fmt.Errorf("analysis: model not schedulable at the current deadline")
+	}
+	w := c.ComputationTime(m.Comm)
+	lo, hi := w, c.Deadline // lo may be infeasible, hi is feasible
+	probe := func(d int) bool {
+		mm := m.Clone()
+		mm.ConstraintByName(name).Deadline = d
+		return schedulable(mm)
+	}
+	if probe(lo) {
+		return lo, nil
+	}
+	for hi-lo > 1 {
+		mid := (lo + hi) / 2
+		if probe(mid) {
+			hi = mid
+		} else {
+			lo = mid
+		}
+	}
+	return hi, nil
+}
+
+// ScalingHeadroom returns the largest multiplier k/100 (in integer
+// percent) by which every element weight can be scaled up with the
+// model still schedulable, searched between 100 % and maxPercent.
+// The unscaled model must be schedulable.
+func ScalingHeadroom(m *core.Model, maxPercent int) (int, error) {
+	if maxPercent < 100 {
+		maxPercent = 100
+	}
+	if !schedulable(m) {
+		return 0, fmt.Errorf("analysis: model not schedulable unscaled")
+	}
+	probe := func(pct int) bool {
+		mm := m.Clone()
+		for _, e := range mm.Comm.Elements() {
+			mm.Comm.Weight[e] = mm.Comm.Weight[e] * pct / 100
+		}
+		return schedulable(mm)
+	}
+	lo, hi := 100, maxPercent+1 // lo feasible, hi infeasible
+	if probe(maxPercent) {
+		return maxPercent, nil
+	}
+	for hi-lo > 1 {
+		mid := (lo + hi) / 2
+		if probe(mid) {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return lo, nil
+}
+
+// SensitivityReport gathers per-constraint breakdown deadlines and
+// the global scaling headroom.
+type SensitivityReport struct {
+	Breakdown map[string]int // constraint -> minimum schedulable deadline
+	Headroom  int            // percent (≥ 100)
+}
+
+// Sensitivity runs the full sensitivity sweep.
+func Sensitivity(m *core.Model, maxPercent int) (*SensitivityReport, error) {
+	rep := &SensitivityReport{Breakdown: map[string]int{}}
+	for _, c := range m.Constraints {
+		d, err := BreakdownDeadline(m, c.Name)
+		if err != nil {
+			return nil, err
+		}
+		rep.Breakdown[c.Name] = d
+	}
+	h, err := ScalingHeadroom(m, maxPercent)
+	if err != nil {
+		return nil, err
+	}
+	rep.Headroom = h
+	return rep, nil
+}

@@ -1,0 +1,92 @@
+package analysis
+
+import (
+	"testing"
+
+	"rtm/internal/core"
+	"rtm/internal/heuristic"
+)
+
+func TestBreakdownDeadline(t *testing.T) {
+	m := core.ExampleSystem(core.DefaultExampleParams())
+	d, err := BreakdownDeadline(m, "Z")
+	if err != nil {
+		t.Fatal(err)
+	}
+	z := m.ConstraintByName("Z")
+	w := z.ComputationTime(m.Comm)
+	if d < w || d > z.Deadline {
+		t.Fatalf("breakdown %d outside [%d, %d]", d, w, z.Deadline)
+	}
+	// certificate: the breakdown deadline itself must be schedulable
+	mm := m.Clone()
+	mm.ConstraintByName("Z").Deadline = d
+	if _, err := heuristic.Schedule(mm, heuristic.Options{MergeShared: true}); err != nil {
+		t.Fatalf("breakdown deadline %d not actually schedulable", d)
+	}
+	if _, err := BreakdownDeadline(m, "nope"); err == nil {
+		t.Fatal("unknown constraint accepted")
+	}
+}
+
+func TestBreakdownDeadlineMonotone(t *testing.T) {
+	// any deadline above the breakdown must also be schedulable
+	m := core.ExampleSystem(core.DefaultExampleParams())
+	d, err := BreakdownDeadline(m, "X")
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := m.ConstraintByName("X")
+	if d > x.Deadline {
+		t.Fatalf("breakdown %d above current deadline", d)
+	}
+}
+
+func TestScalingHeadroom(t *testing.T) {
+	m := core.ExampleSystem(core.DefaultExampleParams())
+	h, err := ScalingHeadroom(m, 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h < 100 {
+		t.Fatalf("headroom %d below 100%%", h)
+	}
+	// utilization 0.675 -> some growth must fit, but ×3 cannot
+	if h >= 300 {
+		t.Fatalf("headroom %d unreasonably large for utilization %.2f", h, m.Utilization())
+	}
+	// certificate at the headroom point
+	mm := m.Clone()
+	for _, e := range mm.Comm.Elements() {
+		mm.Comm.Weight[e] = mm.Comm.Weight[e] * h / 100
+	}
+	if _, err := heuristic.Schedule(mm, heuristic.Options{MergeShared: true}); err != nil {
+		t.Fatalf("headroom %d%% not actually schedulable", h)
+	}
+}
+
+func TestScalingHeadroomUnschedulable(t *testing.T) {
+	m := core.NewModel()
+	m.Comm.AddElement("a", 2)
+	m.AddConstraint(&core.Constraint{
+		Name: "A", Task: core.ChainTask("a"),
+		Period: 2, Deadline: 2, Kind: core.Asynchronous,
+	})
+	if _, err := ScalingHeadroom(m, 200); err == nil {
+		t.Fatal("unschedulable base accepted")
+	}
+}
+
+func TestSensitivityReport(t *testing.T) {
+	m := core.ExampleSystem(core.DefaultExampleParams())
+	rep, err := Sensitivity(m, 250)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Breakdown) != 3 {
+		t.Fatalf("breakdown entries = %d", len(rep.Breakdown))
+	}
+	if rep.Headroom < 100 {
+		t.Fatalf("headroom = %d", rep.Headroom)
+	}
+}

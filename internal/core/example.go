@@ -1,0 +1,74 @@
+package core
+
+// ExampleParams are the free parameters of the paper's Figure 1/2
+// control system: computation times of the five functional elements,
+// the two sampling periods and the asynchronous deadline.
+type ExampleParams struct {
+	CX, CY, CZ, CS, CK int // computation times c_x .. c_k
+	PX, PY             int // sampling periods p_x, p_y
+	DZ                 int // asynchronous deadline d_z
+	PZ                 int // minimum separation of z transitions
+}
+
+// DefaultExampleParams returns a parameterization under which the
+// example is schedulable on one processor (utilization well below 1).
+func DefaultExampleParams() ExampleParams {
+	return ExampleParams{
+		CX: 2, CY: 3, CZ: 1, CS: 4, CK: 2,
+		PX: 20, PY: 40,
+		DZ: 30, PZ: 100,
+	}
+}
+
+// ExampleSystem builds the paper's worked example (Figures 1 and 2):
+//
+//	x --fX--> x' --\
+//	y --fY--> y' ---> fS --> u (output, and fed back through fK as v)
+//	z --fZ--> z' --/
+//
+// with three timing constraints:
+//
+//	X (periodic, p_x, d=p_x):   fX -> fS -> fK
+//	Y (periodic, p_y, d=p_y):   fY -> fS -> fK
+//	Z (asynchronous, p_z, d_z): fZ -> fS
+//
+// The X and Y constraints recompute the output u with a fresh sample
+// and then update the internal state v; the Z constraint must
+// propagate a toggle-switch transition to the output within d_z.
+func ExampleSystem(p ExampleParams) *Model {
+	m := NewModel()
+	c := m.Comm
+	c.AddElement("fX", p.CX)
+	c.AddElement("fY", p.CY)
+	c.AddElement("fZ", p.CZ)
+	c.AddElement("fS", p.CS)
+	c.AddElement("fK", p.CK)
+	c.AddPath("fX", "fS")
+	c.AddPath("fY", "fS")
+	c.AddPath("fZ", "fS")
+	c.AddPath("fS", "fK")
+	c.AddPath("fK", "fS") // feedback: v is an input of fS
+
+	m.AddConstraint(&Constraint{
+		Name:     "X",
+		Task:     ChainTask("fX", "fS", "fK"),
+		Period:   p.PX,
+		Deadline: p.PX,
+		Kind:     Periodic,
+	})
+	m.AddConstraint(&Constraint{
+		Name:     "Y",
+		Task:     ChainTask("fY", "fS", "fK"),
+		Period:   p.PY,
+		Deadline: p.PY,
+		Kind:     Periodic,
+	})
+	m.AddConstraint(&Constraint{
+		Name:     "Z",
+		Task:     ChainTask("fZ", "fS"),
+		Period:   p.PZ,
+		Deadline: p.DZ,
+		Kind:     Asynchronous,
+	})
+	return m
+}

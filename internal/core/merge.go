@@ -1,0 +1,149 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// MergeReport describes the effect of a merge pass.
+type MergeReport struct {
+	Groups        [][]string // names of constraints merged together
+	DemandBefore  int        // Σ computation time per hyperperiod, unmerged
+	DemandAfter   int        // Σ computation time per hyperperiod, merged
+	SharedOpsSave int        // DemandBefore - DemandAfter
+}
+
+// MergePeriodic implements the paper's shared-operation optimization:
+// periodic constraints with equal periods are combined into a single
+// constraint whose task graph is the union of the originals, so that
+// a functional element common to several constraints (such as f_S
+// when p_x = p_y) is executed once per period instead of once per
+// constraint. The merged deadline is the minimum of the deadlines.
+//
+// Only constraints whose task graphs execute each functional element
+// at most once are merged (this holds for all identity-mapped task
+// graphs); others are passed through unchanged.
+func MergePeriodic(m *Model) (*Model, *MergeReport, error) {
+	out := NewModel()
+	out.Comm = m.Comm.Clone()
+	rep := &MergeReport{}
+
+	hyper := 1
+	for _, c := range m.Constraints {
+		hyper = lcm(hyper, c.Period)
+	}
+	for _, c := range m.Constraints {
+		rep.DemandBefore += c.ComputationTime(m.Comm) * (hyper / c.Period)
+	}
+
+	// group mergeable periodic constraints by period
+	groups := make(map[int][]*Constraint)
+	var order []int
+	for _, c := range m.Constraints {
+		if c.Kind == Periodic && singleExec(c.Task) {
+			if _, ok := groups[c.Period]; !ok {
+				order = append(order, c.Period)
+			}
+			groups[c.Period] = append(groups[c.Period], c)
+		} else {
+			out.AddConstraint(c.Clone())
+		}
+	}
+	sort.Ints(order)
+
+	for _, p := range order {
+		g := groups[p]
+		if len(g) == 1 {
+			out.AddConstraint(g[0].Clone())
+			continue
+		}
+		merged, err := unionTasks(g)
+		if err != nil {
+			return nil, nil, err
+		}
+		deadline := g[0].Deadline
+		var names []string
+		for _, c := range g {
+			if c.Deadline < deadline {
+				deadline = c.Deadline
+			}
+			names = append(names, c.Name)
+		}
+		out.AddConstraint(&Constraint{
+			Name:     strings.Join(names, "+"),
+			Task:     merged,
+			Period:   p,
+			Deadline: deadline,
+			Kind:     Periodic,
+		})
+		rep.Groups = append(rep.Groups, names)
+	}
+
+	for _, c := range out.Constraints {
+		rep.DemandAfter += c.ComputationTime(out.Comm) * (hyper / c.Period)
+	}
+	rep.SharedOpsSave = rep.DemandBefore - rep.DemandAfter
+	return out, rep, nil
+}
+
+// singleExec reports whether every functional element appears at most
+// once among the task graph's nodes.
+func singleExec(t *TaskGraph) bool {
+	seen := make(map[string]bool)
+	for _, n := range t.Nodes() {
+		e := t.ElementOf(n)
+		if seen[e] {
+			return false
+		}
+		seen[e] = true
+	}
+	return true
+}
+
+// unionTasks merges task graphs node-wise by functional element:
+// nodes executing the same element are identified, and the edge set
+// is the union. The merged graph must remain acyclic (it always is
+// when the originals are compatible chains over a common topology,
+// but diamond unions can in principle create cycles, which is an
+// error).
+func unionTasks(cs []*Constraint) (*TaskGraph, error) {
+	t := NewTaskGraph()
+	for _, c := range cs {
+		for _, n := range c.Task.Nodes() {
+			e := c.Task.ElementOf(n)
+			t.AddStep(e, e)
+		}
+	}
+	for _, c := range cs {
+		for _, edge := range c.Task.G.Edges() {
+			t.AddPrec(c.Task.ElementOf(edge.From), c.Task.ElementOf(edge.To))
+		}
+	}
+	if !t.G.IsAcyclic() {
+		return nil, fmt.Errorf("core: merged task graph is cyclic: %v", t.G.FindCycle())
+	}
+	return t, nil
+}
+
+// lcm returns the least common multiple of two positive integers.
+func lcm(a, b int) int {
+	return a / gcd(a, b) * b
+}
+
+func gcd(a, b int) int {
+	for b != 0 {
+		a, b = b, a%b
+	}
+	return a
+}
+
+// Hyperperiod returns the least common multiple of all constraint
+// periods (1 for an empty model).
+func (m *Model) Hyperperiod() int {
+	h := 1
+	for _, c := range m.Constraints {
+		h = lcm(h, c.Period)
+	}
+	return h
+}

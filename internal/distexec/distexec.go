@@ -1,0 +1,306 @@
+// Package distexec executes a multiprocessor deployment end to end:
+// every processor runs its own static schedule, the TDMA bus runs the
+// message schedule, and data values move between processors only when
+// the bus carries the corresponding message. This realizes condition
+// (3) of the paper's execution semantics — "in the case where the
+// functional elements are physically distributed ... an execution of
+// C must include the transmission of the latest output of u to v
+// before the corresponding instance of v is executed" — and checks it
+// on recorded runs rather than assuming it.
+package distexec
+
+import (
+	"fmt"
+	"sort"
+
+	"rtm/internal/core"
+	"rtm/internal/multiproc"
+	"rtm/internal/sched"
+)
+
+// Event is one recorded occurrence on the distributed timeline.
+type Event struct {
+	Time int
+	Proc int // processor index, or -1 for the bus
+	Kind string
+	Elem string
+	Seq  int
+}
+
+// Execution mirrors exec.Execution with processor attribution.
+type Execution struct {
+	Elem   string
+	Proc   int
+	Start  int
+	Finish int
+	// Inputs captures, per producing element, the sequence number of
+	// the value visible locally when the execution started (-1 when
+	// none had arrived yet).
+	Inputs map[string]int
+	Seq    int
+}
+
+// Record is the outcome of a distributed run.
+type Record struct {
+	Horizon    int
+	Executions map[string][]Execution // per element, start order
+	BusLog     []Event                // message transmissions
+	Events     []Event                // all events, time order
+}
+
+// value on a channel: producer sequence number (values themselves are
+// provenance-tracked like the exec VM).
+type value struct {
+	seq  int
+	prod int // production (or delivery) time
+	ok   bool
+}
+
+// Run executes a deployment for the given horizon. Element locations
+// come from dep.Assignment; each processor's schedule drives local
+// executions; an output destined to a local consumer is delivered
+// instantly, while an output destined to a remote consumer waits for
+// the bus to transmit the corresponding message element (one bus
+// execution delivers the latest pending value of its edge).
+func Run(m *core.Model, dep *multiproc.Deployment, horizon int) (*Record, error) {
+	if dep == nil || dep.Assignment == nil {
+		return nil, fmt.Errorf("distexec: nil deployment")
+	}
+	nproc := len(dep.ProcSchedules)
+	rec := &Record{Horizon: horizon, Executions: map[string][]Execution{}}
+
+	// per-consumer-side channel state: latest delivered value per edge
+	delivered := map[string]value{} // key "u->v"
+	// pending values sitting at the producer, awaiting the bus
+	pending := map[string]value{} // key "u->v"
+
+	type inflight struct {
+		start  int
+		done   int
+		inputs map[string]int
+	}
+	current := map[string]*inflight{}
+	seq := map[string]int{}
+
+	deliverLocal := func(elem string, t int) {
+		s := seq[elem]
+		for _, succ := range m.Comm.G.Succ(elem) {
+			key := elem + "->" + succ
+			if dep.Assignment[succ] == dep.Assignment[elem] {
+				delivered[key] = value{seq: s, prod: t, ok: true}
+			} else {
+				pending[key] = value{seq: s, prod: t, ok: true}
+			}
+		}
+	}
+
+	for t := 0; t < horizon; t++ {
+		// bus slot first: deliveries at time t are visible to
+		// executions starting at t
+		if dep.Bus != nil && dep.Bus.Len() > 0 {
+			busElem := dep.Bus.At(t)
+			if busElem != sched.Idle {
+				w := dep.BusModel.Comm.WeightOf(busElem)
+				fl := current[busElem]
+				if fl == nil {
+					fl = &inflight{start: t}
+					current[busElem] = fl
+				}
+				fl.done++
+				if fl.done >= w {
+					edge := busElem[len("msg:"):]
+					if v, ok := pending[edge]; ok {
+						delivered[edge] = value{seq: v.seq, prod: t + 1, ok: true}
+						delete(pending, edge)
+						rec.BusLog = append(rec.BusLog, Event{
+							Time: t + 1, Proc: -1, Kind: "deliver", Elem: edge, Seq: v.seq,
+						})
+					}
+					current[busElem] = nil
+				}
+			}
+		}
+		// processor slots
+		for p := 0; p < nproc; p++ {
+			s := dep.ProcSchedules[p]
+			if s == nil || s.Len() == 0 {
+				continue
+			}
+			elem := s.At(t)
+			if elem == sched.Idle {
+				continue
+			}
+			if dep.Assignment[elem] != p {
+				return nil, fmt.Errorf("distexec: processor %d schedules %q assigned to %d",
+					p, elem, dep.Assignment[elem])
+			}
+			w := m.Comm.WeightOf(elem)
+			if w <= 0 {
+				continue
+			}
+			fl := current[elem]
+			if fl == nil {
+				inputs := map[string]int{}
+				for _, pred := range m.Comm.G.Pred(elem) {
+					key := pred + "->" + elem
+					if v := delivered[key]; v.ok {
+						inputs[pred] = v.seq
+					} else {
+						inputs[pred] = -1
+					}
+				}
+				fl = &inflight{start: t, inputs: inputs}
+				current[elem] = fl
+			}
+			fl.done++
+			if fl.done == w {
+				finish := t + 1
+				rec.Executions[elem] = append(rec.Executions[elem], Execution{
+					Elem: elem, Proc: p, Start: fl.start, Finish: finish,
+					Inputs: fl.inputs, Seq: seq[elem],
+				})
+				rec.Events = append(rec.Events, Event{
+					Time: finish, Proc: p, Kind: "complete", Elem: elem, Seq: seq[elem],
+				})
+				deliverLocal(elem, finish)
+				seq[elem]++
+				current[elem] = nil
+			}
+		}
+	}
+	sort.SliceStable(rec.Events, func(i, j int) bool { return rec.Events[i].Time < rec.Events[j].Time })
+	return rec, nil
+}
+
+// Outcome reports the end-to-end service of one invocation.
+type Outcome struct {
+	Constraint string
+	Time       int
+	Completed  int // -1 when no witness found in the horizon
+	Met        bool
+	// TransmissionOK reports that, for every cross-processor task
+	// edge, the consumer instance saw a value at least as fresh as
+	// the chosen producer instance.
+	TransmissionOK bool
+}
+
+// CheckInvocations finds witnesses for invocations against the
+// distributed record, greedy in topological order, requiring for each
+// task edge that the consumer started after the producer finished and
+// — when they live on different processors — read a sequence number
+// at least the producer instance's.
+func CheckInvocations(m *core.Model, dep *multiproc.Deployment, rec *Record, invs []Invocation) []Outcome {
+	out := make([]Outcome, 0, len(invs))
+	for _, inv := range invs {
+		c := m.ConstraintByName(inv.Constraint)
+		o := Outcome{Constraint: inv.Constraint, Time: inv.Time, Completed: -1}
+		if c == nil {
+			out = append(out, o)
+			continue
+		}
+		witness, completed := findWitness(m, rec, c, inv.Time)
+		if witness == nil {
+			out = append(out, o)
+			continue
+		}
+		o.Completed = completed
+		o.Met = completed <= inv.Time+c.Deadline
+		o.TransmissionOK = checkTransmission(m, dep, c, witness)
+		out = append(out, o)
+	}
+	return out
+}
+
+// Invocation is one constraint arrival.
+type Invocation struct {
+	Constraint string
+	Time       int
+}
+
+func findWitness(m *core.Model, rec *Record, c *core.Constraint, from int) (map[string]Execution, int) {
+	order, err := c.Task.G.TopoSort()
+	if err != nil {
+		return nil, -1
+	}
+	witness := map[string]Execution{}
+	used := map[string]int{}
+	completed := from
+	for _, node := range order {
+		elem := c.Task.ElementOf(node)
+		ready := from
+		for _, p := range c.Task.G.Pred(node) {
+			if w, ok := witness[p]; ok && w.Finish > ready {
+				ready = w.Finish
+			}
+		}
+		if m.Comm.WeightOf(elem) == 0 {
+			witness[node] = Execution{Elem: elem, Start: ready, Finish: ready}
+			continue
+		}
+		execs := rec.Executions[elem]
+		idx := sort.Search(len(execs), func(i int) bool { return execs[i].Start >= ready })
+		if idx < used[elem] {
+			idx = used[elem]
+		}
+		// advance past instances whose inputs predate the required
+		// producers (remote data may not have arrived yet)
+		for idx < len(execs) && !inputsFresh(m, c, node, witness, execs[idx]) {
+			idx++
+		}
+		if idx >= len(execs) {
+			return nil, -1
+		}
+		witness[node] = execs[idx]
+		used[elem] = idx + 1
+		if execs[idx].Finish > completed {
+			completed = execs[idx].Finish
+		}
+	}
+	return witness, completed
+}
+
+// inputsFresh reports whether candidate's captured input sequence
+// numbers cover every already-chosen producer instance.
+func inputsFresh(m *core.Model, c *core.Constraint, node string, witness map[string]Execution, cand Execution) bool {
+	for _, p := range c.Task.G.Pred(node) {
+		pw, ok := witness[p]
+		if !ok {
+			continue
+		}
+		if pw.Elem == cand.Elem {
+			continue
+		}
+		got, ok := cand.Inputs[pw.Elem]
+		if !ok {
+			continue // not a communication-graph input
+		}
+		if got < pw.Seq {
+			return false
+		}
+	}
+	return true
+}
+
+func checkTransmission(m *core.Model, dep *multiproc.Deployment, c *core.Constraint, witness map[string]Execution) bool {
+	for _, e := range c.Task.G.Edges() {
+		pu, ok1 := witness[e.From]
+		pv, ok2 := witness[e.To]
+		if !ok1 || !ok2 {
+			return false
+		}
+		if pv.Start < pu.Finish {
+			return false
+		}
+		if pu.Elem == pv.Elem || pv.Inputs == nil {
+			continue
+		}
+		got, ok := pv.Inputs[pu.Elem]
+		if !ok {
+			return false
+		}
+		if got < pu.Seq {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,301 @@
+// Package exact decides feasibility of a graph-based model by
+// exhaustive search over static schedules. It realizes the paper's
+// Theorem 1 (a feasible static schedule, when one exists, is finite
+// and can be found in finite time) and serves as the exact comparator
+// for the NP-hardness constructions of Theorem 2, whose exponential
+// cost it exhibits empirically.
+//
+// The search is iterative deepening over the schedule length with
+// three prunes: a rotation symmetry break, per-element capacity lower
+// bounds derived from the deadline windows, and incremental window
+// checks that reject a prefix as soon as some fully-determined
+// deadline window lacks capacity for a constraint.
+package exact
+
+import (
+	"errors"
+	"fmt"
+
+	"rtm/internal/core"
+	"rtm/internal/sched"
+)
+
+// Options tune the search.
+type Options struct {
+	// MinLen and MaxLen bound the schedule lengths tried. MinLen
+	// defaults to 1. MaxLen must be positive.
+	MinLen, MaxLen int
+	// MaxCandidates aborts the search after this many complete
+	// candidate schedules have been feasibility-checked (0 = no
+	// limit).
+	MaxCandidates int
+	// RequireContiguous restricts the search to schedules whose
+	// executions are unpreempted blocks — the "cannot be pipelined"
+	// regime of Theorem 2(ii).
+	RequireContiguous bool
+}
+
+// Stats reports search effort.
+type Stats struct {
+	NodesExplored int // partial assignments visited
+	Candidates    int // complete schedules feasibility-checked
+	LengthsTried  []int
+}
+
+// ErrBudget is returned when MaxCandidates is exhausted before the
+// search space is.
+var ErrBudget = errors.New("exact: candidate budget exhausted")
+
+// ErrNotFound is returned when no feasible schedule of length at most
+// MaxLen exists.
+var ErrNotFound = errors.New("exact: no feasible static schedule within length bound")
+
+// FindSchedule searches for a feasible static schedule. On success it
+// returns the first schedule found (in canonical rotation) together
+// with search statistics. It returns ErrNotFound (with stats) when
+// the bounded space is exhausted, or ErrBudget when the candidate
+// budget runs out.
+func FindSchedule(m *core.Model, opt Options) (*sched.Schedule, *Stats, error) {
+	if opt.MaxLen <= 0 {
+		return nil, nil, fmt.Errorf("exact: MaxLen must be positive, got %d", opt.MaxLen)
+	}
+	minLen := opt.MinLen
+	if minLen < 1 {
+		minLen = 1
+	}
+	st := &Stats{}
+	alphabet := append([]string{sched.Idle}, m.ElementsUsed()...)
+	for n := minLen; n <= opt.MaxLen; n++ {
+		st.LengthsTried = append(st.LengthsTried, n)
+		s, err := searchLength(m, n, alphabet, opt, st)
+		if err != nil {
+			return nil, st, err
+		}
+		if s != nil {
+			return s, st, nil
+		}
+	}
+	return nil, st, ErrNotFound
+}
+
+// Feasible reports whether some static schedule of length ≤ maxLen
+// meets every constraint. The stats are returned alongside.
+func Feasible(m *core.Model, maxLen int) (bool, *Stats, error) {
+	s, st, err := FindSchedule(m, Options{MaxLen: maxLen})
+	if errors.Is(err, ErrNotFound) {
+		return false, st, nil
+	}
+	if err != nil {
+		return false, st, err
+	}
+	return s != nil, st, nil
+}
+
+// windowNeed holds the per-element slot demand a single deadline
+// window must satisfy for one constraint (a necessary condition:
+// element counts inside every window of length d must reach the task
+// graph's per-element weight demand). Asynchronous constraints have
+// sliding windows (period 0 here); periodic constraints with d ≤ p
+// have disjoint windows anchored at multiples of p.
+type windowNeed struct {
+	d      int
+	period int // 0 = sliding (asynchronous)
+	need   map[string]int
+}
+
+func demandOf(m *core.Model, c *core.Constraint) map[string]int {
+	need := make(map[string]int)
+	for _, node := range c.Task.Nodes() {
+		e := c.Task.ElementOf(node)
+		need[e] += m.Comm.WeightOf(e)
+	}
+	return need
+}
+
+func windowNeeds(m *core.Model) []windowNeed {
+	var out []windowNeed
+	for _, c := range m.Constraints {
+		switch c.Kind {
+		case core.Asynchronous:
+			out = append(out, windowNeed{d: c.Deadline, need: demandOf(m, c)})
+		case core.Periodic:
+			if c.Deadline <= c.Period {
+				out = append(out, windowNeed{d: c.Deadline, period: c.Period, need: demandOf(m, c)})
+			}
+		}
+	}
+	return out
+}
+
+func searchLength(m *core.Model, n int, alphabet []string, opt Options, st *Stats) (*sched.Schedule, error) {
+	// Capacity lower bounds. An async constraint with deadline d
+	// forces count_e * d ≥ n * need_e over the cycle (each of the n
+	// cyclic windows of length d needs need_e slots of e, and each
+	// slot covers d windows). A periodic constraint with d ≤ p has
+	// disjoint invocation windows needing distinct slots, so over the
+	// alignment lcm(n, p) it forces count_e ≥ need_e · n/p.
+	needs := windowNeeds(m)
+	minCount := make(map[string]int)
+	for _, wn := range needs {
+		for e, k := range wn.need {
+			var lb int
+			if wn.period == 0 {
+				lb = ceilDiv(n*k, wn.d)
+			} else {
+				lb = ceilDiv(n*k, wn.period)
+			}
+			if lb > minCount[e] {
+				minCount[e] = lb
+			}
+		}
+	}
+	totalMin := 0
+	for _, v := range minCount {
+		totalMin += v
+	}
+	if totalMin > n {
+		return nil, nil // capacity bound already unsatisfiable at this length
+	}
+
+	slots := make([]string, n)
+	count := make(map[string]int)
+	var found *sched.Schedule
+	// Feasibility is rotation-invariant only when every constraint is
+	// asynchronous (periodic invocations are phase-locked to t = 0),
+	// so the rotation symmetry break applies only then.
+	breakRotations := len(m.Periodic()) == 0
+
+	var rec func(pos int) error
+	rec = func(pos int) error {
+		if found != nil {
+			return nil
+		}
+		st.NodesExplored++
+		if pos == n {
+			st.Candidates++
+			if opt.MaxCandidates > 0 && st.Candidates > opt.MaxCandidates {
+				return ErrBudget
+			}
+			cand := sched.New(slots...)
+			if opt.RequireContiguous && !sched.Contiguous(m.Comm, cand) {
+				return nil
+			}
+			if sched.Feasible(m, cand) {
+				found = cand
+			}
+			return nil
+		}
+		for _, sym := range alphabet {
+			// symmetry break: the minimal rotation of any string
+			// begins with its minimal symbol, so every later slot
+			// may be required to be ≥ the first (idle "" sorts
+			// first). Each rotation class keeps a representative.
+			if breakRotations && pos > 0 && sym < slots[0] {
+				continue
+			}
+			slots[pos] = sym
+			if sym != sched.Idle {
+				count[sym]++
+			}
+			if pruneOK(m, slots, pos, n, count, minCount, needs) &&
+				(!opt.RequireContiguous || contiguousPrefixOK(m, slots, pos)) {
+				if err := rec(pos + 1); err != nil {
+					return err
+				}
+			}
+			if sym != sched.Idle {
+				count[sym]--
+			}
+			if found != nil {
+				return nil
+			}
+		}
+		slots[pos] = sched.Idle
+		return nil
+	}
+	if err := rec(0); err != nil {
+		return nil, err
+	}
+	return found, nil
+}
+
+// pruneOK applies incremental necessary conditions after slots[pos]
+// has been placed. It returns false when the prefix can no longer be
+// extended to a feasible schedule.
+func pruneOK(m *core.Model, slots []string, pos, n int, count, minCount map[string]int, needs []windowNeed) bool {
+	// remaining capacity must allow reaching every minimum count
+	remaining := n - pos - 1
+	deficit := 0
+	for e, lb := range minCount {
+		if d := lb - count[e]; d > 0 {
+			deficit += d
+		}
+	}
+	if deficit > remaining {
+		return false
+	}
+	// Fully-determined deadline windows inside the prefix must carry
+	// enough capacity. For asynchronous constraints every window of
+	// length d ending at pos+1 applies; for periodic constraints only
+	// the anchored windows [jp, jp+d) do.
+	for _, wn := range needs {
+		if wn.d > n {
+			continue // window wraps; checked at the leaf
+		}
+		var lo int
+		if wn.period == 0 {
+			if pos+1 < wn.d {
+				continue
+			}
+			lo = pos + 1 - wn.d
+		} else {
+			// the anchored window newly completed at pos+1, if any
+			if (pos+1-wn.d)%wn.period != 0 || pos+1 < wn.d {
+				continue
+			}
+			lo = pos + 1 - wn.d
+		}
+		for e, k := range wn.need {
+			c := 0
+			for i := lo; i <= pos; i++ {
+				if slots[i] == e {
+					c++
+				}
+			}
+			if c < k {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// contiguousPrefixOK prunes prefixes that already break contiguity:
+// placing a different symbol at pos interrupts the run ending at
+// pos−1, which is only legal when that run is a whole number of
+// executions. A run touching slot 0 is exempt (it may be the wrapped
+// tail of the cycle's final execution; the leaf check decides).
+func contiguousPrefixOK(m *core.Model, slots []string, pos int) bool {
+	if pos == 0 {
+		return true
+	}
+	prev := slots[pos-1]
+	if prev == slots[pos] || prev == sched.Idle {
+		return true
+	}
+	w := m.Comm.WeightOf(prev)
+	if w <= 1 {
+		return true
+	}
+	run := 0
+	i := pos - 1
+	for ; i >= 0 && slots[i] == prev; i-- {
+		run++
+	}
+	if i < 0 {
+		return true // run reaches slot 0: may wrap
+	}
+	return run%w == 0
+}
+
+func ceilDiv(a, b int) int { return (a + b - 1) / b }

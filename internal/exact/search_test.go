@@ -1,0 +1,196 @@
+package exact
+
+import (
+	"errors"
+	"testing"
+
+	"rtm/internal/core"
+	"rtm/internal/sched"
+)
+
+// asyncModel builds a model with only asynchronous single-op or chain
+// constraints over unit-weight elements.
+func asyncModel(cons ...*core.Constraint) *core.Model {
+	m := core.NewModel()
+	for _, c := range cons {
+		prev := ""
+		for _, n := range c.Task.Nodes() {
+			e := c.Task.ElementOf(n)
+			if !m.Comm.G.HasNode(e) {
+				m.Comm.AddElement(e, 1)
+			}
+			if prev != "" {
+				m.Comm.AddPath(prev, e)
+			}
+			prev = e
+		}
+		m.AddConstraint(c)
+	}
+	return m
+}
+
+func asyncChain(name string, d int, elems ...string) *core.Constraint {
+	return &core.Constraint{
+		Name: name, Task: core.ChainTask(elems...),
+		Period: d, Deadline: d, Kind: core.Asynchronous,
+	}
+}
+
+func TestFindScheduleSingleOp(t *testing.T) {
+	m := asyncModel(asyncChain("A", 2, "a"))
+	s, st, err := FindSchedule(m, Options{MaxLen: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sched.Feasible(m, s) {
+		t.Fatalf("returned schedule infeasible: %v", s)
+	}
+	if st.Candidates == 0 || st.NodesExplored == 0 {
+		t.Fatalf("stats empty: %+v", st)
+	}
+	// latency ≤ 2 for a unit op needs a in every window of 2: the
+	// only length-1..2 solutions are [a] and [a a].
+	if s.Len() > 2 {
+		t.Fatalf("schedule too long: %v", s)
+	}
+}
+
+func TestFindScheduleTwoOps(t *testing.T) {
+	m := asyncModel(
+		asyncChain("A", 3, "a"),
+		asyncChain("B", 3, "b"),
+	)
+	s, _, err := FindSchedule(m, Options{MaxLen: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := sched.Check(m, s)
+	if !rep.Feasible {
+		t.Fatalf("infeasible:\n%s\nschedule %v", rep, s)
+	}
+}
+
+func TestFindScheduleInfeasible(t *testing.T) {
+	// three unit ops each with deadline 2: every window of length 2
+	// would need all three -> impossible.
+	m := asyncModel(
+		asyncChain("A", 2, "a"),
+		asyncChain("B", 2, "b"),
+		asyncChain("C", 2, "c"),
+	)
+	ok, _, err := Feasible(m, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Fatal("expected infeasible")
+	}
+}
+
+func TestFindScheduleChainConstraint(t *testing.T) {
+	m := asyncModel(asyncChain("A", 4, "a", "b"))
+	s, _, err := FindSchedule(m, Options{MaxLen: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sched.Feasible(m, s) {
+		t.Fatalf("infeasible schedule %v", s)
+	}
+}
+
+func TestFindScheduleWithPeriodic(t *testing.T) {
+	m := core.NewModel()
+	m.Comm.AddElement("p", 1)
+	m.Comm.AddElement("q", 1)
+	m.AddConstraint(&core.Constraint{
+		Name: "P", Task: core.ChainTask("p"),
+		Period: 2, Deadline: 2, Kind: core.Periodic,
+	})
+	m.AddConstraint(&core.Constraint{
+		Name: "Q", Task: core.ChainTask("q"),
+		Period: 4, Deadline: 4, Kind: core.Asynchronous,
+	})
+	s, _, err := FindSchedule(m, Options{MaxLen: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := sched.Check(m, s)
+	if !rep.Feasible {
+		t.Fatalf("infeasible:\n%s\nschedule %v", rep, s)
+	}
+}
+
+func TestMaxCandidatesBudget(t *testing.T) {
+	m := asyncModel(
+		asyncChain("A", 2, "a"),
+		asyncChain("B", 2, "b"),
+		asyncChain("C", 2, "c"),
+	)
+	_, _, err := FindSchedule(m, Options{MaxLen: 8, MaxCandidates: 5})
+	if !errors.Is(err, ErrBudget) && !errors.Is(err, ErrNotFound) {
+		t.Fatalf("err = %v, want budget or not-found", err)
+	}
+}
+
+func TestBadOptions(t *testing.T) {
+	m := asyncModel(asyncChain("A", 2, "a"))
+	if _, _, err := FindSchedule(m, Options{}); err == nil {
+		t.Fatal("MaxLen 0 accepted")
+	}
+}
+
+func TestRequireContiguous(t *testing.T) {
+	// one weight-2 element with deadline 4, plus a unit element with
+	// deadline 2. Without pipelining the weight-2 execution must be a
+	// block, forcing b's window to be violated at short lengths.
+	m := core.NewModel()
+	m.Comm.AddElement("a", 2)
+	m.Comm.AddElement("b", 1)
+	m.AddConstraint(&core.Constraint{
+		Name: "A", Task: core.ChainTask("a"),
+		Period: 8, Deadline: 8, Kind: core.Asynchronous,
+	})
+	m.AddConstraint(&core.Constraint{
+		Name: "B", Task: core.ChainTask("b"),
+		Period: 3, Deadline: 3, Kind: core.Asynchronous,
+	})
+	s, _, err := FindSchedule(m, Options{MaxLen: 6, RequireContiguous: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sched.Contiguous(m.Comm, s) {
+		t.Fatalf("schedule has preempted executions: %v", s)
+	}
+	if !sched.Feasible(m, s) {
+		t.Fatalf("infeasible: %v", s)
+	}
+}
+
+func TestExactAgreesWithCapacityBound(t *testing.T) {
+	// density > 1 can never be feasible; exact search must agree.
+	m := asyncModel(
+		asyncChain("A", 2, "a"),
+		asyncChain("B", 3, "b"),
+		asyncChain("C", 3, "c"),
+	)
+	// windows: a every 2, b and c every 3 -> per-cycle capacity check
+	// density = 1/2+1/3+1/3 = 7/6 > 1
+	ok, _, err := Feasible(m, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Fatal("over-dense instance reported feasible")
+	}
+}
+
+func TestStatsLengths(t *testing.T) {
+	m := asyncModel(asyncChain("A", 3, "a"))
+	_, st, err := FindSchedule(m, Options{MinLen: 1, MaxLen: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(st.LengthsTried) == 0 || st.LengthsTried[0] != 1 {
+		t.Fatalf("lengths = %v", st.LengthsTried)
+	}
+}

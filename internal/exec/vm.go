@@ -1,0 +1,257 @@
+// Package exec provides a deterministic discrete-time virtual machine
+// that runs a synthesized system under the paper's table-driven
+// run-time scheduler: a static schedule is repeated round-robin, each
+// slot advancing one unit of one functional element. Completed
+// executions move data values (with provenance timestamps) along the
+// communication paths, so the paper's execution semantics — pipeline
+// ordering, precedence, and transmission of the latest output before
+// a consumer runs — can be checked on the recorded run rather than
+// assumed.
+package exec
+
+import (
+	"fmt"
+	"sort"
+
+	"rtm/internal/core"
+	"rtm/internal/sched"
+)
+
+// Value is a datum on a communication path, tagged with provenance.
+type Value struct {
+	ProducedAt int // completion time of the producing execution
+	Seq        int // per-element output sequence number
+}
+
+// Execution is one completed execution of a functional element.
+type Execution struct {
+	Elem   string
+	Start  int
+	Finish int // last slot + 1
+	// Inputs captures, per incoming channel, the value visible when
+	// the execution started.
+	Inputs map[string]Value
+	Seq    int // sequence number among this element's executions
+}
+
+// Record is the observable outcome of a VM run.
+type Record struct {
+	Horizon    int
+	Executions map[string][]Execution // per element, in start order
+	IdleSlots  int
+}
+
+// ExecutionsOf returns the executions of elem in start order.
+func (r *Record) ExecutionsOf(elem string) []Execution { return r.Executions[elem] }
+
+// edgeName matches the synthesis package's channel naming.
+func edgeName(u, v string) string { return u + "->" + v }
+
+// Run executes the static schedule for the given number of slots over
+// the model's communication graph and returns the full record. Data
+// is moved along every communication path: when an execution of u
+// completes at time f, the value (f, seq) is written to every
+// outgoing path of u; an execution of v starting at time s captures
+// the then-latest value of each incoming path.
+func Run(m *core.Model, s *sched.Schedule, horizon int) *Record {
+	rec := &Record{
+		Horizon:    horizon,
+		Executions: make(map[string][]Execution),
+	}
+	// channel state: latest value per communication path
+	chans := make(map[string]Value)
+	type inflight struct {
+		start  int
+		done   int // units executed
+		inputs map[string]Value
+	}
+	current := make(map[string]*inflight) // per element
+	seq := make(map[string]int)
+
+	for t := 0; t < horizon; t++ {
+		elem := s.At(t)
+		if elem == sched.Idle {
+			rec.IdleSlots++
+			continue
+		}
+		w := m.Comm.WeightOf(elem)
+		if w <= 0 {
+			continue
+		}
+		fl := current[elem]
+		if fl == nil {
+			// a new execution starts: capture inputs now
+			inputs := make(map[string]Value)
+			for _, pred := range m.Comm.G.Pred(elem) {
+				ch := edgeName(pred, elem)
+				if v, ok := chans[ch]; ok {
+					inputs[ch] = v
+				}
+			}
+			fl = &inflight{start: t, inputs: inputs}
+			current[elem] = fl
+		}
+		fl.done++
+		if fl.done == w {
+			finish := t + 1
+			out := Value{ProducedAt: finish, Seq: seq[elem]}
+			for _, succ := range m.Comm.G.Succ(elem) {
+				chans[edgeName(elem, succ)] = out
+			}
+			rec.Executions[elem] = append(rec.Executions[elem], Execution{
+				Elem:   elem,
+				Start:  fl.start,
+				Finish: finish,
+				Inputs: fl.inputs,
+				Seq:    seq[elem],
+			})
+			seq[elem]++
+			current[elem] = nil
+		}
+	}
+	return rec
+}
+
+// PipelineViolations checks the paper's pipeline-ordering condition
+// on the record: two executions of a functional element must have
+// distinct start times, and the earlier-starting one must finish
+// first. (The VM satisfies this by construction; the checker guards
+// against regressions and validates externally produced records.)
+func PipelineViolations(rec *Record) []string {
+	var out []string
+	for elem, execs := range rec.Executions {
+		for i := 1; i < len(execs); i++ {
+			a, b := execs[i-1], execs[i]
+			if b.Start <= a.Start {
+				out = append(out, fmt.Sprintf("%s: execution %d starts at %d, not after %d", elem, i, b.Start, a.Start))
+			}
+			if b.Finish <= a.Finish {
+				out = append(out, fmt.Sprintf("%s: execution %d finishes at %d, not after %d", elem, i, b.Finish, a.Finish))
+			}
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Invocation is one arrival of a timing constraint.
+type Invocation struct {
+	Constraint string
+	Time       int
+}
+
+// InvocationOutcome reports the service of one invocation.
+type InvocationOutcome struct {
+	Invocation Invocation
+	// Completed is the completion time of the witness execution of
+	// the constraint's task graph, or -1 if none was found inside
+	// the record horizon.
+	Completed int
+	Met       bool
+	// FreshnessOK reports that every edge of the witness carried a
+	// value produced by (or after) the chosen producer instance.
+	FreshnessOK bool
+	Err         string
+}
+
+// CheckInvocations finds, for every invocation (c, t), a witness
+// execution of c's task graph inside [t, t+d] and verifies deadline,
+// precedence and data freshness. Task nodes take the earliest
+// available execution of their element starting at or after their
+// ready time — the same greedy rule as the schedule analyzer.
+func CheckInvocations(m *core.Model, rec *Record, invs []Invocation) []InvocationOutcome {
+	out := make([]InvocationOutcome, 0, len(invs))
+	for _, inv := range invs {
+		c := m.ConstraintByName(inv.Constraint)
+		o := InvocationOutcome{Invocation: inv, Completed: -1}
+		if c == nil {
+			o.Err = fmt.Sprintf("unknown constraint %q", inv.Constraint)
+			out = append(out, o)
+			continue
+		}
+		witness, completed := findWitness(m, rec, c, inv.Time)
+		if witness == nil {
+			o.Err = "no execution of the task graph inside the horizon"
+			out = append(out, o)
+			continue
+		}
+		o.Completed = completed
+		o.Met = completed <= inv.Time+c.Deadline
+		o.FreshnessOK = checkFreshness(c, witness)
+		if !o.FreshnessOK {
+			o.Err = "stale input on some task-graph edge"
+		}
+		out = append(out, o)
+	}
+	return out
+}
+
+// findWitness greedily assigns task nodes to executions starting at
+// or after `from`, in topological order.
+func findWitness(m *core.Model, rec *Record, c *core.Constraint, from int) (map[string]Execution, int) {
+	order, err := c.Task.G.TopoSort()
+	if err != nil {
+		return nil, -1
+	}
+	witness := make(map[string]Execution, len(order))
+	used := make(map[string]int)
+	completed := from
+	for _, node := range order {
+		elem := c.Task.ElementOf(node)
+		ready := from
+		for _, p := range c.Task.G.Pred(node) {
+			if w, ok := witness[p]; ok && w.Finish > ready {
+				ready = w.Finish
+			}
+		}
+		if m.Comm.WeightOf(elem) == 0 {
+			witness[node] = Execution{Elem: elem, Start: ready, Finish: ready}
+			continue
+		}
+		execs := rec.Executions[elem]
+		idx := sort.Search(len(execs), func(i int) bool { return execs[i].Start >= ready })
+		if idx < used[elem] {
+			idx = used[elem]
+		}
+		if idx >= len(execs) {
+			return nil, -1
+		}
+		witness[node] = execs[idx]
+		used[elem] = idx + 1
+		if execs[idx].Finish > completed {
+			completed = execs[idx].Finish
+		}
+	}
+	return witness, completed
+}
+
+// checkFreshness verifies that for every task-graph edge (u, v), the
+// consumer instance started after the producer instance finished and
+// read a value at least as fresh as the producer's output.
+func checkFreshness(c *core.Constraint, witness map[string]Execution) bool {
+	for _, e := range c.Task.G.Edges() {
+		pu, ok1 := witness[e.From]
+		pv, ok2 := witness[e.To]
+		if !ok1 || !ok2 {
+			return false
+		}
+		if pv.Start < pu.Finish {
+			return false
+		}
+		if pu.Elem == pv.Elem {
+			continue // same element: ordering alone suffices
+		}
+		if pv.Inputs == nil {
+			continue // zero-weight synthetic instance: nothing to read
+		}
+		ch := edgeName(pu.Elem, pv.Elem)
+		val, ok := pv.Inputs[ch]
+		if !ok {
+			return false
+		}
+		if val.ProducedAt < pu.Finish {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,214 @@
+package experiments
+
+import (
+	"rtm/internal/core"
+	"rtm/internal/fault"
+	"rtm/internal/heuristic"
+	"rtm/internal/hwsynth"
+	"rtm/internal/process"
+	"rtm/internal/sched"
+)
+
+// E10Kernelized exercises the kernelized-monitor mechanism the paper
+// inherits from [MOK 83]: sweeping the critical-section bound q shows
+// the trade between lock-free mutual exclusion (sections never
+// preempted) and the blocking it charges tight deadlines.
+func E10Kernelized() *Table {
+	t := &Table{
+		ID:      "E10",
+		Title:   "Kernelized monitor ([MOK 83]): section bound q vs schedulability",
+		Columns: []string{"q", "analysis", "sim-schedulable", "section-preemptions", "worst-resp(tight)"},
+	}
+	ts := process.TaskSet{
+		{Name: "tight", C: 1, T: 8, D: 3},
+		{Name: "shared", C: 3, T: 12, D: 12, CriticalSections: []int{2}},
+		{Name: "bulk", C: 4, T: 24, D: 24, CriticalSections: []int{2}},
+	}
+	for _, q := range []int{1, 2, 3, 4} {
+		analysisOK := process.KernelizedEDFTest(ts, q)
+		res := process.SimulateKernelized(ts, q, 0)
+		t.AddRow(q, yesNo(analysisOK), yesNo(res.Schedulable),
+			res.SectionPreemptions, res.WorstResponse["tight"])
+	}
+	t.Notes = append(t.Notes,
+		"sections of length 2 need q ≥ 2; the tight task (D=3) tolerates q ≤ 3;",
+		"the analysis is sufficient-only: analysis=yes must imply sim=yes on every row")
+	return t
+}
+
+// E11FaultTolerance runs the paper's fault-tolerance direction: edge
+// relations detect injected value corruption, and triple-modular
+// redundancy masks a single replica fault entirely.
+func E11FaultTolerance() *Table {
+	t := &Table{
+		ID:      "E11",
+		Title:   "Edge relations + TMR (the paper's fault-tolerance direction)",
+		Columns: []string{"configuration", "injected", "violations", "detect-latency", "masked"},
+	}
+	m := core.NewModel()
+	m.Comm.AddElement("sensor", 1)
+	m.Comm.AddElement("filter", 1)
+	m.Comm.AddElement("act", 1)
+	m.Comm.AddPath("sensor", "filter")
+	m.Comm.AddPath("filter", "act")
+	m.AddConstraint(&core.Constraint{
+		Name: "loop", Task: core.ChainTask("sensor", "filter", "act"),
+		Period: 6, Deadline: 6, Kind: core.Periodic,
+	})
+	identity := func(in map[string]int) int {
+		for _, v := range in {
+			return v
+		}
+		return 0
+	}
+
+	// bare: fault visible on the filter->act relation
+	bare := fault.Run(m, sched.New("sensor", "filter", "act", sched.Idle), 24, fault.Options{
+		Behaviors:  map[string]fault.Behavior{"sensor": identity, "filter": identity, "act": identity},
+		Sources:    map[string]int{"sensor": 100},
+		Relations:  []fault.Relation{fault.RangeRelation("filter", "act", 90, 130)},
+		Injections: []fault.Injection{{Elem: "filter", Index: 1, Value: 9999}},
+	})
+	t.AddRow("bare", yesNo(bare.InjectionTime >= 0), len(bare.Violations),
+		bare.DetectionLatency, yesNo(len(bare.Violations) == 0))
+
+	// TMR: same fault in one replica, masked by the voter
+	r, err := fault.Replicate(m, "filter", 3, 1)
+	if err == nil {
+		if res, err := heuristic.Schedule(r, heuristic.Options{}); err == nil {
+			behaviors := fault.ReplicaBehaviors(map[string]fault.Behavior{
+				"sensor": identity, "act": identity,
+			}, "filter", 3, identity)
+			tmr := fault.Run(r, res.Schedule, 4*res.Schedule.Len(), fault.Options{
+				Behaviors: behaviors,
+				Sources:   map[string]int{"sensor": 100},
+				Relations: []fault.Relation{
+					fault.RangeRelation(fault.VoterName("filter"), "act", 90, 130),
+				},
+				Injections: []fault.Injection{
+					{Elem: fault.ReplicaName("filter", 1), Index: 1, Value: 9999},
+				},
+			})
+			t.AddRow("TMR(filter)", yesNo(tmr.InjectionTime >= 0), len(tmr.Violations),
+				tmr.DetectionLatency, yesNo(len(tmr.Violations) == 0))
+		}
+	}
+	t.Notes = append(t.Notes,
+		"bare run detects the corruption via the range relation on filter->act;",
+		"TMR masks the same single-replica fault: zero violations downstream of the voter")
+	return t
+}
+
+// E12HardwareSynthesis prices the paper's VLSI direction: the same
+// task graph realized as a single-processor static schedule versus a
+// fully parallel netlist. Hardware settles at the critical path;
+// software is bounded below by total work.
+func E12HardwareSynthesis() *Table {
+	t := &Table{
+		ID:    "E12",
+		Title: "Hardware synthesis ([DAS et al 83] direction): software work vs hardware critical path",
+		Columns: []string{
+			"shape", "work", "critical-path", "sw-latency", "hw-settle", "hw-area",
+		},
+	}
+	type shape struct {
+		name  string
+		build func() *core.Model
+	}
+	shapes := []shape{
+		{"chain-3", func() *core.Model {
+			m := core.NewModel()
+			m.Comm.AddElement("a", 1)
+			m.Comm.AddElement("b", 3)
+			m.Comm.AddElement("c", 1)
+			m.Comm.AddPath("a", "b")
+			m.Comm.AddPath("b", "c")
+			m.AddConstraint(&core.Constraint{Name: "C", Task: core.ChainTask("a", "b", "c"),
+				Period: 16, Deadline: 16, Kind: core.Periodic})
+			return m
+		}},
+		{"diamond", func() *core.Model {
+			m := core.NewModel()
+			for _, e := range []string{"s", "l", "r", "t"} {
+				m.Comm.AddElement(e, 1)
+			}
+			m.Comm.Weight["l"] = 5
+			m.Comm.Weight["r"] = 2
+			m.Comm.AddPath("s", "l")
+			m.Comm.AddPath("s", "r")
+			m.Comm.AddPath("l", "t")
+			m.Comm.AddPath("r", "t")
+			task := core.NewTaskGraph()
+			for _, e := range []string{"s", "l", "r", "t"} {
+				task.AddStep(e, e)
+			}
+			task.AddPrec("s", "l")
+			task.AddPrec("s", "r")
+			task.AddPrec("l", "t")
+			task.AddPrec("r", "t")
+			m.AddConstraint(&core.Constraint{Name: "D", Task: task,
+				Period: 24, Deadline: 24, Kind: core.Periodic})
+			return m
+		}},
+		{"wide-fanout", func() *core.Model {
+			m := core.NewModel()
+			m.Comm.AddElement("in", 1)
+			m.Comm.AddElement("out", 1)
+			task := core.NewTaskGraph()
+			task.AddStep("in", "in")
+			task.AddStep("out", "out")
+			for i := 0; i < 4; i++ {
+				name := "w" + itoa(i)
+				m.Comm.AddElement(name, 2)
+				m.Comm.AddPath("in", name)
+				m.Comm.AddPath(name, "out")
+				task.AddStep(name, name)
+				task.AddPrec("in", name)
+				task.AddPrec(name, "out")
+			}
+			m.AddConstraint(&core.Constraint{Name: "F", Task: task,
+				Period: 32, Deadline: 32, Kind: core.Periodic})
+			return m
+		}},
+	}
+	for _, sh := range shapes {
+		m := sh.build()
+		c := m.Constraints[0]
+		work := c.ComputationTime(m.Comm)
+		cp, err := hwsynth.CriticalPathLatency(m, c.Task)
+		if err != nil {
+			continue
+		}
+		swLat := "-"
+		if res, err := heuristic.Schedule(m, heuristic.Options{}); err == nil {
+			for _, cr := range res.Report.Constraints {
+				if cr.Name == c.Name {
+					swLat = itoa(cr.Latency)
+				}
+			}
+		}
+		n, err := hwsynth.Compile(m, hwsynth.Options{Pipelined: true})
+		if err != nil {
+			continue
+		}
+		source := c.Task.Nodes()[0]
+		sink := "t"
+		switch sh.name {
+		case "chain-3":
+			source, sink = "a", "c"
+		case "diamond":
+			source, sink = "s", "t"
+		case "wide-fanout":
+			source, sink = "in", "out"
+		}
+		settle := "-"
+		if d, err := hwsynth.SettlingDelay(m, n, source, sink, 60, 300); err == nil {
+			settle = itoa(d)
+		}
+		t.AddRow(sh.name, work, cp, swLat, settle, n.Area())
+	}
+	t.Notes = append(t.Notes,
+		"hw-settle tracks the critical path (parallel branches overlap); software latency is ≥ total work",
+		"hw-settle can exceed the pure critical path by small register-stage effects on zero-weight nodes")
+	return t
+}

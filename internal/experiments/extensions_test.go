@@ -1,0 +1,90 @@
+package experiments
+
+import "testing"
+
+func TestE10AnalysisSoundOnEveryRow(t *testing.T) {
+	tbl := E10Kernelized()
+	if len(tbl.Rows) != 4 {
+		t.Fatalf("rows = %d", len(tbl.Rows))
+	}
+	for _, row := range tbl.Rows {
+		// analysis=yes must imply sim=yes (sufficiency)
+		if row[1] == "yes" && row[2] != "yes" {
+			t.Fatalf("analysis accepted an unschedulable configuration: %v", row)
+		}
+		// sections never preempted under deferred preemption
+		if row[3] != "0" {
+			t.Fatalf("section preempted: %v", row)
+		}
+	}
+	// q=1 cannot host the length-2 sections
+	if tbl.Rows[0][1] != "no" {
+		t.Fatalf("q=1 should fail the section-fit check: %v", tbl.Rows[0])
+	}
+}
+
+func TestE11TMRMasks(t *testing.T) {
+	tbl := E11FaultTolerance()
+	if len(tbl.Rows) != 2 {
+		t.Fatalf("rows = %d:\n%s", len(tbl.Rows), tbl)
+	}
+	bare, tmr := tbl.Rows[0], tbl.Rows[1]
+	if bare[1] != "yes" || bare[4] != "no" {
+		t.Fatalf("bare run should inject and expose the fault: %v", bare)
+	}
+	if bare[2] == "0" {
+		t.Fatalf("bare run recorded no violations: %v", bare)
+	}
+	if tmr[1] != "yes" || tmr[4] != "yes" || tmr[2] != "0" {
+		t.Fatalf("TMR should mask the fault: %v", tmr)
+	}
+}
+
+func TestE12HardwareBeatsSoftwareOnParallelShapes(t *testing.T) {
+	tbl := E12HardwareSynthesis()
+	if len(tbl.Rows) != 3 {
+		t.Fatalf("rows = %d:\n%s", len(tbl.Rows), tbl)
+	}
+	for _, row := range tbl.Rows {
+		work := atoiOr(row[1], -1)
+		cp := atoiOr(row[2], -1)
+		if work < 0 || cp < 0 {
+			t.Fatalf("bad row: %v", row)
+		}
+		if cp > work {
+			t.Fatalf("critical path exceeds work: %v", row)
+		}
+		// parallel shapes must show a strict hardware advantage
+		if row[0] != "chain-3" && cp >= work {
+			t.Fatalf("no hardware advantage on %s: %v", row[0], row)
+		}
+		// chains have cp == work (no parallelism to exploit)
+		if row[0] == "chain-3" && cp != work {
+			t.Fatalf("chain should have cp == work: %v", row)
+		}
+	}
+}
+
+func TestE13EndToEndClean(t *testing.T) {
+	tbl := E13Distributed()
+	if len(tbl.Rows) != 3 {
+		t.Fatalf("rows = %d:\n%s", len(tbl.Rows), tbl)
+	}
+	for _, row := range tbl.Rows {
+		if row[5] != "yes" {
+			t.Fatalf("distributed execution failed at %s processors: %v", row[0], row)
+		}
+	}
+}
+
+func TestE14TransitionsWithinBound(t *testing.T) {
+	tbl := E14Modes()
+	if len(tbl.Rows) != 2 {
+		t.Fatalf("rows = %d:\n%s", len(tbl.Rows), tbl)
+	}
+	for _, row := range tbl.Rows {
+		if row[3] != "yes" {
+			t.Fatalf("transition exceeded bound: %v", row)
+		}
+	}
+}

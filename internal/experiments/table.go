@@ -1,0 +1,94 @@
+// Package experiments regenerates every figure/theorem/claim of the
+// paper as a printed table (the paper itself reports no measured
+// numbers, so each experiment validates a qualitative shape: who
+// wins, where the crossover falls, what grows exponentially). The
+// experiment IDs match DESIGN.md's per-experiment index, and
+// cmd/rtbench prints all of them.
+package experiments
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table is one experiment's result, printable as aligned text.
+type Table struct {
+	ID      string
+	Title   string
+	Columns []string
+	Rows    [][]string
+	Notes   []string
+}
+
+// AddRow appends a row, formatting every cell with %v.
+func (t *Table) AddRow(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = fmt.Sprintf("%.3f", v)
+		default:
+			row[i] = fmt.Sprint(v)
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// String renders the table with aligned columns.
+func (t *Table) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s: %s ==\n", t.ID, t.Title)
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	line(t.Columns)
+	sep := make([]string, len(t.Columns))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, row := range t.Rows {
+		line(row)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	return b.String()
+}
+
+// All runs every experiment in ID order.
+func All() []*Table {
+	return []*Table{
+		E1Example(),
+		E2ExactSearch(),
+		E3ThreePartition(),
+		E4CyclicOrdering(),
+		E5Theorem3Sweep(),
+		E6PipeliningAblation(),
+		E7SharedOperations(),
+		E8Multiprocessor(),
+		E9BaselineComparison(),
+		E10Kernelized(),
+		E11FaultTolerance(),
+		E12HardwareSynthesis(),
+		E13Distributed(),
+		E14Modes(),
+	}
+}

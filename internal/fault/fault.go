@@ -1,0 +1,213 @@
+// Package fault develops the research direction the paper's
+// conclusion proposes: "we can pose the problems of maintaining the
+// logical integrity of real-time systems in terms of relations on the
+// data values that are being passed along the edges of the
+// communication graph ... and devise more domain-specific
+// fault-tolerance techniques."
+//
+// It provides a value-carrying interpreter over static schedules
+// (functional elements compute real integer values), edge relations
+// (predicates over the values transmitted along communication paths),
+// fault injection (an execution of an element produces a corrupted
+// value), detection-latency measurement, and a triple-modular-
+// redundancy model transform that masks single faults behind a
+// majority voter.
+package fault
+
+import (
+	"fmt"
+	"sort"
+
+	"rtm/internal/core"
+	"rtm/internal/sched"
+)
+
+// Behavior computes an element's output from its inputs (the latest
+// value per incoming communication path, keyed by source element).
+// Inputs not yet produced are absent from the map.
+type Behavior func(inputs map[string]int) int
+
+// DefaultBehavior is used for elements without an explicit behavior:
+// a deterministic combination of the inputs (order-independent).
+func DefaultBehavior(inputs map[string]int) int {
+	keys := make([]string, 0, len(inputs))
+	for k := range inputs {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := 1
+	for _, k := range keys {
+		out = out*31 + inputs[k]
+	}
+	return out
+}
+
+// Relation is a predicate over the value transmitted along one
+// communication path, evaluated at every transmission.
+type Relation struct {
+	From, To string
+	// Check returns an error description when the value violates the
+	// relation, or "" when it holds.
+	Check func(value int) string
+	Name  string
+}
+
+// Injection corrupts the output of the n-th execution (0-based) of an
+// element: the produced value is replaced by Value.
+type Injection struct {
+	Elem  string
+	Index int
+	Value int
+}
+
+// Violation is one observed relation breach.
+type Violation struct {
+	Relation string
+	Edge     string
+	Time     int // transmission time (producer completion)
+	Value    int
+}
+
+// Result reports one interpreted run.
+type Result struct {
+	Horizon    int
+	Violations []Violation
+	// Outputs records every produced value per element in execution
+	// order.
+	Outputs map[string][]int
+	// FirstDetection is the earliest violation time at or after the
+	// earliest injection, or -1 when nothing was detected.
+	FirstDetection int
+	// InjectionTime is the completion time of the earliest injected
+	// execution (-1 when no injection fired within the horizon).
+	InjectionTime int
+	// DetectionLatency = FirstDetection − InjectionTime (-1 when
+	// undetected or nothing injected).
+	DetectionLatency int
+}
+
+// Options configure a run.
+type Options struct {
+	Behaviors  map[string]Behavior
+	Relations  []Relation
+	Injections []Injection
+	// Sources seeds input values for elements with no incoming
+	// paths: their behavior receives {"": seed+executionIndex}.
+	Sources map[string]int
+}
+
+// Run interprets the schedule for horizon slots, computing values,
+// applying injections, and checking relations at every transmission.
+func Run(m *core.Model, s *sched.Schedule, horizon int, opt Options) *Result {
+	res := &Result{
+		Horizon:        horizon,
+		Outputs:        make(map[string][]int),
+		FirstDetection: -1,
+		InjectionTime:  -1,
+	}
+	relByEdge := map[string][]Relation{}
+	for _, r := range opt.Relations {
+		key := r.From + "->" + r.To
+		relByEdge[key] = append(relByEdge[key], r)
+	}
+	injByElem := map[string]map[int]int{}
+	for _, inj := range opt.Injections {
+		if injByElem[inj.Elem] == nil {
+			injByElem[inj.Elem] = map[int]int{}
+		}
+		injByElem[inj.Elem][inj.Index] = inj.Value
+	}
+
+	chanVal := map[string]int{}  // latest value per edge "u->v"
+	chanSet := map[string]bool{} // whether the edge has a value yet
+	type inflight struct {
+		start  int
+		done   int
+		inputs map[string]int
+	}
+	current := map[string]*inflight{}
+	execCount := map[string]int{}
+
+	for t := 0; t < horizon; t++ {
+		elem := s.At(t)
+		if elem == sched.Idle {
+			continue
+		}
+		w := m.Comm.WeightOf(elem)
+		if w <= 0 {
+			continue
+		}
+		fl := current[elem]
+		if fl == nil {
+			inputs := map[string]int{}
+			for _, pred := range m.Comm.G.Pred(elem) {
+				key := pred + "->" + elem
+				if chanSet[key] {
+					inputs[pred] = chanVal[key]
+				}
+			}
+			if len(m.Comm.G.Pred(elem)) == 0 {
+				if seed, ok := opt.Sources[elem]; ok {
+					inputs[""] = seed + execCount[elem]
+				}
+			}
+			fl = &inflight{start: t, inputs: inputs}
+			current[elem] = fl
+		}
+		fl.done++
+		if fl.done < w {
+			continue
+		}
+		// execution completes: compute, inject, transmit, check
+		finish := t + 1
+		beh := opt.Behaviors[elem]
+		if beh == nil {
+			beh = DefaultBehavior
+		}
+		val := beh(fl.inputs)
+		idx := execCount[elem]
+		if inj, ok := injByElem[elem][idx]; ok {
+			val = inj
+			if res.InjectionTime < 0 || finish < res.InjectionTime {
+				res.InjectionTime = finish
+			}
+		}
+		execCount[elem]++
+		res.Outputs[elem] = append(res.Outputs[elem], val)
+		for _, succ := range m.Comm.G.Succ(elem) {
+			key := elem + "->" + succ
+			chanVal[key] = val
+			chanSet[key] = true
+			for _, r := range relByEdge[key] {
+				if msg := r.Check(val); msg != "" {
+					res.Violations = append(res.Violations, Violation{
+						Relation: r.Name, Edge: key, Time: finish, Value: val,
+					})
+					if res.InjectionTime >= 0 && finish >= res.InjectionTime && res.FirstDetection < 0 {
+						res.FirstDetection = finish
+					}
+				}
+			}
+		}
+		current[elem] = nil
+	}
+	res.DetectionLatency = -1
+	if res.InjectionTime >= 0 && res.FirstDetection >= 0 {
+		res.DetectionLatency = res.FirstDetection - res.InjectionTime
+	}
+	return res
+}
+
+// RangeRelation builds a relation asserting lo ≤ value ≤ hi.
+func RangeRelation(from, to string, lo, hi int) Relation {
+	return Relation{
+		From: from, To: to,
+		Name: fmt.Sprintf("range[%d,%d] on %s->%s", lo, hi, from, to),
+		Check: func(v int) string {
+			if v < lo || v > hi {
+				return fmt.Sprintf("value %d outside [%d,%d]", v, lo, hi)
+			}
+			return ""
+		},
+	}
+}

@@ -1,0 +1,207 @@
+package fault
+
+import (
+	"testing"
+
+	"rtm/internal/core"
+	"rtm/internal/heuristic"
+	"rtm/internal/sched"
+)
+
+// sensorChain: sensor(1) -> filter(1) -> act(1)
+func sensorChain() *core.Model {
+	m := core.NewModel()
+	m.Comm.AddElement("sensor", 1)
+	m.Comm.AddElement("filter", 1)
+	m.Comm.AddElement("act", 1)
+	m.Comm.AddPath("sensor", "filter")
+	m.Comm.AddPath("filter", "act")
+	m.AddConstraint(&core.Constraint{
+		Name: "loop", Task: core.ChainTask("sensor", "filter", "act"),
+		Period: 6, Deadline: 6, Kind: core.Periodic,
+	})
+	return m
+}
+
+func identity(inputs map[string]int) int {
+	for _, v := range inputs {
+		return v
+	}
+	return 0
+}
+
+func TestRunComputesValues(t *testing.T) {
+	m := sensorChain()
+	s := sched.New("sensor", "filter", "act", sched.Idle, sched.Idle, sched.Idle)
+	res := Run(m, s, 12, Options{
+		Behaviors: map[string]Behavior{"sensor": identity, "filter": identity, "act": identity},
+		Sources:   map[string]int{"sensor": 100},
+	})
+	// sensor outputs 100, 101 (seed + execution index)
+	if len(res.Outputs["sensor"]) != 2 || res.Outputs["sensor"][0] != 100 || res.Outputs["sensor"][1] != 101 {
+		t.Fatalf("sensor outputs = %v", res.Outputs["sensor"])
+	}
+	// filter passes sensor's value through
+	if res.Outputs["filter"][0] != 100 {
+		t.Fatalf("filter outputs = %v", res.Outputs["filter"])
+	}
+	if len(res.Violations) != 0 {
+		t.Fatalf("violations = %v", res.Violations)
+	}
+	if res.InjectionTime != -1 || res.DetectionLatency != -1 {
+		t.Fatalf("spurious injection bookkeeping: %+v", res)
+	}
+}
+
+func TestRangeRelationDetectsFault(t *testing.T) {
+	m := sensorChain()
+	s := sched.New("sensor", "filter", "act", sched.Idle)
+	res := Run(m, s, 24, Options{
+		Behaviors: map[string]Behavior{"sensor": identity, "filter": identity, "act": identity},
+		Sources:   map[string]int{"sensor": 100},
+		Relations: []Relation{RangeRelation("filter", "act", 90, 120)},
+		Injections: []Injection{
+			{Elem: "filter", Index: 1, Value: 9999},
+		},
+	})
+	if len(res.Violations) == 0 {
+		t.Fatal("corrupted value not detected")
+	}
+	v := res.Violations[0]
+	if v.Value != 9999 || v.Edge != "filter->act" {
+		t.Fatalf("violation = %+v", v)
+	}
+	if res.DetectionLatency != 0 {
+		// detection happens at the corrupted transmission itself
+		t.Fatalf("detection latency = %d, want 0", res.DetectionLatency)
+	}
+}
+
+func TestDetectionLatencyDownstream(t *testing.T) {
+	// relation only on the *downstream* edge of the corrupted element:
+	// with identity behavior the bad value propagates one hop later.
+	m := sensorChain()
+	s := sched.New("sensor", "filter", "act", sched.Idle)
+	res := Run(m, s, 24, Options{
+		Behaviors: map[string]Behavior{"sensor": identity, "filter": identity, "act": identity},
+		Sources:   map[string]int{"sensor": 100},
+		Relations: []Relation{RangeRelation("filter", "act", 90, 120)},
+		Injections: []Injection{
+			{Elem: "sensor", Index: 1, Value: -500},
+		},
+	})
+	if res.FirstDetection < 0 {
+		t.Fatal("fault never detected")
+	}
+	if res.DetectionLatency <= 0 {
+		t.Fatalf("latency = %d, want positive (one hop downstream)", res.DetectionLatency)
+	}
+}
+
+func TestUndetectedWithoutRelations(t *testing.T) {
+	m := sensorChain()
+	s := sched.New("sensor", "filter", "act", sched.Idle)
+	res := Run(m, s, 12, Options{
+		Injections: []Injection{{Elem: "sensor", Index: 0, Value: 7}},
+	})
+	if res.InjectionTime < 0 {
+		t.Fatal("injection did not fire")
+	}
+	if res.FirstDetection != -1 || res.DetectionLatency != -1 {
+		t.Fatalf("phantom detection: %+v", res)
+	}
+}
+
+func TestReplicateStructure(t *testing.T) {
+	m := sensorChain()
+	r, err := Replicate(m, "filter", 3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Validate(); err != nil {
+		t.Fatalf("replicated model invalid: %v", err)
+	}
+	if r.Comm.G.HasNode("filter") {
+		t.Fatal("original element still present")
+	}
+	for i := 0; i < 3; i++ {
+		rn := ReplicaName("filter", i)
+		if !r.Comm.G.HasEdge("sensor", rn) {
+			t.Fatalf("fan-out edge to %s missing", rn)
+		}
+		if !r.Comm.G.HasEdge(rn, VoterName("filter")) {
+			t.Fatalf("replica-to-voter edge missing for %s", rn)
+		}
+	}
+	if !r.Comm.G.HasEdge(VoterName("filter"), "act") {
+		t.Fatal("voter outgoing edge missing")
+	}
+	// task graph gained 3 replicas + voter in place of 1 node
+	task := r.Constraints[0].Task
+	if task.G.NumNodes() != 6 {
+		t.Fatalf("task nodes = %d, want 6", task.G.NumNodes())
+	}
+}
+
+func TestReplicateErrors(t *testing.T) {
+	m := sensorChain()
+	if _, err := Replicate(m, "filter", 1, 1); err == nil {
+		t.Fatal("k=1 accepted")
+	}
+	if _, err := Replicate(m, "nope", 3, 1); err == nil {
+		t.Fatal("unknown element accepted")
+	}
+}
+
+func TestMajorityBehavior(t *testing.T) {
+	if v := MajorityBehavior(map[string]int{"a": 5, "b": 5, "c": 9}); v != 5 {
+		t.Fatalf("majority = %d", v)
+	}
+	if v := MajorityBehavior(map[string]int{"a": 3}); v != 3 {
+		t.Fatalf("single = %d", v)
+	}
+	if v := MajorityBehavior(nil); v != 0 {
+		t.Fatalf("empty = %d", v)
+	}
+}
+
+func TestTMRMasksSingleFault(t *testing.T) {
+	m := sensorChain()
+	r, err := Replicate(m, "filter", 3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// schedule the replicated system with the verified heuristic
+	res, err := heuristic.Schedule(r, heuristic.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	behaviors := ReplicaBehaviors(map[string]Behavior{
+		"sensor": identity,
+		"act":    identity,
+	}, "filter", 3, identity)
+	run := Run(r, res.Schedule, 4*res.Schedule.Len(), Options{
+		Behaviors: behaviors,
+		Sources:   map[string]int{"sensor": 100},
+		Relations: []Relation{RangeRelation(VoterName("filter"), "act", 90, 130)},
+		Injections: []Injection{
+			{Elem: ReplicaName("filter", 1), Index: 1, Value: 9999},
+		},
+	})
+	if run.InjectionTime < 0 {
+		t.Fatal("injection did not fire")
+	}
+	if len(run.Violations) != 0 {
+		t.Fatalf("TMR failed to mask the fault: %v", run.Violations)
+	}
+	// sanity: without replication, the same fault is visible
+	bare := Run(m, sched.New("sensor", "filter", "act", sched.Idle), 24, Options{
+		Behaviors:  map[string]Behavior{"sensor": identity, "filter": identity, "act": identity},
+		Sources:    map[string]int{"sensor": 100},
+		Relations:  []Relation{RangeRelation("filter", "act", 90, 130)},
+		Injections: []Injection{{Elem: "filter", Index: 1, Value: 9999}},
+	})
+	if len(bare.Violations) == 0 {
+		t.Fatal("control run should expose the fault")
+	}
+}

@@ -1,0 +1,137 @@
+package fault
+
+import (
+	"fmt"
+	"sort"
+
+	"rtm/internal/core"
+)
+
+// ReplicaName returns the name of replica i of an element.
+func ReplicaName(elem string, i int) string { return fmt.Sprintf("%s~r%d", elem, i) }
+
+// VoterName returns the name of the majority voter of a replicated
+// element.
+func VoterName(elem string) string { return elem + "~vote" }
+
+// Replicate applies modular redundancy to one functional element: it
+// is replaced by k replicas (same weight and behavior slot) feeding a
+// majority voter of the given weight. Incoming communication paths
+// are fanned out to every replica; outgoing paths leave the voter.
+// Task graphs executing the element are rewritten accordingly, so a
+// single corrupted replica is masked by the voter and never violates
+// downstream edge relations.
+func Replicate(m *core.Model, elem string, k, voterWeight int) (*core.Model, error) {
+	if k < 2 {
+		return nil, fmt.Errorf("fault: replication factor %d must be ≥ 2", k)
+	}
+	if voterWeight < 1 {
+		voterWeight = 1
+	}
+	w, ok := m.Comm.Weight[elem]
+	if !ok {
+		return nil, fmt.Errorf("fault: unknown element %q", elem)
+	}
+
+	out := core.NewModel()
+	for _, e := range m.Comm.Elements() {
+		if e == elem {
+			for i := 0; i < k; i++ {
+				out.Comm.AddElement(ReplicaName(elem, i), w)
+			}
+			out.Comm.AddElement(VoterName(elem), voterWeight)
+		} else {
+			out.Comm.AddElement(e, m.Comm.WeightOf(e))
+		}
+	}
+	for i := 0; i < k; i++ {
+		out.Comm.AddPath(ReplicaName(elem, i), VoterName(elem))
+	}
+	for _, edge := range m.Comm.G.Edges() {
+		switch {
+		case edge.From == elem && edge.To == elem:
+			for i := 0; i < k; i++ {
+				out.Comm.AddPath(VoterName(elem), ReplicaName(elem, i))
+			}
+		case edge.From == elem:
+			out.Comm.AddPath(VoterName(elem), edge.To)
+		case edge.To == elem:
+			for i := 0; i < k; i++ {
+				out.Comm.AddPath(edge.From, ReplicaName(elem, i))
+			}
+		default:
+			out.Comm.AddPath(edge.From, edge.To)
+		}
+	}
+
+	for _, c := range m.Constraints {
+		nc := &core.Constraint{
+			Name: c.Name, Period: c.Period, Deadline: c.Deadline, Kind: c.Kind,
+			Task: core.NewTaskGraph(),
+		}
+		for _, node := range c.Task.Nodes() {
+			if c.Task.ElementOf(node) == elem {
+				for i := 0; i < k; i++ {
+					rn := ReplicaName(node, i)
+					nc.Task.AddStep(rn, ReplicaName(elem, i))
+					nc.Task.AddPrec(rn, VoterName(node))
+				}
+				nc.Task.AddStep(VoterName(node), VoterName(elem))
+			} else {
+				nc.Task.AddStep(node, c.Task.ElementOf(node))
+			}
+		}
+		for _, edge := range c.Task.G.Edges() {
+			from, to := edge.From, edge.To
+			if c.Task.ElementOf(from) == elem {
+				from = VoterName(from)
+			}
+			if c.Task.ElementOf(to) == elem {
+				for i := 0; i < k; i++ {
+					nc.Task.AddPrec(from, ReplicaName(to, i))
+				}
+				continue
+			}
+			nc.Task.AddPrec(from, to)
+		}
+		out.AddConstraint(nc)
+	}
+	return out, nil
+}
+
+// MajorityBehavior is the voter: it outputs the most common input
+// value (smallest value wins ties, so a single corrupted replica
+// among k ≥ 3 never changes the outcome).
+func MajorityBehavior(inputs map[string]int) int {
+	count := map[int]int{}
+	for _, v := range inputs {
+		count[v]++
+	}
+	best, bestN := 0, -1
+	vals := make([]int, 0, len(count))
+	for v := range count {
+		vals = append(vals, v)
+	}
+	sort.Ints(vals)
+	for _, v := range vals {
+		if count[v] > bestN {
+			best, bestN = v, count[v]
+		}
+	}
+	return best
+}
+
+// ReplicaBehaviors wires a base behavior to every replica of elem and
+// the majority voter to its voter node, on top of any existing
+// behavior map (which is copied, not mutated).
+func ReplicaBehaviors(base map[string]Behavior, elem string, k int, replicaBeh Behavior) map[string]Behavior {
+	out := make(map[string]Behavior, len(base)+k+1)
+	for e, b := range base {
+		out[e] = b
+	}
+	for i := 0; i < k; i++ {
+		out[ReplicaName(elem, i)] = replicaBeh
+	}
+	out[VoterName(elem)] = MajorityBehavior
+	return out
+}

@@ -1,0 +1,227 @@
+// Package graph provides the directed-graph substrate used by the
+// graph-based computation model: adjacency structures, topological
+// sorting, cycle detection, reachability, transitive closure and
+// reduction, homomorphism (compatibility) checking, DOT export, and
+// random DAG generation.
+//
+// Nodes are identified by string names; the package keeps insertion
+// order stable so that algorithms are deterministic across runs.
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Digraph is a directed graph over string-named nodes.
+// The zero value is not usable; call New.
+type Digraph struct {
+	nodes   []string            // insertion order
+	index   map[string]int      // name -> position in nodes
+	succ    map[string][]string // adjacency: out-edges, insertion order
+	pred    map[string][]string // reverse adjacency
+	edgeSet map[[2]string]bool
+}
+
+// New returns an empty digraph.
+func New() *Digraph {
+	return &Digraph{
+		index:   make(map[string]int),
+		succ:    make(map[string][]string),
+		pred:    make(map[string][]string),
+		edgeSet: make(map[[2]string]bool),
+	}
+}
+
+// AddNode inserts a node if not already present. It reports whether
+// the node was newly added.
+func (g *Digraph) AddNode(name string) bool {
+	if _, ok := g.index[name]; ok {
+		return false
+	}
+	g.index[name] = len(g.nodes)
+	g.nodes = append(g.nodes, name)
+	return true
+}
+
+// HasNode reports whether name is a node of g.
+func (g *Digraph) HasNode(name string) bool {
+	_, ok := g.index[name]
+	return ok
+}
+
+// AddEdge inserts a directed edge from u to v, adding the endpoints
+// if necessary. Parallel edges are collapsed. It reports whether the
+// edge was newly added.
+func (g *Digraph) AddEdge(u, v string) bool {
+	g.AddNode(u)
+	g.AddNode(v)
+	key := [2]string{u, v}
+	if g.edgeSet[key] {
+		return false
+	}
+	g.edgeSet[key] = true
+	g.succ[u] = append(g.succ[u], v)
+	g.pred[v] = append(g.pred[v], u)
+	return true
+}
+
+// HasEdge reports whether the edge (u,v) exists.
+func (g *Digraph) HasEdge(u, v string) bool {
+	return g.edgeSet[[2]string{u, v}]
+}
+
+// RemoveEdge deletes the edge (u,v) if present and reports whether it
+// existed.
+func (g *Digraph) RemoveEdge(u, v string) bool {
+	key := [2]string{u, v}
+	if !g.edgeSet[key] {
+		return false
+	}
+	delete(g.edgeSet, key)
+	g.succ[u] = remove(g.succ[u], v)
+	g.pred[v] = remove(g.pred[v], u)
+	return true
+}
+
+func remove(s []string, x string) []string {
+	out := s[:0]
+	for _, v := range s {
+		if v != x {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// Nodes returns the node names in insertion order. The slice is a
+// copy and may be modified by the caller.
+func (g *Digraph) Nodes() []string {
+	out := make([]string, len(g.nodes))
+	copy(out, g.nodes)
+	return out
+}
+
+// NumNodes returns the node count.
+func (g *Digraph) NumNodes() int { return len(g.nodes) }
+
+// NumEdges returns the edge count.
+func (g *Digraph) NumEdges() int { return len(g.edgeSet) }
+
+// Succ returns the successors of u in insertion order.
+func (g *Digraph) Succ(u string) []string {
+	out := make([]string, len(g.succ[u]))
+	copy(out, g.succ[u])
+	return out
+}
+
+// Pred returns the predecessors of u in insertion order.
+func (g *Digraph) Pred(u string) []string {
+	out := make([]string, len(g.pred[u]))
+	copy(out, g.pred[u])
+	return out
+}
+
+// OutDegree returns the number of out-edges of u.
+func (g *Digraph) OutDegree(u string) int { return len(g.succ[u]) }
+
+// InDegree returns the number of in-edges of u.
+func (g *Digraph) InDegree(u string) int { return len(g.pred[u]) }
+
+// Edge is a directed edge.
+type Edge struct{ From, To string }
+
+// Edges returns all edges ordered by source insertion order, then
+// target insertion order within a source.
+func (g *Digraph) Edges() []Edge {
+	var out []Edge
+	for _, u := range g.nodes {
+		for _, v := range g.succ[u] {
+			out = append(out, Edge{u, v})
+		}
+	}
+	return out
+}
+
+// Clone returns a deep copy of g.
+func (g *Digraph) Clone() *Digraph {
+	c := New()
+	for _, n := range g.nodes {
+		c.AddNode(n)
+	}
+	for _, e := range g.Edges() {
+		c.AddEdge(e.From, e.To)
+	}
+	return c
+}
+
+// Subgraph returns the subgraph induced by keep. Unknown names are
+// ignored.
+func (g *Digraph) Subgraph(keep []string) *Digraph {
+	in := make(map[string]bool, len(keep))
+	for _, n := range keep {
+		if g.HasNode(n) {
+			in[n] = true
+		}
+	}
+	s := New()
+	for _, n := range g.nodes {
+		if in[n] {
+			s.AddNode(n)
+		}
+	}
+	for _, e := range g.Edges() {
+		if in[e.From] && in[e.To] {
+			s.AddEdge(e.From, e.To)
+		}
+	}
+	return s
+}
+
+// Equal reports whether g and h have identical node and edge sets
+// (insertion order is ignored).
+func (g *Digraph) Equal(h *Digraph) bool {
+	if g.NumNodes() != h.NumNodes() || g.NumEdges() != h.NumEdges() {
+		return false
+	}
+	for _, n := range g.nodes {
+		if !h.HasNode(n) {
+			return false
+		}
+	}
+	for e := range g.edgeSet {
+		if !h.edgeSet[e] {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders a compact deterministic description, useful in tests
+// and error messages.
+func (g *Digraph) String() string {
+	nodes := g.Nodes()
+	sort.Strings(nodes)
+	edges := g.Edges()
+	sort.Slice(edges, func(i, j int) bool {
+		if edges[i].From != edges[j].From {
+			return edges[i].From < edges[j].From
+		}
+		return edges[i].To < edges[j].To
+	})
+	s := "nodes{"
+	for i, n := range nodes {
+		if i > 0 {
+			s += ","
+		}
+		s += n
+	}
+	s += "} edges{"
+	for i, e := range edges {
+		if i > 0 {
+			s += ","
+		}
+		s += fmt.Sprintf("%s->%s", e.From, e.To)
+	}
+	return s + "}"
+}

@@ -1,0 +1,79 @@
+package graph
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// DOTOptions control DOT rendering.
+type DOTOptions struct {
+	Name       string            // graph name; default "G"
+	NodeLabels map[string]string // optional per-node label override
+	NodeAttrs  map[string]string // optional raw per-node attribute text
+	Rankdir    string            // e.g. "LR"; empty means graphviz default
+}
+
+// DOT renders the graph in Graphviz DOT syntax with nodes and edges
+// in deterministic (sorted) order.
+func (g *Digraph) DOT(opt DOTOptions) string {
+	name := opt.Name
+	if name == "" {
+		name = "G"
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "digraph %s {\n", dotID(name))
+	if opt.Rankdir != "" {
+		fmt.Fprintf(&b, "  rankdir=%s;\n", opt.Rankdir)
+	}
+	nodes := g.Nodes()
+	sort.Strings(nodes)
+	for _, n := range nodes {
+		attrs := ""
+		if lbl, ok := opt.NodeLabels[n]; ok {
+			attrs = fmt.Sprintf(" [label=%s]", dotID(lbl))
+		}
+		if raw, ok := opt.NodeAttrs[n]; ok {
+			attrs = " [" + raw + "]"
+		}
+		fmt.Fprintf(&b, "  %s%s;\n", dotID(n), attrs)
+	}
+	edges := g.Edges()
+	sort.Slice(edges, func(i, j int) bool {
+		if edges[i].From != edges[j].From {
+			return edges[i].From < edges[j].From
+		}
+		return edges[i].To < edges[j].To
+	})
+	for _, e := range edges {
+		fmt.Fprintf(&b, "  %s -> %s;\n", dotID(e.From), dotID(e.To))
+	}
+	b.WriteString("}\n")
+	return b.String()
+}
+
+// dotID quotes a string as a DOT identifier when necessary.
+func dotID(s string) string {
+	if s == "" {
+		return `""`
+	}
+	plain := true
+	for i, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r == '_':
+		case r >= '0' && r <= '9':
+			if i == 0 {
+				plain = false
+			}
+		default:
+			plain = false
+		}
+		if !plain {
+			break
+		}
+	}
+	if plain {
+		return s
+	}
+	return `"` + strings.ReplaceAll(s, `"`, `\"`) + `"`
+}

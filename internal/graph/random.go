@@ -1,0 +1,73 @@
+package graph
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// RandomDAG generates a random acyclic digraph with n nodes named
+// prefix0..prefix{n-1} where each forward pair (i<j) carries an edge
+// with probability p. The node numbering is a topological order by
+// construction.
+func RandomDAG(rng *rand.Rand, prefix string, n int, p float64) *Digraph {
+	g := New()
+	for i := 0; i < n; i++ {
+		g.AddNode(fmt.Sprintf("%s%d", prefix, i))
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if rng.Float64() < p {
+				g.AddEdge(fmt.Sprintf("%s%d", prefix, i), fmt.Sprintf("%s%d", prefix, j))
+			}
+		}
+	}
+	return g
+}
+
+// RandomChain generates a directed chain of n nodes.
+func RandomChain(prefix string, n int) *Digraph {
+	g := New()
+	prev := ""
+	for i := 0; i < n; i++ {
+		name := fmt.Sprintf("%s%d", prefix, i)
+		g.AddNode(name)
+		if prev != "" {
+			g.AddEdge(prev, name)
+		}
+		prev = name
+	}
+	return g
+}
+
+// RandomConnectedDAG generates a random DAG like RandomDAG and then
+// adds a spanning set of edges so the result has a single weakly
+// connected component.
+func RandomConnectedDAG(rng *rand.Rand, prefix string, n int, p float64) *Digraph {
+	g := RandomDAG(rng, prefix, n, p)
+	for i := 1; i < n; i++ {
+		v := fmt.Sprintf("%s%d", prefix, i)
+		if g.InDegree(v) == 0 && g.OutDegree(v) == 0 {
+			u := fmt.Sprintf("%s%d", prefix, rng.Intn(i))
+			g.AddEdge(u, v)
+		}
+	}
+	// connect remaining components to the first
+	comps := g.WeaklyConnectedComponents()
+	for i := 1; i < len(comps); i++ {
+		g.AddEdge(comps[0][0], comps[i][0])
+	}
+	return g
+}
+
+// RandomSubDAG picks a random induced sub-DAG of g with k nodes
+// (or all nodes if k exceeds the node count) and returns it. Because
+// induced subgraphs of DAGs are DAGs, the result is acyclic whenever
+// g is.
+func RandomSubDAG(rng *rand.Rand, g *Digraph, k int) *Digraph {
+	nodes := g.Nodes()
+	rng.Shuffle(len(nodes), func(i, j int) { nodes[i], nodes[j] = nodes[j], nodes[i] })
+	if k > len(nodes) {
+		k = len(nodes)
+	}
+	return g.Subgraph(nodes[:k])
+}

@@ -1,0 +1,139 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestSCCSimpleCycle(t *testing.T) {
+	g := mk([2]string{"a", "b"}, [2]string{"b", "c"}, [2]string{"c", "a"}, [2]string{"c", "d"})
+	comps := g.StronglyConnectedComponents()
+	if len(comps) != 2 {
+		t.Fatalf("components = %v", comps)
+	}
+	sizes := map[int]int{}
+	for _, c := range comps {
+		sizes[len(c)]++
+	}
+	if sizes[3] != 1 || sizes[1] != 1 {
+		t.Fatalf("component sizes = %v", comps)
+	}
+}
+
+func TestSCCAcyclicAllSingletons(t *testing.T) {
+	g := mk([2]string{"a", "b"}, [2]string{"b", "c"})
+	comps := g.StronglyConnectedComponents()
+	if len(comps) != 3 {
+		t.Fatalf("components = %v", comps)
+	}
+}
+
+func TestSCCSelfLoop(t *testing.T) {
+	g := mk([2]string{"a", "a"})
+	comps := g.StronglyConnectedComponents()
+	if len(comps) != 1 || len(comps[0]) != 1 {
+		t.Fatalf("components = %v", comps)
+	}
+}
+
+func TestCondensationIsAcyclic(t *testing.T) {
+	g := mk(
+		[2]string{"a", "b"}, [2]string{"b", "a"},
+		[2]string{"b", "c"}, [2]string{"c", "d"}, [2]string{"d", "c"},
+	)
+	cond, name := g.Condensation()
+	if !cond.IsAcyclic() {
+		t.Fatalf("condensation cyclic: %s", cond)
+	}
+	if cond.NumNodes() != 2 {
+		t.Fatalf("condensation = %s", cond)
+	}
+	if name["a"] != name["b"] || name["c"] != name["d"] || name["a"] == name["c"] {
+		t.Fatalf("component naming = %v", name)
+	}
+	if !cond.HasEdge(name["a"], name["c"]) {
+		t.Fatal("cross edge lost")
+	}
+}
+
+// Property: condensation of any random digraph is acyclic and
+// preserves cross-component reachability.
+func TestCondensationProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed%1000 + 7))
+		g := New()
+		n := 4 + rng.Intn(5)
+		names := make([]string, n)
+		for i := range names {
+			names[i] = string(rune('a' + i))
+			g.AddNode(names[i])
+		}
+		for i := 0; i < 2*n; i++ {
+			g.AddEdge(names[rng.Intn(n)], names[rng.Intn(n)])
+		}
+		cond, name := g.Condensation()
+		if !cond.IsAcyclic() {
+			return false
+		}
+		// reachability across components must be preserved
+		for _, u := range names {
+			for _, v := range names {
+				if name[u] == name[v] {
+					continue
+				}
+				if g.Reachable(u, v) != cond.Reachable(name[u], name[v]) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCriticalPath(t *testing.T) {
+	g := mk([2]string{"a", "b"}, [2]string{"a", "c"}, [2]string{"b", "d"}, [2]string{"c", "d"})
+	w := map[string]int{"a": 1, "b": 5, "c": 2, "d": 1}
+	path, total, err := g.CriticalPath(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if total != 7 {
+		t.Fatalf("total = %d, want 7", total)
+	}
+	want := []string{"a", "b", "d"}
+	if len(path) != len(want) {
+		t.Fatalf("path = %v", path)
+	}
+	for i := range want {
+		if path[i] != want[i] {
+			t.Fatalf("path = %v, want %v", path, want)
+		}
+	}
+}
+
+func TestCriticalPathCyclic(t *testing.T) {
+	g := mk([2]string{"a", "b"}, [2]string{"b", "a"})
+	if _, _, err := g.CriticalPath(map[string]int{"a": 1, "b": 1}); err == nil {
+		t.Fatal("cycle accepted")
+	}
+}
+
+func TestCriticalPathEmpty(t *testing.T) {
+	path, total, err := New().CriticalPath(nil)
+	if err != nil || path != nil || total != 0 {
+		t.Fatalf("empty: %v %d %v", path, total, err)
+	}
+}
+
+func TestCriticalPathSingle(t *testing.T) {
+	g := New()
+	g.AddNode("x")
+	path, total, err := g.CriticalPath(map[string]int{"x": 9})
+	if err != nil || total != 9 || len(path) != 1 {
+		t.Fatalf("single: %v %d %v", path, total, err)
+	}
+}

@@ -1,0 +1,190 @@
+package graph
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrCycle is returned by TopoSort when the graph is not acyclic.
+var ErrCycle = errors.New("graph: cycle detected")
+
+// TopoSort returns a topological ordering of the nodes using Kahn's
+// algorithm. Among ready nodes the one inserted earliest is chosen,
+// so the result is deterministic. It returns ErrCycle (wrapped with a
+// witness) if the graph has a cycle.
+func (g *Digraph) TopoSort() ([]string, error) {
+	indeg := make(map[string]int, len(g.nodes))
+	for _, n := range g.nodes {
+		indeg[n] = len(g.pred[n])
+	}
+	// ready queue kept in insertion order
+	var ready []string
+	for _, n := range g.nodes {
+		if indeg[n] == 0 {
+			ready = append(ready, n)
+		}
+	}
+	out := make([]string, 0, len(g.nodes))
+	for len(ready) > 0 {
+		n := ready[0]
+		ready = ready[1:]
+		out = append(out, n)
+		for _, m := range g.succ[n] {
+			indeg[m]--
+			if indeg[m] == 0 {
+				ready = append(ready, m)
+			}
+		}
+	}
+	if len(out) != len(g.nodes) {
+		cyc := g.FindCycle()
+		return nil, fmt.Errorf("%w: %v", ErrCycle, cyc)
+	}
+	return out, nil
+}
+
+// IsAcyclic reports whether g has no directed cycle.
+func (g *Digraph) IsAcyclic() bool {
+	_, err := g.TopoSort()
+	return err == nil
+}
+
+// FindCycle returns the nodes of some directed cycle in order, or nil
+// if the graph is acyclic.
+func (g *Digraph) FindCycle() []string {
+	const (
+		white = 0
+		gray  = 1
+		black = 2
+	)
+	color := make(map[string]int, len(g.nodes))
+	parent := make(map[string]string)
+	var cycle []string
+	var dfs func(u string) bool
+	dfs = func(u string) bool {
+		color[u] = gray
+		for _, v := range g.succ[u] {
+			switch color[v] {
+			case white:
+				parent[v] = u
+				if dfs(v) {
+					return true
+				}
+			case gray:
+				// back edge u -> v closes a cycle v ... u
+				cycle = []string{v}
+				for w := u; w != v; w = parent[w] {
+					cycle = append(cycle, w)
+				}
+				// reverse into v -> ... -> u order
+				for i, j := 1, len(cycle)-1; i < j; i, j = i+1, j-1 {
+					cycle[i], cycle[j] = cycle[j], cycle[i]
+				}
+				return true
+			}
+		}
+		color[u] = black
+		return false
+	}
+	for _, n := range g.nodes {
+		if color[n] == white && dfs(n) {
+			return cycle
+		}
+	}
+	return nil
+}
+
+// AllTopoSorts enumerates every topological ordering of g, calling
+// yield for each; enumeration stops early if yield returns false.
+// It returns ErrCycle if g is cyclic. The slice passed to yield is
+// reused between calls; copy it to retain.
+func (g *Digraph) AllTopoSorts(yield func([]string) bool) error {
+	if !g.IsAcyclic() {
+		return ErrCycle
+	}
+	indeg := make(map[string]int, len(g.nodes))
+	for _, n := range g.nodes {
+		indeg[n] = len(g.pred[n])
+	}
+	order := make([]string, 0, len(g.nodes))
+	used := make(map[string]bool, len(g.nodes))
+	stopped := false
+	var rec func()
+	rec = func() {
+		if stopped {
+			return
+		}
+		if len(order) == len(g.nodes) {
+			if !yield(order) {
+				stopped = true
+			}
+			return
+		}
+		for _, n := range g.nodes {
+			if used[n] || indeg[n] != 0 {
+				continue
+			}
+			used[n] = true
+			order = append(order, n)
+			for _, m := range g.succ[n] {
+				indeg[m]--
+			}
+			rec()
+			for _, m := range g.succ[n] {
+				indeg[m]++
+			}
+			order = order[:len(order)-1]
+			used[n] = false
+			if stopped {
+				return
+			}
+		}
+	}
+	rec()
+	return nil
+}
+
+// Sources returns the nodes with no incoming edges, in insertion
+// order.
+func (g *Digraph) Sources() []string {
+	var out []string
+	for _, n := range g.nodes {
+		if len(g.pred[n]) == 0 {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// Sinks returns the nodes with no outgoing edges, in insertion order.
+func (g *Digraph) Sinks() []string {
+	var out []string
+	for _, n := range g.nodes {
+		if len(g.succ[n]) == 0 {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// LongestPathLen returns the number of edges on a longest directed
+// path of an acyclic graph; it returns an error if g is cyclic.
+func (g *Digraph) LongestPathLen() (int, error) {
+	order, err := g.TopoSort()
+	if err != nil {
+		return 0, err
+	}
+	dist := make(map[string]int, len(order))
+	best := 0
+	for _, u := range order {
+		for _, v := range g.succ[u] {
+			if dist[u]+1 > dist[v] {
+				dist[v] = dist[u] + 1
+				if dist[v] > best {
+					best = dist[v]
+				}
+			}
+		}
+	}
+	return best, nil
+}

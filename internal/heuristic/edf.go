@@ -1,0 +1,157 @@
+// Package heuristic implements the paper's schedule-construction
+// heuristics: a static schedule is first laid out for the periodic
+// timing constraints and the asynchronous constraints are then folded
+// in by serving each as a periodic server, following the constructive
+// idea behind the paper's Theorem 3 (serve an asynchronous constraint
+// (C, p, d) with a periodic server whose period plus deadline is at
+// most d).
+//
+// The resulting cyclic schedule is always verified against the exact
+// latency semantics of package sched before being returned, so the
+// heuristic is sound: it can fail to find a schedule, but a returned
+// schedule is always feasible.
+package heuristic
+
+import (
+	"fmt"
+	"sort"
+
+	"rtm/internal/core"
+)
+
+// op is one operation of a server body: an execution of a functional
+// element for its full weight.
+type op struct {
+	elem string
+	w    int
+}
+
+// server is a periodic execution obligation derived from a timing
+// constraint: release every period, complete ops within deadline of
+// release.
+type server struct {
+	name     string
+	period   int
+	deadline int
+	ops      []op // topological order of the task graph
+	src      *core.Constraint
+}
+
+// opsOf lists a task graph's operations in topological order.
+func opsOf(c *core.Constraint, comm *core.CommGraph) ([]op, error) {
+	order, err := c.Task.G.TopoSort()
+	if err != nil {
+		return nil, fmt.Errorf("heuristic: constraint %q: %w", c.Name, err)
+	}
+	var ops []op
+	for _, node := range order {
+		e := c.Task.ElementOf(node)
+		if w := comm.WeightOf(e); w > 0 {
+			ops = append(ops, op{elem: e, w: w})
+		}
+	}
+	return ops, nil
+}
+
+// job is one release of a server.
+type job struct {
+	server   int
+	release  int
+	deadline int // absolute
+	opIdx    int // current op
+	done     int // slots of the current op already executed
+}
+
+// edfSchedule lays the servers out over horizon slots by
+// earliest-deadline-first. In the default (non-preemptive-op) mode an
+// in-progress execution of a functional element runs to completion
+// before the scheduler re-evaluates: keeping every execution
+// contiguous means the trace parses back into exactly the executions
+// EDF intended, so the verification step sees the planned
+// precedences. With preemptive=true the scheduler re-evaluates every
+// slot (unit preemption — the paper's "pipelinable" hypothesis),
+// which avoids blocking at the cost of interleaved executions. It
+// returns the slot assignment and whether every job met its absolute
+// deadline.
+func edfSchedule(servers []server, horizon int, preemptive bool) ([]string, bool) {
+	slots := make([]string, horizon)
+	var pending []*job
+	var running *job // mid-op job, if any
+	releases := make([]int, len(servers))
+	for t := 0; t < horizon; t++ {
+		for i := range servers {
+			if releases[i] == t {
+				pending = append(pending, &job{
+					server:   i,
+					release:  t,
+					deadline: t + servers[i].deadline,
+				})
+				releases[i] += servers[i].period
+			}
+		}
+		// deadline misses: a live job past its absolute deadline
+		for _, j := range pending {
+			if t >= j.deadline {
+				return nil, false
+			}
+		}
+		var j *job
+		if running != nil && !preemptive {
+			j = running // finish the in-progress op first
+		} else if len(pending) > 0 {
+			// earliest absolute deadline; ties by server index then
+			// release for determinism
+			sort.SliceStable(pending, func(a, b int) bool {
+				if pending[a].deadline != pending[b].deadline {
+					return pending[a].deadline < pending[b].deadline
+				}
+				if pending[a].server != pending[b].server {
+					return pending[a].server < pending[b].server
+				}
+				return pending[a].release < pending[b].release
+			})
+			j = pending[0]
+		}
+		if j == nil {
+			continue
+		}
+		cur := servers[j.server].ops[j.opIdx]
+		slots[t] = cur.elem
+		j.done++
+		running = j
+		if j.done == cur.w {
+			j.opIdx++
+			j.done = 0
+			running = nil
+			if j.opIdx == len(servers[j.server].ops) {
+				// job complete: drop it
+				live := pending[:0]
+				for _, q := range pending {
+					if q != j {
+						live = append(live, q)
+					}
+				}
+				pending = live
+			}
+		}
+	}
+	// all jobs released before horizon must have finished
+	return slots, len(pending) == 0
+}
+
+func gcd(a, b int) int {
+	for b != 0 {
+		a, b = b, a%b
+	}
+	return a
+}
+
+func lcm(a, b int) int { return a / gcd(a, b) * b }
+
+func hyperperiod(servers []server) int {
+	h := 1
+	for _, s := range servers {
+		h = lcm(h, s.period)
+	}
+	return h
+}

@@ -1,0 +1,248 @@
+package heuristic
+
+import (
+	"math/rand"
+	"testing"
+
+	"rtm/internal/core"
+	"rtm/internal/sched"
+)
+
+func TestEdfScheduleMeetsDeadlines(t *testing.T) {
+	servers := []server{
+		{name: "a", period: 4, deadline: 4, ops: []op{{"a", 2}}},
+		{name: "b", period: 8, deadline: 8, ops: []op{{"b", 3}}},
+	}
+	slots, ok := edfSchedule(servers, 8, false)
+	if !ok {
+		t.Fatal("EDF failed on utilization 7/8")
+	}
+	countA, countB := 0, 0
+	for _, s := range slots {
+		switch s {
+		case "a":
+			countA++
+		case "b":
+			countB++
+		}
+	}
+	if countA != 4 || countB != 3 {
+		t.Fatalf("counts a=%d b=%d, want 4/3", countA, countB)
+	}
+}
+
+func TestEdfOverload(t *testing.T) {
+	servers := []server{
+		{name: "a", period: 2, deadline: 2, ops: []op{{"a", 2}}},
+		{name: "b", period: 2, deadline: 2, ops: []op{{"b", 1}}},
+	}
+	if _, ok := edfSchedule(servers, 4, true); ok {
+		t.Fatal("overloaded set scheduled")
+	}
+}
+
+func TestEdfPrecedenceWithinJob(t *testing.T) {
+	servers := []server{
+		{name: "c", period: 4, deadline: 4, ops: []op{{"x", 1}, {"y", 1}}},
+	}
+	slots, ok := edfSchedule(servers, 4, true)
+	if !ok {
+		t.Fatal("EDF failed")
+	}
+	seenX := -1
+	for i, s := range slots {
+		if s == "x" {
+			seenX = i
+		}
+		if s == "y" && seenX == -1 {
+			t.Fatalf("y before x in %v", slots)
+		}
+	}
+}
+
+func TestScheduleExampleSystem(t *testing.T) {
+	m := core.ExampleSystem(core.DefaultExampleParams())
+	res, err := Schedule(m, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Report.Feasible {
+		t.Fatalf("report infeasible:\n%s", res.Report)
+	}
+	if !sched.Feasible(m, res.Schedule) {
+		t.Fatal("schedule fails independent verification")
+	}
+	if _, ok := res.Servers["Z"]; !ok {
+		t.Fatalf("server parameters missing for Z: %v", res.Servers)
+	}
+	z := res.Servers["Z"]
+	if z[0]+z[1] > m.ConstraintByName("Z").Deadline {
+		t.Fatalf("server P+D=%d exceeds deadline", z[0]+z[1])
+	}
+}
+
+func TestScheduleWithMerge(t *testing.T) {
+	p := core.DefaultExampleParams()
+	p.PY = p.PX
+	m := core.ExampleSystem(p)
+	res, err := Schedule(m, Options{MergeShared: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Merged.Constraints) >= len(m.Constraints) {
+		t.Fatal("merge did not reduce constraint count")
+	}
+	if !sched.Feasible(m, res.Schedule) {
+		t.Fatal("merged schedule infeasible for original model")
+	}
+}
+
+func TestScheduleInvalidModel(t *testing.T) {
+	m := core.NewModel()
+	m.Comm.AddElement("a", 5)
+	m.AddConstraint(&core.Constraint{
+		Name: "A", Task: core.ChainTask("a"),
+		Period: 4, Deadline: 4, Kind: core.Asynchronous, // w > d: invalid
+	})
+	if _, err := Schedule(m, Options{}); err == nil {
+		t.Fatal("invalid model accepted")
+	}
+}
+
+func TestTheorem3HypothesesChecks(t *testing.T) {
+	m := core.NewModel()
+	m.Comm.AddElement("a", 2)
+	m.AddConstraint(&core.Constraint{
+		Name: "A", Task: core.ChainTask("a"),
+		Period: 10, Deadline: 10, Kind: core.Asynchronous,
+	})
+	if err := CheckTheorem3Hypotheses(m); err != nil {
+		t.Fatal(err)
+	}
+	// violate (ii): w=2, d=3 -> floor(3/2)=1 < 2
+	m2 := core.NewModel()
+	m2.Comm.AddElement("a", 2)
+	m2.AddConstraint(&core.Constraint{
+		Name: "A", Task: core.ChainTask("a"),
+		Period: 3, Deadline: 3, Kind: core.Asynchronous,
+	})
+	if err := CheckTheorem3Hypotheses(m2); err == nil {
+		t.Fatal("hypothesis (ii) violation accepted")
+	}
+	// periodic constraint rejected
+	m3 := core.NewModel()
+	m3.Comm.AddElement("a", 1)
+	m3.AddConstraint(&core.Constraint{
+		Name: "A", Task: core.ChainTask("a"),
+		Period: 10, Deadline: 10, Kind: core.Periodic,
+	})
+	if err := CheckTheorem3Hypotheses(m3); err == nil {
+		t.Fatal("periodic constraint accepted")
+	}
+	// violate (i): density > 1/2
+	m4 := core.NewModel()
+	m4.Comm.AddElement("a", 3)
+	m4.AddConstraint(&core.Constraint{
+		Name: "A", Task: core.ChainTask("a"),
+		Period: 4, Deadline: 4, Kind: core.Asynchronous,
+	})
+	if err := CheckTheorem3Hypotheses(m4); err == nil {
+		t.Fatal("density violation accepted")
+	}
+}
+
+func TestTheorem3Constructive(t *testing.T) {
+	m := core.NewModel()
+	m.Comm.AddElement("a", 2)
+	m.Comm.AddElement("b", 1)
+	m.AddConstraint(&core.Constraint{
+		Name: "A", Task: core.ChainTask("a"),
+		Period: 12, Deadline: 12, Kind: core.Asynchronous,
+	})
+	m.AddConstraint(&core.Constraint{
+		Name: "B", Task: core.ChainTask("b"),
+		Period: 8, Deadline: 8, Kind: core.Asynchronous,
+	})
+	// density = 2/12 + 1/8 = 0.292 ≤ 0.5; hypotheses hold
+	res, err := Theorem3Schedule(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sched.Feasible(m, res.Schedule) {
+		t.Fatal("constructive schedule infeasible")
+	}
+}
+
+// Property sweep backing Theorem 3: random instances satisfying the
+// hypotheses must always be schedulable by the constructive method.
+func TestTheorem3PropertySweep(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	successes, trials := 0, 0
+	for i := 0; i < 60; i++ {
+		m := randomTheorem3Model(rng)
+		if m == nil {
+			continue
+		}
+		trials++
+		if _, err := Theorem3Schedule(m); err == nil {
+			successes++
+		} else {
+			t.Errorf("Theorem 3 construction failed on a hypothesis-satisfying model: %v", err)
+		}
+	}
+	if trials == 0 {
+		t.Fatal("no valid trials generated")
+	}
+	if successes != trials {
+		t.Fatalf("constructive success %d/%d, want 100%%", successes, trials)
+	}
+}
+
+// randomTheorem3Model builds a random asynchronous model satisfying
+// the Theorem 3 hypotheses, or nil if the draw failed.
+func randomTheorem3Model(rng *rand.Rand) *core.Model {
+	m := core.NewModel()
+	n := 2 + rng.Intn(3)
+	density := 0.0
+	for i := 0; i < n; i++ {
+		w := 1 + rng.Intn(3)
+		d := 2*w + rng.Intn(20) // guarantees floor(d/2) >= w
+		if density+float64(w)/float64(d) > 0.5 {
+			break
+		}
+		density += float64(w) / float64(d)
+		name := string(rune('a' + i))
+		m.Comm.AddElement(name, w)
+		m.AddConstraint(&core.Constraint{
+			Name: "C" + name, Task: core.ChainTask(name),
+			Period: d, Deadline: d, Kind: core.Asynchronous,
+		})
+	}
+	if len(m.Constraints) == 0 {
+		return nil
+	}
+	return m
+}
+
+func TestScheduleRetryTightening(t *testing.T) {
+	// A model where the balanced split may fail but tightening helps:
+	// very asymmetric deadlines.
+	m := core.NewModel()
+	m.Comm.AddElement("a", 1)
+	m.Comm.AddElement("b", 3)
+	m.AddConstraint(&core.Constraint{
+		Name: "A", Task: core.ChainTask("a"),
+		Period: 3, Deadline: 3, Kind: core.Asynchronous,
+	})
+	m.AddConstraint(&core.Constraint{
+		Name: "B", Task: core.ChainTask("b"),
+		Period: 20, Deadline: 20, Kind: core.Asynchronous,
+	})
+	res, err := Schedule(m, Options{Retries: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sched.Feasible(m, res.Schedule) {
+		t.Fatal("schedule infeasible")
+	}
+}

@@ -1,0 +1,176 @@
+package heuristic
+
+import (
+	"math/rand"
+
+	"rtm/internal/core"
+	"rtm/internal/sched"
+)
+
+// Local search: when the server-transformation heuristic fails, a
+// randomized repair pass often still finds a feasible static schedule
+// — the search space is just a cyclic string over V ∪ {φ}. The
+// paper's Theorem 2 says no efficient complete method exists, so a
+// sound incomplete one (every returned schedule is verified) is the
+// pragmatic complement to the exact searcher.
+
+// SearchOptions tune the local search.
+type SearchOptions struct {
+	// CycleLen is the schedule length to search over; 0 picks the
+	// hyperperiod (capped at 4× the largest deadline).
+	CycleLen int
+	// Moves bounds the number of mutation attempts. Default 4000.
+	Moves int
+	// Restarts is how many random restarts to take. Default 4.
+	Restarts int
+	// Seed makes runs reproducible.
+	Seed int64
+}
+
+// LocalSearch hill-climbs over schedules of a fixed cycle length,
+// minimizing total deadline violation, with random restarts. The
+// returned schedule is always verified; ErrNoSchedule means the
+// search budget ran out.
+func LocalSearch(m *core.Model, opt SearchOptions) (*Result, error) {
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	n := opt.CycleLen
+	if n <= 0 {
+		n = m.Hyperperiod()
+		maxD := 1
+		for _, c := range m.Constraints {
+			if c.Deadline > maxD {
+				maxD = c.Deadline
+			}
+		}
+		if cap := 4 * maxD; n > cap {
+			n = cap
+		}
+		if n < maxD {
+			n = maxD
+		}
+	}
+	moves := opt.Moves
+	if moves <= 0 {
+		moves = 4000
+	}
+	restarts := opt.Restarts
+	if restarts <= 0 {
+		restarts = 4
+	}
+	rng := rand.New(rand.NewSource(opt.Seed + 1))
+	elems := m.ElementsUsed()
+	alphabet := append([]string{sched.Idle}, elems...)
+
+	for r := 0; r < restarts; r++ {
+		s := randomInitial(m, n, rng)
+		cost := violation(m, s)
+		if cost == 0 {
+			return verified(m, s)
+		}
+		for mv := 0; mv < moves; mv++ {
+			i := rng.Intn(n)
+			old := s.Slots[i]
+			var cand string
+			if rng.Intn(4) == 0 {
+				// swap two slots
+				j := rng.Intn(n)
+				s.Slots[i], s.Slots[j] = s.Slots[j], s.Slots[i]
+				nc := violation(m, s)
+				if nc <= cost {
+					cost = nc
+				} else {
+					s.Slots[i], s.Slots[j] = s.Slots[j], s.Slots[i]
+				}
+			} else {
+				cand = alphabet[rng.Intn(len(alphabet))]
+				if cand == old {
+					continue
+				}
+				s.Slots[i] = cand
+				nc := violation(m, s)
+				if nc <= cost {
+					cost = nc
+				} else {
+					s.Slots[i] = old
+				}
+			}
+			if cost == 0 {
+				return verified(m, s)
+			}
+		}
+	}
+	return nil, ErrNoSchedule
+}
+
+// verified wraps a zero-violation schedule in a Result after an
+// independent feasibility check.
+func verified(m *core.Model, s *sched.Schedule) (*Result, error) {
+	rep := sched.Check(m, s)
+	if !rep.Feasible {
+		return nil, ErrNoSchedule // cost function and checker disagree: refuse
+	}
+	return &Result{Schedule: s, Report: rep, Merged: m, Servers: map[string][2]int{}}, nil
+}
+
+// randomInitial seeds the search with a demand-proportional random
+// schedule: each element receives slots in proportion to its worst
+// window pressure, shuffled.
+func randomInitial(m *core.Model, n int, rng *rand.Rand) *sched.Schedule {
+	quota := map[string]int{}
+	for _, c := range m.Constraints {
+		window := c.Deadline
+		if c.Kind == core.Periodic && c.Period > window {
+			window = c.Period
+		}
+		need := map[string]int{}
+		for _, node := range c.Task.Nodes() {
+			e := c.Task.ElementOf(node)
+			need[e] += m.Comm.WeightOf(e)
+		}
+		for e, k := range need {
+			q := (k*n + window - 1) / window
+			if q > quota[e] {
+				quota[e] = q
+			}
+		}
+	}
+	slots := make([]string, 0, n)
+	for e, q := range quota {
+		for i := 0; i < q && len(slots) < n; i++ {
+			slots = append(slots, e)
+		}
+	}
+	for len(slots) < n {
+		slots = append(slots, sched.Idle)
+	}
+	rng.Shuffle(len(slots), func(i, j int) { slots[i], slots[j] = slots[j], slots[i] })
+	return &sched.Schedule{Slots: slots}
+}
+
+// violation is the search's cost: the total amount by which
+// constraints overshoot their deadlines under the exact semantics
+// (capped per constraint to keep Infinite latencies comparable).
+func violation(m *core.Model, s *sched.Schedule) int {
+	a := sched.AnalyzerFor(m, s)
+	total := 0
+	for _, c := range m.Constraints {
+		var worst int
+		switch c.Kind {
+		case core.Asynchronous:
+			worst = a.Latency(c.Task)
+		case core.Periodic:
+			worst = a.PeriodicWorstResponse(c)
+		}
+		if worst > c.Deadline {
+			over := worst - c.Deadline
+			cap := 10 * c.Deadline
+			if worst == sched.Infinite || over > cap {
+				over = cap
+			}
+			total += over
+		}
+	}
+	return total
+}

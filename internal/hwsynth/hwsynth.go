@@ -1,0 +1,319 @@
+// Package hwsynth develops the paper's closing research direction:
+// "synthesize complete hardware-software systems from specifications
+// based on our model by taking advantage of VLSI technology, such as
+// along the line of the system compiler project of [DAS et al 83]".
+//
+// A communication graph compiles directly into a synchronous netlist:
+// one hardware unit per functional element (latency = computation
+// time, initiation interval = latency for a non-pipelined unit, 1 for
+// a fully pipelined one) and one wire per communication path. A
+// cycle-accurate simulator executes all units in parallel — the
+// "initial abstract machine [with] a processor for every schedulable
+// unit of computation" — so a task graph's completion time is bounded
+// by its critical path rather than its total work, which is the
+// hardware speed-up the direction promises.
+package hwsynth
+
+import (
+	"fmt"
+	"sort"
+
+	"rtm/internal/core"
+	"rtm/internal/fault"
+)
+
+// Unit is one synthesized hardware block.
+type Unit struct {
+	Elem    string
+	Latency int // cycles from firing to output valid
+	II      int // initiation interval: min cycles between firings
+}
+
+// Wire is a point-to-point connection.
+type Wire struct {
+	From, To string
+}
+
+// Netlist is the synthesized design.
+type Netlist struct {
+	Units []Unit
+	Wires []Wire
+	units map[string]*Unit
+}
+
+// UnitFor returns the unit implementing elem, or nil.
+func (n *Netlist) UnitFor(elem string) *Unit { return n.units[elem] }
+
+// Options control compilation.
+type Options struct {
+	// Pipelined units accept a new input every cycle (II = 1)
+	// regardless of latency — the hardware analogue of the paper's
+	// software pipelining. Non-pipelined units have II = latency.
+	Pipelined bool
+}
+
+// Compile synthesizes the netlist for a model's communication graph.
+// Elements of weight 0 become wires-through (latency 0, II 1).
+func Compile(m *core.Model, opt Options) (*Netlist, error) {
+	if err := m.Comm.Validate(); err != nil {
+		return nil, err
+	}
+	n := &Netlist{units: map[string]*Unit{}}
+	for _, e := range m.Comm.Elements() {
+		w := m.Comm.WeightOf(e)
+		ii := w
+		if opt.Pipelined || ii < 1 {
+			ii = 1
+		}
+		u := Unit{Elem: e, Latency: w, II: ii}
+		n.Units = append(n.Units, u)
+		n.units[e] = &n.Units[len(n.Units)-1]
+	}
+	for _, edge := range m.Comm.G.Edges() {
+		n.Wires = append(n.Wires, Wire{From: edge.From, To: edge.To})
+	}
+	return n, nil
+}
+
+// Area returns a crude area estimate: Σ latency per unit (a
+// weight-proportional datapath) plus one register per wire.
+func (n *Netlist) Area() int {
+	a := 0
+	for _, u := range n.Units {
+		a += u.Latency
+		if u.Latency == 0 {
+			a++
+		}
+	}
+	return a + len(n.Wires)
+}
+
+// CriticalPathLatency returns the hardware completion bound of a task
+// graph on this netlist: the maximum total unit latency along any
+// directed path — attainable because every element has its own unit.
+func CriticalPathLatency(m *core.Model, task *core.TaskGraph) (int, error) {
+	weight := make(map[string]int, task.G.NumNodes())
+	for _, node := range task.Nodes() {
+		weight[node] = m.Comm.WeightOf(task.ElementOf(node))
+	}
+	_, cp, err := task.G.CriticalPath(weight)
+	return cp, err
+}
+
+// Feed supplies external input values to a source unit per cycle;
+// return ok=false when no new value is available this cycle.
+type Feed func(cycle int) (value int, ok bool)
+
+// Probe records one output event of a unit.
+type Probe struct {
+	Cycle int
+	Value int
+}
+
+// SimResult is a cycle-accurate run.
+type SimResult struct {
+	Cycles  int
+	Outputs map[string][]Probe // per element, in cycle order
+}
+
+// LastValue returns the most recent output of elem at or before
+// cycle, and whether any exists.
+func (r *SimResult) LastValue(elem string, cycle int) (int, bool) {
+	probes := r.Outputs[elem]
+	val, ok := 0, false
+	for _, p := range probes {
+		if p.Cycle > cycle {
+			break
+		}
+		val, ok = p.Value, true
+	}
+	return val, ok
+}
+
+// Simulate runs the netlist for the given number of cycles under
+// synchronous-dataflow token semantics: every wire latches the latest
+// value with a sequence number; a unit fires when its initiation
+// interval has elapsed and every input wire carries a token it has
+// not consumed yet (sources fire when their feed produces a value);
+// outputs appear latency cycles after firing. Pipelined units (II <
+// latency) keep several computations in flight. Completions are
+// processed before firings within a cycle, so a value produced at
+// cycle c can be consumed at cycle c. Behaviors default to
+// fault.DefaultBehavior, keyed by producing element like the fault
+// interpreter, so hardware and software runs compute identical
+// values.
+func Simulate(m *core.Model, n *Netlist, cycles int, behaviors map[string]fault.Behavior, feeds map[string]Feed) *SimResult {
+	type pendingRun struct {
+		completeAt int
+		inputs     map[string]int
+	}
+	type wire struct {
+		val int
+		seq int // 0 = never written
+	}
+	type state struct {
+		nextFire int
+		inflight []pendingRun
+		consumed map[string]int // input wire -> last consumed seq
+	}
+	wires := map[string]*wire{}
+	states := map[string]*state{}
+	for _, u := range n.Units {
+		states[u.Elem] = &state{consumed: map[string]int{}}
+	}
+	for _, w := range n.Wires {
+		wires[w.From+"->"+w.To] = &wire{}
+	}
+	res := &SimResult{Cycles: cycles, Outputs: map[string][]Probe{}}
+
+	elems := make([]string, 0, len(n.Units))
+	for _, u := range n.Units {
+		elems = append(elems, u.Elem)
+	}
+	sort.Strings(elems)
+
+	for c := 0; c < cycles; c++ {
+		// completions first: outputs become visible this cycle
+		for _, e := range elems {
+			st := states[e]
+			rest := st.inflight[:0]
+			for _, run := range st.inflight {
+				if run.completeAt > c {
+					rest = append(rest, run)
+					continue
+				}
+				beh := behaviors[e]
+				if beh == nil {
+					beh = fault.DefaultBehavior
+				}
+				val := beh(run.inputs)
+				res.Outputs[e] = append(res.Outputs[e], Probe{Cycle: c, Value: val})
+				for _, succ := range m.Comm.G.Succ(e) {
+					if w, ok := wires[e+"->"+succ]; ok {
+						w.val = val
+						w.seq++
+					}
+				}
+			}
+			st.inflight = rest
+		}
+		// firings: need a fresh token on every input
+		for _, e := range elems {
+			st := states[e]
+			u := n.units[e]
+			if c < st.nextFire {
+				continue
+			}
+			inputs := map[string]int{}
+			preds := m.Comm.G.Pred(e)
+			if len(preds) == 0 {
+				feed, ok := feeds[e]
+				if !ok {
+					continue
+				}
+				v, have := feed(c)
+				if !have {
+					continue
+				}
+				inputs[""] = v
+			} else {
+				ready := true
+				for _, p := range preds {
+					k := p + "->" + e
+					w := wires[k]
+					if w == nil || w.seq == 0 || w.seq <= st.consumed[k] {
+						ready = false
+						break
+					}
+					inputs[p] = w.val
+				}
+				if !ready {
+					continue
+				}
+				for _, p := range preds {
+					k := p + "->" + e
+					st.consumed[k] = wires[k].seq
+				}
+			}
+			completeAt := c + u.Latency
+			if u.Latency == 0 {
+				completeAt = c + 1 // zero-weight elements still take a register stage
+			}
+			st.inflight = append(st.inflight, pendingRun{completeAt: completeAt, inputs: inputs})
+			st.nextFire = c + u.II
+		}
+	}
+	return res
+}
+
+// stepRun simulates a step change on the source feed at changeCycle
+// and returns the sink's probe stream.
+func stepRun(m *core.Model, n *Netlist, source, sink string, changeCycle, horizon int) []Probe {
+	feeds := map[string]Feed{
+		source: func(c int) (int, bool) {
+			if c < changeCycle {
+				return 1, true
+			}
+			return 2, true
+		},
+	}
+	res := Simulate(m, n, horizon, nil, feeds)
+	return res.Outputs[sink]
+}
+
+// PropagationDelay measures, by simulation, how many cycles a source
+// value change takes to become *observable* at a sink's output: the
+// first sink output after the change that differs from the steady
+// state. In a streaming pipeline this is the SHORTEST source-to-sink
+// path (the change races down the fastest branch and combines with
+// stale values from slower branches). Returns an error if the change
+// never propagates.
+func PropagationDelay(m *core.Model, n *Netlist, source, sink string, changeCycle, horizon int) (int, error) {
+	probes := stepRun(m, n, source, sink, changeCycle, horizon)
+	steady, found := 0, false
+	for _, p := range probes {
+		if p.Cycle >= changeCycle {
+			break
+		}
+		steady, found = p.Value, true
+	}
+	if !found {
+		return 0, fmt.Errorf("hwsynth: sink %q produced nothing before the change", sink)
+	}
+	for _, p := range probes {
+		if p.Cycle >= changeCycle && p.Value != steady {
+			return p.Cycle - changeCycle, nil
+		}
+	}
+	return 0, fmt.Errorf("hwsynth: change at %q never reached %q within %d cycles", source, sink, horizon)
+}
+
+// SettlingDelay measures how many cycles after a source step the
+// sink's output becomes *fully consistent* with the new value: the
+// first cycle from which every sink output equals the final value.
+// In a streaming pipeline this is the CRITICAL (longest) path — the
+// slowest branch must deliver before the output stops glitching.
+func SettlingDelay(m *core.Model, n *Netlist, source, sink string, changeCycle, horizon int) (int, error) {
+	probes := stepRun(m, n, source, sink, changeCycle, horizon)
+	if len(probes) == 0 {
+		return 0, fmt.Errorf("hwsynth: sink %q produced nothing", sink)
+	}
+	final := probes[len(probes)-1].Value
+	settled := -1
+	for _, p := range probes {
+		if p.Cycle < changeCycle {
+			continue
+		}
+		if p.Value == final {
+			if settled < 0 {
+				settled = p.Cycle
+			}
+		} else {
+			settled = -1
+		}
+	}
+	if settled < 0 {
+		return 0, fmt.Errorf("hwsynth: sink %q never settled within %d cycles", sink, horizon)
+	}
+	return settled - changeCycle, nil
+}

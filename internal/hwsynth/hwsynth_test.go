@@ -1,0 +1,244 @@
+package hwsynth
+
+import (
+	"testing"
+
+	"rtm/internal/core"
+	"rtm/internal/fault"
+	"rtm/internal/sched"
+)
+
+// chainModel: src(1) -> mid(3) -> out(1)
+func chainModel() *core.Model {
+	m := core.NewModel()
+	m.Comm.AddElement("src", 1)
+	m.Comm.AddElement("mid", 3)
+	m.Comm.AddElement("out", 1)
+	m.Comm.AddPath("src", "mid")
+	m.Comm.AddPath("mid", "out")
+	m.AddConstraint(&core.Constraint{
+		Name: "C", Task: core.ChainTask("src", "mid", "out"),
+		Period: 10, Deadline: 10, Kind: core.Periodic,
+	})
+	return m
+}
+
+// diamondModel: s -> l(5), s -> r(2), both -> t
+func diamondModel() *core.Model {
+	m := core.NewModel()
+	m.Comm.AddElement("s", 1)
+	m.Comm.AddElement("l", 5)
+	m.Comm.AddElement("r", 2)
+	m.Comm.AddElement("t", 1)
+	m.Comm.AddPath("s", "l")
+	m.Comm.AddPath("s", "r")
+	m.Comm.AddPath("l", "t")
+	m.Comm.AddPath("r", "t")
+	task := core.NewTaskGraph()
+	for _, e := range []string{"s", "l", "r", "t"} {
+		task.AddStep(e, e)
+	}
+	task.AddPrec("s", "l")
+	task.AddPrec("s", "r")
+	task.AddPrec("l", "t")
+	task.AddPrec("r", "t")
+	m.AddConstraint(&core.Constraint{
+		Name: "D", Task: task, Period: 20, Deadline: 20, Kind: core.Periodic,
+	})
+	return m
+}
+
+func TestCompileStructure(t *testing.T) {
+	m := chainModel()
+	n, err := Compile(m, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(n.Units) != 3 || len(n.Wires) != 2 {
+		t.Fatalf("units=%d wires=%d", len(n.Units), len(n.Wires))
+	}
+	mid := n.UnitFor("mid")
+	if mid == nil || mid.Latency != 3 || mid.II != 3 {
+		t.Fatalf("mid unit = %+v", mid)
+	}
+	p, err := Compile(m, Options{Pipelined: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.UnitFor("mid").II != 1 {
+		t.Fatal("pipelined II wrong")
+	}
+	if n.UnitFor("nope") != nil {
+		t.Fatal("unknown unit found")
+	}
+	if n.Area() <= 0 {
+		t.Fatal("area not positive")
+	}
+}
+
+func TestCriticalPathLatency(t *testing.T) {
+	m := diamondModel()
+	cp, err := CriticalPathLatency(m, m.Constraints[0].Task)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// s(1) -> l(5) -> t(1) = 7, less than total work 9
+	if cp != 7 {
+		t.Fatalf("critical path = %d, want 7", cp)
+	}
+	work := m.Constraints[0].ComputationTime(m.Comm)
+	if cp >= work {
+		t.Fatalf("hardware bound %d should beat software bound %d", cp, work)
+	}
+}
+
+func TestSimulateChainDataflow(t *testing.T) {
+	m := chainModel()
+	n, err := Compile(m, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	identity := func(in map[string]int) int {
+		for _, v := range in {
+			return v
+		}
+		return 0
+	}
+	res := Simulate(m, n, 30, map[string]fault.Behavior{
+		"src": identity, "mid": identity, "out": identity,
+	}, map[string]Feed{
+		"src": func(c int) (int, bool) { return 42, true },
+	})
+	if len(res.Outputs["out"]) == 0 {
+		t.Fatal("out never produced")
+	}
+	if v, ok := res.LastValue("out", 29); !ok || v != 42 {
+		t.Fatalf("out = %d, %v", v, ok)
+	}
+	// first out: src fires at 0, completes 1; mid fires 1? (wire set
+	// at cycle 1 during completion phase; mid's firing pass same
+	// cycle sees it) -> mid fires 1 completes 4; out fires 4
+	// completes 5.
+	first := res.Outputs["out"][0]
+	if first.Cycle != 5 {
+		t.Fatalf("first out at cycle %d, want 5", first.Cycle)
+	}
+}
+
+func TestPropagationDelayChain(t *testing.T) {
+	m := chainModel()
+	n, err := Compile(m, Options{Pipelined: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := PropagationDelay(m, n, "src", "out", 40, 120)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// pipeline: src(1)+mid(3)+out(1) = 5 cycles of latency
+	if d != 5 {
+		t.Fatalf("propagation = %d, want 5", d)
+	}
+}
+
+func TestPropagationDiamondBeatsSoftware(t *testing.T) {
+	m := diamondModel()
+	n, err := Compile(m, Options{Pipelined: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, err := PropagationDelay(m, n, "s", "t", 60, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// first observable change races down the short branch:
+	// s(1)+r(2)+t(1) = 4
+	if first != 4 {
+		t.Fatalf("first-change delay = %d, want 4 (shortest path)", first)
+	}
+	settle, err := SettlingDelay(m, n, "s", "t", 60, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cp, _ := CriticalPathLatency(m, m.Constraints[0].Task)
+	if settle != cp {
+		t.Fatalf("settling delay %d != critical path %d", settle, cp)
+	}
+	work := m.Constraints[0].ComputationTime(m.Comm)
+	// hardware settles at the critical path (7), strictly below the
+	// single-processor bound (total work 9)
+	if settle >= work {
+		t.Fatalf("hardware settling %d not below software work %d", settle, work)
+	}
+}
+
+func TestNonPipelinedThroughput(t *testing.T) {
+	m := chainModel()
+	n, err := Compile(m, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	counter := 0
+	res := Simulate(m, n, 62, nil, map[string]Feed{
+		"src": func(c int) (int, bool) { counter++; return counter, true },
+	})
+	// mid (II=3) throttles the pipeline: out fires every ~3 cycles
+	outs := len(res.Outputs["out"])
+	if outs < 15 || outs > 21 {
+		t.Fatalf("out count = %d over 62 cycles, want ≈ 62/3", outs)
+	}
+	p, _ := Compile(m, Options{Pipelined: true})
+	counter = 0
+	res2 := Simulate(m, p, 62, nil, map[string]Feed{
+		"src": func(c int) (int, bool) { counter++; return counter, true },
+	})
+	if len(res2.Outputs["out"]) <= outs {
+		t.Fatalf("pipelining did not raise throughput: %d vs %d",
+			len(res2.Outputs["out"]), outs)
+	}
+}
+
+func TestSimulateNoFeedNoOutput(t *testing.T) {
+	m := chainModel()
+	n, _ := Compile(m, Options{})
+	res := Simulate(m, n, 20, nil, nil)
+	if len(res.Outputs["out"]) != 0 {
+		t.Fatal("output without any source feed")
+	}
+	if _, ok := res.LastValue("out", 19); ok {
+		t.Fatal("LastValue on empty stream")
+	}
+}
+
+func TestHardwareSoftwareValueAgreement(t *testing.T) {
+	// the hardware simulator and the fault interpreter must compute
+	// the same value stream for the same behaviors
+	m := chainModel()
+	n, _ := Compile(m, Options{})
+	add1 := func(in map[string]int) int {
+		s := 0
+		for _, v := range in {
+			s += v
+		}
+		return s + 1
+	}
+	hw := Simulate(m, n, 40, map[string]fault.Behavior{
+		"src": add1, "mid": add1, "out": add1,
+	}, map[string]Feed{
+		"src": func(c int) (int, bool) { return 10, true },
+	})
+	// software: schedule the chain and run the fault interpreter
+	swSched := sched.New("src", "mid", "mid", "mid", "out", sched.Idle)
+	sw := fault.Run(m, swSched, 40, fault.Options{
+		Behaviors: map[string]fault.Behavior{"src": add1, "mid": add1, "out": add1},
+		Sources:   map[string]int{"src": 10},
+	})
+	// src seeds differ in index handling; compare the *set* of out
+	// values modulo the ramp: first software out = ((10+0)+1+1)+1 = 13
+	if len(sw.Outputs["out"]) == 0 || sw.Outputs["out"][0] != 13 {
+		t.Fatalf("software out = %v", sw.Outputs["out"])
+	}
+	if v, ok := hw.LastValue("out", 39); !ok || v != 13 {
+		t.Fatalf("hardware out = %d, %v", v, ok)
+	}
+}

@@ -1,0 +1,282 @@
+// Package modes adds operating regimes to the graph-based model. The
+// paper's own example motivates them: "the variable z' may be a
+// parameter which selects a different mapping for f_S depending on
+// the operating regime selected by a human operator via the toggle
+// switch z". A modal system shares one communication graph across a
+// set of modes, each with its own constraint set and verified static
+// schedule; a mode-change protocol switches schedules at a safe point
+// and its transition latency (request to first instant the new mode's
+// guarantees hold) is analyzed and simulated.
+package modes
+
+import (
+	"fmt"
+	"sort"
+
+	"rtm/internal/core"
+	"rtm/internal/heuristic"
+	"rtm/internal/sched"
+)
+
+// Mode is one operating regime.
+type Mode struct {
+	Name  string
+	Model *core.Model
+	// Schedule is filled by Compile.
+	Schedule *sched.Schedule
+}
+
+// System is a modal system: modes sharing one communication graph.
+type System struct {
+	Comm  *core.CommGraph
+	Modes []*Mode
+}
+
+// NewSystem starts a modal system over a communication graph.
+func NewSystem(comm *core.CommGraph) *System {
+	return &System{Comm: comm}
+}
+
+// AddMode registers a mode from a constraint set over the shared
+// communication graph.
+func (s *System) AddMode(name string, constraints ...*core.Constraint) *Mode {
+	m := core.NewModel()
+	m.Comm = s.Comm
+	for _, c := range constraints {
+		m.AddConstraint(c)
+	}
+	mode := &Mode{Name: name, Model: m}
+	s.Modes = append(s.Modes, mode)
+	return mode
+}
+
+// ModeByName returns the named mode, or nil.
+func (s *System) ModeByName(name string) *Mode {
+	for _, m := range s.Modes {
+		if m.Name == name {
+			return m
+		}
+	}
+	return nil
+}
+
+// Compile synthesizes a verified static schedule per mode.
+func (s *System) Compile() error {
+	if len(s.Modes) == 0 {
+		return fmt.Errorf("modes: no modes defined")
+	}
+	seen := map[string]bool{}
+	for _, mode := range s.Modes {
+		if mode.Name == "" || seen[mode.Name] {
+			return fmt.Errorf("modes: missing or duplicate mode name %q", mode.Name)
+		}
+		seen[mode.Name] = true
+		res, err := heuristic.Schedule(mode.Model, heuristic.Options{MergeShared: true})
+		if err != nil {
+			return fmt.Errorf("modes: mode %q: %w", mode.Name, err)
+		}
+		mode.Schedule = res.Schedule
+	}
+	return nil
+}
+
+// TransitionBound returns an upper bound on the mode-change latency
+// from one mode to another under the idle-safe protocol: the switch
+// is taken at the next point where the outgoing schedule has no
+// execution in progress (no element mid-way through its weight), and
+// the incoming mode's guarantees hold one full cycle after its
+// schedule starts (every constraint's worst window is measured over
+// the steady cycle).
+//
+// Bound = maxSafeWait(out) + cycle(in) + maxDeadline(in).
+func (s *System) TransitionBound(from, to string) (int, error) {
+	out := s.ModeByName(from)
+	in := s.ModeByName(to)
+	if out == nil || in == nil {
+		return 0, fmt.Errorf("modes: unknown mode in transition %s->%s", from, to)
+	}
+	if out.Schedule == nil || in.Schedule == nil {
+		return 0, fmt.Errorf("modes: Compile must run before TransitionBound")
+	}
+	wait, err := MaxSafeWait(s.Comm, out.Schedule)
+	if err != nil {
+		return 0, err
+	}
+	maxD := 0
+	for _, c := range in.Model.Constraints {
+		if c.Deadline > maxD {
+			maxD = c.Deadline
+		}
+	}
+	return wait + in.Schedule.Len() + maxD, nil
+}
+
+// SafePoints returns the slot indices of a schedule at which no
+// execution is in progress — the instants a mode switch may be taken
+// without aborting a functional element mid-way. Slot i is safe when
+// every element's executions (parsed over the alignment window)
+// either finish at or before i or start at or after i, checked at
+// each phase i of the cycle.
+func SafePoints(comm *core.CommGraph, s *sched.Schedule) ([]int, error) {
+	n := s.Len()
+	if n == 0 {
+		return nil, fmt.Errorf("modes: empty schedule")
+	}
+	// parse executions over several cycles and mark slots covered by
+	// an execution's [start, finish) span with gaps (preempted
+	// executions hold state across other slots).
+	span := 4
+	horiz := n * span
+	trace := s.Unroll(horiz)
+	inProgress := make([]bool, horiz+1)
+	// reconstruct per-element executions exactly as the analyzer does
+	type run struct{ start, end int }
+	slotsOf := map[string][]int{}
+	for i, x := range trace {
+		if x != sched.Idle {
+			slotsOf[x] = append(slotsOf[x], i)
+		}
+	}
+	for elem, idx := range slotsOf {
+		w := comm.WeightOf(elem)
+		if w <= 1 {
+			continue // unit executions never span a boundary
+		}
+		for i := 0; i+w <= len(idx); i += w {
+			start, end := idx[i], idx[i+w-1]+1
+			// the element holds state from its first slot until its
+			// last: a switch strictly inside (start, end) aborts it.
+			for t := start + 1; t < end && t <= horiz; t++ {
+				inProgress[t] = true
+			}
+		}
+	}
+	var out []int
+	// consider the middle cycle (fully surrounded by parsed context)
+	base := n * (span / 2)
+	for i := 0; i < n; i++ {
+		if !inProgress[base+i] {
+			out = append(out, i)
+		}
+	}
+	sort.Ints(out)
+	return out, nil
+}
+
+// MaxSafeWait returns the maximum distance from any slot to the next
+// safe point (cyclically). Returns an error when the schedule has no
+// safe point at all.
+func MaxSafeWait(comm *core.CommGraph, s *sched.Schedule) (int, error) {
+	safe, err := SafePoints(comm, s)
+	if err != nil {
+		return 0, err
+	}
+	if len(safe) == 0 {
+		return 0, fmt.Errorf("modes: schedule has no safe switch point")
+	}
+	n := s.Len()
+	isSafe := make([]bool, n)
+	for _, i := range safe {
+		isSafe[i] = true
+	}
+	worst := 0
+	for i := 0; i < n; i++ {
+		d := 0
+		for !isSafe[(i+d)%n] {
+			d++
+		}
+		if d > worst {
+			worst = d
+		}
+	}
+	return worst, nil
+}
+
+// Switcher executes a modal system over time with mode-change
+// requests, producing the concatenated trace and recording each
+// transition's actual latency.
+type Switcher struct {
+	sys     *System
+	current int
+	phase   int
+}
+
+// NewSwitcher starts in the first mode at phase 0.
+func NewSwitcher(sys *System) (*Switcher, error) {
+	if len(sys.Modes) == 0 {
+		return nil, fmt.Errorf("modes: empty system")
+	}
+	for _, m := range sys.Modes {
+		if m.Schedule == nil {
+			return nil, fmt.Errorf("modes: Compile must run before NewSwitcher")
+		}
+	}
+	return &Switcher{sys: sys}, nil
+}
+
+// Transition is one completed mode change.
+type Transition struct {
+	RequestAt int
+	SwitchAt  int // slot at which the new schedule took over
+	To        string
+}
+
+// RunWithRequests executes for horizon slots, switching at the first
+// safe point at or after each request. Requests must be sorted by
+// time. It returns the emitted trace and the transitions taken.
+func (sw *Switcher) RunWithRequests(horizon int, requests []struct {
+	At int
+	To string
+}) ([]string, []Transition, error) {
+	trace := make([]string, 0, horizon)
+	var transitions []Transition
+	reqIdx := 0
+	pendingTo := -1
+	pendingAt := 0
+	safe := map[int][]int{} // mode index -> safe points
+	for i, m := range sw.sys.Modes {
+		pts, err := SafePoints(sw.sys.Comm, m.Schedule)
+		if err != nil {
+			return nil, nil, err
+		}
+		safe[i] = pts
+	}
+	isSafe := func(mode, phase int) bool {
+		for _, p := range safe[mode] {
+			if p == phase {
+				return true
+			}
+		}
+		return false
+	}
+	for t := 0; t < horizon; t++ {
+		for reqIdx < len(requests) && requests[reqIdx].At == t {
+			target := -1
+			for i, m := range sw.sys.Modes {
+				if m.Name == requests[reqIdx].To {
+					target = i
+				}
+			}
+			if target < 0 {
+				return nil, nil, fmt.Errorf("modes: request for unknown mode %q", requests[reqIdx].To)
+			}
+			pendingTo = target
+			pendingAt = t
+			reqIdx++
+		}
+		if pendingTo >= 0 && pendingTo != sw.current && isSafe(sw.current, sw.phase) {
+			transitions = append(transitions, Transition{
+				RequestAt: pendingAt, SwitchAt: t, To: sw.sys.Modes[pendingTo].Name,
+			})
+			sw.current = pendingTo
+			sw.phase = 0
+			pendingTo = -1
+		} else if pendingTo == sw.current {
+			pendingTo = -1
+		}
+		s := sw.sys.Modes[sw.current].Schedule
+		trace = append(trace, s.At(sw.phase))
+		sw.phase = (sw.phase + 1) % s.Len()
+	}
+	return trace, transitions, nil
+}

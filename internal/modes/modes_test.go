@@ -1,0 +1,215 @@
+package modes
+
+import (
+	"testing"
+
+	"rtm/internal/core"
+	"rtm/internal/sched"
+)
+
+// buildModal: the paper's example with two operating regimes for f_S:
+// normal (both samplers) and degraded (only x, faster).
+func buildModal() *System {
+	comm := core.NewCommGraph()
+	comm.AddElement("fX", 2)
+	comm.AddElement("fY", 3)
+	comm.AddElement("fS", 4)
+	comm.AddElement("fK", 2)
+	comm.AddPath("fX", "fS")
+	comm.AddPath("fY", "fS")
+	comm.AddPath("fS", "fK")
+	comm.AddPath("fK", "fS")
+	sys := NewSystem(comm)
+	sys.AddMode("normal",
+		&core.Constraint{Name: "X", Task: core.ChainTask("fX", "fS", "fK"),
+			Period: 20, Deadline: 20, Kind: core.Periodic},
+		&core.Constraint{Name: "Y", Task: core.ChainTask("fY", "fS", "fK"),
+			Period: 40, Deadline: 40, Kind: core.Periodic},
+	)
+	sys.AddMode("degraded",
+		&core.Constraint{Name: "X", Task: core.ChainTask("fX", "fS", "fK"),
+			Period: 10, Deadline: 10, Kind: core.Periodic},
+	)
+	return sys
+}
+
+func TestCompileModes(t *testing.T) {
+	sys := buildModal()
+	if err := sys.Compile(); err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range sys.Modes {
+		if m.Schedule == nil {
+			t.Fatalf("mode %s has no schedule", m.Name)
+		}
+		if !sched.Feasible(m.Model, m.Schedule) {
+			t.Fatalf("mode %s schedule infeasible", m.Name)
+		}
+	}
+	if sys.ModeByName("nope") != nil {
+		t.Fatal("unknown mode found")
+	}
+}
+
+func TestCompileErrors(t *testing.T) {
+	sys := NewSystem(core.NewCommGraph())
+	if err := sys.Compile(); err == nil {
+		t.Fatal("empty system compiled")
+	}
+	sys2 := buildModal()
+	sys2.Modes[1].Name = sys2.Modes[0].Name
+	if err := sys2.Compile(); err == nil {
+		t.Fatal("duplicate mode names accepted")
+	}
+}
+
+func TestSafePoints(t *testing.T) {
+	comm := core.NewCommGraph()
+	comm.AddElement("a", 2)
+	comm.AddElement("b", 1)
+	// a a b φ: switching at slot 1 aborts a's execution
+	s := sched.New("a", "a", "b", sched.Idle)
+	safe, err := SafePoints(comm, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := map[int]bool{}
+	for _, p := range safe {
+		m[p] = true
+	}
+	if m[1] {
+		t.Fatalf("slot 1 (mid-a) reported safe: %v", safe)
+	}
+	for _, want := range []int{0, 2, 3} {
+		if !m[want] {
+			t.Fatalf("slot %d should be safe: %v", want, safe)
+		}
+	}
+}
+
+func TestSafePointsPreempted(t *testing.T) {
+	comm := core.NewCommGraph()
+	comm.AddElement("a", 2)
+	comm.AddElement("b", 1)
+	// a b a φ: a is preempted by b, so slots 1 and 2 are inside a's
+	// execution span
+	s := sched.New("a", "b", "a", sched.Idle)
+	safe, err := SafePoints(comm, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := map[int]bool{}
+	for _, p := range safe {
+		m[p] = true
+	}
+	if m[1] || m[2] {
+		t.Fatalf("slots inside a preempted execution reported safe: %v", safe)
+	}
+	if !m[0] || !m[3] {
+		t.Fatalf("boundary slots should be safe: %v", safe)
+	}
+}
+
+func TestMaxSafeWait(t *testing.T) {
+	comm := core.NewCommGraph()
+	comm.AddElement("a", 2)
+	s := sched.New("a", "a", sched.Idle, sched.Idle)
+	wait, err := MaxSafeWait(comm, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// only slot 1 is unsafe -> from slot 1 wait 1
+	if wait != 1 {
+		t.Fatalf("wait = %d, want 1", wait)
+	}
+	if _, err := MaxSafeWait(comm, sched.New()); err == nil {
+		t.Fatal("empty schedule accepted")
+	}
+}
+
+func TestTransitionBound(t *testing.T) {
+	sys := buildModal()
+	if _, err := sys.TransitionBound("normal", "degraded"); err == nil {
+		t.Fatal("bound before Compile accepted")
+	}
+	if err := sys.Compile(); err != nil {
+		t.Fatal(err)
+	}
+	b, err := sys.TransitionBound("normal", "degraded")
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := sys.ModeByName("degraded")
+	if b < in.Schedule.Len() {
+		t.Fatalf("bound %d below one cycle of the incoming mode", b)
+	}
+	if _, err := sys.TransitionBound("normal", "nope"); err == nil {
+		t.Fatal("unknown target accepted")
+	}
+}
+
+func TestSwitcherRunsAndSwitches(t *testing.T) {
+	sys := buildModal()
+	if err := sys.Compile(); err != nil {
+		t.Fatal(err)
+	}
+	sw, err := NewSwitcher(sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reqs := []struct {
+		At int
+		To string
+	}{
+		{At: 13, To: "degraded"},
+		{At: 90, To: "normal"},
+	}
+	horizon := 200
+	trace, transitions, err := sw.RunWithRequests(horizon, reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(trace) != horizon {
+		t.Fatalf("trace length %d", len(trace))
+	}
+	if len(transitions) != 2 {
+		t.Fatalf("transitions = %+v", transitions)
+	}
+	bound, _ := sys.TransitionBound("normal", "degraded")
+	for _, tr := range transitions {
+		if tr.SwitchAt < tr.RequestAt {
+			t.Fatalf("switch before request: %+v", tr)
+		}
+		if tr.To == "degraded" && tr.SwitchAt-tr.RequestAt > bound {
+			t.Fatalf("transition latency %d exceeds bound %d", tr.SwitchAt-tr.RequestAt, bound)
+		}
+	}
+	// after the first switch, fY must not appear until switching back
+	sawY := false
+	for i := transitions[0].SwitchAt; i < transitions[1].SwitchAt; i++ {
+		if trace[i] == "fY" {
+			sawY = true
+		}
+	}
+	if sawY {
+		t.Fatal("degraded mode executed fY")
+	}
+}
+
+func TestSwitcherErrors(t *testing.T) {
+	sys := buildModal()
+	if _, err := NewSwitcher(sys); err == nil {
+		t.Fatal("uncompiled system accepted")
+	}
+	if err := sys.Compile(); err != nil {
+		t.Fatal(err)
+	}
+	sw, _ := NewSwitcher(sys)
+	_, _, err := sw.RunWithRequests(20, []struct {
+		At int
+		To string
+	}{{At: 1, To: "nope"}})
+	if err == nil {
+		t.Fatal("unknown mode request accepted")
+	}
+}

@@ -1,0 +1,390 @@
+// Package multiproc implements the paper's multiprocessor remark: the
+// synthesis problem for a multiprocessor architecture decomposes into
+// a set of single-processor synthesis problems plus a similar-looking
+// problem for scheduling the communication network.
+//
+// Functional elements are partitioned across processors (greedy
+// balance with a local refinement pass that reduces cut edges), each
+// processor gets the submodel of constraints whose task graphs it can
+// serve locally after accounting for message delays, and every
+// communication-graph edge crossing the partition becomes a message
+// scheduled on a shared TDMA bus — itself just another static
+// schedule over "message elements", reusing the single-processor
+// machinery.
+package multiproc
+
+import (
+	"fmt"
+	"sort"
+
+	"rtm/internal/core"
+	"rtm/internal/heuristic"
+	"rtm/internal/sched"
+)
+
+// Assignment maps each functional element to a processor index.
+type Assignment map[string]int
+
+// Partition splits the elements of m across k processors, balancing
+// total weight-rate demand and then greedily reducing the number of
+// cut communication edges while keeping the balance within one
+// element's demand.
+func Partition(m *core.Model, k int) (Assignment, error) {
+	if k <= 0 {
+		return nil, fmt.Errorf("multiproc: processor count %d must be positive", k)
+	}
+	// demand per element: Σ over constraints using it of w/p
+	demand := make(map[string]float64)
+	for _, c := range m.Constraints {
+		for _, node := range c.Task.Nodes() {
+			e := c.Task.ElementOf(node)
+			demand[e] += float64(m.Comm.WeightOf(e)) / float64(c.Period)
+		}
+	}
+	elems := m.Comm.Elements()
+	// heaviest first for greedy balance
+	sort.SliceStable(elems, func(i, j int) bool { return demand[elems[i]] > demand[elems[j]] })
+
+	load := make([]float64, k)
+	asg := make(Assignment, len(elems))
+	for _, e := range elems {
+		best := 0
+		for p := 1; p < k; p++ {
+			if load[p] < load[best] {
+				best = p
+			}
+		}
+		asg[e] = best
+		load[best] += demand[e]
+	}
+
+	// refinement: move an element to the processor hosting most of
+	// its neighbours if that reduces cut edges without unbalancing.
+	maxLoad := 0.0
+	for _, l := range load {
+		if l > maxLoad {
+			maxLoad = l
+		}
+	}
+	budget := maxLoad * 1.25
+	for pass := 0; pass < 3; pass++ {
+		moved := false
+		for _, e := range m.Comm.Elements() {
+			cur := asg[e]
+			votes := make([]int, k)
+			for _, n := range m.Comm.G.Succ(e) {
+				votes[asg[n]]++
+			}
+			for _, n := range m.Comm.G.Pred(e) {
+				votes[asg[n]]++
+			}
+			best, bestVotes := cur, votes[cur]
+			for p := 0; p < k; p++ {
+				if votes[p] > bestVotes && load[p]+demand[e] <= budget {
+					best, bestVotes = p, votes[p]
+				}
+			}
+			if best != cur {
+				asg[e] = best
+				load[cur] -= demand[e]
+				load[best] += demand[e]
+				moved = true
+			}
+		}
+		if !moved {
+			break
+		}
+	}
+	return asg, nil
+}
+
+// CutEdges returns the communication-graph edges crossing the
+// partition, in deterministic order.
+func CutEdges(m *core.Model, asg Assignment) []string {
+	var out []string
+	for _, e := range m.Comm.G.Edges() {
+		if asg[e.From] != asg[e.To] {
+			out = append(out, e.From+"->"+e.To)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Deployment is the result of a multiprocessor synthesis.
+type Deployment struct {
+	Assignment Assignment
+	// ProcSchedules holds one verified static schedule per processor
+	// (nil where a processor hosts no constraint work).
+	ProcSchedules []*sched.Schedule
+	// ProcModels are the per-processor submodels actually scheduled.
+	ProcModels []*core.Model
+	// Bus is the TDMA schedule of cross-partition messages; nil when
+	// the partition cuts no edges.
+	Bus *sched.Schedule
+	// BusModel is the message-scheduling model (one unit-weight
+	// element per cut edge, one constraint per producing constraint).
+	BusModel *core.Model
+}
+
+// MsgElem names the bus element for a cut edge.
+func MsgElem(edge string) string { return "msg:" + edge }
+
+// Synthesize partitions the model over k processors and synthesizes a
+// verified static schedule per processor plus a bus schedule for the
+// cut edges.
+//
+// A constraint whose task graph spans processors is decomposed into
+// *stages*: a task node's stage is the maximum number of cut edges on
+// any path from a source to it. The deadline budget d is divided into
+// 2S−1 equal slices for S stages (S compute slices + S−1 message
+// slices). The stage-0 projection stays a phase-locked periodic (or
+// asynchronous) constraint with one slice of deadline; every later
+// stage and every bus message becomes an *asynchronous* constraint —
+// latency semantics — with one slice, so it serves its data whenever
+// it arrives, independent of the invocation phase. End to end, an
+// invocation at t finishes stage 0 by t+slice, each message delivers
+// within a further slice, and each downstream stage completes within
+// a further slice: total ≤ t + d.
+//
+// The decomposition is conservative: success means every
+// sub-constraint verifies on its processor/bus. Failure does not
+// prove global infeasibility.
+func Synthesize(m *core.Model, k int, busDelay int) (*Deployment, error) {
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	if busDelay < 1 {
+		busDelay = 1
+	}
+	asg, err := Partition(m, k)
+	if err != nil {
+		return nil, err
+	}
+	dep := &Deployment{
+		Assignment:    asg,
+		ProcSchedules: make([]*sched.Schedule, k),
+		ProcModels:    make([]*core.Model, k),
+	}
+
+	perProc := make([][]*core.Constraint, k)
+	busModel := core.NewModel()
+	for _, c := range m.Constraints {
+		depth, maxDepth, err := crossDepths(c, asg)
+		if err != nil {
+			return nil, fmt.Errorf("multiproc: constraint %q: %w", c.Name, err)
+		}
+		if maxDepth == 0 {
+			// fully local: unchanged, on its unique processor
+			p := asg[c.Task.ElementOf(c.Task.Nodes()[0])]
+			perProc[p] = append(perProc[p], c.Clone())
+			continue
+		}
+		stages := maxDepth + 1
+		// Budget allocation: each of the stages−1 message hops gets a
+		// small fixed slice; the remainder is split across compute
+		// stages proportionally to their work (+1), because the
+		// asynchronous downstream stages are served by periodic
+		// servers whose utilization falls as their slice grows.
+		msgSlice := 2 * busDelay
+		if alt := c.Deadline / (2 * stages); alt > msgSlice {
+			msgSlice = alt
+		}
+		rem := c.Deadline - (stages-1)*msgSlice
+		stageWork := make([]int, stages)
+		for _, node := range c.Task.Nodes() {
+			stageWork[depth[node]] += m.Comm.WeightOf(c.Task.ElementOf(node))
+		}
+		totalW := 0
+		for _, w := range stageWork {
+			totalW += w + 1
+		}
+		if rem < totalW-stages { // rem must cover the work at least
+			return nil, fmt.Errorf("multiproc: constraint %q deadline %d too tight for %d stages",
+				c.Name, c.Deadline, stages)
+		}
+		slice := make([]int, stages)
+		used := 0
+		for s := 0; s < stages; s++ {
+			slice[s] = rem * (stageWork[s] + 1) / totalW
+			used += slice[s]
+		}
+		slice[stages-1] += rem - used // leftover to the last stage
+		// per (processor, stage) sub-constraints
+		for p := 0; p < k; p++ {
+			for s := 0; s <= maxDepth; s++ {
+				sub := projectStage(m, c, asg, depth, p, s)
+				if sub == nil {
+					continue
+				}
+				sub.Deadline = slice[s]
+				if w := sub.ComputationTime(m.Comm); sub.Deadline < w {
+					sub.Deadline = w
+				}
+				if s > 0 {
+					sub.Kind = core.Asynchronous
+				}
+				sub.Name = fmt.Sprintf("%s@s%d", c.Name, s)
+				perProc[p] = append(perProc[p], sub)
+			}
+		}
+		// cut task edges become asynchronous bus messages
+		for _, e := range c.Task.G.Edges() {
+			pu := asg[c.Task.ElementOf(e.From)]
+			pv := asg[c.Task.ElementOf(e.To)]
+			if pu == pv {
+				continue
+			}
+			edge := c.Task.ElementOf(e.From) + "->" + c.Task.ElementOf(e.To)
+			me := MsgElem(edge)
+			if !busModel.Comm.G.HasNode(me) {
+				busModel.Comm.AddElement(me, busDelay)
+			}
+			name := fmt.Sprintf("%s/%s", c.Name, edge)
+			if busModel.ConstraintByName(name) == nil {
+				d := msgSlice
+				if d < busDelay {
+					d = busDelay
+				}
+				busModel.AddConstraint(&core.Constraint{
+					Name:     name,
+					Task:     core.ChainTask(me),
+					Period:   c.Period,
+					Deadline: d,
+					Kind:     core.Asynchronous,
+				})
+			}
+		}
+	}
+
+	for p := 0; p < k; p++ {
+		if len(perProc[p]) == 0 {
+			continue
+		}
+		sub := core.NewModel()
+		sub.Comm = m.Comm.Clone()
+		for _, c := range perProc[p] {
+			sub.AddConstraint(c)
+			// projection may have introduced transitive precedences
+			// (data relayed through an element on another processor);
+			// add the corresponding virtual communication paths so
+			// the submodel stays compatible.
+			for _, e := range c.Task.G.Edges() {
+				sub.Comm.AddPath(c.Task.ElementOf(e.From), c.Task.ElementOf(e.To))
+			}
+		}
+		res, err := heuristic.Schedule(sub, heuristic.Options{})
+		if err != nil {
+			return nil, fmt.Errorf("multiproc: processor %d unschedulable: %w", p, err)
+		}
+		dep.ProcSchedules[p] = res.Schedule
+		dep.ProcModels[p] = sub
+	}
+
+	if len(busModel.Constraints) > 0 {
+		res, err := heuristic.Schedule(busModel, heuristic.Options{})
+		if err != nil {
+			return nil, fmt.Errorf("multiproc: bus unschedulable: %w", err)
+		}
+		dep.Bus = res.Schedule
+		dep.BusModel = busModel
+	}
+	return dep, nil
+}
+
+// crossDepths computes, per task node, the maximum number of cut
+// edges on any source-to-node path, plus the maximum over all nodes.
+func crossDepths(c *core.Constraint, asg Assignment) (map[string]int, int, error) {
+	order, err := c.Task.G.TopoSort()
+	if err != nil {
+		return nil, 0, err
+	}
+	depth := make(map[string]int, len(order))
+	max := 0
+	for _, v := range order {
+		d := 0
+		for _, u := range c.Task.G.Pred(v) {
+			du := depth[u]
+			if asg[c.Task.ElementOf(u)] != asg[c.Task.ElementOf(v)] {
+				du++
+			}
+			if du > d {
+				d = du
+			}
+		}
+		depth[v] = d
+		if d > max {
+			max = d
+		}
+	}
+	return depth, max, nil
+}
+
+// projectStage restricts a constraint's task graph to the nodes
+// hosted on processor p at cross-depth s, or nil when none are.
+// Precedences between retained nodes are kept transitively.
+func projectStage(m *core.Model, c *core.Constraint, asg Assignment, depth map[string]int, p, s int) *core.Constraint {
+	keep := map[string]bool{}
+	for _, node := range c.Task.Nodes() {
+		if asg[c.Task.ElementOf(node)] == p && depth[node] == s {
+			keep[node] = true
+		}
+	}
+	if len(keep) == 0 {
+		return nil
+	}
+	t := core.NewTaskGraph()
+	for _, node := range c.Task.Nodes() {
+		if keep[node] {
+			t.AddStep(node, c.Task.ElementOf(node))
+		}
+	}
+	closure := c.Task.G.TransitiveClosure()
+	for _, e := range closure.Edges() {
+		if keep[e.From] && keep[e.To] {
+			t.AddPrec(e.From, e.To)
+		}
+	}
+	return &core.Constraint{
+		Name:     c.Name,
+		Task:     t,
+		Period:   c.Period,
+		Deadline: c.Deadline,
+		Kind:     c.Kind,
+	}
+}
+
+// projectConstraint restricts a constraint's task graph to the nodes
+// hosted on processor p, or nil when none are. Precedences between
+// retained nodes are kept (transitively through removed nodes).
+func projectConstraint(m *core.Model, c *core.Constraint, asg Assignment, p int) *core.Constraint {
+	keep := map[string]bool{}
+	for _, node := range c.Task.Nodes() {
+		if asg[c.Task.ElementOf(node)] == p {
+			keep[node] = true
+		}
+	}
+	if len(keep) == 0 {
+		return nil
+	}
+	t := core.NewTaskGraph()
+	for _, node := range c.Task.Nodes() {
+		if keep[node] {
+			t.AddStep(node, c.Task.ElementOf(node))
+		}
+	}
+	// connect retained nodes that are related through removed ones
+	closure := c.Task.G.TransitiveClosure()
+	for _, e := range closure.Edges() {
+		if keep[e.From] && keep[e.To] {
+			t.AddPrec(e.From, e.To)
+		}
+	}
+	return &core.Constraint{
+		Name:     c.Name,
+		Task:     t,
+		Period:   c.Period,
+		Deadline: c.Deadline,
+		Kind:     c.Kind,
+	}
+}

@@ -1,0 +1,159 @@
+package multiproc
+
+import (
+	"strings"
+	"testing"
+
+	"rtm/internal/core"
+	"rtm/internal/sched"
+)
+
+func TestPartitionBalance(t *testing.T) {
+	m := core.ExampleSystem(core.DefaultExampleParams())
+	asg, err := Partition(m, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(asg) != 5 {
+		t.Fatalf("assignment = %v", asg)
+	}
+	procs := map[int]bool{}
+	for _, p := range asg {
+		if p < 0 || p >= 2 {
+			t.Fatalf("processor %d out of range", p)
+		}
+		procs[p] = true
+	}
+	if len(procs) != 2 {
+		t.Fatalf("only %d processors used", len(procs))
+	}
+}
+
+func TestPartitionSingleProcessor(t *testing.T) {
+	m := core.ExampleSystem(core.DefaultExampleParams())
+	asg, err := Partition(m, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for e, p := range asg {
+		if p != 0 {
+			t.Fatalf("element %s on processor %d", e, p)
+		}
+	}
+	if len(CutEdges(m, asg)) != 0 {
+		t.Fatal("single processor has cut edges")
+	}
+}
+
+func TestPartitionBadK(t *testing.T) {
+	m := core.ExampleSystem(core.DefaultExampleParams())
+	if _, err := Partition(m, 0); err == nil {
+		t.Fatal("k=0 accepted")
+	}
+}
+
+func TestCutEdgesDeterministic(t *testing.T) {
+	m := core.ExampleSystem(core.DefaultExampleParams())
+	asg := Assignment{"fX": 0, "fY": 1, "fZ": 0, "fS": 0, "fK": 0}
+	cut := CutEdges(m, asg)
+	if len(cut) != 1 || cut[0] != "fY->fS" {
+		t.Fatalf("cut = %v", cut)
+	}
+}
+
+func TestSynthesizeSingleProc(t *testing.T) {
+	m := core.ExampleSystem(core.DefaultExampleParams())
+	dep, err := Synthesize(m, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dep.Bus != nil {
+		t.Fatal("bus schedule on single processor")
+	}
+	if dep.ProcSchedules[0] == nil {
+		t.Fatal("no schedule for processor 0")
+	}
+	// the single-processor deployment must verify against the model
+	if !sched.Feasible(m, dep.ProcSchedules[0]) {
+		t.Fatal("deployment schedule infeasible")
+	}
+}
+
+func TestSynthesizeTwoProc(t *testing.T) {
+	// generous deadlines so the halved budgets still fit
+	p := core.DefaultExampleParams()
+	p.PX, p.PY, p.DZ = 40, 80, 60
+	m := core.ExampleSystem(p)
+	dep, err := Synthesize(m, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scheduled := 0
+	for pr, s := range dep.ProcSchedules {
+		if s == nil {
+			continue
+		}
+		scheduled++
+		if dep.ProcModels[pr] == nil {
+			t.Fatal("schedule without model")
+		}
+		if !sched.Feasible(dep.ProcModels[pr], s) {
+			t.Fatalf("processor %d schedule infeasible", pr)
+		}
+	}
+	if scheduled == 0 {
+		t.Fatal("nothing scheduled")
+	}
+	// when the partition cuts a used edge there must be a bus schedule
+	if len(CutEdges(m, dep.Assignment)) > 0 && dep.Bus == nil {
+		// only task-graph edges that cross generate messages; check
+		// whether any constraint actually spans
+		spans := false
+		for _, c := range m.Constraints {
+			procs := map[int]bool{}
+			for _, n := range c.Task.Nodes() {
+				procs[dep.Assignment[c.Task.ElementOf(n)]] = true
+			}
+			if len(procs) > 1 {
+				spans = true
+			}
+		}
+		if spans {
+			t.Fatal("spanning constraints but no bus schedule")
+		}
+	}
+	if dep.Bus != nil && !sched.Feasible(dep.BusModel, dep.Bus) {
+		t.Fatal("bus schedule infeasible")
+	}
+}
+
+func TestProjectConstraint(t *testing.T) {
+	m := core.ExampleSystem(core.DefaultExampleParams())
+	c := m.ConstraintByName("X") // fX -> fS -> fK
+	asg := Assignment{"fX": 0, "fS": 1, "fK": 0, "fY": 1, "fZ": 0}
+	p0 := projectConstraint(m, c, asg, 0)
+	if p0 == nil {
+		t.Fatal("projection empty")
+	}
+	nodes := p0.Task.Nodes()
+	if len(nodes) != 2 {
+		t.Fatalf("projected nodes = %v", nodes)
+	}
+	// fX -> fK precedence retained transitively through fS
+	if !p0.Task.G.HasEdge("fX", "fK") {
+		t.Fatalf("transitive precedence lost: %s", p0.Task.G)
+	}
+	p1 := projectConstraint(m, c, asg, 1)
+	if p1 == nil || len(p1.Task.Nodes()) != 1 {
+		t.Fatalf("projection on p1 = %+v", p1)
+	}
+	if projectConstraint(m, c, asg, 3) != nil {
+		t.Fatal("projection on unused processor should be nil")
+	}
+}
+
+func TestMsgElemNaming(t *testing.T) {
+	if !strings.HasPrefix(MsgElem("a->b"), "msg:") {
+		t.Fatal("MsgElem prefix wrong")
+	}
+}

@@ -1,0 +1,172 @@
+package nphard
+
+import (
+	"fmt"
+
+	"rtm/internal/core"
+)
+
+// CyclicOrdering is an instance of the CYCLIC ORDERING problem: given
+// a ground set of n items and a collection of ordered triples
+// (a, b, c), is there a circular arrangement of the items such that
+// every triple occurs in clockwise order (reading clockwise from a,
+// b appears before c)? NP-complete (Garey & Johnson; used by the
+// paper for Theorem 2(ii)).
+type CyclicOrdering struct {
+	N       int      // ground set {0..N-1}
+	Triples [][3]int // ordered triples
+}
+
+// Validate checks indices.
+func (co CyclicOrdering) Validate() error {
+	if co.N < 3 {
+		return fmt.Errorf("nphard: cyclic ordering needs ≥ 3 items, got %d", co.N)
+	}
+	for _, t := range co.Triples {
+		for _, v := range t {
+			if v < 0 || v >= co.N {
+				return fmt.Errorf("nphard: triple %v out of range [0,%d)", t, co.N)
+			}
+		}
+		if t[0] == t[1] || t[1] == t[2] || t[0] == t[2] {
+			return fmt.Errorf("nphard: triple %v has repeated items", t)
+		}
+	}
+	return nil
+}
+
+// clockwise reports whether b appears before c when reading the
+// circular permutation clockwise starting just after a.
+func clockwise(pos []int, a, b, c int) bool {
+	n := len(pos)
+	pb := (pos[b] - pos[a] + n) % n
+	pc := (pos[c] - pos[a] + n) % n
+	return pb < pc
+}
+
+// Satisfied reports whether the circular permutation (perm[i] = item
+// at position i) satisfies every triple.
+func (co CyclicOrdering) Satisfied(perm []int) bool {
+	if len(perm) != co.N {
+		return false
+	}
+	pos := make([]int, co.N)
+	for i, v := range perm {
+		pos[v] = i
+	}
+	for _, t := range co.Triples {
+		if !clockwise(pos, t[0], t[1], t[2]) {
+			return false
+		}
+	}
+	return true
+}
+
+// Solve searches all circular permutations (item 0 pinned at position
+// 0, eliminating rotational symmetry) and returns a satisfying
+// arrangement when one exists. Worst case (n−1)! — again, the point.
+func (co CyclicOrdering) Solve() ([]int, bool) {
+	if co.Validate() != nil {
+		return nil, false
+	}
+	perm := make([]int, co.N)
+	used := make([]bool, co.N)
+	perm[0] = 0
+	used[0] = true
+	var rec func(i int) bool
+	rec = func(i int) bool {
+		if i == co.N {
+			return co.Satisfied(perm)
+		}
+		for v := 1; v < co.N; v++ {
+			if used[v] {
+				continue
+			}
+			used[v] = true
+			perm[i] = v
+			if rec(i + 1) {
+				return true
+			}
+			used[v] = false
+		}
+		return false
+	}
+	if rec(1) {
+		return perm, true
+	}
+	return nil, false
+}
+
+// OrderElem returns the element name of ground item i in the
+// scheduling encoding.
+func OrderElem(i int) string { return fmt.Sprintf("ord%d", i) }
+
+// AnchorElem is the single differently-deadlined operation of the
+// Theorem 2(ii) instance family.
+const AnchorElem = "anchor"
+
+// EncodeCyclicCore builds the scheduling core of the Theorem 2(ii)
+// instance family: every task graph is a single operation, the
+// functional elements cannot be pipelined (weight W non-preemptible),
+// and all deadlines are equal except the anchor's. The common
+// deadline (N+1)·W forces each item operation to occur exactly once
+// per cycle of length (N+1)·W, so feasible contiguous schedules of
+// that length are exactly the circular arrangements of the ground
+// set around the anchor.
+//
+// The triple constraints of a full CYCLIC ORDERING reduction are NOT
+// representable by additional single-operation constraints in this
+// encoder; they are checked against the decoded arrangement by the
+// caller (see DecodeArrangement and CyclicOrdering.Satisfied). The
+// encoder therefore reproduces the *instance family* and search
+// structure of Theorem 2(ii); the paper's full gadget is in [MOK 83].
+func EncodeCyclicCore(n, w int) (*core.Model, error) {
+	if n < 3 || w < 1 {
+		return nil, fmt.Errorf("nphard: need n ≥ 3 and w ≥ 1, got n=%d w=%d", n, w)
+	}
+	m := core.NewModel()
+	cycle := (n + 1) * w
+	for i := 0; i < n; i++ {
+		m.Comm.AddElement(OrderElem(i), w)
+		m.AddConstraint(&core.Constraint{
+			Name:     fmt.Sprintf("c_ord%d", i),
+			Task:     core.ChainTask(OrderElem(i)),
+			Period:   cycle,
+			Deadline: cycle,
+			Kind:     core.Periodic,
+		})
+	}
+	m.Comm.AddElement(AnchorElem, w)
+	m.AddConstraint(&core.Constraint{
+		Name:     "c_anchor",
+		Task:     core.ChainTask(AnchorElem),
+		Period:   cycle,
+		Deadline: w, // the one different deadline: pinned at cycle start
+		Kind:     core.Periodic,
+	})
+	return m, nil
+}
+
+// DecodeArrangement reads the circular arrangement of ground items
+// off a feasible contiguous schedule of the encoded core: the order
+// of first appearance of each item element after the anchor.
+func DecodeArrangement(n, w int, slots []string) ([]int, bool) {
+	if len(slots) != (n+1)*w {
+		return nil, false
+	}
+	var perm []int
+	seen := map[int]bool{}
+	for _, s := range slots {
+		var i int
+		if _, err := fmt.Sscanf(s, "ord%d", &i); err == nil {
+			if !seen[i] {
+				seen[i] = true
+				perm = append(perm, i)
+			}
+		}
+	}
+	if len(perm) != n {
+		return nil, false
+	}
+	return perm, true
+}

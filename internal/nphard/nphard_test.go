@@ -1,0 +1,247 @@
+package nphard
+
+import (
+	"testing"
+
+	"rtm/internal/exact"
+	"rtm/internal/sched"
+)
+
+func yes3P() ThreePartition {
+	// m=2, B=16, sizes in (4,8): {6,5,5} {6,5,5}
+	return ThreePartition{Sizes: []int{6, 5, 5, 6, 5, 5}, B: 16}
+}
+
+func no3P() ThreePartition {
+	// m=2, B=16, sizes in (4,8): {7,5,5,5,5,5}: the triple holding
+	// the 7 sums to 17 ≠ 16 -> NO. Σ = 32 = 2·16 ✓
+	return ThreePartition{Sizes: []int{7, 5, 5, 5, 5, 5}, B: 16}
+}
+
+func TestThreePartitionValidate(t *testing.T) {
+	if err := yes3P().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := ThreePartition{Sizes: []int{1, 2}, B: 3}
+	if err := bad.Validate(); err == nil {
+		t.Fatal("non-multiple-of-3 accepted")
+	}
+	bad2 := ThreePartition{Sizes: []int{1, 1, 1}, B: 5}
+	if err := bad2.Validate(); err == nil {
+		t.Fatal("wrong sum accepted")
+	}
+	bad3 := ThreePartition{Sizes: []int{-1, 2, 2}, B: 1}
+	if err := bad3.Validate(); err == nil {
+		t.Fatal("negative size accepted")
+	}
+}
+
+func TestThreePartitionSolve(t *testing.T) {
+	groups, ok := yes3P().Solve()
+	if !ok {
+		t.Fatal("YES instance not solved")
+	}
+	if len(groups) != 2 {
+		t.Fatalf("groups = %v", groups)
+	}
+	tp := yes3P()
+	for _, g := range groups {
+		if tp.Sizes[g[0]]+tp.Sizes[g[1]]+tp.Sizes[g[2]] != tp.B {
+			t.Fatalf("bad triple %v", g)
+		}
+	}
+	if _, ok := no3P().Solve(); ok {
+		t.Fatal("NO instance solved")
+	}
+}
+
+func TestEncodeThreePartitionYES(t *testing.T) {
+	tp := yes3P()
+	m, err := EncodeThreePartition(tp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	groups, _ := tp.Solve()
+	s := ScheduleFromPartition(tp, groups)
+	if s.Len() != tp.M()*(tp.B+1) {
+		t.Fatalf("schedule length %d", s.Len())
+	}
+	if !sched.Contiguous(m.Comm, s) {
+		t.Fatal("canonical schedule not contiguous")
+	}
+	rep := sched.Check(m, s)
+	if !rep.Feasible {
+		t.Fatalf("canonical schedule infeasible:\n%s", rep)
+	}
+	// decode recovers a valid partition
+	dec, ok := DecodePartition(tp, s)
+	if !ok {
+		t.Fatal("decode failed")
+	}
+	for _, g := range dec {
+		if tp.Sizes[g[0]]+tp.Sizes[g[1]]+tp.Sizes[g[2]] != tp.B {
+			t.Fatalf("decoded triple %v wrong", g)
+		}
+	}
+}
+
+func TestEncodeThreePartitionNOIsInfeasible(t *testing.T) {
+	tp := no3P()
+	if err := tp.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := tp.Solve(); ok {
+		t.Fatal("instance unexpectedly YES")
+	}
+	m, err := EncodeThreePartition(tp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := tp.M() * (tp.B + 1)
+	_, _, err = exact.FindSchedule(m, exact.Options{
+		MinLen: n, MaxLen: n, RequireContiguous: true, MaxCandidates: 2_000_000,
+	})
+	if err == nil {
+		t.Fatal("NO instance has a feasible schedule — reduction broken")
+	}
+}
+
+func TestExactSolvesEncodedYES(t *testing.T) {
+	// tiny YES instance for the exact searcher: m=1, B=7, {3,2,2}
+	tp := ThreePartition{Sizes: []int{3, 2, 2}, B: 7}
+	m, err := EncodeThreePartition(tp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := tp.M() * (tp.B + 1)
+	s, _, err := exact.FindSchedule(m, exact.Options{MinLen: n, MaxLen: n, RequireContiguous: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := DecodePartition(tp, s); !ok {
+		t.Fatalf("found schedule does not decode: %v", s)
+	}
+}
+
+func TestCyclicOrderingValidate(t *testing.T) {
+	co := CyclicOrdering{N: 4, Triples: [][3]int{{0, 1, 2}}}
+	if err := co.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := (CyclicOrdering{N: 2}).Validate(); err == nil {
+		t.Fatal("n<3 accepted")
+	}
+	if err := (CyclicOrdering{N: 4, Triples: [][3]int{{0, 0, 1}}}).Validate(); err == nil {
+		t.Fatal("repeated item accepted")
+	}
+	if err := (CyclicOrdering{N: 4, Triples: [][3]int{{0, 1, 9}}}).Validate(); err == nil {
+		t.Fatal("out of range accepted")
+	}
+}
+
+func TestCyclicOrderingSatisfied(t *testing.T) {
+	co := CyclicOrdering{N: 4, Triples: [][3]int{{0, 1, 2}}}
+	if !co.Satisfied([]int{0, 1, 2, 3}) {
+		t.Fatal("0,1,2,3 should satisfy (0,1,2)")
+	}
+	if co.Satisfied([]int{0, 2, 1, 3}) {
+		t.Fatal("0,2,1,3 should violate (0,1,2)")
+	}
+	// wrap-around: arrangement 1,2,3,0 — reading clockwise from 0:
+	// 1 then 2 -> satisfied
+	if !co.Satisfied([]int{1, 2, 3, 0}) {
+		t.Fatal("rotation should not matter")
+	}
+}
+
+func TestCyclicOrderingSolve(t *testing.T) {
+	yes := CyclicOrdering{N: 4, Triples: [][3]int{{0, 1, 2}, {1, 2, 3}}}
+	perm, ok := yes.Solve()
+	if !ok {
+		t.Fatal("YES instance unsolved")
+	}
+	if !yes.Satisfied(perm) {
+		t.Fatalf("returned arrangement invalid: %v", perm)
+	}
+	// contradictory triples: (0,1,2) and (0,2,1) cannot both hold
+	no := CyclicOrdering{N: 3, Triples: [][3]int{{0, 1, 2}, {0, 2, 1}}}
+	if _, ok := no.Solve(); ok {
+		t.Fatal("NO instance solved")
+	}
+}
+
+func TestEncodeCyclicCore(t *testing.T) {
+	m, err := EncodeCyclicCore(3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// exactly one deadline differs
+	diff := 0
+	for _, c := range m.Constraints {
+		if c.Deadline != (3+1)*2 {
+			diff++
+		}
+	}
+	if diff != 1 {
+		t.Fatalf("differently-deadlined constraints = %d, want 1", diff)
+	}
+	if _, err := EncodeCyclicCore(2, 1); err == nil {
+		t.Fatal("n=2 accepted")
+	}
+}
+
+func TestCyclicCoreSchedulesAreArrangements(t *testing.T) {
+	n, w := 3, 1
+	m, err := EncodeCyclicCore(n, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cycle := (n + 1) * w
+	s, _, err := exact.FindSchedule(m, exact.Options{
+		MinLen: cycle, MaxLen: cycle, RequireContiguous: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	perm, ok := DecodeArrangement(n, w, s.Slots)
+	if !ok {
+		t.Fatalf("schedule does not decode to an arrangement: %v", s)
+	}
+	if len(perm) != n {
+		t.Fatalf("perm = %v", perm)
+	}
+	// anchor pinned at slot 0..w
+	for i := 0; i < w; i++ {
+		if s.Slots[i] != AnchorElem {
+			t.Fatalf("anchor not pinned: %v", s)
+		}
+	}
+}
+
+func TestDecodeArrangementRejects(t *testing.T) {
+	if _, ok := DecodeArrangement(3, 1, []string{"anchor", "ord0"}); ok {
+		t.Fatal("short slots accepted")
+	}
+	if _, ok := DecodeArrangement(3, 1, []string{"anchor", "ord0", "ord0", "ord1"}); ok {
+		t.Fatal("missing item accepted")
+	}
+}
+
+func TestDecodePartitionRejects(t *testing.T) {
+	tp := yes3P()
+	if _, ok := DecodePartition(tp, sched.New("x")); ok {
+		t.Fatal("wrong length accepted")
+	}
+	groups, _ := tp.Solve()
+	s := ScheduleFromPartition(tp, groups)
+	s.Slots[0] = "item0" // clobber the separator
+	if _, ok := DecodePartition(tp, s); ok {
+		t.Fatal("missing separator accepted")
+	}
+}

@@ -1,0 +1,220 @@
+// Package nphard makes the paper's Theorem 2 hardness constructions
+// executable: instance generators mapping 3-PARTITION and CYCLIC
+// ORDERING into restricted graph-based scheduling instances, brute
+// force solvers for the source problems, and decoders recovering a
+// combinatorial solution from a feasible schedule.
+//
+// Theorem 2(i) restricts instances to unit computation times and task
+// chains of length 1 or 3; our executable construction uses the
+// equivalent no-pipelining form in which an item of size s is a
+// single non-preemptible operation of weight s (a non-preemptible
+// weight-s op and a rigid chain of s unit ops are interchangeable),
+// plus a pinned unit separator. The encoding is exact: the scheduling
+// instance is feasible if and only if the 3-PARTITION instance is a
+// YES instance.
+package nphard
+
+import (
+	"fmt"
+	"sort"
+
+	"rtm/internal/core"
+	"rtm/internal/sched"
+)
+
+// ThreePartition is an instance of the 3-PARTITION problem: 3m items
+// with sizes summing to m·B; can the items be split into m triples
+// each summing exactly to B? The problem is NP-hard in the strong
+// sense when B/4 < s_j < B/2 (which forces every group to be a
+// triple).
+type ThreePartition struct {
+	Sizes []int // 3m item sizes
+	B     int   // target sum per triple
+}
+
+// M returns the number of triples.
+func (tp ThreePartition) M() int { return len(tp.Sizes) / 3 }
+
+// Validate checks the structural conditions.
+func (tp ThreePartition) Validate() error {
+	if len(tp.Sizes) == 0 || len(tp.Sizes)%3 != 0 {
+		return fmt.Errorf("nphard: item count %d is not a positive multiple of 3", len(tp.Sizes))
+	}
+	sum := 0
+	for _, s := range tp.Sizes {
+		if s <= 0 {
+			return fmt.Errorf("nphard: non-positive size %d", s)
+		}
+		if 4*s <= tp.B || 2*s >= tp.B {
+			return fmt.Errorf("nphard: size %d outside (B/4, B/2) = (%d/4, %d/2); the strong "+
+				"NP-hardness form requires it so every group is a triple", s, tp.B, tp.B)
+		}
+		sum += s
+	}
+	if sum != tp.M()*tp.B {
+		return fmt.Errorf("nphard: sizes sum to %d, want m·B = %d", sum, tp.M()*tp.B)
+	}
+	return nil
+}
+
+// Solve decides the instance by exhaustive search over triple
+// groupings and returns a witness partition (item indices grouped in
+// triples) when one exists. Worst case is exponential in m — that is
+// the point of Theorem 2.
+func (tp ThreePartition) Solve() ([][3]int, bool) {
+	if tp.Validate() != nil {
+		return nil, false
+	}
+	n := len(tp.Sizes)
+	used := make([]bool, n)
+	var groups [][3]int
+	var rec func(remaining int) bool
+	rec = func(remaining int) bool {
+		if remaining == 0 {
+			return true
+		}
+		// first unused item anchors the next triple (canonical order)
+		first := -1
+		for i := 0; i < n; i++ {
+			if !used[i] {
+				first = i
+				break
+			}
+		}
+		used[first] = true
+		for j := first + 1; j < n; j++ {
+			if used[j] || tp.Sizes[first]+tp.Sizes[j] >= tp.B {
+				continue
+			}
+			used[j] = true
+			for k := j + 1; k < n; k++ {
+				if used[k] || tp.Sizes[first]+tp.Sizes[j]+tp.Sizes[k] != tp.B {
+					continue
+				}
+				used[k] = true
+				groups = append(groups, [3]int{first, j, k})
+				if rec(remaining - 1) {
+					return true
+				}
+				groups = groups[:len(groups)-1]
+				used[k] = false
+			}
+			used[j] = false
+		}
+		used[first] = false
+		return false
+	}
+	if rec(tp.M()) {
+		return groups, true
+	}
+	return nil, false
+}
+
+// ItemElem returns the element name of item j.
+func ItemElem(j int) string { return fmt.Sprintf("item%d", j) }
+
+// SeparatorElem is the pinned frame separator.
+const SeparatorElem = "sep"
+
+// EncodeThreePartition maps a 3-PARTITION instance to a graph-based
+// scheduling instance:
+//
+//   - a separator element of weight 1 with a periodic constraint
+//     (period B+1, deadline 1), pinning a separator slot at every
+//     multiple of B+1;
+//   - per item j, an element of weight s_j with a periodic constraint
+//     (period m(B+1), deadline m(B+1)).
+//
+// With non-preemptible (unpipelined) executions, a cycle of length
+// m(B+1) is exactly full: the separators carve m frames of B slots
+// and each item must be packed whole into some frame, so a feasible
+// contiguous schedule of length m(B+1) exists iff the items
+// 3-partition. (Items are sized B/4 < s < B/2, so exactly three fit
+// per frame.)
+func EncodeThreePartition(tp ThreePartition) (*core.Model, error) {
+	if err := tp.Validate(); err != nil {
+		return nil, err
+	}
+	m := core.NewModel()
+	frame := tp.B + 1
+	cycle := tp.M() * frame
+	m.Comm.AddElement(SeparatorElem, 1)
+	m.AddConstraint(&core.Constraint{
+		Name:     "sep",
+		Task:     core.ChainTask(SeparatorElem),
+		Period:   frame,
+		Deadline: 1,
+		Kind:     core.Periodic,
+	})
+	for j, s := range tp.Sizes {
+		m.Comm.AddElement(ItemElem(j), s)
+		m.AddConstraint(&core.Constraint{
+			Name:     fmt.Sprintf("c_item%d", j),
+			Task:     core.ChainTask(ItemElem(j)),
+			Period:   cycle,
+			Deadline: cycle,
+			Kind:     core.Periodic,
+		})
+	}
+	return m, nil
+}
+
+// ScheduleFromPartition builds the canonical feasible schedule for a
+// YES instance from a witness partition: frame k starts with the
+// separator followed by its triple's items back to back.
+func ScheduleFromPartition(tp ThreePartition, groups [][3]int) *sched.Schedule {
+	frame := tp.B + 1
+	slots := make([]string, tp.M()*frame)
+	for k, g := range groups {
+		at := k * frame
+		slots[at] = SeparatorElem
+		at++
+		for _, j := range g[:] {
+			for i := 0; i < tp.Sizes[j]; i++ {
+				slots[at] = ItemElem(j)
+				at++
+			}
+		}
+	}
+	return &sched.Schedule{Slots: slots}
+}
+
+// DecodePartition recovers a triple partition from a feasible
+// contiguous schedule of the encoded instance. It returns false if
+// the schedule does not have the expected frame structure.
+func DecodePartition(tp ThreePartition, s *sched.Schedule) ([][3]int, bool) {
+	frame := tp.B + 1
+	if s.Len() != tp.M()*frame {
+		return nil, false
+	}
+	var groups [][3]int
+	for k := 0; k < tp.M(); k++ {
+		if s.Slots[k*frame] != SeparatorElem {
+			return nil, false
+		}
+		seen := map[string]bool{}
+		var triple []int
+		sum := 0
+		for i := k*frame + 1; i < (k+1)*frame; i++ {
+			name := s.Slots[i]
+			if name == sched.Idle || name == SeparatorElem {
+				return nil, false
+			}
+			if !seen[name] {
+				seen[name] = true
+				var j int
+				if _, err := fmt.Sscanf(name, "item%d", &j); err != nil {
+					return nil, false
+				}
+				triple = append(triple, j)
+				sum += tp.Sizes[j]
+			}
+		}
+		if len(triple) != 3 || sum != tp.B {
+			return nil, false
+		}
+		sort.Ints(triple)
+		groups = append(groups, [3]int{triple[0], triple[1], triple[2]})
+	}
+	return groups, true
+}

@@ -1,0 +1,145 @@
+// Package pipeline implements the paper's software pipelining: a
+// functional element of computation time w is decomposed into a chain
+// of k sub-functions of equal computation time, shrinking the unit of
+// non-preemptible work. Because the graph-based model makes all data
+// dependencies explicit, the decomposition is purely mechanical: the
+// element is replaced by a chain in the communication graph and every
+// task-graph node executing it is replaced by the corresponding chain
+// of steps.
+package pipeline
+
+import (
+	"fmt"
+
+	"rtm/internal/core"
+)
+
+// StageName returns the name of stage i (0-based) of the
+// decomposition of elem.
+func StageName(elem string, i int) string {
+	return fmt.Sprintf("%s#%d", elem, i)
+}
+
+// Decompose splits element elem of model m into k equal-time
+// sub-functions. The element's weight must be divisible by k. It
+// returns a new model; m is unchanged.
+//
+// In the communication graph, elem is replaced by the chain
+// elem#0 -> elem#1 -> … -> elem#{k-1}; incoming paths are re-rooted
+// at elem#0 and outgoing paths leave elem#{k-1}. In every task graph,
+// a node executing elem becomes the corresponding chain of steps with
+// incoming precedences entering the first stage and outgoing ones
+// leaving the last.
+func Decompose(m *core.Model, elem string, k int) (*core.Model, error) {
+	if k <= 0 {
+		return nil, fmt.Errorf("pipeline: stage count %d must be positive", k)
+	}
+	w, ok := m.Comm.Weight[elem]
+	if !ok {
+		return nil, fmt.Errorf("pipeline: unknown element %q", elem)
+	}
+	if w%k != 0 {
+		return nil, fmt.Errorf("pipeline: weight %d of %q not divisible by %d stages", w, elem, k)
+	}
+	if k == 1 {
+		return m.Clone(), nil
+	}
+	stageW := w / k
+
+	out := core.NewModel()
+	// communication graph: copy every other element, expand elem
+	for _, e := range m.Comm.Elements() {
+		if e == elem {
+			for i := 0; i < k; i++ {
+				out.Comm.AddElement(StageName(elem, i), stageW)
+			}
+		} else {
+			out.Comm.AddElement(e, m.Comm.WeightOf(e))
+		}
+	}
+	for i := 0; i+1 < k; i++ {
+		out.Comm.AddPath(StageName(elem, i), StageName(elem, i+1))
+	}
+	mapFrom := func(e string) string {
+		if e == elem {
+			return StageName(elem, k-1) // edges leave the last stage
+		}
+		return e
+	}
+	mapTo := func(e string) string {
+		if e == elem {
+			return StageName(elem, 0) // edges enter the first stage
+		}
+		return e
+	}
+	for _, edge := range m.Comm.G.Edges() {
+		out.Comm.AddPath(mapFrom(edge.From), mapTo(edge.To))
+	}
+
+	// task graphs
+	for _, c := range m.Constraints {
+		nc := &core.Constraint{
+			Name:     c.Name,
+			Period:   c.Period,
+			Deadline: c.Deadline,
+			Kind:     c.Kind,
+			Task:     core.NewTaskGraph(),
+		}
+		for _, node := range c.Task.Nodes() {
+			e := c.Task.ElementOf(node)
+			if e == elem {
+				for i := 0; i < k; i++ {
+					nc.Task.AddStep(StageName(node, i), StageName(elem, i))
+					if i > 0 {
+						nc.Task.AddPrec(StageName(node, i-1), StageName(node, i))
+					}
+				}
+			} else {
+				nc.Task.AddStep(node, e)
+			}
+		}
+		for _, edge := range c.Task.G.Edges() {
+			from, to := edge.From, edge.To
+			if c.Task.ElementOf(from) == elem {
+				from = StageName(from, k-1)
+			}
+			if c.Task.ElementOf(to) == elem {
+				to = StageName(to, 0)
+			}
+			nc.Task.AddPrec(from, to)
+		}
+		out.AddConstraint(nc)
+	}
+	return out, nil
+}
+
+// DecomposeAllUnit pipelines every element with weight > 1 into unit
+// sub-functions — hypothesis (iii) of the paper's Theorem 3 in its
+// strongest form.
+func DecomposeAllUnit(m *core.Model) (*core.Model, error) {
+	out := m.Clone()
+	for _, e := range m.Comm.Elements() {
+		w := m.Comm.WeightOf(e)
+		if w > 1 {
+			var err error
+			out, err = Decompose(out, e, w)
+			if err != nil {
+				return nil, err
+			}
+		}
+	}
+	return out, nil
+}
+
+// MaxStageWeight returns the largest element weight in the model —
+// the size of the longest critical section under the naive monitor
+// synthesis, which pipelining aims to shrink.
+func MaxStageWeight(m *core.Model) int {
+	max := 0
+	for _, e := range m.Comm.Elements() {
+		if w := m.Comm.WeightOf(e); w > max {
+			max = w
+		}
+	}
+	return max
+}

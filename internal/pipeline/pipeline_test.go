@@ -1,0 +1,186 @@
+package pipeline
+
+import (
+	"testing"
+
+	"rtm/internal/core"
+	"rtm/internal/sched"
+)
+
+func twoElemModel(wa, wb int) *core.Model {
+	m := core.NewModel()
+	m.Comm.AddElement("a", wa)
+	m.Comm.AddElement("b", wb)
+	m.Comm.AddPath("a", "b")
+	m.AddConstraint(&core.Constraint{
+		Name: "C", Task: core.ChainTask("a", "b"),
+		Period: 20, Deadline: 20, Kind: core.Asynchronous,
+	})
+	return m
+}
+
+func TestDecomposeBasic(t *testing.T) {
+	m := twoElemModel(4, 1)
+	out, err := Decompose(m, "a", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := out.Validate(); err != nil {
+		t.Fatalf("decomposed model invalid: %v", err)
+	}
+	if out.Comm.G.HasNode("a") {
+		t.Fatal("original element still present")
+	}
+	if out.Comm.WeightOf(StageName("a", 0)) != 2 || out.Comm.WeightOf(StageName("a", 1)) != 2 {
+		t.Fatal("stage weights wrong")
+	}
+	if !out.Comm.G.HasEdge(StageName("a", 0), StageName("a", 1)) {
+		t.Fatal("stage chain edge missing")
+	}
+	if !out.Comm.G.HasEdge(StageName("a", 1), "b") {
+		t.Fatal("outgoing path not re-rooted at last stage")
+	}
+	// computation time preserved
+	c := out.Constraints[0]
+	if got := c.ComputationTime(out.Comm); got != 5 {
+		t.Fatalf("computation time = %d, want 5", got)
+	}
+}
+
+func TestDecomposePreservesPrecedence(t *testing.T) {
+	m := twoElemModel(2, 1)
+	out, err := Decompose(m, "a", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tg := out.Constraints[0].Task
+	// a#0 -> a#1 -> b as task precedences
+	if !tg.G.HasEdge(StageName("a", 0), StageName("a", 1)) {
+		t.Fatal("intra-stage precedence missing")
+	}
+	if !tg.G.HasEdge(StageName("a", 1), "b") {
+		t.Fatal("stage-to-b precedence missing")
+	}
+}
+
+func TestDecomposeIncomingEdges(t *testing.T) {
+	m := core.NewModel()
+	m.Comm.AddElement("pre", 1)
+	m.Comm.AddElement("x", 2)
+	m.Comm.AddPath("pre", "x")
+	m.AddConstraint(&core.Constraint{
+		Name: "C", Task: core.ChainTask("pre", "x"),
+		Period: 10, Deadline: 10, Kind: core.Asynchronous,
+	})
+	out, err := Decompose(m, "x", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.Comm.G.HasEdge("pre", StageName("x", 0)) {
+		t.Fatal("incoming path should enter first stage")
+	}
+	if out.Comm.G.HasEdge("pre", StageName("x", 1)) {
+		t.Fatal("incoming path should not enter last stage")
+	}
+}
+
+func TestDecomposeErrors(t *testing.T) {
+	m := twoElemModel(3, 1)
+	if _, err := Decompose(m, "a", 2); err == nil {
+		t.Fatal("indivisible weight accepted")
+	}
+	if _, err := Decompose(m, "nope", 2); err == nil {
+		t.Fatal("unknown element accepted")
+	}
+	if _, err := Decompose(m, "a", 0); err == nil {
+		t.Fatal("zero stages accepted")
+	}
+}
+
+func TestDecomposeK1IsClone(t *testing.T) {
+	m := twoElemModel(3, 1)
+	out, err := Decompose(m, "a", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.Comm.G.HasNode("a") || out.Comm.WeightOf("a") != 3 {
+		t.Fatal("k=1 should preserve the element")
+	}
+	out.Comm.AddElement("new", 1)
+	if m.Comm.G.HasNode("new") {
+		t.Fatal("k=1 returned aliased model")
+	}
+}
+
+func TestDecomposeAllUnit(t *testing.T) {
+	m := twoElemModel(4, 3)
+	out, err := DecomposeAllUnit(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := out.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if MaxStageWeight(out) != 1 {
+		t.Fatalf("MaxStageWeight = %d, want 1", MaxStageWeight(out))
+	}
+	if got := out.Constraints[0].ComputationTime(out.Comm); got != 7 {
+		t.Fatalf("computation time = %d, want 7", got)
+	}
+}
+
+func TestDecomposedScheduleEquivalence(t *testing.T) {
+	// A schedule that meets the decomposed constraint corresponds to
+	// meeting the original: verify by checking latencies directly.
+	m := twoElemModel(2, 1)
+	out, err := Decompose(m, "a", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := sched.New(StageName("a", 0), StageName("a", 1), "b", sched.Idle)
+	rep := sched.Check(out, s)
+	if !rep.Feasible {
+		t.Fatalf("pipelined schedule infeasible:\n%s", rep)
+	}
+	// the un-pipelined equivalent with a as one weight-2 execution
+	s2 := sched.New("a", "a", "b", sched.Idle)
+	if !sched.Feasible(m, s2) {
+		t.Fatal("original schedule infeasible")
+	}
+}
+
+func TestRepeatedElementDecompose(t *testing.T) {
+	// task graph executing the same element twice
+	m := core.NewModel()
+	m.Comm.AddElement("f", 2)
+	m.Comm.AddPath("f", "f")
+	task := core.NewTaskGraph()
+	task.AddStep("f1", "f")
+	task.AddStep("f2", "f")
+	task.AddPrec("f1", "f2")
+	m.AddConstraint(&core.Constraint{
+		Name: "C", Task: task, Period: 20, Deadline: 20, Kind: core.Asynchronous,
+	})
+	out, err := Decompose(m, "f", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := out.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	tg := out.Constraints[0].Task
+	if tg.G.NumNodes() != 4 {
+		t.Fatalf("task nodes = %d, want 4", tg.G.NumNodes())
+	}
+	// f1#1 -> f2#0 precedence must exist (original edge f1->f2)
+	if !tg.G.HasEdge(StageName("f1", 1), StageName("f2", 0)) {
+		t.Fatalf("cross-instance precedence missing: %s", tg.G)
+	}
+}
+
+func TestMaxStageWeight(t *testing.T) {
+	m := twoElemModel(4, 7)
+	if MaxStageWeight(m) != 7 {
+		t.Fatal("MaxStageWeight wrong")
+	}
+}

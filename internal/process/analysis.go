@@ -1,0 +1,149 @@
+package process
+
+import "math"
+
+// LiuLaylandBound returns the rate-monotonic utilization bound
+// n(2^{1/n} − 1) for n tasks.
+func LiuLaylandBound(n int) float64 {
+	if n <= 0 {
+		return 0
+	}
+	return float64(n) * (math.Pow(2, 1/float64(n)) - 1)
+}
+
+// RMUtilizationTest applies the Liu–Layland sufficient test for
+// rate-monotonic scheduling of implicit-deadline tasks
+// (U ≤ n(2^{1/n}−1)). A false result is inconclusive.
+func RMUtilizationTest(ts TaskSet) bool {
+	return ts.Utilization() <= LiuLaylandBound(len(ts))+1e-12
+}
+
+// HyperbolicTest applies the hyperbolic sufficient test for
+// rate-monotonic scheduling: Π (U_i + 1) ≤ 2.
+func HyperbolicTest(ts TaskSet) bool {
+	p := 1.0
+	for _, t := range ts {
+		p *= t.Utilization() + 1
+	}
+	return p <= 2+1e-12
+}
+
+// EDFUtilizationTest applies the exact EDF test for implicit
+// deadlines (D = T): U ≤ 1. For constrained deadlines it is only
+// necessary.
+func EDFUtilizationTest(ts TaskSet) bool {
+	return ts.Utilization() <= 1+1e-12
+}
+
+// DemandBound returns the EDF processor demand h(t): the total
+// computation released and due within any interval of length t,
+// assuming synchronous worst-case releases.
+func DemandBound(ts TaskSet, t int) int {
+	h := 0
+	for _, tk := range ts {
+		if t < tk.D {
+			continue
+		}
+		h += ((t-tk.D)/tk.T + 1) * tk.C
+	}
+	return h
+}
+
+// EDFDemandTest applies the processor-demand criterion for EDF with
+// constrained deadlines: h(t) ≤ t for every absolute deadline t up to
+// the hyperperiod (+ max deadline). This is exact for task sets with
+// U < 1 and synchronous release.
+func EDFDemandTest(ts TaskSet) bool {
+	if ts.Utilization() > 1+1e-12 {
+		return false
+	}
+	limit := ts.Hyperperiod()
+	maxD := 0
+	for _, t := range ts {
+		if t.D > maxD {
+			maxD = t.D
+		}
+	}
+	limit += maxD
+	// check only at absolute deadlines
+	points := map[int]bool{}
+	for _, tk := range ts {
+		for t := tk.D; t <= limit; t += tk.T {
+			points[t] = true
+		}
+	}
+	for t := range points {
+		if DemandBound(ts, t) > t {
+			return false
+		}
+	}
+	return true
+}
+
+// ResponseTimeAnalysis computes the worst-case response time of every
+// task under preemptive fixed-priority scheduling with the given
+// priority order (index 0 = highest priority), including a blocking
+// term from monitor critical sections of lower-priority tasks: a
+// task can be blocked once by the longest critical section of any
+// lower-priority task (non-preemptible monitor sections).
+//
+// It returns the response times aligned with the input order and
+// whether every task meets its deadline. Iteration diverging past the
+// deadline marks the task unschedulable with response −1.
+func ResponseTimeAnalysis(ts TaskSet) ([]int, bool) {
+	n := len(ts)
+	resp := make([]int, n)
+	allOK := true
+	for i := 0; i < n; i++ {
+		// blocking: longest critical section among lower-priority tasks
+		b := 0
+		for j := i + 1; j < n; j++ {
+			for _, cs := range ts[j].CriticalSections {
+				if cs > b {
+					b = cs
+				}
+			}
+		}
+		r := ts[i].C + b
+		for {
+			interference := 0
+			for j := 0; j < i; j++ {
+				interference += ceilDiv(r, ts[j].T) * ts[j].C
+			}
+			nr := ts[i].C + b + interference
+			if nr == r {
+				break
+			}
+			r = nr
+			if r > ts[i].D {
+				break
+			}
+		}
+		if r > ts[i].D {
+			resp[i] = -1
+			allOK = false
+		} else {
+			resp[i] = r
+		}
+	}
+	return resp, allOK
+}
+
+// RMSchedulable runs response-time analysis under rate-monotonic
+// priorities and reports per-task response times (in RM order) and
+// overall schedulability.
+func RMSchedulable(ts TaskSet) (TaskSet, []int, bool) {
+	rm := ts.RateMonotonic()
+	resp, ok := ResponseTimeAnalysis(rm)
+	return rm, resp, ok
+}
+
+// DMSchedulable runs response-time analysis under deadline-monotonic
+// priorities.
+func DMSchedulable(ts TaskSet) (TaskSet, []int, bool) {
+	dm := ts.DeadlineMonotonic()
+	resp, ok := ResponseTimeAnalysis(dm)
+	return dm, resp, ok
+}
+
+func ceilDiv(a, b int) int { return (a + b - 1) / b }

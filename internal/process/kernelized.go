@@ -1,0 +1,178 @@
+package process
+
+import "sort"
+
+// Kernelized monitor scheduling, after [MOK 83] (the dissertation the
+// paper builds on): critical sections run to completion — the
+// scheduler defers preemption while the running process is inside a
+// monitor — so mutual exclusion needs no locks at all. The price is
+// that any job can be blocked by at most one critical section of at
+// most q slots, where q bounds every section length.
+
+// KernelizedEDFTest is a sufficient schedulability test for EDF with
+// deferred preemption and section bound q: every section must fit in
+// q, utilization must not exceed 1, and the processor-demand
+// criterion must hold with q−1 slots of blocking slack at every
+// absolute deadline (a job can be blocked once, for at most q−1
+// slots, by a later-deadline job's section in progress).
+func KernelizedEDFTest(ts TaskSet, q int) bool {
+	if q < 1 {
+		return false
+	}
+	for _, t := range ts {
+		for _, cs := range t.CriticalSections {
+			if cs > q {
+				return false // a section could be preempted
+			}
+		}
+	}
+	if ts.Utilization() > 1+1e-12 {
+		return false
+	}
+	limit := ts.Hyperperiod()
+	maxD := 0
+	for _, t := range ts {
+		if t.D > maxD {
+			maxD = t.D
+		}
+	}
+	limit += maxD
+	points := map[int]bool{}
+	for _, tk := range ts {
+		for t := tk.D; t <= limit; t += tk.T {
+			points[t] = true
+		}
+	}
+	for t := range points {
+		if DemandBound(ts, t) > t-(q-1) {
+			return false
+		}
+	}
+	return true
+}
+
+// KernelizedResult extends SimResult with critical-section integrity.
+type KernelizedResult struct {
+	SimResult
+	Quantum int
+	// SectionPreemptions counts critical sections that were preempted
+	// mid-way — zero by construction under deferred preemption; the
+	// counter guards against scheduler regressions.
+	SectionPreemptions int
+}
+
+// SimulateKernelized runs EDF with deferred preemption: the running
+// job cannot be switched out while inside a critical section (its
+// declared sections are packed at the front of its execution — the
+// worst case for blocking). Horizon 0 means one hyperperiod plus the
+// largest deadline.
+func SimulateKernelized(ts TaskSet, q, horizon int) *KernelizedResult {
+	if horizon <= 0 {
+		horizon = ts.Hyperperiod()
+		maxD := 0
+		for _, t := range ts {
+			if t.D > maxD {
+				maxD = t.D
+			}
+		}
+		horizon += maxD
+	}
+	if q < 1 {
+		q = 1
+	}
+	// per task, which execution slots are inside critical sections
+	inSection := make([][]bool, len(ts))
+	for i, t := range ts {
+		m := make([]bool, t.C)
+		at := 0
+		for _, cs := range t.CriticalSections {
+			for j := 0; j < cs && at < t.C; j++ {
+				m[at] = true
+				at++
+			}
+		}
+		inSection[i] = m
+	}
+	// midSection reports whether the job has begun a section and not
+	// yet left it (next slot continues the same section).
+	midSection := func(j *simJob) bool {
+		done := ts[j.task].C - j.left
+		return done > 0 && done < ts[j.task].C &&
+			inSection[j.task][done] && inSection[j.task][done-1]
+	}
+
+	res := &KernelizedResult{
+		SimResult: SimResult{
+			Policy:        EDF,
+			WorstResponse: make(map[string]int, len(ts)),
+			Misses:        make(map[string]int, len(ts)),
+			Schedulable:   true,
+			Horizon:       horizon,
+		},
+		Quantum: q,
+	}
+	var pending []*simJob
+	var running *simJob
+	missed := map[*simJob]bool{}
+	for t := 0; t < horizon; t++ {
+		for i, task := range ts {
+			if t%task.T == 0 {
+				pending = append(pending, &simJob{task: i, release: t, deadline: t + task.D, left: task.C})
+			}
+		}
+		for _, j := range pending {
+			if j.left > 0 && t >= j.deadline && !missed[j] {
+				missed[j] = true
+				res.Misses[ts[j.task].Name]++
+				res.Schedulable = false
+			}
+		}
+		// deferred preemption: keep the running job while mid-section
+		if running == nil || running.left == 0 || !midSection(running) {
+			sort.SliceStable(pending, func(a, b int) bool {
+				if pending[a].deadline != pending[b].deadline {
+					return pending[a].deadline < pending[b].deadline
+				}
+				return pending[a].release < pending[b].release
+			})
+			var next *simJob
+			for _, j := range pending {
+				if j.left > 0 {
+					next = j
+					break
+				}
+			}
+			if running != nil && next != running && running.left > 0 && midSection(running) {
+				res.SectionPreemptions++ // must not happen
+			}
+			running = next
+		}
+		if running == nil || running.left == 0 {
+			res.IdleSlots++
+			continue
+		}
+		running.left--
+		if running.left == 0 {
+			name := ts[running.task].Name
+			r := t + 1 - running.release
+			if r > res.WorstResponse[name] {
+				res.WorstResponse[name] = r
+			}
+			live := pending[:0]
+			for _, j := range pending {
+				if j != running {
+					live = append(live, j)
+				}
+			}
+			pending = live
+			running = nil
+		}
+	}
+	for _, j := range pending {
+		if j.left > 0 && horizon >= j.deadline && !missed[j] {
+			res.Misses[ts[j.task].Name]++
+			res.Schedulable = false
+		}
+	}
+	return res
+}

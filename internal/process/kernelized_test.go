@@ -1,0 +1,123 @@
+package process
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestKernelizedTestBasics(t *testing.T) {
+	ts := set(
+		Task{Name: "a", C: 1, T: 4, D: 4},
+		Task{Name: "b", C: 2, T: 8, D: 8},
+	)
+	if !KernelizedEDFTest(ts, 1) {
+		t.Fatal("q=1 should reduce to plain EDF on a light set")
+	}
+	if KernelizedEDFTest(ts, 0) {
+		t.Fatal("q=0 accepted")
+	}
+	// a large section bound eats the slack of tight deadlines
+	tight := set(
+		Task{Name: "a", C: 1, T: 4, D: 3},
+		Task{Name: "b", C: 2, T: 8, D: 8},
+	)
+	if KernelizedEDFTest(tight, 4) {
+		t.Fatal("q=4 should fail: demand 1 at t=3 exceeds 3-(4-1)=0")
+	}
+	if !KernelizedEDFTest(tight, 2) {
+		t.Fatal("q=2 should pass the tight set")
+	}
+}
+
+func TestKernelizedSectionFit(t *testing.T) {
+	ts := set(
+		Task{Name: "a", C: 3, T: 10, D: 10, CriticalSections: []int{3}},
+	)
+	if KernelizedEDFTest(ts, 2) {
+		t.Fatal("section larger than quantum accepted")
+	}
+	if !KernelizedEDFTest(ts, 3) {
+		t.Fatal("fitting section rejected")
+	}
+}
+
+func TestSimulateKernelizedQ1MatchesEDF(t *testing.T) {
+	ts := set(
+		Task{Name: "a", C: 1, T: 4, D: 4},
+		Task{Name: "b", C: 2, T: 8, D: 8},
+	)
+	plain := Simulate(ts, EDF, 0)
+	kern := SimulateKernelized(ts, 1, 0)
+	if plain.Schedulable != kern.Schedulable {
+		t.Fatalf("q=1 kernelized disagrees with EDF: %v vs %v", plain.Schedulable, kern.Schedulable)
+	}
+	if kern.SectionPreemptions != 0 {
+		t.Fatal("section preemptions without sections")
+	}
+}
+
+func TestSimulateKernelizedProtectsSections(t *testing.T) {
+	// sections of length 2 with quantum 2: never preempted
+	ts := set(
+		Task{Name: "hot", C: 2, T: 5, D: 5, CriticalSections: []int{2}},
+		Task{Name: "bg", C: 4, T: 10, D: 10, CriticalSections: []int{2}},
+	)
+	res := SimulateKernelized(ts, 2, 0)
+	if res.SectionPreemptions != 0 {
+		t.Fatalf("sections preempted %d times with fitting quantum", res.SectionPreemptions)
+	}
+	if !res.Schedulable {
+		t.Fatalf("misses: %v", res.Misses)
+	}
+}
+
+func TestSimulateKernelizedQuantumCost(t *testing.T) {
+	// a tight task whose deadline cannot absorb the quantum latency
+	ts := set(
+		Task{Name: "tight", C: 1, T: 8, D: 2},
+		Task{Name: "bulk", C: 6, T: 8, D: 8},
+	)
+	if !SimulateKernelized(ts, 1, 0).Schedulable {
+		t.Fatal("q=1 should work")
+	}
+	// with q=4 the tight job released mid-quantum waits too long:
+	// release at t=8 (a quantum boundary) is fine, but bulk occupies
+	// quanta; construct a phase conflict via the analysis test instead
+	if KernelizedEDFTest(ts, 4) {
+		t.Fatal("analysis should reject q=4 for D=2")
+	}
+}
+
+// Property: the kernelized sufficient test is sound — whenever it
+// accepts, the kernelized simulation observes no misses and no
+// section preemptions.
+func TestKernelizedSoundnessProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed%1000 + 29))
+		var ts TaskSet
+		n := 2 + rng.Intn(2)
+		for i := 0; i < n; i++ {
+			c := 1 + rng.Intn(3)
+			tp := []int{6, 8, 12, 24}[rng.Intn(4)]
+			d := c + rng.Intn(tp-c+1)
+			var cs []int
+			if c > 1 && rng.Intn(2) == 0 {
+				cs = []int{1 + rng.Intn(c-1)}
+			}
+			ts = append(ts, Task{Name: string(rune('a' + i)), C: c, T: tp, D: d, CriticalSections: cs})
+		}
+		for _, q := range []int{1, 2, 3} {
+			if KernelizedEDFTest(ts, q) {
+				res := SimulateKernelized(ts, q, 0)
+				if !res.Schedulable || res.SectionPreemptions != 0 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

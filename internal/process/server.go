@@ -1,0 +1,220 @@
+package process
+
+import "sort"
+
+// Aperiodic servers: the classical process-model mechanisms for
+// serving asynchronous (sporadic/aperiodic) requests alongside
+// periodic tasks. They are the process-based counterpart of the
+// paper's latency scheduling: a polling server is in fact the exact
+// run-time shape latency scheduling compiles to (reserved slots at a
+// fixed cadence), while the deferrable server retains its budget and
+// serves arrivals immediately when capacity remains.
+
+// ServerKind selects the aperiodic server discipline.
+type ServerKind int
+
+const (
+	// Polling: the server's budget is usable only at replenishment
+	// instants; if no request is pending, the budget is lost.
+	Polling ServerKind = iota
+	// Deferrable: the budget persists through the period and serves
+	// requests the moment they arrive (bandwidth-preserving).
+	Deferrable
+)
+
+func (k ServerKind) String() string {
+	if k == Polling {
+		return "polling"
+	}
+	return "deferrable"
+}
+
+// Server is an aperiodic server: Budget slots of service every Period
+// at the given fixed priority position among the periodic tasks
+// (highest = 0).
+type Server struct {
+	Kind   ServerKind
+	Budget int
+	Period int
+}
+
+// Request is one aperiodic arrival demanding Work slots of service.
+type Request struct {
+	Arrival int
+	Work    int
+}
+
+// ServerResult reports one server simulation.
+type ServerResult struct {
+	// Responses aligns with the request slice: completion − arrival,
+	// or -1 when unfinished at the horizon.
+	Responses []int
+	// WorstResponse is the maximum finite response (-1 when none).
+	WorstResponse int
+	// PeriodicOK reports that the periodic background tasks all met
+	// their deadlines while the server ran.
+	PeriodicOK bool
+}
+
+// SimulateServer runs the periodic task set under rate-monotonic
+// priorities with the server inserted at the priority its period
+// earns (rate-monotonic among them), serving the given aperiodic
+// requests. Horizon 0 means one hyperperiod of tasks and server plus
+// the last arrival plus total request work.
+func SimulateServer(ts TaskSet, srv Server, reqs []Request, horizon int) *ServerResult {
+	if horizon <= 0 {
+		horizon = ts.Hyperperiod()
+		horizon = lcm(horizon, srv.Period)
+		last, work := 0, 0
+		for _, r := range reqs {
+			if r.Arrival > last {
+				last = r.Arrival
+			}
+			work += r.Work
+		}
+		horizon += last + work + srv.Period
+	}
+	// priority order: RM over tasks and server
+	type entry struct {
+		isServer bool
+		task     int
+		period   int
+	}
+	entries := []entry{{isServer: true, period: srv.Period}}
+	for i, t := range ts {
+		entries = append(entries, entry{task: i, period: t.T})
+	}
+	sort.SliceStable(entries, func(a, b int) bool { return entries[a].period < entries[b].period })
+
+	res := &ServerResult{Responses: make([]int, len(reqs)), PeriodicOK: true}
+	for i := range res.Responses {
+		res.Responses[i] = -1
+	}
+
+	budget := 0
+	var jobs []*simJob
+	missed := map[*simJob]bool{}
+	pendingReq := make([]int, len(reqs)) // remaining work per request
+	admitted := make([]bool, len(reqs))  // polling: admitted at a poll instant
+	for i, r := range reqs {
+		pendingReq[i] = r.Work
+	}
+	nextReq := func(t int) int {
+		for i, r := range reqs {
+			if pendingReq[i] > 0 && r.Arrival <= t {
+				if srv.Kind == Polling && !admitted[i] {
+					continue
+				}
+				return i
+			}
+		}
+		return -1
+	}
+
+	for t := 0; t < horizon; t++ {
+		if t%srv.Period == 0 {
+			budget = srv.Budget
+			if srv.Kind == Polling {
+				// the poll: admit everything pending now; if the
+				// queue is empty the budget is lost immediately.
+				any := false
+				for i, r := range reqs {
+					if pendingReq[i] > 0 && r.Arrival <= t {
+						admitted[i] = true
+						any = true
+					}
+				}
+				if !any {
+					budget = 0
+				}
+			}
+		}
+		for i, task := range ts {
+			if t%task.T == 0 {
+				jobs = append(jobs, &simJob{task: i, release: t, deadline: t + task.D, left: task.C})
+			}
+		}
+		for _, j := range jobs {
+			if j.left > 0 && t >= j.deadline && !missed[j] {
+				missed[j] = true
+				res.PeriodicOK = false
+			}
+		}
+		// highest-priority ready entity runs
+		ran := false
+		for _, e := range entries {
+			if e.isServer {
+				if budget <= 0 {
+					continue
+				}
+				ri := nextReq(t)
+				if ri < 0 {
+					if srv.Kind == Polling {
+						budget = 0 // queue drained: polling budget is lost
+					}
+					continue
+				}
+				budget--
+				pendingReq[ri]--
+				if pendingReq[ri] == 0 {
+					res.Responses[ri] = t + 1 - reqs[ri].Arrival
+				}
+				ran = true
+			} else {
+				// earliest-release pending job of this task
+				var pick *simJob
+				for _, j := range jobs {
+					if j.task == e.task && j.left > 0 {
+						pick = j
+						break
+					}
+				}
+				if pick == nil {
+					continue
+				}
+				pick.left--
+				if pick.left == 0 {
+					live := jobs[:0]
+					for _, j := range jobs {
+						if j != pick {
+							live = append(live, j)
+						}
+					}
+					jobs = live
+				}
+				ran = true
+			}
+			if ran {
+				break
+			}
+		}
+	}
+	for _, r := range res.Responses {
+		if r > res.WorstResponse {
+			res.WorstResponse = r
+		}
+	}
+	if res.WorstResponse == 0 {
+		res.WorstResponse = -1
+		for _, r := range res.Responses {
+			if r > res.WorstResponse {
+				res.WorstResponse = r
+			}
+		}
+	}
+	return res
+}
+
+// PollingServerBound returns the classical worst-case response bound
+// of a polling server for a request of the given work, ignoring
+// higher-priority interference: the request can just miss a poll
+// (wait up to P), then consumes ⌈work/budget⌉ polls, finishing its
+// last chunk right after the final poll.
+func PollingServerBound(srv Server, work int) int {
+	if srv.Budget <= 0 || work <= 0 {
+		return -1
+	}
+	full := (work + srv.Budget - 1) / srv.Budget
+	lastChunk := work - (full-1)*srv.Budget
+	return srv.Period + (full-1)*srv.Period + lastChunk
+}

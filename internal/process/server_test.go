@@ -1,0 +1,143 @@
+package process
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestServerKindString(t *testing.T) {
+	if Polling.String() != "polling" || Deferrable.String() != "deferrable" {
+		t.Fatal("kind strings")
+	}
+}
+
+func TestDeferrableServesImmediately(t *testing.T) {
+	// no periodic load: a deferrable server with budget serves an
+	// arrival at t=1 immediately; a polling server waits for the next
+	// poll at t=4.
+	srv := Server{Kind: Deferrable, Budget: 2, Period: 4}
+	reqs := []Request{{Arrival: 1, Work: 1}}
+	res := SimulateServer(nil, srv, reqs, 40)
+	if res.Responses[0] != 1 {
+		t.Fatalf("deferrable response = %d, want 1", res.Responses[0])
+	}
+	poll := SimulateServer(nil, Server{Kind: Polling, Budget: 2, Period: 4}, reqs, 40)
+	// arrival at 1 missed the poll at 0; admitted at 4, served [4,5)
+	if poll.Responses[0] != 4 {
+		t.Fatalf("polling response = %d, want 4", poll.Responses[0])
+	}
+}
+
+func TestPollingAdmissionAtPoll(t *testing.T) {
+	// arrival exactly at the poll instant is admitted immediately
+	srv := Server{Kind: Polling, Budget: 2, Period: 5}
+	res := SimulateServer(nil, srv, []Request{{Arrival: 5, Work: 2}}, 40)
+	if res.Responses[0] != 2 {
+		t.Fatalf("response = %d, want 2", res.Responses[0])
+	}
+}
+
+func TestServerWithPeriodicLoad(t *testing.T) {
+	ts := set(Task{Name: "p", C: 2, T: 4, D: 4})
+	srv := Server{Kind: Deferrable, Budget: 1, Period: 4}
+	// server period equals task period; RM tie-break puts the server
+	// first (stable sort, server entry first)
+	reqs := []Request{{Arrival: 0, Work: 1}, {Arrival: 10, Work: 2}}
+	res := SimulateServer(ts, srv, reqs, 60)
+	if !res.PeriodicOK {
+		t.Fatal("periodic task missed under server load")
+	}
+	for i, r := range res.Responses {
+		if r < 0 {
+			t.Fatalf("request %d unfinished", i)
+		}
+	}
+	if res.WorstResponse < 1 {
+		t.Fatalf("worst response = %d", res.WorstResponse)
+	}
+}
+
+func TestPollingBudgetLostWhenIdle(t *testing.T) {
+	// request arrives just after the poll with exactly-budget work:
+	// it must wait a full period even though the processor idles.
+	srv := Server{Kind: Polling, Budget: 3, Period: 10}
+	res := SimulateServer(nil, srv, []Request{{Arrival: 1, Work: 3}}, 60)
+	// admitted at 10, served [10,13) -> response 12
+	if res.Responses[0] != 12 {
+		t.Fatalf("response = %d, want 12", res.Responses[0])
+	}
+}
+
+func TestPollingServerBound(t *testing.T) {
+	srv := Server{Kind: Polling, Budget: 3, Period: 10}
+	if b := PollingServerBound(srv, 3); b != 13 {
+		t.Fatalf("bound(3) = %d, want 13", b)
+	}
+	if b := PollingServerBound(srv, 4); b != 21 { // two polls
+		t.Fatalf("bound(4) = %d, want 21", b)
+	}
+	if PollingServerBound(Server{}, 3) != -1 || PollingServerBound(srv, 0) != -1 {
+		t.Fatal("degenerate bounds")
+	}
+}
+
+// Property: simulated polling responses never exceed the analytic
+// bound when there is no periodic interference and requests are
+// spaced at least a server period apart with work ≤ budget.
+func TestPollingBoundSoundProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed%1000 + 41))
+		srv := Server{Kind: Polling, Budget: 1 + rng.Intn(3), Period: 5 + rng.Intn(10)}
+		var reqs []Request
+		at := rng.Intn(srv.Period)
+		for len(reqs) < 3 {
+			w := 1 + rng.Intn(srv.Budget)
+			reqs = append(reqs, Request{Arrival: at, Work: w})
+			at += srv.Period + rng.Intn(srv.Period)
+		}
+		res := SimulateServer(nil, srv, reqs, 0)
+		for i, r := range res.Responses {
+			if r < 0 {
+				return false
+			}
+			if r > PollingServerBound(srv, reqs[i].Work) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: a deferrable server's response is never worse than the
+// polling server's for the same workload (bandwidth preservation).
+func TestDeferrableBeatsPollingProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed%1000 + 43))
+		budget := 1 + rng.Intn(3)
+		period := 4 + rng.Intn(8)
+		var reqs []Request
+		at := rng.Intn(period)
+		for len(reqs) < 3 {
+			reqs = append(reqs, Request{Arrival: at, Work: 1 + rng.Intn(budget)})
+			at += period + 1 + rng.Intn(period)
+		}
+		pol := SimulateServer(nil, Server{Kind: Polling, Budget: budget, Period: period}, reqs, 0)
+		def := SimulateServer(nil, Server{Kind: Deferrable, Budget: budget, Period: period}, reqs, 0)
+		for i := range reqs {
+			if pol.Responses[i] < 0 || def.Responses[i] < 0 {
+				return false
+			}
+			if def.Responses[i] > pol.Responses[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

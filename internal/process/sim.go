@@ -1,0 +1,171 @@
+package process
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Policy selects the run-time scheduling discipline of the simulator.
+type Policy int
+
+const (
+	// EDF is preemptive earliest-deadline-first.
+	EDF Policy = iota
+	// RM is preemptive fixed-priority with rate-monotonic priorities.
+	RM
+	// DM is preemptive fixed-priority with deadline-monotonic
+	// priorities.
+	DM
+)
+
+func (p Policy) String() string {
+	switch p {
+	case EDF:
+		return "EDF"
+	case RM:
+		return "RM"
+	case DM:
+		return "DM"
+	default:
+		return fmt.Sprintf("Policy(%d)", int(p))
+	}
+}
+
+// SimResult reports one simulation run.
+type SimResult struct {
+	Policy Policy
+	// WorstResponse maps task name to the worst observed response
+	// time.
+	WorstResponse map[string]int
+	// Misses maps task name to the number of deadline misses.
+	Misses map[string]int
+	// Schedulable is true when no job missed its deadline.
+	Schedulable bool
+	// IdleSlots counts processor idle time over the horizon.
+	IdleSlots int
+	Horizon   int
+}
+
+type simJob struct {
+	task     int
+	release  int
+	deadline int
+	left     int
+}
+
+// Simulate runs the task set under the given policy for the given
+// horizon (0 means one hyperperiod plus the largest deadline) with
+// synchronous periodic releases at the maximum rate — the worst case
+// for sporadic tasks. Jobs that miss their deadline keep running
+// (bounded tardiness accounting); each miss is counted once.
+func Simulate(ts TaskSet, policy Policy, horizon int) *SimResult {
+	if horizon <= 0 {
+		horizon = ts.Hyperperiod()
+		maxD := 0
+		for _, t := range ts {
+			if t.D > maxD {
+				maxD = t.D
+			}
+		}
+		horizon += maxD
+	}
+	prio := make([]int, len(ts)) // smaller = higher priority
+	switch policy {
+	case RM:
+		order := ts.RateMonotonic()
+		rank := map[string]int{}
+		for i, t := range order {
+			rank[t.Name] = i
+		}
+		for i, t := range ts {
+			prio[i] = rank[t.Name]
+		}
+	case DM:
+		order := ts.DeadlineMonotonic()
+		rank := map[string]int{}
+		for i, t := range order {
+			rank[t.Name] = i
+		}
+		for i, t := range ts {
+			prio[i] = rank[t.Name]
+		}
+	}
+
+	res := &SimResult{
+		Policy:        policy,
+		WorstResponse: make(map[string]int, len(ts)),
+		Misses:        make(map[string]int, len(ts)),
+		Schedulable:   true,
+		Horizon:       horizon,
+	}
+	var pending []*simJob
+	missed := map[*simJob]bool{}
+	for t := 0; t < horizon; t++ {
+		for i, task := range ts {
+			if t%task.T == 0 {
+				pending = append(pending, &simJob{task: i, release: t, deadline: t + task.D, left: task.C})
+			}
+		}
+		sort.SliceStable(pending, func(a, b int) bool {
+			ja, jb := pending[a], pending[b]
+			switch policy {
+			case EDF:
+				if ja.deadline != jb.deadline {
+					return ja.deadline < jb.deadline
+				}
+			default:
+				if prio[ja.task] != prio[jb.task] {
+					return prio[ja.task] < prio[jb.task]
+				}
+			}
+			return ja.release < jb.release
+		})
+		// count fresh misses
+		for _, j := range pending {
+			if j.left > 0 && t >= j.deadline && !missed[j] {
+				missed[j] = true
+				name := ts[j.task].Name
+				res.Misses[name]++
+				res.Schedulable = false
+			}
+		}
+		if len(pending) == 0 {
+			res.IdleSlots++
+			continue
+		}
+		j := pending[0]
+		j.left--
+		if j.left == 0 {
+			name := ts[j.task].Name
+			r := t + 1 - j.release
+			if r > res.WorstResponse[name] {
+				res.WorstResponse[name] = r
+			}
+			pending = pending[1:]
+		}
+	}
+	// jobs still unfinished at the horizon with passed deadlines
+	for _, j := range pending {
+		if j.left > 0 && horizon >= j.deadline && !missed[j] {
+			res.Misses[ts[j.task].Name]++
+			res.Schedulable = false
+		}
+	}
+	return res
+}
+
+// CompareAnalysisToSimulation is a consistency helper used in tests
+// and experiments: for a task set deemed schedulable by an exact
+// analysis, simulation must observe no misses.
+func CompareAnalysisToSimulation(ts TaskSet, policy Policy) (analysisOK, simOK bool) {
+	switch policy {
+	case EDF:
+		analysisOK = EDFDemandTest(ts)
+	case RM:
+		_, _, analysisOK = RMSchedulable(ts)
+	case DM:
+		_, _, analysisOK = DMSchedulable(ts)
+	}
+	simOK = Simulate(ts, policy, 0).Schedulable
+	return
+}

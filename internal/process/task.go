@@ -1,0 +1,163 @@
+// Package process implements the process-based computation model the
+// paper compares against: each timing constraint is mapped to a
+// sequential process (a straight-line topological sort of its task
+// graph) with a computation time, period and deadline, and the
+// process set is handed to classical single-processor schedulers —
+// earliest-deadline-first, rate-monotonic and deadline-monotonic —
+// together with their schedulability analyses. Shared functional
+// elements become monitor critical sections and contribute blocking
+// terms.
+//
+// This is the "straightforward way to implement an instance of our
+// graph-based model" that the paper describes and then improves on:
+// because every constraint gets its own process, operations common to
+// several constraints are executed redundantly.
+package process
+
+import (
+	"fmt"
+	"sort"
+
+	"rtm/internal/core"
+)
+
+// Task is a periodic or sporadic process: computation time C released
+// every T time units (at most that often when sporadic) with relative
+// deadline D.
+type Task struct {
+	Name string
+	C    int // worst-case computation time
+	T    int // period / minimum separation
+	D    int // relative deadline
+	// Sporadic marks minimum-separation (asynchronous) releases; the
+	// analyses treat sporadic tasks at their maximum rate, which is
+	// the worst case.
+	Sporadic bool
+	// CriticalSections lists the lengths of the monitor critical
+	// sections the task executes (one per shared functional element
+	// in its body).
+	CriticalSections []int
+}
+
+// Utilization returns C/T.
+func (t Task) Utilization() float64 { return float64(t.C) / float64(t.T) }
+
+// Density returns C/min(D,T).
+func (t Task) Density() float64 {
+	m := t.D
+	if t.T < m {
+		m = t.T
+	}
+	return float64(t.C) / float64(m)
+}
+
+// TaskSet is an ordered collection of tasks.
+type TaskSet []Task
+
+// Utilization returns Σ C_i/T_i.
+func (ts TaskSet) Utilization() float64 {
+	u := 0.0
+	for _, t := range ts {
+		u += t.Utilization()
+	}
+	return u
+}
+
+// Density returns Σ C_i/min(D_i,T_i).
+func (ts TaskSet) Density() float64 {
+	u := 0.0
+	for _, t := range ts {
+		u += t.Density()
+	}
+	return u
+}
+
+// Hyperperiod returns the lcm of the periods.
+func (ts TaskSet) Hyperperiod() int {
+	h := 1
+	for _, t := range ts {
+		h = lcm(h, t.T)
+	}
+	return h
+}
+
+// Validate checks positive parameters and C ≤ D.
+func (ts TaskSet) Validate() error {
+	seen := map[string]bool{}
+	for _, t := range ts {
+		if t.Name == "" || seen[t.Name] {
+			return fmt.Errorf("process: missing or duplicate task name %q", t.Name)
+		}
+		seen[t.Name] = true
+		if t.C <= 0 || t.T <= 0 || t.D <= 0 {
+			return fmt.Errorf("process: task %q has non-positive parameter (C=%d T=%d D=%d)",
+				t.Name, t.C, t.T, t.D)
+		}
+		if t.C > t.D {
+			return fmt.Errorf("process: task %q cannot meet its deadline (C=%d > D=%d)",
+				t.Name, t.C, t.D)
+		}
+	}
+	return nil
+}
+
+// FromModel maps every timing constraint of a graph-based model to a
+// process, exactly as the paper's naive synthesis does: the process
+// body is a topological sort of the task graph, so its computation
+// time is the constraint's computation time, with no sharing between
+// processes. Shared functional elements contribute critical sections
+// of their full weight (unless the model was pipelined first).
+func FromModel(m *core.Model) (TaskSet, error) {
+	shared := map[string]bool{}
+	for _, e := range m.SharedElements() {
+		shared[e] = true
+	}
+	var ts TaskSet
+	for _, c := range m.Constraints {
+		if _, err := c.Task.G.TopoSort(); err != nil {
+			return nil, fmt.Errorf("process: constraint %q: %w", c.Name, err)
+		}
+		var cs []int
+		for _, node := range c.Task.Nodes() {
+			e := c.Task.ElementOf(node)
+			if shared[e] {
+				cs = append(cs, m.Comm.WeightOf(e))
+			}
+		}
+		sort.Sort(sort.Reverse(sort.IntSlice(cs)))
+		ts = append(ts, Task{
+			Name:             c.Name,
+			C:                c.ComputationTime(m.Comm),
+			T:                c.Period,
+			D:                c.Deadline,
+			Sporadic:         c.Kind == core.Asynchronous,
+			CriticalSections: cs,
+		})
+	}
+	return ts, ts.Validate()
+}
+
+// RateMonotonic returns the tasks sorted by increasing period
+// (highest priority first).
+func (ts TaskSet) RateMonotonic() TaskSet {
+	out := append(TaskSet(nil), ts...)
+	sort.SliceStable(out, func(i, j int) bool { return out[i].T < out[j].T })
+	return out
+}
+
+// DeadlineMonotonic returns the tasks sorted by increasing relative
+// deadline (highest priority first).
+func (ts TaskSet) DeadlineMonotonic() TaskSet {
+	out := append(TaskSet(nil), ts...)
+	sort.SliceStable(out, func(i, j int) bool { return out[i].D < out[j].D })
+	return out
+}
+
+func gcd(a, b int) int {
+	for b != 0 {
+		a, b = b, a%b
+	}
+	return a
+}
+
+func lcm(a, b int) int { return a / gcd(a, b) * b }

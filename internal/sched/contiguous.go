@@ -1,0 +1,48 @@
+package sched
+
+import (
+	"fmt"
+
+	"rtm/internal/core"
+)
+
+// ContiguousViolations returns a description of every parsed
+// execution in one alignment window of the schedule that is *not* a
+// block of consecutive slots. When functional elements cannot be
+// software-pipelined (decomposed into chains of unit sub-functions),
+// an execution must occupy consecutive processor slots; this check
+// enforces the restriction used by the paper's Theorem 2(ii).
+func ContiguousViolations(comm *core.CommGraph, s *Schedule) []string {
+	n := s.Len()
+	if n == 0 {
+		return nil
+	}
+	align := 1
+	for _, elem := range comm.Elements() {
+		w := comm.WeightOf(elem)
+		k := s.Count(elem)
+		if w <= 0 || k == 0 {
+			continue
+		}
+		align = lcm(align, w/gcd(k, w))
+	}
+	trace := s.Unroll(n * (align + 2))
+	execs := parseExecutions(trace, comm.Weight)
+	var out []string
+	for _, elem := range comm.Elements() {
+		w := comm.WeightOf(elem)
+		for _, ex := range execs[elem] {
+			if ex.finish-ex.start != w {
+				out = append(out, fmt.Sprintf("%s execution [%d,%d) is preempted (weight %d)",
+					elem, ex.start, ex.finish, w))
+			}
+		}
+	}
+	return out
+}
+
+// Contiguous reports whether every execution in the schedule is a
+// block of consecutive slots.
+func Contiguous(comm *core.CommGraph, s *Schedule) bool {
+	return len(ContiguousViolations(comm, s)) == 0
+}

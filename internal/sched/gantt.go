@@ -1,0 +1,133 @@
+package sched
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"rtm/internal/core"
+)
+
+// GanttOptions configure timeline rendering.
+type GanttOptions struct {
+	// Cycles is how many schedule cycles to draw (default 1).
+	Cycles int
+	// Ruler draws a time ruler every this many slots (default 5;
+	// 0 disables).
+	Ruler int
+}
+
+// Gantt renders the schedule as an ASCII timeline, one row per
+// functional element (in communication-graph order) plus an idle row:
+//
+//	t      0    5    10
+//	fX     ##...
+//	fS     ..####...
+//	φ      .....##
+//
+// '#' marks a slot executing the row's element.
+func Gantt(comm *core.CommGraph, s *Schedule, opt GanttOptions) string {
+	cycles := opt.Cycles
+	if cycles < 1 {
+		cycles = 1
+	}
+	ruler := opt.Ruler
+	if ruler == 0 {
+		ruler = 5
+	}
+	n := s.Len() * cycles
+	if n == 0 {
+		return "(empty schedule)\n"
+	}
+	trace := s.Unroll(n)
+
+	rows := comm.Elements()
+	sort.Strings(rows)
+	width := len("t")
+	for _, r := range rows {
+		if len(r) > width {
+			width = len(r)
+		}
+	}
+	if len("φ") > width {
+		width = 2
+	}
+
+	var b strings.Builder
+	if ruler > 0 {
+		fmt.Fprintf(&b, "%-*s ", width, "t")
+		col := 0
+		for col < n {
+			label := fmt.Sprint(col)
+			fmt.Fprintf(&b, "%-*s", ruler, label)
+			col += ruler
+		}
+		b.WriteByte('\n')
+	}
+	line := func(name string, match func(string) bool) {
+		fmt.Fprintf(&b, "%-*s ", width, name)
+		for _, x := range trace {
+			if match(x) {
+				b.WriteByte('#')
+			} else {
+				b.WriteByte('.')
+			}
+		}
+		b.WriteByte('\n')
+	}
+	for _, r := range rows {
+		r := r
+		line(r, func(x string) bool { return x == r })
+	}
+	line("φ", func(x string) bool { return x == Idle })
+	return b.String()
+}
+
+// Stats summarizes a schedule's per-element occupancy.
+type Stats struct {
+	Cycle     int
+	Busy      int
+	Idle      int
+	PerElem   map[string]int
+	Elements  []string // sorted
+	MaxStreak int      // longest run of one element (non-preemption pressure)
+}
+
+// ComputeStats gathers occupancy statistics for one cycle.
+func ComputeStats(s *Schedule) *Stats {
+	st := &Stats{Cycle: s.Len(), PerElem: map[string]int{}}
+	streak, prev := 0, ""
+	for _, x := range s.Slots {
+		if x == Idle {
+			st.Idle++
+		} else {
+			st.Busy++
+			st.PerElem[x]++
+		}
+		if x == prev && x != Idle {
+			streak++
+		} else {
+			streak = 1
+		}
+		if x != Idle && streak > st.MaxStreak {
+			st.MaxStreak = streak
+		}
+		prev = x
+	}
+	for e := range st.PerElem {
+		st.Elements = append(st.Elements, e)
+	}
+	sort.Strings(st.Elements)
+	return st
+}
+
+// String renders the stats.
+func (st *Stats) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "cycle=%d busy=%d idle=%d maxstreak=%d\n", st.Cycle, st.Busy, st.Idle, st.MaxStreak)
+	for _, e := range st.Elements {
+		fmt.Fprintf(&b, "  %-12s %d slots (%.1f%%)\n", e, st.PerElem[e],
+			100*float64(st.PerElem[e])/float64(st.Cycle))
+	}
+	return b.String()
+}

@@ -1,0 +1,75 @@
+package sched
+
+import (
+	"strings"
+	"testing"
+
+	"rtm/internal/core"
+)
+
+func TestGanttBasic(t *testing.T) {
+	comm := core.NewCommGraph()
+	comm.AddElement("a", 1)
+	comm.AddElement("b", 1)
+	s := New("a", "b", Idle, "a")
+	out := Gantt(comm, s, GanttOptions{})
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	// ruler + a + b + idle
+	if len(lines) != 4 {
+		t.Fatalf("lines = %d:\n%s", len(lines), out)
+	}
+	var aLine, idleLine string
+	for _, l := range lines {
+		if strings.HasPrefix(l, "a") {
+			aLine = l
+		}
+		if strings.HasPrefix(l, "φ") {
+			idleLine = l
+		}
+	}
+	if !strings.Contains(aLine, "#.") || !strings.HasSuffix(aLine, "#..#") {
+		t.Fatalf("a row = %q", aLine)
+	}
+	if !strings.HasSuffix(idleLine, "..#.") {
+		t.Fatalf("idle row = %q", idleLine)
+	}
+}
+
+func TestGanttCyclesAndEmpty(t *testing.T) {
+	comm := core.NewCommGraph()
+	comm.AddElement("a", 1)
+	s := New("a", Idle)
+	out := Gantt(comm, s, GanttOptions{Cycles: 3, Ruler: -1})
+	for _, l := range strings.Split(out, "\n") {
+		if strings.HasPrefix(l, "a") && !strings.HasSuffix(l, "#.#.#.") {
+			t.Fatalf("a row over 3 cycles = %q", l)
+		}
+		if strings.HasPrefix(l, "t") {
+			t.Fatal("ruler drawn although disabled")
+		}
+	}
+	if Gantt(comm, New(), GanttOptions{}) != "(empty schedule)\n" {
+		t.Fatal("empty schedule rendering")
+	}
+}
+
+func TestComputeStats(t *testing.T) {
+	s := New("a", "a", "b", Idle, "a")
+	st := ComputeStats(s)
+	if st.Cycle != 5 || st.Busy != 4 || st.Idle != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if st.PerElem["a"] != 3 || st.PerElem["b"] != 1 {
+		t.Fatalf("per-elem = %v", st.PerElem)
+	}
+	if st.MaxStreak != 2 {
+		t.Fatalf("max streak = %d", st.MaxStreak)
+	}
+	if len(st.Elements) != 2 || st.Elements[0] != "a" {
+		t.Fatalf("elements = %v", st.Elements)
+	}
+	out := st.String()
+	if !strings.Contains(out, "cycle=5") || !strings.Contains(out, "60.0%") {
+		t.Fatalf("stats string:\n%s", out)
+	}
+}

@@ -1,0 +1,201 @@
+package sched
+
+import (
+	"math"
+	"sort"
+
+	"rtm/internal/core"
+)
+
+// Infinite is the latency reported when the schedule can never
+// execute the task graph (some needed element never appears).
+const Infinite = math.MaxInt
+
+// execution is one parsed execution of a functional element in a
+// trace: a group of weight-many slots assigned to that element,
+// grouped greedily in time order (which realizes the paper's
+// pipeline ordering: earlier start implies earlier finish).
+type execution struct {
+	start  int // first slot index
+	finish int // last slot index + 1
+}
+
+// parseExecutions groups the slots of each element in the unrolled
+// trace into executions of the element's weight. Elements with zero
+// weight need no slots and get no executions (they complete
+// instantly at their ready time). Trailing partial groups are
+// dropped.
+func parseExecutions(trace []string, weight map[string]int) map[string][]execution {
+	slots := make(map[string][]int)
+	for i, x := range trace {
+		if x != Idle {
+			slots[x] = append(slots[x], i)
+		}
+	}
+	out := make(map[string][]execution, len(slots))
+	for elem, idx := range slots {
+		w := weight[elem]
+		if w <= 0 {
+			continue
+		}
+		for i := 0; i+w <= len(idx); i += w {
+			out[elem] = append(out[elem], execution{start: idx[i], finish: idx[i+w-1] + 1})
+		}
+	}
+	return out
+}
+
+// Analyzer computes latencies of one schedule against constraints of
+// one communication graph. It pre-parses the unrolled trace once and
+// answers many queries.
+type Analyzer struct {
+	sched  *Schedule
+	comm   *core.CommGraph
+	horiz  int
+	align  int // number of cycles after which execution parsing repeats
+	execs  map[string][]execution
+	starts map[string][]int // start times, for binary search
+}
+
+// NewAnalyzer builds an analyzer whose unrolled horizon is sufficient
+// for task graphs with up to maxNodes nodes and maxWork total
+// computation time. Passing the model's maxima (or generous bounds)
+// is safe.
+func NewAnalyzer(comm *core.CommGraph, s *Schedule, maxNodes, maxWork int) *Analyzer {
+	n := s.Len()
+	if n == 0 {
+		n = 1
+	}
+	// Execution grouping only realigns with the cycle boundary every
+	// `align` cycles: an element with k slots per cycle and weight w
+	// realigns after w/gcd(k,w) cycles.
+	align := 1
+	for _, elem := range comm.Elements() {
+		w := comm.WeightOf(elem)
+		k := s.Count(elem)
+		if w <= 0 || k == 0 {
+			continue
+		}
+		align = lcm(align, w/gcd(k, w))
+	}
+	horiz := n * (align + maxWork + maxNodes + 2)
+	a := &Analyzer{sched: s, comm: comm, horiz: horiz, align: align}
+	a.execs = parseExecutions(s.Unroll(horiz), comm.Weight)
+	a.starts = make(map[string][]int, len(a.execs))
+	for e, xs := range a.execs {
+		st := make([]int, len(xs))
+		for i, x := range xs {
+			st[i] = x.start
+		}
+		a.starts[e] = st
+	}
+	return a
+}
+
+func gcd(a, b int) int {
+	for b != 0 {
+		a, b = b, a%b
+	}
+	return a
+}
+
+func lcm(a, b int) int { return a / gcd(a, b) * b }
+
+// AnalyzerFor builds an analyzer sized for every constraint of m.
+func AnalyzerFor(m *core.Model, s *Schedule) *Analyzer {
+	maxNodes, maxWork := 1, 1
+	for _, c := range m.Constraints {
+		if n := c.Task.G.NumNodes(); n > maxNodes {
+			maxNodes = n
+		}
+		if w := c.ComputationTime(m.Comm); w > maxWork {
+			maxWork = w
+		}
+	}
+	return NewAnalyzer(m.Comm, s, maxNodes, maxWork)
+}
+
+// EarliestCompletion returns the earliest time f such that an
+// execution of the task graph fits entirely within [from, f] of the
+// schedule's trace, or Infinite if no execution fits within the
+// analyzer's horizon.
+//
+// Task nodes are processed in topological order; each takes the
+// earliest unused execution of its element starting at or after its
+// ready time (the max finish of its predecessors, or from). This is
+// exact when task nodes map to distinct elements, and a safe upper
+// bound otherwise.
+func (a *Analyzer) EarliestCompletion(task *core.TaskGraph, from int) int {
+	order, err := task.G.TopoSort()
+	if err != nil {
+		return Infinite
+	}
+	finish := make(map[string]int, len(order))
+	used := make(map[string]int) // element -> next unused execution index lower bound
+	completion := from
+	for _, node := range order {
+		elem := task.ElementOf(node)
+		ready := from
+		for _, p := range task.G.Pred(node) {
+			if finish[p] > ready {
+				ready = finish[p]
+			}
+		}
+		w := a.comm.WeightOf(elem)
+		if w == 0 {
+			finish[node] = ready
+			if ready > completion {
+				completion = ready
+			}
+			continue
+		}
+		starts := a.starts[elem]
+		// earliest execution with start >= ready, not yet consumed
+		// by an earlier node of this task graph.
+		i := sort.SearchInts(starts, ready)
+		if i < used[elem] {
+			i = used[elem]
+		}
+		if i >= len(starts) {
+			return Infinite
+		}
+		ex := a.execs[elem][i]
+		used[elem] = i + 1
+		finish[node] = ex.finish
+		if ex.finish > completion {
+			completion = ex.finish
+		}
+	}
+	return completion
+}
+
+// Latency returns the latency of the schedule with respect to the
+// task graph: the least k such that every interval of length ≥ k in
+// the generated trace contains an execution of the task graph.
+// Returns Infinite if no interval does.
+func (a *Analyzer) Latency(task *core.TaskGraph) int {
+	n := a.sched.Len()
+	if n == 0 {
+		return Infinite
+	}
+	// scan one full alignment period of starting points
+	span := n * a.align
+	worst := 0
+	for i := 0; i < span; i++ {
+		f := a.EarliestCompletion(task, i)
+		if f == Infinite {
+			return Infinite
+		}
+		if f-i > worst {
+			worst = f - i
+		}
+	}
+	return worst
+}
+
+// Latency is a convenience wrapper building a one-shot analyzer.
+func Latency(comm *core.CommGraph, s *Schedule, task *core.TaskGraph) int {
+	w := task.ComputationTime(comm)
+	a := NewAnalyzer(comm, s, task.G.NumNodes(), w)
+	return a.Latency(task)
+}

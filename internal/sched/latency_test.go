@@ -1,0 +1,213 @@
+package sched
+
+import (
+	"testing"
+
+	"rtm/internal/core"
+)
+
+// comm1 builds a communication graph a->b->c with given weights.
+func comm1(wa, wb, wc int) *core.CommGraph {
+	c := core.NewCommGraph()
+	c.AddElement("a", wa)
+	c.AddElement("b", wb)
+	c.AddElement("c", wc)
+	c.AddPath("a", "b")
+	c.AddPath("b", "c")
+	return c
+}
+
+func TestParseExecutionsGrouping(t *testing.T) {
+	trace := []string{"a", "a", Idle, "a", "b"}
+	ex := parseExecutions(trace, map[string]int{"a": 2, "b": 1})
+	// a-slots at 0,1,3 with weight 2 -> one execution [0,1], slot 3 is partial
+	if len(ex["a"]) != 1 {
+		t.Fatalf("a executions = %v", ex["a"])
+	}
+	if ex["a"][0].start != 0 || ex["a"][0].finish != 2 {
+		t.Fatalf("a exec = %+v", ex["a"][0])
+	}
+	if len(ex["b"]) != 1 || ex["b"][0].start != 4 || ex["b"][0].finish != 5 {
+		t.Fatalf("b exec = %v", ex["b"])
+	}
+}
+
+func TestParseExecutionsPreempted(t *testing.T) {
+	// weight-2 execution split across non-adjacent slots
+	trace := []string{"a", "b", "a"}
+	ex := parseExecutions(trace, map[string]int{"a": 2, "b": 1})
+	if len(ex["a"]) != 1 || ex["a"][0].start != 0 || ex["a"][0].finish != 3 {
+		t.Fatalf("a exec = %v", ex["a"])
+	}
+}
+
+func TestLatencySingleOp(t *testing.T) {
+	comm := comm1(1, 1, 1)
+	task := core.ChainTask("a")
+	// schedule [a φ φ]: worst invocation right after slot 0 starts;
+	// from i=1 the next a finishes at 4 -> latency 3
+	s := New("a", Idle, Idle)
+	if got := Latency(comm, s, task); got != 3 {
+		t.Fatalf("Latency = %d, want 3", got)
+	}
+	// denser schedule improves latency
+	if got := Latency(comm, New("a", Idle), task); got != 2 {
+		t.Fatalf("Latency = %d, want 2", got)
+	}
+	if got := Latency(comm, New("a"), task); got != 1 {
+		t.Fatalf("Latency = %d, want 1", got)
+	}
+}
+
+func TestLatencyMissingElement(t *testing.T) {
+	comm := comm1(1, 1, 1)
+	task := core.ChainTask("a", "b")
+	s := New("a", Idle)
+	if got := Latency(comm, s, task); got != Infinite {
+		t.Fatalf("Latency = %d, want Infinite", got)
+	}
+}
+
+func TestLatencyChainPrecedence(t *testing.T) {
+	comm := comm1(1, 1, 1)
+	task := core.ChainTask("a", "b")
+	// [a b]: from i=0 finish 2; from i=1: next a at 2, b at 3 -> span 3
+	s := New("a", "b")
+	if got := Latency(comm, s, task); got != 3 {
+		t.Fatalf("Latency = %d, want 3", got)
+	}
+	// [b a]: from i=0: a at 1, then b at 2 -> finish 3; from i=1: a@1,b@2 -> 2
+	s2 := New("b", "a")
+	if got := Latency(comm, s2, task); got != 3 {
+		t.Fatalf("Latency = %d, want 3", got)
+	}
+}
+
+func TestLatencyRespectsOrderNotJustPresence(t *testing.T) {
+	comm := comm1(1, 1, 1)
+	task := core.ChainTask("a", "b")
+	// b before a in each cycle: an execution must span cycles
+	sBad := New("b", "a", Idle, Idle)
+	sGood := New("a", "b", Idle, Idle)
+	lb := Latency(comm, sBad, task)
+	lg := Latency(comm, sGood, task)
+	if lg >= lb {
+		t.Fatalf("ordered schedule should win: good=%d bad=%d", lg, lb)
+	}
+}
+
+func TestLatencyWeightedExecution(t *testing.T) {
+	comm := comm1(2, 1, 1)
+	task := core.ChainTask("a")
+	// [a a φ]: execution [0,2). worst start i=1: next execution starts
+	// at 3, finishes 5 -> span 4
+	s := New("a", "a", Idle)
+	if got := Latency(comm, s, task); got != 4 {
+		t.Fatalf("Latency = %d, want 4", got)
+	}
+}
+
+func TestLatencyAlignmentPeriod(t *testing.T) {
+	// 3 slots of a per cycle with weight 2: executions straddle the
+	// cycle boundary; parsing realigns only every 2 cycles.
+	comm := core.NewCommGraph()
+	comm.AddElement("a", 2)
+	task := core.ChainTask("a")
+	s := New("a", "a", "a")
+	a := NewAnalyzer(comm, s, 1, 2)
+	if a.align != 2 {
+		t.Fatalf("align = %d, want 2", a.align)
+	}
+	// executions: [0,2), [2,4), [4,6), ... every 2 slots; worst start
+	// just after an execution begins: i=1 -> next exec [2,4) -> span 3.
+	if got := a.Latency(task); got != 3 {
+		t.Fatalf("Latency = %d, want 3", got)
+	}
+}
+
+func TestEarliestCompletionFromOffsets(t *testing.T) {
+	comm := comm1(1, 1, 1)
+	task := core.ChainTask("a", "b")
+	s := New("a", "b", Idle, Idle)
+	a := AnalyzerForTest(comm, s)
+	if f := a.EarliestCompletion(task, 0); f != 2 {
+		t.Fatalf("ect(0) = %d, want 2", f)
+	}
+	// from 1: a at 4, b at 5 -> 6
+	if f := a.EarliestCompletion(task, 1); f != 6 {
+		t.Fatalf("ect(1) = %d, want 6", f)
+	}
+}
+
+// AnalyzerForTest builds a generously-sized analyzer.
+func AnalyzerForTest(comm *core.CommGraph, s *Schedule) *Analyzer {
+	return NewAnalyzer(comm, s, 8, 16)
+}
+
+func TestZeroWeightElement(t *testing.T) {
+	comm := core.NewCommGraph()
+	comm.AddElement("z", 0)
+	comm.AddElement("a", 1)
+	comm.AddPath("z", "a")
+	task := core.ChainTask("z", "a")
+	s := New("a", Idle)
+	// z completes instantly; latency driven by a alone
+	if got := Latency(comm, s, task); got != 2 {
+		t.Fatalf("Latency = %d, want 2", got)
+	}
+}
+
+func TestRepeatedElementTask(t *testing.T) {
+	// task f -> f needs two distinct executions of f
+	comm := core.NewCommGraph()
+	comm.AddElement("f", 1)
+	comm.AddPath("f", "f")
+	task := core.NewTaskGraph()
+	task.AddStep("f1", "f")
+	task.AddStep("f2", "f")
+	task.AddPrec("f1", "f2")
+	s := New("f", Idle)
+	// from 0: f@0, f@2 -> finish 3; from 1: f@2, f@4 -> 5-1=4
+	if got := Latency(comm, s, task); got != 4 {
+		t.Fatalf("Latency = %d, want 4", got)
+	}
+}
+
+func TestLatencyDiamondTask(t *testing.T) {
+	comm := core.NewCommGraph()
+	for _, e := range []string{"s", "l", "r", "t"} {
+		comm.AddElement(e, 1)
+	}
+	comm.AddPath("s", "l")
+	comm.AddPath("s", "r")
+	comm.AddPath("l", "t")
+	comm.AddPath("r", "t")
+	task := core.NewTaskGraph()
+	for _, e := range []string{"s", "l", "r", "t"} {
+		task.AddStep(e, e)
+	}
+	task.AddPrec("s", "l")
+	task.AddPrec("s", "r")
+	task.AddPrec("l", "t")
+	task.AddPrec("r", "t")
+	s := New("s", "l", "r", "t")
+	// perfect order: from 0 completes at 4; worst start 1 wraps a cycle
+	if got := Latency(comm, s, task); got != 7 {
+		t.Fatalf("Latency = %d, want 7", got)
+	}
+	// t before r: t must wait for next cycle
+	sBad := New("s", "l", "t", "r")
+	if got := Latency(comm, sBad, task); got <= 7 {
+		t.Fatalf("bad order latency = %d, want > 7", got)
+	}
+}
+
+func TestLatencyMonotoneInDensity(t *testing.T) {
+	comm := comm1(1, 1, 1)
+	task := core.ChainTask("a", "b", "c")
+	dense := New("a", "b", "c")
+	sparse := New("a", Idle, "b", Idle, "c", Idle)
+	if Latency(comm, dense, task) >= Latency(comm, sparse, task) {
+		t.Fatal("denser schedule should have smaller latency")
+	}
+}

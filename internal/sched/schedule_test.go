@@ -1,0 +1,110 @@
+package sched
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestScheduleBasics(t *testing.T) {
+	s := New("a", Idle, "b")
+	if s.Len() != 3 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+	if s.At(0) != "a" || s.At(1) != Idle || s.At(5) != "b" {
+		t.Fatal("At wrong")
+	}
+	if s.BusySlots() != 2 {
+		t.Fatalf("BusySlots = %d", s.BusySlots())
+	}
+	if u := s.Utilization(); u < 0.66 || u > 0.67 {
+		t.Fatalf("Utilization = %v", u)
+	}
+	if s.Count("a") != 1 || s.Count("zzz") != 0 {
+		t.Fatal("Count wrong")
+	}
+}
+
+func TestEmptySchedule(t *testing.T) {
+	s := New()
+	if s.At(7) != Idle {
+		t.Fatal("empty schedule should idle")
+	}
+	if s.Utilization() != 0 {
+		t.Fatal("empty utilization")
+	}
+}
+
+func TestUnroll(t *testing.T) {
+	s := New("a", "b")
+	u := s.Unroll(5)
+	want := []string{"a", "b", "a", "b", "a"}
+	for i := range want {
+		if u[i] != want[i] {
+			t.Fatalf("Unroll = %v", u)
+		}
+	}
+}
+
+func TestCloneEqual(t *testing.T) {
+	s := New("a", "b")
+	c := s.Clone()
+	if !s.Equal(c) {
+		t.Fatal("clone not equal")
+	}
+	c.Slots[0] = "x"
+	if s.Equal(c) || s.Slots[0] != "a" {
+		t.Fatal("clone shares storage")
+	}
+	if s.Equal(New("a")) {
+		t.Fatal("length mismatch equal")
+	}
+}
+
+func TestCanonicalRotation(t *testing.T) {
+	s := New("b", "a", "c")
+	got := s.CanonicalRotation()
+	want := New("a", "c", "b")
+	if !got.Equal(want) {
+		t.Fatalf("CanonicalRotation = %v, want %v", got, want)
+	}
+	// all rotations share a canonical form
+	r1 := New("c", "b", "a").CanonicalRotation()
+	r2 := New("a", "c", "b").CanonicalRotation()
+	if !r1.Equal(r2) {
+		t.Fatalf("rotations disagree: %v vs %v", r1, r2)
+	}
+	// idle slots (empty string) sort before names
+	s2 := New("a", Idle)
+	if s2.CanonicalRotation().Slots[0] != Idle {
+		t.Fatal("idle should rotate to front")
+	}
+	if New().CanonicalRotation().Len() != 0 {
+		t.Fatal("empty canonical")
+	}
+}
+
+func TestStringParseRoundTrip(t *testing.T) {
+	s := New("a", Idle, "b")
+	text := s.String()
+	if !strings.Contains(text, "φ") {
+		t.Fatalf("String = %q", text)
+	}
+	back, err := ParseString(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !back.Equal(s) {
+		t.Fatalf("round trip: %v != %v", back, s)
+	}
+	alt, err := ParseString("a - b _ c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !alt.Equal(New("a", Idle, "b", Idle, "c")) {
+		t.Fatalf("alt parse = %v", alt)
+	}
+	empty, err := ParseString("[]")
+	if err != nil || empty.Len() != 0 {
+		t.Fatalf("empty parse: %v %v", empty, err)
+	}
+}

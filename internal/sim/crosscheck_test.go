@@ -1,0 +1,98 @@
+package sim
+
+// Cross-validation between the two independent implementations of the
+// execution semantics: the static analyzer (internal/sched computes
+// earliest completions over the parsed trace) and the virtual machine
+// (internal/exec records real executions and witnesses invocations).
+// Any disagreement means one of them misimplements the paper's
+// semantics.
+
+import (
+	"math/rand"
+	"testing"
+
+	"rtm/internal/core"
+	"rtm/internal/exec"
+	"rtm/internal/heuristic"
+	"rtm/internal/sched"
+	"rtm/internal/workload"
+)
+
+func TestAnalyzerMatchesVMOnExample(t *testing.T) {
+	m := core.ExampleSystem(core.DefaultExampleParams())
+	res, err := heuristic.Schedule(m, heuristic.Options{MergeShared: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	crossCheck(t, m, res.Schedule)
+}
+
+func TestAnalyzerMatchesVMOnRandomModels(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	checked := 0
+	for i := 0; i < 15; i++ {
+		p := workload.DefaultParams()
+		p.TargetUtil = 0.3 + 0.3*rng.Float64()
+		m, err := workload.Random(rng, p)
+		if err != nil {
+			continue
+		}
+		res, err := heuristic.Schedule(m, heuristic.Options{})
+		if err != nil {
+			continue // heuristic may fail; cross-check needs a schedule
+		}
+		crossCheck(t, m, res.Schedule)
+		checked++
+	}
+	if checked < 5 {
+		t.Fatalf("only %d random models cross-checked", checked)
+	}
+}
+
+// crossCheck verifies, for a set of invocation instants, that the
+// VM's witness completion equals the analyzer's earliest completion,
+// and that deadline verdicts agree.
+func crossCheck(t *testing.T, m *core.Model, s *sched.Schedule) {
+	t.Helper()
+	a := sched.AnalyzerFor(m, s)
+	maxD := 1
+	for _, c := range m.Constraints {
+		if c.Deadline > maxD {
+			maxD = c.Deadline
+		}
+	}
+	horizon := 4*s.Len() + 4*maxD
+	rec := exec.Run(m, s, horizon)
+
+	var invs []exec.Invocation
+	for _, c := range m.Constraints {
+		for phase := 0; phase < s.Len() && phase < 25; phase++ {
+			if phase+2*maxD < horizon {
+				invs = append(invs, exec.Invocation{Constraint: c.Name, Time: phase})
+			}
+		}
+	}
+	outcomes := exec.CheckInvocations(m, rec, invs)
+	for i, o := range outcomes {
+		c := m.ConstraintByName(o.Invocation.Constraint)
+		want := a.EarliestCompletion(c.Task, o.Invocation.Time)
+		if o.Completed == -1 {
+			// VM ran a finite horizon; the analyzer may still find a
+			// completion beyond it. Only flag disagreement when the
+			// analyzer's completion is safely inside the horizon.
+			if want != sched.Infinite && want < horizon-1 {
+				t.Fatalf("inv %d (%s@%d): VM found no witness, analyzer says %d",
+					i, o.Invocation.Constraint, o.Invocation.Time, want)
+			}
+			continue
+		}
+		if want != o.Completed {
+			t.Fatalf("inv %d (%s@%d): VM completion %d, analyzer %d",
+				i, o.Invocation.Constraint, o.Invocation.Time, o.Completed, want)
+		}
+		if !o.FreshnessOK {
+			t.Fatalf("inv %d (%s@%d): VM reports stale data on a verified schedule",
+				i, o.Invocation.Constraint, o.Invocation.Time)
+		}
+	}
+}

@@ -1,0 +1,158 @@
+// Package sim drives a scheduled system end to end: it generates
+// invocation patterns (periodic releases plus random or adversarial
+// asynchronous arrivals), runs the exec virtual machine over the
+// static schedule, and checks every invocation against its deadline
+// and the data-freshness semantics. It is the closed-loop testbed
+// standing in for the physical plant the paper's systems control.
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+
+	"rtm/internal/core"
+	"rtm/internal/exec"
+	"rtm/internal/sched"
+)
+
+// Options configure a simulation run.
+type Options struct {
+	// Horizon in slots; 0 means 3 hyperperiods plus the largest
+	// deadline.
+	Horizon int
+	// Seed for the random asynchronous arrival generator.
+	Seed int64
+	// Adversarial makes every asynchronous constraint arrive at its
+	// worst instant (scanning all phases) instead of randomly.
+	Adversarial bool
+}
+
+// Result is the outcome of a run.
+type Result struct {
+	Horizon     int
+	Outcomes    []exec.InvocationOutcome
+	MissCount   int
+	StaleCount  int
+	WorstSlack  int // most negative slack observed (deadline - response); positive = headroom
+	AllMet      bool
+	PipelineErr []string
+}
+
+// String summarizes the result.
+func (r *Result) String() string {
+	return fmt.Sprintf("horizon=%d invocations=%d misses=%d stale=%d allMet=%v",
+		r.Horizon, len(r.Outcomes), r.MissCount, r.StaleCount, r.AllMet)
+}
+
+// PeriodicInvocations lists every periodic release inside [0,
+// horizon-maxSpan) so each checked invocation's full window fits the
+// record.
+func PeriodicInvocations(m *core.Model, horizon int) []exec.Invocation {
+	var out []exec.Invocation
+	for _, c := range m.Periodic() {
+		for t := 0; t+c.Deadline < horizon; t += c.Period {
+			out = append(out, exec.Invocation{Constraint: c.Name, Time: t})
+		}
+	}
+	return out
+}
+
+// RandomAsyncInvocations draws, for every asynchronous constraint,
+// arrivals with uniformly random gaps in [p, 3p] starting from a
+// random phase.
+func RandomAsyncInvocations(m *core.Model, horizon int, rng *rand.Rand) []exec.Invocation {
+	var out []exec.Invocation
+	for _, c := range m.Asynchronous() {
+		t := rng.Intn(c.Period + 1)
+		for t+c.Deadline < horizon {
+			out = append(out, exec.Invocation{Constraint: c.Name, Time: t})
+			t += c.Period + rng.Intn(2*c.Period+1)
+		}
+	}
+	return out
+}
+
+// AdversarialAsyncInvocations releases each asynchronous constraint
+// once at every phase of the schedule cycle (separated by at least p
+// so the pattern is legal), covering the worst arrival instant.
+func AdversarialAsyncInvocations(m *core.Model, s *sched.Schedule, horizon int) []exec.Invocation {
+	var out []exec.Invocation
+	cycle := s.Len()
+	if cycle == 0 {
+		return nil
+	}
+	for _, c := range m.Asynchronous() {
+		// separation ≥ p and ≡ 1 (mod cycle) so successive arrivals
+		// sweep every phase of the schedule.
+		sep := c.Period
+		if r := sep % cycle; r != 1 {
+			sep += (1 - r + cycle) % cycle
+		}
+		phase := 0
+		for t := 0; t+c.Deadline < horizon && phase < cycle; t += sep {
+			out = append(out, exec.Invocation{Constraint: c.Name, Time: t})
+			phase++
+		}
+	}
+	return out
+}
+
+// Run executes the full closed loop: schedule → VM record →
+// invocation checking.
+func Run(m *core.Model, s *sched.Schedule, opt Options) *Result {
+	horizon := opt.Horizon
+	if horizon <= 0 {
+		maxD := 1
+		for _, c := range m.Constraints {
+			if c.Deadline > maxD {
+				maxD = c.Deadline
+			}
+		}
+		horizon = 3*m.Hyperperiod() + maxD
+		if cycle := s.Len(); cycle > 0 {
+			// at least enough cycles for the adversarial sweep
+			need := cycle*maxD + maxD
+			if need > horizon {
+				horizon = need
+			}
+		}
+	}
+	rec := exec.Run(m, s, horizon)
+
+	invs := PeriodicInvocations(m, horizon)
+	if opt.Adversarial {
+		invs = append(invs, AdversarialAsyncInvocations(m, s, horizon)...)
+	} else {
+		rng := rand.New(rand.NewSource(opt.Seed))
+		invs = append(invs, RandomAsyncInvocations(m, horizon, rng)...)
+	}
+
+	res := &Result{Horizon: horizon, AllMet: true}
+	res.Outcomes = exec.CheckInvocations(m, rec, invs)
+	res.WorstSlack = 1 << 30
+	for _, o := range res.Outcomes {
+		c := m.ConstraintByName(o.Invocation.Constraint)
+		if !o.Met {
+			res.MissCount++
+			res.AllMet = false
+		}
+		if !o.FreshnessOK {
+			res.StaleCount++
+			res.AllMet = false
+		}
+		if o.Completed >= 0 && c != nil {
+			slack := o.Invocation.Time + c.Deadline - o.Completed
+			if slack < res.WorstSlack {
+				res.WorstSlack = slack
+			}
+		}
+	}
+	if len(res.Outcomes) == 0 {
+		res.WorstSlack = 0
+	}
+	res.PipelineErr = exec.PipelineViolations(rec)
+	if len(res.PipelineErr) > 0 {
+		res.AllMet = false
+	}
+	return res
+}

@@ -1,0 +1,128 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+
+	"rtm/internal/core"
+	"rtm/internal/heuristic"
+	"rtm/internal/sched"
+)
+
+func TestRunExampleSystemHeuristicSchedule(t *testing.T) {
+	m := core.ExampleSystem(core.DefaultExampleParams())
+	res, err := heuristic.Schedule(m, heuristic.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// random arrivals
+	r := Run(m, res.Schedule, Options{Seed: 42})
+	if !r.AllMet {
+		t.Fatalf("random run failed: %s (pipeline %v)", r, r.PipelineErr)
+	}
+	if len(r.Outcomes) == 0 {
+		t.Fatal("no invocations checked")
+	}
+	// adversarial arrivals sweep every phase
+	ra := Run(m, res.Schedule, Options{Adversarial: true})
+	if !ra.AllMet {
+		t.Fatalf("adversarial run failed: %s", ra)
+	}
+	if ra.WorstSlack < 0 {
+		t.Fatalf("negative slack %d on feasible schedule", ra.WorstSlack)
+	}
+}
+
+func TestRunDetectsInfeasibleSchedule(t *testing.T) {
+	m := core.ExampleSystem(core.DefaultExampleParams())
+	// a schedule that ignores fZ entirely: Z invocations can never
+	// complete fresh executions
+	s := sched.New("fX", "fX", "fS", "fS", "fS", "fS", "fK", "fK",
+		"fY", "fY", "fY", sched.Idle)
+	r := Run(m, s, Options{Seed: 1})
+	if r.AllMet {
+		t.Fatal("missing fZ not detected")
+	}
+	if r.MissCount == 0 {
+		t.Fatal("no misses recorded")
+	}
+}
+
+func TestPeriodicInvocations(t *testing.T) {
+	m := core.ExampleSystem(core.DefaultExampleParams())
+	invs := PeriodicInvocations(m, 100)
+	countX := 0
+	for _, i := range invs {
+		if i.Constraint == "X" {
+			countX++
+			if i.Time%20 != 0 {
+				t.Fatalf("X invocation at %d", i.Time)
+			}
+		}
+		if i.Constraint == "Z" {
+			t.Fatal("async constraint in periodic invocations")
+		}
+	}
+	if countX != 4 { // t = 0,20,40,60 (80+20 deadline exceeds 100)
+		t.Fatalf("X invocations = %d, want 4", countX)
+	}
+}
+
+func TestAdversarialSweepsPhases(t *testing.T) {
+	m := core.NewModel()
+	m.Comm.AddElement("a", 1)
+	m.AddConstraint(&core.Constraint{
+		Name: "A", Task: core.ChainTask("a"),
+		Period: 5, Deadline: 5, Kind: core.Asynchronous,
+	})
+	s := sched.New("a", sched.Idle, sched.Idle)
+	invs := AdversarialAsyncInvocations(m, s, 200)
+	if len(invs) != s.Len() {
+		t.Fatalf("invocations = %d, want %d (one per phase)", len(invs), s.Len())
+	}
+	phases := map[int]bool{}
+	last := -1
+	for _, inv := range invs {
+		phases[inv.Time%s.Len()] = true
+		if last >= 0 && inv.Time-last < 5 {
+			t.Fatalf("separation violated: %d after %d", inv.Time, last)
+		}
+		last = inv.Time
+	}
+	if len(phases) != s.Len() {
+		t.Fatalf("phases covered = %d, want %d", len(phases), s.Len())
+	}
+}
+
+func TestRandomAsyncRespectsSeparation(t *testing.T) {
+	m := core.NewModel()
+	m.Comm.AddElement("a", 1)
+	m.AddConstraint(&core.Constraint{
+		Name: "A", Task: core.ChainTask("a"),
+		Period: 7, Deadline: 10, Kind: core.Asynchronous,
+	})
+	for seed := int64(0); seed < 5; seed++ {
+		r := Run(m, sched.New("a"), Options{Seed: seed, Horizon: 300})
+		last := map[string]int{}
+		for _, o := range r.Outcomes {
+			if prev, ok := last[o.Invocation.Constraint]; ok {
+				if o.Invocation.Time-prev < 7 {
+					t.Fatalf("separation violated at %d after %d", o.Invocation.Time, prev)
+				}
+			}
+			last[o.Invocation.Constraint] = o.Invocation.Time
+		}
+	}
+}
+
+func TestResultString(t *testing.T) {
+	m := core.ExampleSystem(core.DefaultExampleParams())
+	res, err := heuristic.Schedule(m, heuristic.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := Run(m, res.Schedule, Options{Seed: 3})
+	if !strings.Contains(r.String(), "misses=0") {
+		t.Fatalf("String = %s", r)
+	}
+}

@@ -1,0 +1,30 @@
+package spec
+
+import "testing"
+
+// FuzzParse checks that the parser never panics and that anything it
+// accepts survives a Print/Parse round trip.
+func FuzzParse(f *testing.F) {
+	f.Add(exampleSpec)
+	f.Add("element a weight 1\nperiodic P period 3 deadline 3 { a }")
+	f.Add("sporadic S separation 5 deadline 5 { x }")
+	f.Add("element f weight 4\nperiodic P period 30 deadline 30 { f }\npipeline f stages 2")
+	f.Add("path a -> b\n# comment\nsystem x")
+	f.Add("periodic P period 1 deadline 1 {")
+	f.Add("element a weight 1\nperiodic P period 3 deadline 3 { a:b:c }")
+	f.Fuzz(func(t *testing.T, text string) {
+		sp, err := Parse(text)
+		if err != nil {
+			return
+		}
+		// accepted specs must round-trip
+		printed := Print(sp.Name, sp.Model)
+		back, err := Parse(printed)
+		if err != nil {
+			t.Fatalf("printed spec rejected: %v\ninput: %q\nprinted:\n%s", err, text, printed)
+		}
+		if len(back.Model.Constraints) != len(sp.Model.Constraints) {
+			t.Fatalf("round trip changed constraint count: %q", text)
+		}
+	})
+}

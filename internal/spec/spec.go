@@ -1,0 +1,318 @@
+// Package spec implements a small requirements-specification language
+// for the graph-based model — the role CONSORT's front end played for
+// the paper's methodology. A specification names the functional
+// elements with their computation times, the communication paths, and
+// the timing constraints with their task graphs; it compiles to a
+// validated core.Model and pretty-prints back losslessly.
+//
+// Grammar (line-oriented; '#' at line start or after whitespace
+// starts a comment — element names may contain interior '#'):
+//
+//	system <name>
+//	element <name> weight <int>
+//	path <from> -> <to>
+//	periodic <name> period <int> deadline <int> { <task> }
+//	sporadic <name> separation <int> deadline <int> { <task> }
+//	pipeline <elem> stages <int>
+//	replicate <elem> copies <int>
+//
+// The `pipeline` and `replicate` directives are applied as model
+// transformations after the whole specification parses: pipeline
+// splits an element into equal-time sub-functions (software
+// pipelining) and replicate applies modular redundancy with a
+// majority voter.
+//
+// where <task> is a ';'-separated list of items, each either a chain
+// "a -> b -> c" (steps named after their elements) or a single step.
+// Repeated executions of one element use "node:elem" naming:
+//
+//	periodic P period 10 deadline 10 { first:f -> second:f }
+package spec
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"rtm/internal/core"
+	"rtm/internal/fault"
+	"rtm/internal/pipeline"
+)
+
+// ParseError carries the offending line number.
+type ParseError struct {
+	Line int
+	Msg  string
+}
+
+func (e *ParseError) Error() string {
+	return fmt.Sprintf("spec: line %d: %s", e.Line, e.Msg)
+}
+
+func errf(line int, format string, args ...any) error {
+	return &ParseError{Line: line, Msg: fmt.Sprintf(format, args...)}
+}
+
+// Spec is a parsed specification.
+type Spec struct {
+	Name  string
+	Model *core.Model
+}
+
+// transform is a deferred model transformation directive.
+type transform struct {
+	kind string // "pipeline" or "replicate"
+	elem string
+	n    int
+	line int
+}
+
+// Parse compiles a specification text into a validated model.
+func Parse(text string) (*Spec, error) {
+	sp := &Spec{Model: core.NewModel()}
+	var transforms []transform
+	lines := strings.Split(text, "\n")
+	for i := 0; i < len(lines); i++ {
+		lineNo := i + 1
+		line := stripComment(lines[i])
+		if line == "" {
+			continue
+		}
+		fields := strings.Fields(line)
+		switch fields[0] {
+		case "system":
+			if len(fields) != 2 {
+				return nil, errf(lineNo, "usage: system <name>")
+			}
+			sp.Name = fields[1]
+		case "element":
+			if len(fields) != 4 || fields[2] != "weight" {
+				return nil, errf(lineNo, "usage: element <name> weight <int>")
+			}
+			var w int
+			if _, err := fmt.Sscanf(fields[3], "%d", &w); err != nil || w < 0 {
+				return nil, errf(lineNo, "bad weight %q", fields[3])
+			}
+			sp.Model.Comm.AddElement(fields[1], w)
+		case "path":
+			if len(fields) != 4 || fields[2] != "->" {
+				return nil, errf(lineNo, "usage: path <from> -> <to>")
+			}
+			for _, e := range []string{fields[1], fields[3]} {
+				if !sp.Model.Comm.G.HasNode(e) {
+					return nil, errf(lineNo, "unknown element %q (declare it first)", e)
+				}
+			}
+			sp.Model.Comm.AddPath(fields[1], fields[3])
+		case "periodic", "sporadic":
+			c, consumed, err := parseConstraint(fields[0], lines, i)
+			if err != nil {
+				return nil, err
+			}
+			sp.Model.AddConstraint(c)
+			i += consumed
+		case "pipeline":
+			if len(fields) != 4 || fields[2] != "stages" {
+				return nil, errf(lineNo, "usage: pipeline <elem> stages <int>")
+			}
+			var n int
+			if _, err := fmt.Sscanf(fields[3], "%d", &n); err != nil || n < 1 {
+				return nil, errf(lineNo, "bad stage count %q", fields[3])
+			}
+			transforms = append(transforms, transform{kind: "pipeline", elem: fields[1], n: n, line: lineNo})
+		case "replicate":
+			if len(fields) != 4 || fields[2] != "copies" {
+				return nil, errf(lineNo, "usage: replicate <elem> copies <int>")
+			}
+			var n int
+			if _, err := fmt.Sscanf(fields[3], "%d", &n); err != nil || n < 2 {
+				return nil, errf(lineNo, "bad copy count %q (need ≥ 2)", fields[3])
+			}
+			transforms = append(transforms, transform{kind: "replicate", elem: fields[1], n: n, line: lineNo})
+		default:
+			return nil, errf(lineNo, "unknown directive %q", fields[0])
+		}
+	}
+	if err := sp.Model.Validate(); err != nil {
+		return nil, fmt.Errorf("spec: %w", err)
+	}
+	for _, tr := range transforms {
+		var err error
+		switch tr.kind {
+		case "pipeline":
+			sp.Model, err = pipeline.Decompose(sp.Model, tr.elem, tr.n)
+		case "replicate":
+			sp.Model, err = fault.Replicate(sp.Model, tr.elem, tr.n, 1)
+		}
+		if err != nil {
+			return nil, errf(tr.line, "%s %s: %v", tr.kind, tr.elem, err)
+		}
+	}
+	if len(transforms) > 0 {
+		if err := sp.Model.Validate(); err != nil {
+			return nil, fmt.Errorf("spec: after transforms: %w", err)
+		}
+	}
+	return sp, nil
+}
+
+// stripComment removes a trailing comment. A '#' starts a comment
+// only at the beginning of a line or after whitespace, so element
+// names containing '#' (pipeline stages like "f#0") survive.
+func stripComment(line string) string {
+	for i := 0; i < len(line); i++ {
+		if line[i] == '#' && (i == 0 || line[i-1] == ' ' || line[i-1] == '\t') {
+			line = line[:i]
+			break
+		}
+	}
+	return strings.TrimSpace(line)
+}
+
+// parseConstraint parses a constraint starting at lines[start]; the
+// body may be inline ("{ ... }" on one line) or span lines until a
+// closing "}". It returns the constraint and how many extra lines
+// were consumed.
+func parseConstraint(kind string, lines []string, start int) (*core.Constraint, int, error) {
+	lineNo := start + 1
+	head := stripComment(lines[start])
+	open := strings.IndexByte(head, '{')
+	if open < 0 {
+		return nil, 0, errf(lineNo, "constraint missing '{'")
+	}
+	fields := strings.Fields(head[:open])
+	sepWord := "period"
+	k := core.Periodic
+	if kind == "sporadic" {
+		sepWord = "separation"
+		k = core.Asynchronous
+	}
+	if len(fields) != 6 || fields[2] != sepWord || fields[4] != "deadline" {
+		return nil, 0, errf(lineNo, "usage: %s <name> %s <int> deadline <int> { ... }", kind, sepWord)
+	}
+	var p, d int
+	if _, err := fmt.Sscanf(fields[3], "%d", &p); err != nil {
+		return nil, 0, errf(lineNo, "bad %s %q", sepWord, fields[3])
+	}
+	if _, err := fmt.Sscanf(fields[5], "%d", &d); err != nil {
+		return nil, 0, errf(lineNo, "bad deadline %q", fields[5])
+	}
+
+	// collect the body text up to the matching '}'
+	body := head[open+1:]
+	consumed := 0
+	for !strings.Contains(body, "}") {
+		next := start + 1 + consumed
+		if next >= len(lines) {
+			return nil, 0, errf(lineNo, "constraint body not closed")
+		}
+		body += " " + stripComment(lines[next])
+		consumed++
+	}
+	body = body[:strings.IndexByte(body, '}')]
+
+	task, err := parseTask(body, lineNo)
+	if err != nil {
+		return nil, 0, err
+	}
+	return &core.Constraint{
+		Name: fields[1], Task: task, Period: p, Deadline: d, Kind: k,
+	}, consumed, nil
+}
+
+// parseTask parses a ';'-separated list of chains into a task graph.
+func parseTask(body string, lineNo int) (*core.TaskGraph, error) {
+	t := core.NewTaskGraph()
+	addStep := func(item string) (string, error) {
+		node, elem := item, item
+		if idx := strings.IndexByte(item, ':'); idx >= 0 {
+			node, elem = item[:idx], item[idx+1:]
+			if node == "" || elem == "" {
+				return "", errf(lineNo, "bad step %q", item)
+			}
+		}
+		t.AddStep(node, elem)
+		return node, nil
+	}
+	for _, clause := range strings.Split(body, ";") {
+		clause = strings.TrimSpace(clause)
+		if clause == "" {
+			continue
+		}
+		parts := strings.Split(clause, "->")
+		prev := ""
+		for _, part := range parts {
+			part = strings.TrimSpace(part)
+			if part == "" {
+				return nil, errf(lineNo, "empty step in %q", clause)
+			}
+			node, err := addStep(part)
+			if err != nil {
+				return nil, err
+			}
+			if prev != "" {
+				t.AddPrec(prev, node)
+			}
+			prev = node
+		}
+	}
+	if t.G.NumNodes() == 0 {
+		return nil, errf(lineNo, "empty task graph")
+	}
+	return t, nil
+}
+
+// Print renders a model back into specification syntax. Parsing the
+// output reproduces an equivalent model (round-trip property).
+func Print(name string, m *core.Model) string {
+	var b strings.Builder
+	if name != "" {
+		fmt.Fprintf(&b, "system %s\n", name)
+	}
+	for _, e := range m.Comm.Elements() {
+		fmt.Fprintf(&b, "element %s weight %d\n", e, m.Comm.WeightOf(e))
+	}
+	edges := m.Comm.G.Edges()
+	sort.Slice(edges, func(i, j int) bool {
+		if edges[i].From != edges[j].From {
+			return edges[i].From < edges[j].From
+		}
+		return edges[i].To < edges[j].To
+	})
+	for _, e := range edges {
+		fmt.Fprintf(&b, "path %s -> %s\n", e.From, e.To)
+	}
+	for _, c := range m.Constraints {
+		kind, sepWord := "periodic", "period"
+		if c.Kind == core.Asynchronous {
+			kind, sepWord = "sporadic", "separation"
+		}
+		fmt.Fprintf(&b, "%s %s %s %d deadline %d { %s }\n",
+			kind, c.Name, sepWord, c.Period, c.Deadline, renderTask(c.Task))
+	}
+	return b.String()
+}
+
+// renderTask serializes a task graph as chains covering every edge
+// plus isolated nodes.
+func renderTask(t *core.TaskGraph) string {
+	var clauses []string
+	covered := map[string]bool{}
+	step := func(node string) string {
+		if node == t.ElementOf(node) {
+			return node
+		}
+		return node + ":" + t.ElementOf(node)
+	}
+	for _, e := range t.G.Edges() {
+		clauses = append(clauses, step(e.From)+" -> "+step(e.To))
+		covered[e.From] = true
+		covered[e.To] = true
+	}
+	for _, n := range t.Nodes() {
+		if !covered[n] {
+			clauses = append(clauses, step(n))
+		}
+	}
+	return strings.Join(clauses, "; ")
+}

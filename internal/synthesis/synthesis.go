@@ -1,0 +1,207 @@
+// Package synthesis implements the paper's program-synthesis step: a
+// validated graph-based model is compiled into an executable system
+// description. Each timing constraint becomes a process whose body is
+// a straight-line program (a topological sort of its task graph);
+// every functional element occurring in two or more constraints is
+// protected by a monitor; and the data paths of the communication
+// graph become typed channels between operations.
+//
+// The output is an intermediate representation (Program) that the
+// exec package can run on a simulated processor, plus a deterministic
+// pseudo-source rendering for human inspection.
+package synthesis
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"rtm/internal/core"
+)
+
+// Op is one operation of a process body: execute a functional element
+// for its full computation time, reading the latest values on its
+// incoming data paths and writing its outputs.
+type Op struct {
+	Elem    string   // functional element executed
+	Weight  int      // computation time
+	Reads   []string // data paths read (edge names "u->v")
+	Writes  []string // data paths written
+	Monitor string   // monitor guarding the element, if shared ("" = none)
+}
+
+// Process is a synthesized process: the straight-line body for one
+// timing constraint.
+type Process struct {
+	Name     string
+	Kind     core.Kind
+	Period   int
+	Deadline int
+	Body     []Op
+}
+
+// ComputationTime returns the sum of the body's weights.
+func (p *Process) ComputationTime() int {
+	total := 0
+	for _, op := range p.Body {
+		total += op.Weight
+	}
+	return total
+}
+
+// Monitor is a mutual-exclusion region guarding one shared element.
+type Monitor struct {
+	Name string
+	Elem string
+	// Users lists the processes that enter the monitor.
+	Users []string
+	// SectionLen is the critical-section length (the element's
+	// weight).
+	SectionLen int
+}
+
+// Program is the full synthesized system.
+type Program struct {
+	Processes []*Process
+	Monitors  []*Monitor
+	// Channels lists every data path used by some process, named
+	// "u->v".
+	Channels []string
+	Source   *core.Model
+}
+
+// MonitorFor returns the monitor guarding elem, or nil.
+func (pr *Program) MonitorFor(elem string) *Monitor {
+	for _, m := range pr.Monitors {
+		if m.Elem == elem {
+			return m
+		}
+	}
+	return nil
+}
+
+// ProcessByName returns the named process, or nil.
+func (pr *Program) ProcessByName(name string) *Process {
+	for _, p := range pr.Processes {
+		if p.Name == name {
+			return p
+		}
+	}
+	return nil
+}
+
+// edgeName renders a data path deterministically.
+func edgeName(u, v string) string { return u + "->" + v }
+
+// Synthesize compiles a model into a Program. The model must
+// validate.
+func Synthesize(m *core.Model) (*Program, error) {
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	shared := map[string]bool{}
+	for _, e := range m.SharedElements() {
+		shared[e] = true
+	}
+	pr := &Program{Source: m}
+	monitors := map[string]*Monitor{}
+	channels := map[string]bool{}
+
+	for _, c := range m.Constraints {
+		order, err := c.Task.G.TopoSort()
+		if err != nil {
+			return nil, fmt.Errorf("synthesis: constraint %q: %w", c.Name, err)
+		}
+		p := &Process{
+			Name:     c.Name,
+			Kind:     c.Kind,
+			Period:   c.Period,
+			Deadline: c.Deadline,
+		}
+		for _, node := range order {
+			elem := c.Task.ElementOf(node)
+			op := Op{Elem: elem, Weight: m.Comm.WeightOf(elem)}
+			for _, pred := range c.Task.G.Pred(node) {
+				ch := edgeName(c.Task.ElementOf(pred), elem)
+				op.Reads = append(op.Reads, ch)
+				channels[ch] = true
+			}
+			for _, succ := range c.Task.G.Succ(node) {
+				ch := edgeName(elem, c.Task.ElementOf(succ))
+				op.Writes = append(op.Writes, ch)
+				channels[ch] = true
+			}
+			if shared[elem] {
+				monName := "mon_" + elem
+				op.Monitor = monName
+				mon, ok := monitors[monName]
+				if !ok {
+					mon = &Monitor{Name: monName, Elem: elem, SectionLen: m.Comm.WeightOf(elem)}
+					monitors[monName] = mon
+				}
+				if !containsStr(mon.Users, c.Name) {
+					mon.Users = append(mon.Users, c.Name)
+				}
+			}
+			p.Body = append(p.Body, op)
+		}
+		pr.Processes = append(pr.Processes, p)
+	}
+
+	var monNames []string
+	for n := range monitors {
+		monNames = append(monNames, n)
+	}
+	sort.Strings(monNames)
+	for _, n := range monNames {
+		pr.Monitors = append(pr.Monitors, monitors[n])
+	}
+	for ch := range channels {
+		pr.Channels = append(pr.Channels, ch)
+	}
+	sort.Strings(pr.Channels)
+	return pr, nil
+}
+
+// Render emits a deterministic pseudo-source listing of the program,
+// in the style of a very high level real-time language.
+func (pr *Program) Render() string {
+	var b strings.Builder
+	b.WriteString("system {\n")
+	for _, ch := range pr.Channels {
+		fmt.Fprintf(&b, "  channel %q\n", ch)
+	}
+	for _, m := range pr.Monitors {
+		fmt.Fprintf(&b, "  monitor %s guards %s (section %d) used by %s\n",
+			m.Name, m.Elem, m.SectionLen, strings.Join(m.Users, ", "))
+	}
+	for _, p := range pr.Processes {
+		fmt.Fprintf(&b, "  process %s %s(period=%d, deadline=%d) {\n",
+			p.Name, p.Kind, p.Period, p.Deadline)
+		for _, op := range p.Body {
+			line := fmt.Sprintf("    exec %s /*%du*/", op.Elem, op.Weight)
+			if len(op.Reads) > 0 {
+				line += " reads " + strings.Join(op.Reads, ",")
+			}
+			if len(op.Writes) > 0 {
+				line += " writes " + strings.Join(op.Writes, ",")
+			}
+			if op.Monitor != "" {
+				line += " in " + op.Monitor
+			}
+			b.WriteString(line + "\n")
+		}
+		b.WriteString("  }\n")
+	}
+	b.WriteString("}\n")
+	return b.String()
+}
+
+func containsStr(xs []string, x string) bool {
+	for _, v := range xs {
+		if v == x {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,138 @@
+package synthesis
+
+import (
+	"strings"
+	"testing"
+
+	"rtm/internal/core"
+)
+
+func TestSynthesizeExample(t *testing.T) {
+	m := core.ExampleSystem(core.DefaultExampleParams())
+	pr, err := Synthesize(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pr.Processes) != 3 {
+		t.Fatalf("processes = %d", len(pr.Processes))
+	}
+	x := pr.ProcessByName("X")
+	if x == nil {
+		t.Fatal("process X missing")
+	}
+	// body is a topological sort of fX -> fS -> fK
+	if len(x.Body) != 3 || x.Body[0].Elem != "fX" || x.Body[1].Elem != "fS" || x.Body[2].Elem != "fK" {
+		t.Fatalf("X body = %+v", x.Body)
+	}
+	if x.ComputationTime() != 8 {
+		t.Fatalf("X computation time = %d", x.ComputationTime())
+	}
+	// fS and fK are shared -> two monitors
+	if len(pr.Monitors) != 2 {
+		t.Fatalf("monitors = %+v", pr.Monitors)
+	}
+	monS := pr.MonitorFor("fS")
+	if monS == nil || monS.SectionLen != 4 {
+		t.Fatalf("fS monitor = %+v", monS)
+	}
+	if len(monS.Users) != 3 { // X, Y and Z all run fS
+		t.Fatalf("fS users = %v", monS.Users)
+	}
+	if pr.MonitorFor("fX") != nil {
+		t.Fatal("unshared element got a monitor")
+	}
+	if pr.MonitorFor("nothing") != nil {
+		t.Fatal("unknown element got a monitor")
+	}
+	if pr.ProcessByName("nope") != nil {
+		t.Fatal("unknown process found")
+	}
+}
+
+func TestSynthesizeChannels(t *testing.T) {
+	m := core.ExampleSystem(core.DefaultExampleParams())
+	pr, err := Synthesize(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]bool{"fX->fS": true, "fY->fS": true, "fZ->fS": true, "fS->fK": true}
+	got := map[string]bool{}
+	for _, ch := range pr.Channels {
+		got[ch] = true
+	}
+	for ch := range want {
+		if !got[ch] {
+			t.Fatalf("channel %s missing from %v", ch, pr.Channels)
+		}
+	}
+	// the fS op of X reads from fX and writes to fK
+	x := pr.ProcessByName("X")
+	fsOp := x.Body[1]
+	if len(fsOp.Reads) != 1 || fsOp.Reads[0] != "fX->fS" {
+		t.Fatalf("fS reads = %v", fsOp.Reads)
+	}
+	if len(fsOp.Writes) != 1 || fsOp.Writes[0] != "fS->fK" {
+		t.Fatalf("fS writes = %v", fsOp.Writes)
+	}
+	if fsOp.Monitor != "mon_fS" {
+		t.Fatalf("fS monitor = %q", fsOp.Monitor)
+	}
+}
+
+func TestSynthesizeInvalidModel(t *testing.T) {
+	m := core.NewModel()
+	m.Comm.AddElement("a", 3)
+	m.AddConstraint(&core.Constraint{
+		Name: "A", Task: core.ChainTask("a"),
+		Period: 2, Deadline: 2, Kind: core.Periodic, // w > d
+	})
+	if _, err := Synthesize(m); err == nil {
+		t.Fatal("invalid model synthesized")
+	}
+}
+
+func TestRenderDeterministic(t *testing.T) {
+	m := core.ExampleSystem(core.DefaultExampleParams())
+	pr, err := Synthesize(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1 := pr.Render()
+	pr2, _ := Synthesize(m)
+	if r1 != pr2.Render() {
+		t.Fatal("render not deterministic")
+	}
+	for _, want := range []string{
+		"process X periodic(period=20, deadline=20)",
+		"monitor mon_fS guards fS (section 4)",
+		"exec fS /*4u*/",
+		"process Z asynchronous(period=100, deadline=30)",
+		`channel "fS->fK"`,
+	} {
+		if !strings.Contains(r1, want) {
+			t.Fatalf("render missing %q:\n%s", want, r1)
+		}
+	}
+}
+
+func TestSynthesizeNoSharedElements(t *testing.T) {
+	m := core.NewModel()
+	m.Comm.AddElement("a", 1)
+	m.Comm.AddElement("b", 1)
+	m.AddConstraint(&core.Constraint{Name: "A", Task: core.ChainTask("a"), Period: 5, Deadline: 5, Kind: core.Periodic})
+	m.AddConstraint(&core.Constraint{Name: "B", Task: core.ChainTask("b"), Period: 5, Deadline: 5, Kind: core.Periodic})
+	pr, err := Synthesize(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pr.Monitors) != 0 {
+		t.Fatalf("monitors = %+v, want none", pr.Monitors)
+	}
+	for _, p := range pr.Processes {
+		for _, op := range p.Body {
+			if op.Monitor != "" {
+				t.Fatalf("op %v has monitor", op)
+			}
+		}
+	}
+}

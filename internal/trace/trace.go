@@ -1,0 +1,208 @@
+// Package trace serializes the system's artifacts — models, static
+// schedules, feasibility reports and execution records — as JSON, so
+// external tooling (plotters, CI dashboards, diffing) can consume
+// synthesis results. Deserialization reconstructs semantically
+// equivalent objects; round-tripping is covered by tests.
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+
+	"rtm/internal/core"
+	"rtm/internal/exec"
+	"rtm/internal/sched"
+)
+
+// ModelJSON is the wire form of a core.Model.
+type ModelJSON struct {
+	Elements    []ElementJSON    `json:"elements"`
+	Paths       []PathJSON       `json:"paths"`
+	Constraints []ConstraintJSON `json:"constraints"`
+}
+
+// ElementJSON is one functional element.
+type ElementJSON struct {
+	Name   string `json:"name"`
+	Weight int    `json:"weight"`
+}
+
+// PathJSON is one communication path.
+type PathJSON struct {
+	From string `json:"from"`
+	To   string `json:"to"`
+}
+
+// ConstraintJSON is one timing constraint.
+type ConstraintJSON struct {
+	Name     string     `json:"name"`
+	Kind     string     `json:"kind"` // "periodic" | "asynchronous"
+	Period   int        `json:"period"`
+	Deadline int        `json:"deadline"`
+	Steps    []StepJSON `json:"steps"`
+	Precs    []PathJSON `json:"precedences"`
+}
+
+// StepJSON is one task-graph node.
+type StepJSON struct {
+	Node string `json:"node"`
+	Elem string `json:"elem"`
+}
+
+// EncodeModel renders a model as deterministic, indented JSON.
+func EncodeModel(m *core.Model) ([]byte, error) {
+	out := ModelJSON{}
+	for _, e := range m.Comm.Elements() {
+		out.Elements = append(out.Elements, ElementJSON{Name: e, Weight: m.Comm.WeightOf(e)})
+	}
+	edges := m.Comm.G.Edges()
+	sort.Slice(edges, func(i, j int) bool {
+		if edges[i].From != edges[j].From {
+			return edges[i].From < edges[j].From
+		}
+		return edges[i].To < edges[j].To
+	})
+	for _, e := range edges {
+		out.Paths = append(out.Paths, PathJSON{From: e.From, To: e.To})
+	}
+	for _, c := range m.Constraints {
+		cj := ConstraintJSON{
+			Name:     c.Name,
+			Kind:     c.Kind.String(),
+			Period:   c.Period,
+			Deadline: c.Deadline,
+		}
+		for _, n := range c.Task.Nodes() {
+			cj.Steps = append(cj.Steps, StepJSON{Node: n, Elem: c.Task.ElementOf(n)})
+		}
+		for _, e := range c.Task.G.Edges() {
+			cj.Precs = append(cj.Precs, PathJSON{From: e.From, To: e.To})
+		}
+		out.Constraints = append(out.Constraints, cj)
+	}
+	return json.MarshalIndent(out, "", "  ")
+}
+
+// DecodeModel reconstructs a validated model from EncodeModel output.
+func DecodeModel(data []byte) (*core.Model, error) {
+	var in ModelJSON
+	if err := json.Unmarshal(data, &in); err != nil {
+		return nil, fmt.Errorf("trace: %w", err)
+	}
+	m := core.NewModel()
+	for _, e := range in.Elements {
+		m.Comm.AddElement(e.Name, e.Weight)
+	}
+	for _, p := range in.Paths {
+		if !m.Comm.G.HasNode(p.From) || !m.Comm.G.HasNode(p.To) {
+			return nil, fmt.Errorf("trace: path %s->%s references unknown element", p.From, p.To)
+		}
+		m.Comm.AddPath(p.From, p.To)
+	}
+	for _, cj := range in.Constraints {
+		var kind core.Kind
+		switch cj.Kind {
+		case "periodic":
+			kind = core.Periodic
+		case "asynchronous":
+			kind = core.Asynchronous
+		default:
+			return nil, fmt.Errorf("trace: constraint %q has unknown kind %q", cj.Name, cj.Kind)
+		}
+		task := core.NewTaskGraph()
+		for _, s := range cj.Steps {
+			task.AddStep(s.Node, s.Elem)
+		}
+		for _, p := range cj.Precs {
+			task.AddPrec(p.From, p.To)
+		}
+		m.AddConstraint(&core.Constraint{
+			Name: cj.Name, Task: task, Period: cj.Period, Deadline: cj.Deadline, Kind: kind,
+		})
+	}
+	if err := m.Validate(); err != nil {
+		return nil, fmt.Errorf("trace: decoded model invalid: %w", err)
+	}
+	return m, nil
+}
+
+// ScheduleJSON is the wire form of a static schedule; idle slots are
+// empty strings.
+type ScheduleJSON struct {
+	Slots []string `json:"slots"`
+}
+
+// EncodeSchedule renders a schedule.
+func EncodeSchedule(s *sched.Schedule) ([]byte, error) {
+	return json.MarshalIndent(ScheduleJSON{Slots: s.Slots}, "", "  ")
+}
+
+// DecodeSchedule reconstructs a schedule.
+func DecodeSchedule(data []byte) (*sched.Schedule, error) {
+	var in ScheduleJSON
+	if err := json.Unmarshal(data, &in); err != nil {
+		return nil, fmt.Errorf("trace: %w", err)
+	}
+	return &sched.Schedule{Slots: in.Slots}, nil
+}
+
+// ReportJSON is the wire form of a feasibility report.
+type ReportJSON struct {
+	Feasible    bool                   `json:"feasible"`
+	Constraints []ReportConstraintJSON `json:"constraints"`
+}
+
+// ReportConstraintJSON is one per-constraint verdict; Latency −1
+// encodes "never executes".
+type ReportConstraintJSON struct {
+	Name     string `json:"name"`
+	Kind     string `json:"kind"`
+	Latency  int    `json:"latency"`
+	Deadline int    `json:"deadline"`
+	OK       bool   `json:"ok"`
+}
+
+// EncodeReport renders a feasibility report.
+func EncodeReport(r *sched.Report) ([]byte, error) {
+	out := ReportJSON{Feasible: r.Feasible}
+	for _, c := range r.Constraints {
+		lat := c.Latency
+		if lat == sched.Infinite {
+			lat = -1
+		}
+		out.Constraints = append(out.Constraints, ReportConstraintJSON{
+			Name: c.Name, Kind: c.Kind.String(), Latency: lat, Deadline: c.Deadline, OK: c.OK,
+		})
+	}
+	return json.MarshalIndent(out, "", "  ")
+}
+
+// RecordJSON is the wire form of a VM execution record.
+type RecordJSON struct {
+	Horizon    int                      `json:"horizon"`
+	IdleSlots  int                      `json:"idleSlots"`
+	Executions map[string][]ExecutionJS `json:"executions"`
+}
+
+// ExecutionJS is one completed execution.
+type ExecutionJS struct {
+	Start  int `json:"start"`
+	Finish int `json:"finish"`
+	Seq    int `json:"seq"`
+}
+
+// EncodeRecord renders a VM record (inputs are elided — they carry
+// maps unfit for stable serialization; the timing skeleton is what
+// downstream tools consume).
+func EncodeRecord(r *exec.Record) ([]byte, error) {
+	out := RecordJSON{Horizon: r.Horizon, IdleSlots: r.IdleSlots, Executions: map[string][]ExecutionJS{}}
+	for elem, execs := range r.Executions {
+		for _, e := range execs {
+			out.Executions[elem] = append(out.Executions[elem], ExecutionJS{
+				Start: e.Start, Finish: e.Finish, Seq: e.Seq,
+			})
+		}
+	}
+	return json.MarshalIndent(out, "", "  ")
+}

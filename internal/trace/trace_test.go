@@ -1,0 +1,147 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"rtm/internal/core"
+	"rtm/internal/exec"
+	"rtm/internal/heuristic"
+	"rtm/internal/sched"
+)
+
+func TestModelRoundTrip(t *testing.T) {
+	m := core.ExampleSystem(core.DefaultExampleParams())
+	data, err := EncodeModel(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := DecodeModel(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !back.Comm.G.Equal(m.Comm.G) {
+		t.Fatal("communication graph changed")
+	}
+	if len(back.Constraints) != len(m.Constraints) {
+		t.Fatal("constraints lost")
+	}
+	for _, c := range m.Constraints {
+		bc := back.ConstraintByName(c.Name)
+		if bc == nil || bc.Period != c.Period || bc.Deadline != c.Deadline || bc.Kind != c.Kind {
+			t.Fatalf("constraint %s changed", c.Name)
+		}
+		if !bc.Task.G.Equal(c.Task.G) {
+			t.Fatalf("task graph of %s changed", c.Name)
+		}
+	}
+	// determinism
+	data2, _ := EncodeModel(m)
+	if string(data) != string(data2) {
+		t.Fatal("encoding not deterministic")
+	}
+}
+
+func TestModelRoundTripRepeatedElem(t *testing.T) {
+	m := core.NewModel()
+	m.Comm.AddElement("f", 1)
+	m.Comm.AddPath("f", "f")
+	task := core.NewTaskGraph()
+	task.AddStep("f1", "f")
+	task.AddStep("f2", "f")
+	task.AddPrec("f1", "f2")
+	m.AddConstraint(&core.Constraint{Name: "C", Task: task, Period: 9, Deadline: 9, Kind: core.Asynchronous})
+	data, err := EncodeModel(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := DecodeModel(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bt := back.Constraints[0].Task
+	if bt.ElementOf("f1") != "f" || bt.ElementOf("f2") != "f" {
+		t.Fatal("node->elem mapping lost")
+	}
+}
+
+func TestDecodeModelErrors(t *testing.T) {
+	if _, err := DecodeModel([]byte("not json")); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	if _, err := DecodeModel([]byte(`{"paths":[{"from":"x","to":"y"}]}`)); err == nil {
+		t.Fatal("dangling path accepted")
+	}
+	if _, err := DecodeModel([]byte(`{"elements":[{"name":"a","weight":1}],
+		"constraints":[{"name":"c","kind":"weird","period":2,"deadline":2,
+		"steps":[{"node":"a","elem":"a"}]}]}`)); err == nil {
+		t.Fatal("unknown kind accepted")
+	}
+	if _, err := DecodeModel([]byte(`{"elements":[{"name":"a","weight":5}],
+		"constraints":[{"name":"c","kind":"periodic","period":2,"deadline":2,
+		"steps":[{"node":"a","elem":"a"}]}]}`)); err == nil {
+		t.Fatal("invalid decoded model accepted")
+	}
+}
+
+func TestScheduleRoundTrip(t *testing.T) {
+	s := sched.New("a", sched.Idle, "b")
+	data, err := EncodeSchedule(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := DecodeSchedule(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !back.Equal(s) {
+		t.Fatalf("round trip changed schedule: %v", back)
+	}
+	if _, err := DecodeSchedule([]byte("[")); err == nil {
+		t.Fatal("garbage accepted")
+	}
+}
+
+func TestReportEncode(t *testing.T) {
+	m := core.ExampleSystem(core.DefaultExampleParams())
+	res, err := heuristic.Schedule(m, heuristic.Options{MergeShared: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := sched.Check(m, res.Schedule)
+	data, err := EncodeReport(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := string(data)
+	for _, want := range []string{`"feasible": true`, `"name": "X"`, `"kind": "asynchronous"`} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("report JSON missing %q:\n%s", want, out)
+		}
+	}
+	// Infinite encodes as -1
+	bad := sched.Check(m, sched.New("fX"))
+	data, _ = EncodeReport(bad)
+	if !strings.Contains(string(data), `"latency": -1`) {
+		t.Fatalf("Infinite not encoded as -1:\n%s", data)
+	}
+}
+
+func TestRecordEncode(t *testing.T) {
+	m := core.ExampleSystem(core.DefaultExampleParams())
+	res, err := heuristic.Schedule(m, heuristic.Options{MergeShared: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := exec.Run(m, res.Schedule, 100)
+	data, err := EncodeRecord(rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), `"horizon": 100`) {
+		t.Fatalf("record JSON:\n%.200s", data)
+	}
+	if !strings.Contains(string(data), `"fS"`) {
+		t.Fatal("executions missing")
+	}
+}

@@ -1,0 +1,212 @@
+// Package workload generates parameterized random instances of the
+// graph-based model for experiments: utilization-controlled
+// constraint sets, random task DAGs over a shared communication
+// topology, and sharing-degree-controlled constraint pairs for the
+// shared-operation experiments.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"rtm/internal/core"
+	"rtm/internal/graph"
+)
+
+// Params control random model generation.
+type Params struct {
+	Elements    int     // number of functional elements
+	MaxWeight   int     // element weights drawn from [1, MaxWeight]
+	EdgeProb    float64 // communication edge probability (forward pairs)
+	Constraints int     // number of timing constraints
+	ChainLen    int     // max task-chain length (≥ 1)
+	AsyncFrac   float64 // fraction of asynchronous constraints
+	// Periods are drawn from this harmonic-friendly menu scaled so
+	// utilization lands near TargetUtil.
+	TargetUtil float64
+}
+
+// DefaultParams is a mid-size workload.
+func DefaultParams() Params {
+	return Params{
+		Elements: 6, MaxWeight: 3, EdgeProb: 0.5,
+		Constraints: 4, ChainLen: 3, AsyncFrac: 0.25, TargetUtil: 0.5,
+	}
+}
+
+// Random builds a random validated model. Deadlines equal periods.
+// The generator retries internally until validation passes; it only
+// fails for nonsensical parameters.
+func Random(rng *rand.Rand, p Params) (*core.Model, error) {
+	if p.Elements < 1 || p.Constraints < 1 || p.ChainLen < 1 || p.MaxWeight < 1 {
+		return nil, fmt.Errorf("workload: bad params %+v", p)
+	}
+	for attempt := 0; attempt < 100; attempt++ {
+		m := build(rng, p)
+		if m.Validate() == nil {
+			return m, nil
+		}
+	}
+	return nil, fmt.Errorf("workload: could not generate a valid model for %+v", p)
+}
+
+func build(rng *rand.Rand, p Params) *core.Model {
+	m := core.NewModel()
+	// communication graph: random DAG plus weights
+	g := graph.RandomConnectedDAG(rng, "e", p.Elements, p.EdgeProb)
+	for _, n := range g.Nodes() {
+		m.Comm.AddElement(n, 1+rng.Intn(p.MaxWeight))
+	}
+	for _, e := range g.Edges() {
+		m.Comm.AddPath(e.From, e.To)
+	}
+
+	// constraints: random directed paths through the DAG
+	perConstraintUtil := p.TargetUtil / float64(p.Constraints)
+	for i := 0; i < p.Constraints; i++ {
+		chain := randomPath(rng, g, 1+rng.Intn(p.ChainLen))
+		task := core.ChainTask(chain...)
+		w := task.ComputationTime(m.Comm)
+		period := int(float64(w)/perConstraintUtil + 0.5)
+		if period < w {
+			period = w
+		}
+		// snap periods to a small harmonic menu to keep hyperperiods
+		// manageable
+		period = snap(period)
+		kind := core.Periodic
+		if rng.Float64() < p.AsyncFrac {
+			kind = core.Asynchronous
+		}
+		m.AddConstraint(&core.Constraint{
+			Name:     fmt.Sprintf("c%d", i),
+			Task:     task,
+			Period:   period,
+			Deadline: period,
+			Kind:     kind,
+		})
+	}
+	return m
+}
+
+// snap rounds up to the next value of a harmonic-friendly menu.
+func snap(p int) int {
+	menu := []int{4, 5, 8, 10, 16, 20, 25, 32, 40, 50, 64, 80, 100, 128, 160, 200, 256, 320, 400, 512, 640, 800, 1000}
+	for _, v := range menu {
+		if p <= v {
+			return v
+		}
+	}
+	return menu[len(menu)-1]
+}
+
+// randomPath walks a random directed path of up to maxLen distinct
+// nodes through g.
+func randomPath(rng *rand.Rand, g *graph.Digraph, maxLen int) []string {
+	nodes := g.Nodes()
+	cur := nodes[rng.Intn(len(nodes))]
+	path := []string{cur}
+	for len(path) < maxLen {
+		succ := g.Succ(cur)
+		if len(succ) == 0 {
+			break
+		}
+		cur = succ[rng.Intn(len(succ))]
+		path = append(path, cur)
+	}
+	return path
+}
+
+// SharedPair builds two periodic constraints over a line topology
+// with a controllable overlap: each constraint is a chain of length
+// chainLen, and the two chains share `shared` trailing elements
+// (0 ≤ shared ≤ chainLen). Equal periods make the pair mergeable.
+// The unit weights keep demand proportional to chain length.
+func SharedPair(chainLen, shared, period int) (*core.Model, error) {
+	if shared < 0 || shared > chainLen || chainLen < 1 {
+		return nil, fmt.Errorf("workload: bad overlap %d of %d", shared, chainLen)
+	}
+	m := core.NewModel()
+	mk := func(prefix string, n int) []string {
+		var out []string
+		for i := 0; i < n; i++ {
+			name := fmt.Sprintf("%s%d", prefix, i)
+			m.Comm.AddElement(name, 1)
+			out = append(out, name)
+		}
+		return out
+	}
+	own := chainLen - shared
+	a := mk("a", own)
+	b := mk("b", own)
+	s := mk("s", shared)
+	chainA := append(append([]string{}, a...), s...)
+	chainB := append(append([]string{}, b...), s...)
+	link := func(chain []string) {
+		for i := 0; i+1 < len(chain); i++ {
+			m.Comm.AddPath(chain[i], chain[i+1])
+		}
+	}
+	link(chainA)
+	link(chainB)
+	m.AddConstraint(&core.Constraint{
+		Name: "A", Task: core.ChainTask(chainA...),
+		Period: period, Deadline: period, Kind: core.Periodic,
+	})
+	m.AddConstraint(&core.Constraint{
+		Name: "B", Task: core.ChainTask(chainB...),
+		Period: period, Deadline: period, Kind: core.Periodic,
+	})
+	return m, m.Validate()
+}
+
+// AsyncOnly builds a random asynchronous-only model with unit-weight
+// single-op constraints — the instance family of the exact-search
+// experiments. The target density is Σ 1/d.
+func AsyncOnly(rng *rand.Rand, nConstraints int, targetDensity float64) *core.Model {
+	m := core.NewModel()
+	per := targetDensity / float64(nConstraints)
+	for i := 0; i < nConstraints; i++ {
+		name := fmt.Sprintf("a%d", i)
+		m.Comm.AddElement(name, 1)
+		d := int(1.0/per + 0.5)
+		if d < 1 {
+			d = 1
+		}
+		// jitter deadlines a little so instances differ
+		d += rng.Intn(2)
+		m.AddConstraint(&core.Constraint{
+			Name: "c" + name, Task: core.ChainTask(name),
+			Period: d, Deadline: d, Kind: core.Asynchronous,
+		})
+	}
+	return m
+}
+
+// Theorem3Instance builds a random asynchronous model satisfying the
+// hypotheses of the paper's Theorem 3 with total density close to
+// (but not exceeding) maxDensity. Returns nil when the draw ends up
+// empty.
+func Theorem3Instance(rng *rand.Rand, maxConstraints int, maxDensity float64) *core.Model {
+	m := core.NewModel()
+	density := 0.0
+	for i := 0; i < maxConstraints; i++ {
+		w := 1 + rng.Intn(3)
+		d := 2*w + rng.Intn(24)
+		add := float64(w) / float64(d)
+		if density+add > maxDensity {
+			continue
+		}
+		density += add
+		name := fmt.Sprintf("t%d", i)
+		m.Comm.AddElement(name, w)
+		m.AddConstraint(&core.Constraint{
+			Name: "c" + name, Task: core.ChainTask(name),
+			Period: d, Deadline: d, Kind: core.Asynchronous,
+		})
+	}
+	if len(m.Constraints) == 0 {
+		return nil
+	}
+	return m
+}

@@ -1,0 +1,132 @@
+package workload
+
+import (
+	"math/rand"
+	"testing"
+
+	"rtm/internal/core"
+)
+
+func TestRandomValidModels(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 30; i++ {
+		m, err := Random(rng, DefaultParams())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := m.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		if len(m.Constraints) != DefaultParams().Constraints {
+			t.Fatalf("constraints = %d", len(m.Constraints))
+		}
+	}
+}
+
+func TestRandomUtilizationNearTarget(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	p := DefaultParams()
+	p.TargetUtil = 0.4
+	sum := 0.0
+	n := 40
+	for i := 0; i < n; i++ {
+		m, err := Random(rng, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sum += m.Utilization()
+	}
+	avg := sum / float64(n)
+	// period snapping only lowers utilization; allow a wide band
+	if avg < 0.1 || avg > 0.5 {
+		t.Fatalf("average utilization %v not near 0.4", avg)
+	}
+}
+
+func TestRandomBadParams(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	if _, err := Random(rng, Params{}); err == nil {
+		t.Fatal("zero params accepted")
+	}
+}
+
+func TestSharedPairOverlap(t *testing.T) {
+	for shared := 0; shared <= 3; shared++ {
+		m, err := SharedPair(3, shared, 20)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := m.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		sharedElems := m.SharedElements()
+		if len(sharedElems) != shared {
+			t.Fatalf("overlap %d: shared elements = %v", shared, sharedElems)
+		}
+		// merging should save exactly `shared` units per period
+		_, rep, err := core.MergePeriodic(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.SharedOpsSave != shared {
+			t.Fatalf("overlap %d: savings = %d", shared, rep.SharedOpsSave)
+		}
+	}
+}
+
+func TestSharedPairBadArgs(t *testing.T) {
+	if _, err := SharedPair(3, 4, 20); err == nil {
+		t.Fatal("overlap > chain accepted")
+	}
+	if _, err := SharedPair(0, 0, 20); err == nil {
+		t.Fatal("empty chain accepted")
+	}
+}
+
+func TestAsyncOnly(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	m := AsyncOnly(rng, 3, 0.6)
+	if len(m.Constraints) != 3 {
+		t.Fatalf("constraints = %d", len(m.Constraints))
+	}
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range m.Constraints {
+		if c.Kind != core.Asynchronous {
+			t.Fatal("non-async constraint")
+		}
+	}
+	d := m.DeadlineDensity()
+	if d < 0.3 || d > 0.9 {
+		t.Fatalf("density = %v, want near 0.6", d)
+	}
+}
+
+func TestTheorem3Instance(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for i := 0; i < 30; i++ {
+		m := Theorem3Instance(rng, 4, 0.5)
+		if m == nil {
+			continue
+		}
+		if err := m.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		if m.DeadlineDensity() > 0.5+1e-9 {
+			t.Fatalf("density %v exceeds 0.5", m.DeadlineDensity())
+		}
+		for _, c := range m.Constraints {
+			w := c.ComputationTime(m.Comm)
+			if c.Deadline/2 < w {
+				t.Fatalf("hypothesis (ii) violated: w=%d d=%d", w, c.Deadline)
+			}
+		}
+	}
+}
+
+func TestSnapMonotone(t *testing.T) {
+	if snap(3) != 4 || snap(4) != 4 || snap(11) != 16 || snap(99999) != 1000 {
+		t.Fatalf("snap values: %d %d %d %d", snap(3), snap(4), snap(11), snap(99999))
+	}
+}

@@ -1,0 +1,203 @@
+// Package rtm is a Go implementation of the graph-based computation
+// model for real-time systems of Mok (ICPP 1985): communication
+// graphs of weighted functional elements, task graphs, periodic and
+// asynchronous timing constraints, latency scheduling of static
+// schedules, program synthesis with monitors and software pipelining,
+// and the classical process-based schedulers it is compared against.
+//
+// The top-level package is a facade over the internal packages; the
+// typical flow is
+//
+//	model := rtm.ParseSpec(text)            // or build with rtm.NewModel
+//	res, err := rtm.Schedule(model)         // latency scheduling
+//	prog, err := rtm.Synthesize(model)      // process/monitor synthesis
+//	rep := rtm.Verify(model, res.Schedule)  // exact trace-semantics check
+//
+// See DESIGN.md for the paper-to-module map and EXPERIMENTS.md for
+// the reproduced results.
+package rtm
+
+import (
+	"rtm/internal/analysis"
+	"rtm/internal/core"
+	"rtm/internal/exact"
+	"rtm/internal/exec"
+	"rtm/internal/fault"
+	"rtm/internal/heuristic"
+	"rtm/internal/hwsynth"
+	"rtm/internal/modes"
+	"rtm/internal/multiproc"
+	"rtm/internal/pipeline"
+	"rtm/internal/process"
+	"rtm/internal/sched"
+	"rtm/internal/sim"
+	"rtm/internal/spec"
+	"rtm/internal/synthesis"
+)
+
+// Model is the paper's graph-based model M = (G, T).
+type Model = core.Model
+
+// CommGraph is the communication graph G = (V, E, W_V).
+type CommGraph = core.CommGraph
+
+// TaskGraph is an acyclic task graph compatible with a communication
+// graph.
+type TaskGraph = core.TaskGraph
+
+// Constraint is a timing constraint (C, p, d).
+type Constraint = core.Constraint
+
+// Kind distinguishes periodic from asynchronous constraints.
+type Kind = core.Kind
+
+// Constraint kinds.
+const (
+	Periodic     = core.Periodic
+	Asynchronous = core.Asynchronous
+)
+
+// Schedule is a static schedule (a finite string over V ∪ {φ}).
+type StaticSchedule = sched.Schedule
+
+// ScheduleResult carries a verified schedule with its provenance.
+type ScheduleResult = heuristic.Result
+
+// Report is a per-constraint feasibility report.
+type Report = sched.Report
+
+// Program is a synthesized process/monitor system.
+type Program = synthesis.Program
+
+// TaskSet is the process-based baseline's task collection.
+type TaskSet = process.TaskSet
+
+// Deployment is a multiprocessor synthesis result.
+type Deployment = multiproc.Deployment
+
+// SimResult is the closed-loop simulation outcome.
+type SimResult = sim.Result
+
+// NewModel returns an empty model.
+func NewModel() *Model { return core.NewModel() }
+
+// ChainTask builds a task graph that is a chain of elements.
+func ChainTask(elems ...string) *TaskGraph { return core.ChainTask(elems...) }
+
+// ExampleSystem builds the paper's Figure 1/2 control system.
+func ExampleSystem() *Model { return core.ExampleSystem(core.DefaultExampleParams()) }
+
+// ParseSpec compiles specification text into a validated model.
+func ParseSpec(text string) (*Model, error) {
+	sp, err := spec.Parse(text)
+	if err != nil {
+		return nil, err
+	}
+	return sp.Model, nil
+}
+
+// PrintSpec renders a model in specification syntax.
+func PrintSpec(name string, m *Model) string { return spec.Print(name, m) }
+
+// Schedule runs the paper's heuristic (shared-operation merge +
+// sporadic-to-periodic servers + EDF) and returns a schedule verified
+// against the exact trace semantics.
+func Schedule(m *Model) (*ScheduleResult, error) {
+	return heuristic.Schedule(m, heuristic.Options{MergeShared: true})
+}
+
+// ScheduleExact searches exhaustively for a feasible static schedule
+// of length at most maxLen.
+func ScheduleExact(m *Model, maxLen int) (*StaticSchedule, error) {
+	s, _, err := exact.FindSchedule(m, exact.Options{MaxLen: maxLen})
+	return s, err
+}
+
+// Verify checks a static schedule against every constraint of the
+// model under the exact execution-trace semantics.
+func Verify(m *Model, s *StaticSchedule) *Report { return sched.Check(m, s) }
+
+// Latency returns the latency of a schedule with respect to a task
+// graph (sched.Infinite when the task can never execute).
+func Latency(m *Model, s *StaticSchedule, task *TaskGraph) int {
+	return sched.Latency(m.Comm, s, task)
+}
+
+// Synthesize compiles the model into a process/monitor program.
+func Synthesize(m *Model) (*Program, error) { return synthesis.Synthesize(m) }
+
+// Pipeline decomposes an element into k equal sub-functions.
+func Pipeline(m *Model, elem string, k int) (*Model, error) {
+	return pipeline.Decompose(m, elem, k)
+}
+
+// ProcessBaseline maps every constraint to a process, as the naive
+// synthesis does.
+func ProcessBaseline(m *Model) (TaskSet, error) { return process.FromModel(m) }
+
+// Simulate runs the closed loop (VM + invocation checking) over the
+// schedule with adversarial asynchronous arrivals.
+func Simulate(m *Model, s *StaticSchedule) *SimResult {
+	return sim.Run(m, s, sim.Options{Adversarial: true})
+}
+
+// DeployMultiprocessor partitions the model over k processors and
+// synthesizes per-processor and bus schedules.
+func DeployMultiprocessor(m *Model, k int) (*Deployment, error) {
+	return multiproc.Synthesize(m, k, 1)
+}
+
+// Run executes a schedule on the virtual machine for the given
+// horizon and returns the raw execution record.
+func Run(m *Model, s *StaticSchedule, horizon int) *exec.Record {
+	return exec.Run(m, s, horizon)
+}
+
+// AnalysisReport is a static schedulability analysis.
+type AnalysisReport = analysis.Report
+
+// Analyze computes per-constraint bounds and necessary/sufficient
+// schedulability conditions without searching.
+func Analyze(m *Model) (*AnalysisReport, error) { return analysis.Analyze(m) }
+
+// Gantt renders a schedule as an ASCII timeline.
+func Gantt(m *Model, s *StaticSchedule) string {
+	return sched.Gantt(m.Comm, s, sched.GanttOptions{})
+}
+
+// Replicate applies k-modular redundancy with a majority voter to one
+// element (fault-tolerance extension).
+func Replicate(m *Model, elem string, k int) (*Model, error) {
+	return fault.Replicate(m, elem, k, 1)
+}
+
+// Netlist is a synthesized hardware design.
+type Netlist = hwsynth.Netlist
+
+// CompileHardware synthesizes the communication graph into a fully
+// pipelined parallel netlist (hardware-synthesis extension).
+func CompileHardware(m *Model) (*Netlist, error) {
+	return hwsynth.Compile(m, hwsynth.Options{Pipelined: true})
+}
+
+// ModalSystem is a set of operating regimes over one communication
+// graph with per-mode verified schedules.
+type ModalSystem = modes.System
+
+// NewModalSystem starts a modal system over m's communication graph.
+func NewModalSystem(m *Model) *ModalSystem { return modes.NewSystem(m.Comm) }
+
+// ScheduleLocalSearch runs the randomized repair scheduler — a sound
+// incomplete fallback for models the server heuristic misses.
+func ScheduleLocalSearch(m *Model, seed int64) (*ScheduleResult, error) {
+	return heuristic.LocalSearch(m, heuristic.SearchOptions{Seed: seed})
+}
+
+// SensitivityReport carries breakdown deadlines and scaling headroom.
+type SensitivityReport = analysis.SensitivityReport
+
+// Sensitivity computes per-constraint breakdown deadlines and the
+// global weight-scaling headroom (certified by actual schedules).
+func Sensitivity(m *Model, maxPercent int) (*SensitivityReport, error) {
+	return analysis.Sensitivity(m, maxPercent)
+}

@@ -1,0 +1,198 @@
+package rtm
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestFacadeEndToEnd(t *testing.T) {
+	m := ExampleSystem()
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	res, err := Schedule(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := Verify(m, res.Schedule)
+	if !rep.Feasible {
+		t.Fatalf("verify failed:\n%s", rep)
+	}
+	sim := Simulate(m, res.Schedule)
+	if !sim.AllMet {
+		t.Fatalf("simulation failed: %s", sim)
+	}
+}
+
+func TestFacadeSpecRoundTrip(t *testing.T) {
+	m := ExampleSystem()
+	text := PrintSpec("example", m)
+	back, err := ParseSpec(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Constraints) != len(m.Constraints) {
+		t.Fatal("spec round trip lost constraints")
+	}
+}
+
+func TestFacadeSynthesize(t *testing.T) {
+	prog, err := Synthesize(ExampleSystem())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(prog.Render(), "monitor mon_fS") {
+		t.Fatal("render missing monitor")
+	}
+}
+
+func TestFacadeBuildModel(t *testing.T) {
+	m := NewModel()
+	m.Comm.AddElement("sense", 1)
+	m.Comm.AddElement("act", 2)
+	m.Comm.AddPath("sense", "act")
+	m.AddConstraint(&Constraint{
+		Name: "loop", Task: ChainTask("sense", "act"),
+		Period: 10, Deadline: 10, Kind: Periodic,
+	})
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	s, err := ScheduleExact(m, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if Latency(m, s, m.Constraints[0].Task) <= 0 {
+		t.Fatal("latency not positive")
+	}
+	ts, err := ProcessBaseline(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ts) != 1 || ts[0].C != 3 {
+		t.Fatalf("baseline = %+v", ts)
+	}
+}
+
+func TestFacadePipeline(t *testing.T) {
+	m := NewModel()
+	m.Comm.AddElement("big", 4)
+	m.AddConstraint(&Constraint{
+		Name: "B", Task: ChainTask("big"),
+		Period: 20, Deadline: 20, Kind: Asynchronous,
+	})
+	pm, err := Pipeline(m, "big", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pm.Comm.G.NumNodes() != 2 {
+		t.Fatalf("stages = %d", pm.Comm.G.NumNodes())
+	}
+}
+
+func TestFacadeMultiprocessor(t *testing.T) {
+	m := ExampleSystem()
+	dep, err := DeployMultiprocessor(m, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dep.ProcSchedules[0] == nil {
+		t.Fatal("no schedule")
+	}
+}
+
+func TestFacadeRunVM(t *testing.T) {
+	m := ExampleSystem()
+	res, err := Schedule(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := Run(m, res.Schedule, 200)
+	if len(rec.ExecutionsOf("fS")) == 0 {
+		t.Fatal("fS never executed")
+	}
+}
+
+func TestFacadeAnalyze(t *testing.T) {
+	r, err := Analyze(ExampleSystem())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.NecessaryOK {
+		t.Fatal("example should pass necessary conditions")
+	}
+}
+
+func TestFacadeGantt(t *testing.T) {
+	m := ExampleSystem()
+	res, err := Schedule(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := Gantt(m, res.Schedule)
+	if !strings.Contains(out, "fS") || !strings.Contains(out, "#") {
+		t.Fatalf("gantt output:\n%s", out)
+	}
+}
+
+func TestFacadeReplicateAndHardware(t *testing.T) {
+	m := NewModel()
+	m.Comm.AddElement("in", 1)
+	m.Comm.AddElement("f", 2)
+	m.Comm.AddElement("out", 1)
+	m.Comm.AddPath("in", "f")
+	m.Comm.AddPath("f", "out")
+	m.AddConstraint(&Constraint{
+		Name: "c", Task: ChainTask("in", "f", "out"),
+		Period: 20, Deadline: 20, Kind: Periodic,
+	})
+	r, err := Replicate(m, "f", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	n, err := CompileHardware(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(n.Units) != 6 { // in, 3 replicas, voter, out
+		t.Fatalf("units = %d", len(n.Units))
+	}
+}
+
+func TestFacadeModalAndSensitivity(t *testing.T) {
+	m := ExampleSystem()
+	sys := NewModalSystem(m)
+	sys.AddMode("only-x", &Constraint{
+		Name: "X", Task: ChainTask("fX", "fS", "fK"),
+		Period: 20, Deadline: 20, Kind: Periodic,
+	})
+	if err := sys.Compile(); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Sensitivity(m, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Headroom < 100 {
+		t.Fatalf("headroom = %d", rep.Headroom)
+	}
+}
+
+func TestFacadeLocalSearch(t *testing.T) {
+	m := NewModel()
+	m.Comm.AddElement("a", 1)
+	m.AddConstraint(&Constraint{
+		Name: "A", Task: ChainTask("a"),
+		Period: 4, Deadline: 4, Kind: Asynchronous,
+	})
+	res, err := ScheduleLocalSearch(m, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Report.Feasible {
+		t.Fatal("infeasible result")
+	}
+}
