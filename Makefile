@@ -1,0 +1,24 @@
+GO ?= go
+
+.PHONY: build test race vet bench
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# The parallel exact searcher is exercised under the race detector;
+# TestParallelDeterminism and the checker equivalence suite run here.
+race:
+	$(GO) test -race ./internal/exact/... ./internal/sched/...
+
+vet:
+	$(GO) vet ./...
+
+bench:
+	$(GO) test -bench . -benchtime 1x ./...
+
+# Worker-count sweep for the parallel exact search (EXPERIMENTS.md §E2b).
+bench-parallel:
+	$(GO) test -run xxx -bench BenchmarkExactParallel -benchtime 20x .

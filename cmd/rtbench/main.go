@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	rtbench [-only E3]
+//	rtbench [-only E3] [-workers N]
 package main
 
 import (
@@ -16,7 +16,10 @@ import (
 
 func main() {
 	only := flag.String("only", "", "run only the experiment with this ID (e.g. E3)")
+	workers := flag.Int("workers", 1, "exact-search workers for E2-E4; 1 reproduces the committed tables' node counts, -1 means all CPUs")
 	flag.Parse()
+
+	experiments.SetExactWorkers(*workers)
 
 	ran := 0
 	for _, t := range experiments.All() {

@@ -1,0 +1,219 @@
+package exact
+
+import (
+	"math"
+	"sync"
+	"sync/atomic"
+
+	"rtm/internal/sched"
+)
+
+// Parallel subtree fan-out. One schedule length is explored by
+// enumerating every pruned prefix of a small fixed depth in the
+// sequential visiting order, then dispatching the prefixes — tagged
+// with their position in that order — to a worker pool. Each worker
+// finishes the depth-first search below its prefix with its own state
+// and Checker.
+//
+// Determinism: the sequential search returns the first feasible
+// schedule in depth-first (= lexicographic) order, so the parallel
+// search keeps, per subtree, the subtree's own lex-first hit and lets
+// the lowest prefix index win overall. A found schedule cancels only
+// subtrees with HIGHER prefix indices (they cannot beat it); lower
+// ones run to completion, so the winner is exactly the sequential
+// result. Budget aborts (MaxCandidates) cancel everything and are the
+// one documented source of nondeterminism under Workers > 1.
+
+// searchLengthParallel explores one cycle length with the given
+// worker count. splitDepth 0 auto-picks the smallest depth whose
+// worst-case prefix count reaches 4 × workers.
+func searchLengthParallel(p *problem, n, workers, splitDepth int, st *Stats) (*sched.Schedule, error) {
+	minCount, totalMin := p.minCounts(n)
+	if totalMin > n {
+		return nil, nil // capacity bound already unsatisfiable at this length
+	}
+	depth := splitDepth
+	if depth <= 0 {
+		depth = autoSplitDepth(len(p.syms), n, workers)
+	}
+	if depth > n-1 {
+		depth = n - 1
+	}
+	if depth < 1 {
+		// nothing to fan out (n == 1): the sequential search is exact
+		// and cheap.
+		ck, err := sched.NewChecker(p.m)
+		if err != nil {
+			return nil, err
+		}
+		return searchLength(p, n, ck, st)
+	}
+
+	prefixes, enumNodes := enumPrefixes(p, n, minCount, totalMin, depth)
+	st.NodesExplored += enumNodes
+	if len(prefixes) == 0 {
+		return nil, nil
+	}
+
+	var (
+		stop      atomic.Bool  // budget exhausted: cancel everything
+		budgetHit atomic.Bool  //
+		candTotal atomic.Int64 // global candidate count (budget is global)
+		nodeTotal atomic.Int64 //
+		bestIdx   atomic.Int64 // lowest prefix index that found a schedule
+		mu        sync.Mutex   // guards best
+		best      *sched.Schedule
+	)
+	bestIdx.Store(math.MaxInt64)
+	// the candidate budget spans all lengths tried, so the counter
+	// continues from the shorter lengths' tally
+	candTotal.Store(int64(st.Candidates))
+
+	if workers > len(prefixes) {
+		workers = len(prefixes)
+	}
+	work := make(chan int)
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			ck, err := sched.NewChecker(p.m)
+			if err != nil {
+				stop.Store(true) // cannot happen after the seq checker built
+				return
+			}
+			ls := newState(p, n, minCount, totalMin, ck)
+			var nodes int64
+			defer func() { nodeTotal.Add(nodes) }()
+			for idx := range work {
+				if stop.Load() || int64(idx) > bestIdx.Load() {
+					continue
+				}
+				pfx := prefixes[idx]
+				for i, sym := range pfx {
+					ls.place(i, sym)
+				}
+				searchSubtree(ls, idx, len(pfx), &nodes, &stop, &budgetHit, &candTotal, &bestIdx, &mu, &best)
+				for i := len(pfx) - 1; i >= 0; i-- {
+					ls.unplace(i, pfx[i])
+				}
+			}
+		}()
+	}
+	for idx := range prefixes {
+		work <- idx
+	}
+	close(work)
+	wg.Wait()
+
+	st.NodesExplored += int(nodeTotal.Load())
+	st.Candidates = int(candTotal.Load())
+	if best != nil {
+		return best, nil
+	}
+	if budgetHit.Load() {
+		return nil, ErrBudget
+	}
+	return nil, nil
+}
+
+// autoSplitDepth picks the smallest prefix depth whose worst-case
+// prefix count (syms^depth) is at least 4 × workers, so the pool
+// stays busy even when pruning trims entire subtrees. Capped so the
+// prefix table stays small.
+func autoSplitDepth(syms, n, workers int) int {
+	if syms < 2 {
+		return 1
+	}
+	target := 4 * workers
+	depth, count := 1, syms
+	for count < target && depth < n-1 && depth < 12 {
+		depth++
+		count *= syms
+	}
+	return depth
+}
+
+// enumPrefixes walks the pruned search tree down to the split depth
+// in sequential visiting order, returning every surviving prefix
+// (index order = lexicographic order) and the number of internal
+// nodes visited on the way.
+func enumPrefixes(p *problem, n int, minCount []int, totalMin, depth int) ([][]int, int) {
+	s := newState(p, n, minCount, totalMin, nil) // leafCheck never reached
+	var prefixes [][]int
+	nodes := 0
+	var rec func(pos int)
+	rec = func(pos int) {
+		if pos == depth {
+			prefixes = append(prefixes, append([]int(nil), s.slots[:depth]...))
+			return
+		}
+		nodes++
+		for sym := 0; sym < len(p.syms); sym++ {
+			if p.breakRotations && pos > 0 && sym < s.slots[0] {
+				continue
+			}
+			s.place(pos, sym)
+			if s.pruneOK(pos) && (!p.contiguous || s.contigPrefixOK(pos)) {
+				rec(pos + 1)
+			}
+			s.unplace(pos, sym)
+		}
+		s.slots[pos] = 0
+	}
+	rec(0)
+	return prefixes, nodes
+}
+
+// searchSubtree finishes the depth-first search below one prefix. It
+// records the subtree's lexicographically first feasible schedule
+// into best when it improves on bestIdx, and aborts early when a
+// lower-indexed subtree has already won or the budget tripped.
+func searchSubtree(ls *state, idx, from int, nodes *int64, stop, budgetHit *atomic.Bool,
+	candTotal, bestIdx *atomic.Int64, mu *sync.Mutex, best **sched.Schedule) {
+
+	p := ls.p
+	var rec func(pos int) bool // false aborts the whole subtree
+	rec = func(pos int) bool {
+		if stop.Load() || int64(idx) > bestIdx.Load() {
+			return false
+		}
+		*nodes++
+		if pos == ls.n {
+			tot := candTotal.Add(1)
+			if p.maxCand > 0 && tot > int64(p.maxCand) {
+				budgetHit.Store(true)
+				stop.Store(true)
+				return false
+			}
+			if cand := ls.leafCheck(); cand != nil {
+				mu.Lock()
+				if int64(idx) < bestIdx.Load() {
+					*best = cand
+					bestIdx.Store(int64(idx))
+				}
+				mu.Unlock()
+				return false // lex-first within this subtree: done here
+			}
+			return true
+		}
+		for sym := 0; sym < len(p.syms); sym++ {
+			if p.breakRotations && pos > 0 && sym < ls.slots[0] {
+				continue
+			}
+			ls.place(pos, sym)
+			ok := true
+			if ls.pruneOK(pos) && (!p.contiguous || ls.contigPrefixOK(pos)) {
+				ok = rec(pos + 1)
+			}
+			ls.unplace(pos, sym)
+			if !ok {
+				return false
+			}
+		}
+		ls.slots[pos] = 0
+		return true
+	}
+	rec(from)
+}

@@ -1,0 +1,245 @@
+package exact
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"rtm/internal/core"
+	"rtm/internal/sched"
+	"rtm/internal/workload"
+)
+
+// equivalenceSuite is a mix of feasible and infeasible models across
+// every searcher feature: async-only, periodic, weighted elements,
+// contiguity restriction, chains.
+func equivalenceSuite() []struct {
+	name string
+	m    *core.Model
+	opt  Options
+} {
+	var out []struct {
+		name string
+		m    *core.Model
+		opt  Options
+	}
+	add := func(name string, m *core.Model, opt Options) {
+		out = append(out, struct {
+			name string
+			m    *core.Model
+			opt  Options
+		}{name, m, opt})
+	}
+
+	add("single-op", asyncModel(asyncChain("A", 2, "a")), Options{MaxLen: 4})
+	add("two-ops", asyncModel(asyncChain("A", 3, "a"), asyncChain("B", 3, "b")), Options{MaxLen: 6})
+	add("chain", asyncModel(asyncChain("A", 4, "a", "b")), Options{MaxLen: 4})
+	add("infeasible-tight", asyncModel(
+		asyncChain("A", 2, "a"), asyncChain("B", 2, "b"), asyncChain("C", 2, "c"),
+	), Options{MaxLen: 6})
+	add("infeasible-density-1", asyncModel(
+		asyncChain("A", 2, "a"), asyncChain("B", 3, "b"), asyncChain("C", 6, "c"),
+	), Options{MaxLen: 12})
+	add("feasible-density-1", asyncModel(
+		asyncChain("A", 2, "a"), asyncChain("B", 6, "b"),
+		asyncChain("C", 6, "c"), asyncChain("D", 6, "d"),
+	), Options{MaxLen: 6})
+
+	periodic := core.NewModel()
+	periodic.Comm.AddElement("p", 1)
+	periodic.Comm.AddElement("q", 1)
+	periodic.AddConstraint(&core.Constraint{
+		Name: "P", Task: core.ChainTask("p"),
+		Period: 2, Deadline: 2, Kind: core.Periodic,
+	})
+	periodic.AddConstraint(&core.Constraint{
+		Name: "Q", Task: core.ChainTask("q"),
+		Period: 4, Deadline: 4, Kind: core.Asynchronous,
+	})
+	add("periodic-mix", periodic, Options{MaxLen: 4})
+
+	weighted := core.NewModel()
+	weighted.Comm.AddElement("a", 2)
+	weighted.Comm.AddElement("b", 1)
+	weighted.AddConstraint(&core.Constraint{
+		Name: "A", Task: core.ChainTask("a"),
+		Period: 8, Deadline: 8, Kind: core.Asynchronous,
+	})
+	weighted.AddConstraint(&core.Constraint{
+		Name: "B", Task: core.ChainTask("b"),
+		Period: 3, Deadline: 3, Kind: core.Asynchronous,
+	})
+	add("contiguous", weighted, Options{MaxLen: 6, RequireContiguous: true})
+	add("pipelined", weighted.Clone(), Options{MaxLen: 6})
+
+	rng := rand.New(rand.NewSource(99))
+	for i := 0; i < 6; i++ {
+		n := 2 + rng.Intn(4)
+		m := workload.AsyncOnly(rng, n, 0.5+0.1*float64(rng.Intn(5)))
+		add(fmt.Sprintf("random-%d", i), m, Options{MaxLen: 6})
+	}
+	return out
+}
+
+// TestSequentialMatchesReference pins the rewritten sequential search
+// to the seed implementation bit-for-bit: same schedule, same Stats.
+func TestSequentialMatchesReference(t *testing.T) {
+	for _, tc := range equivalenceSuite() {
+		refS, refSt, refErr := refFindSchedule(tc.m, tc.opt)
+
+		for _, workers := range []int{0, 1} {
+			opt := tc.opt
+			opt.Workers = workers
+			s, st, err := FindSchedule(tc.m, opt)
+			if !errors.Is(err, refErr) && (err == nil) != (refErr == nil) {
+				t.Fatalf("%s workers=%d: err = %v, reference = %v", tc.name, workers, err, refErr)
+			}
+			if (s == nil) != (refS == nil) {
+				t.Fatalf("%s workers=%d: schedule %v, reference %v", tc.name, workers, s, refS)
+			}
+			if s != nil && !s.Equal(refS) {
+				t.Fatalf("%s workers=%d: schedule %v, reference %v", tc.name, workers, s, refS)
+			}
+			if st.NodesExplored != refSt.NodesExplored || st.Candidates != refSt.Candidates {
+				t.Fatalf("%s workers=%d: stats %+v, reference %+v", tc.name, workers, st, refSt)
+			}
+			if len(st.LengthsTried) != len(refSt.LengthsTried) {
+				t.Fatalf("%s workers=%d: lengths %v, reference %v", tc.name, workers, st.LengthsTried, refSt.LengthsTried)
+			}
+		}
+	}
+}
+
+// TestParallelDeterminism asserts that the parallel search returns
+// exactly the sequential search's schedule — the lexicographically
+// first feasible one — on feasible and infeasible models alike. Run
+// in CI under `go test -race` (see the Makefile race target).
+func TestParallelDeterminism(t *testing.T) {
+	for _, tc := range equivalenceSuite() {
+		seq := tc.opt
+		seq.Workers = 1
+		wantS, _, wantErr := FindSchedule(tc.m, seq)
+
+		for _, workers := range []int{2, 8} {
+			for _, depth := range []int{0, 1, 2} {
+				opt := tc.opt
+				opt.Workers = workers
+				opt.SplitDepth = depth
+				// repeat to shake out scheduling races
+				for rep := 0; rep < 3; rep++ {
+					s, st, err := FindSchedule(tc.m, opt)
+					if (err == nil) != (wantErr == nil) || (err != nil && !errors.Is(err, wantErr)) {
+						t.Fatalf("%s workers=%d depth=%d: err = %v, sequential = %v",
+							tc.name, workers, depth, err, wantErr)
+					}
+					if (s == nil) != (wantS == nil) || (s != nil && !s.Equal(wantS)) {
+						t.Fatalf("%s workers=%d depth=%d: schedule %v, sequential %v",
+							tc.name, workers, depth, s, wantS)
+					}
+					if s == nil && err == nil {
+						t.Fatalf("%s workers=%d depth=%d: nil schedule with nil error", tc.name, workers, depth)
+					}
+					if wantS != nil && st.Candidates == 0 && st.NodesExplored == 0 {
+						t.Fatalf("%s workers=%d depth=%d: empty stats %+v", tc.name, workers, depth, st)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestParallelFoundScheduleIsVerified double-checks every parallel
+// result against the independent Analyzer path.
+func TestParallelFoundScheduleIsVerified(t *testing.T) {
+	for _, tc := range equivalenceSuite() {
+		opt := tc.opt
+		opt.Workers = 4
+		s, _, err := FindSchedule(tc.m, opt)
+		if err != nil {
+			continue
+		}
+		if !sched.Feasible(tc.m, s) {
+			t.Fatalf("%s: parallel search returned infeasible schedule %v", tc.name, s)
+		}
+		if tc.opt.RequireContiguous && !sched.Contiguous(tc.m.Comm, s) {
+			t.Fatalf("%s: parallel search returned preempted schedule %v", tc.name, s)
+		}
+	}
+}
+
+// TestFeasibleBudgetContract is the ErrBudget regression test: with
+// MaxCandidates: 1 on an instance whose space holds more than one
+// candidate, the bool path alone would be indistinguishable from a
+// proof of infeasibility — the error must say ErrBudget.
+func TestFeasibleBudgetContract(t *testing.T) {
+	// A two-op chain under a deadline shorter than its span: infeasible,
+	// yet the window prunes admit the alternating candidates (one per
+	// even length), so the budget is actually consumed.
+	m := asyncModel(asyncChain("A", 2, "a", "b"))
+
+	// proof of infeasibility: false with a nil error
+	ok, _, err := FeasibleOpt(m, Options{MaxLen: 6})
+	if err != nil || ok {
+		t.Fatalf("unbudgeted: ok=%v err=%v, want false/nil", ok, err)
+	}
+
+	// budget abort: false with ErrBudget, NOT a proof
+	ok, st, err := FeasibleOpt(m, Options{MaxLen: 6, MaxCandidates: 1})
+	if !errors.Is(err, ErrBudget) {
+		t.Fatalf("budgeted: err = %v, want ErrBudget", err)
+	}
+	if ok {
+		t.Fatal("budgeted: ok must be false when the budget aborts")
+	}
+	if st == nil || st.Candidates < 1 {
+		t.Fatalf("budgeted: stats %+v", st)
+	}
+
+	// the parallel path honors the same contract
+	ok, _, err = FeasibleOpt(m, Options{MaxLen: 6, MaxCandidates: 1, Workers: 4})
+	if !errors.Is(err, ErrBudget) || ok {
+		t.Fatalf("parallel budgeted: ok=%v err=%v, want false/ErrBudget", ok, err)
+	}
+
+	// Feasible (the maxLen shorthand) still proves infeasibility
+	ok, _, err = Feasible(m, 6)
+	if err != nil || ok {
+		t.Fatalf("Feasible: ok=%v err=%v", ok, err)
+	}
+}
+
+// TestParallelStatsAccounting asserts the atomic merge loses no
+// counts on an exhaustive (infeasible) search with no cancellation:
+// every worker explores its whole subtree, so the total must equal
+// the sequential count exactly.
+func TestParallelStatsAccounting(t *testing.T) {
+	m := asyncModel(
+		asyncChain("A", 2, "a"),
+		asyncChain("B", 3, "b"),
+		asyncChain("C", 6, "c"),
+	)
+	opt := Options{MaxLen: 10}
+	_, seqSt, err := FindSchedule(m, opt)
+	if !errors.Is(err, ErrNotFound) {
+		t.Fatalf("err = %v", err)
+	}
+	opt.Workers = 8
+	for rep := 0; rep < 3; rep++ {
+		_, st, err := FindSchedule(m, opt)
+		if !errors.Is(err, ErrNotFound) {
+			t.Fatalf("parallel err = %v", err)
+		}
+		if st.NodesExplored != seqSt.NodesExplored || st.Candidates != seqSt.Candidates {
+			t.Fatalf("exhaustive stats diverged: parallel %+v, sequential %+v", st, seqSt)
+		}
+	}
+}
+
+func TestWorkersNegativeMeansGOMAXPROCS(t *testing.T) {
+	m := asyncModel(asyncChain("A", 2, "a"))
+	s, _, err := FindSchedule(m, Options{MaxLen: 4, Workers: -1})
+	if err != nil || s == nil {
+		t.Fatalf("s=%v err=%v", s, err)
+	}
+}

@@ -1,0 +1,54 @@
+package exact
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"rtm/internal/core"
+)
+
+// hardnessInstance is the deadline-density-1 infeasible instance the
+// worker-sweep benchmark at the repo root uses: every length up to 24
+// must be exhausted, so the run prices pure search throughput.
+func hardnessInstance() *core.Model {
+	m := core.NewModel()
+	for i, d := range []int{2, 4, 8, 12, 24} {
+		e := fmt.Sprintf("e%d", i)
+		m.Comm.AddElement(e, 1)
+		m.AddConstraint(&core.Constraint{
+			Name: fmt.Sprintf("C%d", i), Task: core.ChainTask(e),
+			Period: d, Deadline: d, Kind: core.Asynchronous,
+		})
+	}
+	return m
+}
+
+// BenchmarkSearchSeed prices the vendored seed implementation
+// (string-keyed state, per-slot window rescans, Analyzer re-derived
+// per candidate) on the hardness instance.
+func BenchmarkSearchSeed(b *testing.B) {
+	m := hardnessInstance()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_, _, err := refFindSchedule(m, Options{MaxLen: 24})
+		if !errors.Is(err, ErrNotFound) {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSearchRewritten prices the rewritten sequential engine
+// (index-based state, O(1) incremental window counters, reused
+// Checker) on the same instance. Node and candidate counts are pinned
+// equal to the seed's by TestSequentialMatchesReference.
+func BenchmarkSearchRewritten(b *testing.B) {
+	m := hardnessInstance()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_, _, err := FindSchedule(m, Options{MaxLen: 24})
+		if !errors.Is(err, ErrNotFound) {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,211 @@
+package exact
+
+// The seed's string-keyed sequential search, preserved verbatim as a
+// test oracle: FindSchedule with Workers ≤ 1 must reproduce its
+// schedule AND its Stats bit-for-bit, and the parallel search must
+// reproduce its schedule. Do not "improve" this file — its value is
+// that it does not change.
+
+import (
+	"errors"
+
+	"rtm/internal/core"
+	"rtm/internal/sched"
+)
+
+type refWindowNeed struct {
+	d      int
+	period int
+	need   map[string]int
+}
+
+func refDemandOf(m *core.Model, c *core.Constraint) map[string]int {
+	need := make(map[string]int)
+	for _, node := range c.Task.Nodes() {
+		e := c.Task.ElementOf(node)
+		need[e] += m.Comm.WeightOf(e)
+	}
+	return need
+}
+
+func refWindowNeeds(m *core.Model) []refWindowNeed {
+	var out []refWindowNeed
+	for _, c := range m.Constraints {
+		switch c.Kind {
+		case core.Asynchronous:
+			out = append(out, refWindowNeed{d: c.Deadline, need: refDemandOf(m, c)})
+		case core.Periodic:
+			if c.Deadline <= c.Period {
+				out = append(out, refWindowNeed{d: c.Deadline, period: c.Period, need: refDemandOf(m, c)})
+			}
+		}
+	}
+	return out
+}
+
+func refFindSchedule(m *core.Model, opt Options) (*sched.Schedule, *Stats, error) {
+	if opt.MaxLen <= 0 {
+		return nil, nil, errors.New("ref: bad MaxLen")
+	}
+	minLen := opt.MinLen
+	if minLen < 1 {
+		minLen = 1
+	}
+	st := &Stats{}
+	alphabet := append([]string{sched.Idle}, m.ElementsUsed()...)
+	for n := minLen; n <= opt.MaxLen; n++ {
+		st.LengthsTried = append(st.LengthsTried, n)
+		s, err := refSearchLength(m, n, alphabet, opt, st)
+		if err != nil {
+			return nil, st, err
+		}
+		if s != nil {
+			return s, st, nil
+		}
+	}
+	return nil, st, ErrNotFound
+}
+
+func refSearchLength(m *core.Model, n int, alphabet []string, opt Options, st *Stats) (*sched.Schedule, error) {
+	needs := refWindowNeeds(m)
+	minCount := make(map[string]int)
+	for _, wn := range needs {
+		for e, k := range wn.need {
+			var lb int
+			if wn.period == 0 {
+				lb = ceilDiv(n*k, wn.d)
+			} else {
+				lb = ceilDiv(n*k, wn.period)
+			}
+			if lb > minCount[e] {
+				minCount[e] = lb
+			}
+		}
+	}
+	totalMin := 0
+	for _, v := range minCount {
+		totalMin += v
+	}
+	if totalMin > n {
+		return nil, nil
+	}
+
+	slots := make([]string, n)
+	count := make(map[string]int)
+	var found *sched.Schedule
+	breakRotations := len(m.Periodic()) == 0
+
+	var rec func(pos int) error
+	rec = func(pos int) error {
+		if found != nil {
+			return nil
+		}
+		st.NodesExplored++
+		if pos == n {
+			st.Candidates++
+			if opt.MaxCandidates > 0 && st.Candidates > opt.MaxCandidates {
+				return ErrBudget
+			}
+			cand := sched.New(slots...)
+			if opt.RequireContiguous && !sched.Contiguous(m.Comm, cand) {
+				return nil
+			}
+			if sched.Feasible(m, cand) {
+				found = cand
+			}
+			return nil
+		}
+		for _, sym := range alphabet {
+			if breakRotations && pos > 0 && sym < slots[0] {
+				continue
+			}
+			slots[pos] = sym
+			if sym != sched.Idle {
+				count[sym]++
+			}
+			if refPruneOK(slots, pos, n, count, minCount, needs) &&
+				(!opt.RequireContiguous || refContiguousPrefixOK(m, slots, pos)) {
+				if err := rec(pos + 1); err != nil {
+					return err
+				}
+			}
+			if sym != sched.Idle {
+				count[sym]--
+			}
+			if found != nil {
+				return nil
+			}
+		}
+		slots[pos] = sched.Idle
+		return nil
+	}
+	if err := rec(0); err != nil {
+		return nil, err
+	}
+	return found, nil
+}
+
+func refPruneOK(slots []string, pos, n int, count, minCount map[string]int, needs []refWindowNeed) bool {
+	remaining := n - pos - 1
+	deficit := 0
+	for e, lb := range minCount {
+		if d := lb - count[e]; d > 0 {
+			deficit += d
+		}
+	}
+	if deficit > remaining {
+		return false
+	}
+	for _, wn := range needs {
+		if wn.d > n {
+			continue
+		}
+		var lo int
+		if wn.period == 0 {
+			if pos+1 < wn.d {
+				continue
+			}
+			lo = pos + 1 - wn.d
+		} else {
+			if (pos+1-wn.d)%wn.period != 0 || pos+1 < wn.d {
+				continue
+			}
+			lo = pos + 1 - wn.d
+		}
+		for e, k := range wn.need {
+			c := 0
+			for i := lo; i <= pos; i++ {
+				if slots[i] == e {
+					c++
+				}
+			}
+			if c < k {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func refContiguousPrefixOK(m *core.Model, slots []string, pos int) bool {
+	if pos == 0 {
+		return true
+	}
+	prev := slots[pos-1]
+	if prev == slots[pos] || prev == sched.Idle {
+		return true
+	}
+	w := m.Comm.WeightOf(prev)
+	if w <= 1 {
+		return true
+	}
+	run := 0
+	i := pos - 1
+	for ; i >= 0 && slots[i] == prev; i-- {
+		run++
+	}
+	if i < 0 {
+		return true
+	}
+	return run%w == 0
+}

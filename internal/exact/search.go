@@ -8,13 +8,21 @@
 // The search is iterative deepening over the schedule length with
 // three prunes: a rotation symmetry break, per-element capacity lower
 // bounds derived from the deadline windows, and incremental window
-// checks that reject a prefix as soon as some fully-determined
-// deadline window lacks capacity for a constraint.
+// checks — rolling per-window, per-element counters updated in O(1)
+// per placement — that reject a prefix as soon as some
+// fully-determined deadline window lacks capacity for a constraint.
+//
+// With Options.Workers > 1 each schedule length is explored by a
+// worker pool over a prefix fan-out (see parallel.go). The result is
+// deterministic — the lexicographically first feasible schedule wins,
+// matching the sequential visiting order — although the Stats then
+// depend on how much speculative work ran before cancellation.
 package exact
 
 import (
 	"errors"
 	"fmt"
+	"runtime"
 
 	"rtm/internal/core"
 	"rtm/internal/sched"
@@ -27,12 +35,26 @@ type Options struct {
 	MinLen, MaxLen int
 	// MaxCandidates aborts the search after this many complete
 	// candidate schedules have been feasibility-checked (0 = no
-	// limit).
+	// limit). The abort surfaces as ErrBudget.
 	MaxCandidates int
 	// RequireContiguous restricts the search to schedules whose
 	// executions are unpreempted blocks — the "cannot be pipelined"
 	// regime of Theorem 2(ii).
 	RequireContiguous bool
+	// Workers sets the number of parallel search workers per schedule
+	// length. 0 and 1 run the classic sequential search, whose
+	// schedule AND Stats are deterministic. Values > 1 fan the search
+	// out over that many goroutines; the returned schedule is still
+	// deterministic (lexicographically first), but NodesExplored and
+	// Candidates then count whatever speculative work ran before
+	// cancellation, and a budget abort (MaxCandidates) may trigger on
+	// a different candidate than the sequential order would. Negative
+	// values mean GOMAXPROCS.
+	Workers int
+	// SplitDepth overrides the prefix depth of the parallel fan-out.
+	// 0 picks the smallest depth whose prefix count is at least
+	// 4 × Workers. Ignored when the search runs sequentially.
+	SplitDepth int
 }
 
 // Stats reports search effort.
@@ -43,7 +65,9 @@ type Stats struct {
 }
 
 // ErrBudget is returned when MaxCandidates is exhausted before the
-// search space is.
+// search space is. A caller seeing ErrBudget knows nothing about
+// feasibility: the instance may still admit a schedule the budget cut
+// off.
 var ErrBudget = errors.New("exact: candidate budget exhausted")
 
 // ErrNotFound is returned when no feasible schedule of length at most
@@ -63,11 +87,25 @@ func FindSchedule(m *core.Model, opt Options) (*sched.Schedule, *Stats, error) {
 	if minLen < 1 {
 		minLen = 1
 	}
+	workers := opt.Workers
+	if workers < 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
 	st := &Stats{}
-	alphabet := append([]string{sched.Idle}, m.ElementsUsed()...)
+	p := newProblem(m, opt)
+	ck, err := sched.NewChecker(m)
+	if err != nil {
+		return nil, nil, fmt.Errorf("exact: %w", err)
+	}
 	for n := minLen; n <= opt.MaxLen; n++ {
 		st.LengthsTried = append(st.LengthsTried, n)
-		s, err := searchLength(m, n, alphabet, opt, st)
+		var s *sched.Schedule
+		var err error
+		if workers > 1 {
+			s, err = searchLengthParallel(p, n, workers, opt.SplitDepth, st)
+		} else {
+			s, err = searchLength(p, n, ck, st)
+		}
 		if err != nil {
 			return nil, st, err
 		}
@@ -79,9 +117,21 @@ func FindSchedule(m *core.Model, opt Options) (*sched.Schedule, *Stats, error) {
 }
 
 // Feasible reports whether some static schedule of length ≤ maxLen
-// meets every constraint. The stats are returned alongside.
+// meets every constraint. The stats are returned alongside. It is
+// shorthand for FeasibleOpt with only MaxLen set; see FeasibleOpt for
+// the error contract.
 func Feasible(m *core.Model, maxLen int) (bool, *Stats, error) {
-	s, st, err := FindSchedule(m, Options{MaxLen: maxLen})
+	return FeasibleOpt(m, Options{MaxLen: maxLen})
+}
+
+// FeasibleOpt decides feasibility under the full option set. The
+// boolean is meaningful only when the error is nil: a false with a
+// nil error is a proof of infeasibility within the length bound,
+// while a false with ErrBudget merely means MaxCandidates ran out
+// mid-search — callers must check errors.Is(err, ErrBudget) before
+// treating the result as "infeasible".
+func FeasibleOpt(m *core.Model, opt Options) (bool, *Stats, error) {
+	s, st, err := FindSchedule(m, opt)
 	if errors.Is(err, ErrNotFound) {
 		return false, st, nil
 	}
@@ -91,79 +141,17 @@ func Feasible(m *core.Model, maxLen int) (bool, *Stats, error) {
 	return s != nil, st, nil
 }
 
-// windowNeed holds the per-element slot demand a single deadline
-// window must satisfy for one constraint (a necessary condition:
-// element counts inside every window of length d must reach the task
-// graph's per-element weight demand). Asynchronous constraints have
-// sliding windows (period 0 here); periodic constraints with d ≤ p
-// have disjoint windows anchored at multiples of p.
-type windowNeed struct {
-	d      int
-	period int // 0 = sliding (asynchronous)
-	need   map[string]int
-}
-
-func demandOf(m *core.Model, c *core.Constraint) map[string]int {
-	need := make(map[string]int)
-	for _, node := range c.Task.Nodes() {
-		e := c.Task.ElementOf(node)
-		need[e] += m.Comm.WeightOf(e)
-	}
-	return need
-}
-
-func windowNeeds(m *core.Model) []windowNeed {
-	var out []windowNeed
-	for _, c := range m.Constraints {
-		switch c.Kind {
-		case core.Asynchronous:
-			out = append(out, windowNeed{d: c.Deadline, need: demandOf(m, c)})
-		case core.Periodic:
-			if c.Deadline <= c.Period {
-				out = append(out, windowNeed{d: c.Deadline, period: c.Period, need: demandOf(m, c)})
-			}
-		}
-	}
-	return out
-}
-
-func searchLength(m *core.Model, n int, alphabet []string, opt Options, st *Stats) (*sched.Schedule, error) {
-	// Capacity lower bounds. An async constraint with deadline d
-	// forces count_e * d ≥ n * need_e over the cycle (each of the n
-	// cyclic windows of length d needs need_e slots of e, and each
-	// slot covers d windows). A periodic constraint with d ≤ p has
-	// disjoint invocation windows needing distinct slots, so over the
-	// alignment lcm(n, p) it forces count_e ≥ need_e · n/p.
-	needs := windowNeeds(m)
-	minCount := make(map[string]int)
-	for _, wn := range needs {
-		for e, k := range wn.need {
-			var lb int
-			if wn.period == 0 {
-				lb = ceilDiv(n*k, wn.d)
-			} else {
-				lb = ceilDiv(n*k, wn.period)
-			}
-			if lb > minCount[e] {
-				minCount[e] = lb
-			}
-		}
-	}
-	totalMin := 0
-	for _, v := range minCount {
-		totalMin += v
-	}
+// searchLength runs the classic sequential depth-first search at one
+// cycle length. Its visiting order — and therefore the schedule found
+// and every Stats field — is the determinism reference for the
+// parallel fan-out.
+func searchLength(p *problem, n int, ck *sched.Checker, st *Stats) (*sched.Schedule, error) {
+	minCount, totalMin := p.minCounts(n)
 	if totalMin > n {
 		return nil, nil // capacity bound already unsatisfiable at this length
 	}
-
-	slots := make([]string, n)
-	count := make(map[string]int)
+	s := newState(p, n, minCount, totalMin, ck)
 	var found *sched.Schedule
-	// Feasibility is rotation-invariant only when every constraint is
-	// asynchronous (periodic invocations are phase-locked to t = 0),
-	// so the rotation symmetry break applies only then.
-	breakRotations := len(m.Periodic()) == 0
 
 	var rec func(pos int) error
 	rec = func(pos int) error {
@@ -173,44 +161,32 @@ func searchLength(m *core.Model, n int, alphabet []string, opt Options, st *Stat
 		st.NodesExplored++
 		if pos == n {
 			st.Candidates++
-			if opt.MaxCandidates > 0 && st.Candidates > opt.MaxCandidates {
+			if p.maxCand > 0 && st.Candidates > p.maxCand {
 				return ErrBudget
 			}
-			cand := sched.New(slots...)
-			if opt.RequireContiguous && !sched.Contiguous(m.Comm, cand) {
-				return nil
-			}
-			if sched.Feasible(m, cand) {
-				found = cand
-			}
+			found = s.leafCheck()
 			return nil
 		}
-		for _, sym := range alphabet {
+		for sym := 0; sym < len(p.syms); sym++ {
 			// symmetry break: the minimal rotation of any string
 			// begins with its minimal symbol, so every later slot
-			// may be required to be ≥ the first (idle "" sorts
-			// first). Each rotation class keeps a representative.
-			if breakRotations && pos > 0 && sym < slots[0] {
+			// may be required to be ≥ the first (idle sorts first).
+			// Each rotation class keeps a representative.
+			if p.breakRotations && pos > 0 && sym < s.slots[0] {
 				continue
 			}
-			slots[pos] = sym
-			if sym != sched.Idle {
-				count[sym]++
-			}
-			if pruneOK(m, slots, pos, n, count, minCount, needs) &&
-				(!opt.RequireContiguous || contiguousPrefixOK(m, slots, pos)) {
+			s.place(pos, sym)
+			if s.pruneOK(pos) && (!p.contiguous || s.contigPrefixOK(pos)) {
 				if err := rec(pos + 1); err != nil {
 					return err
 				}
 			}
-			if sym != sched.Idle {
-				count[sym]--
-			}
+			s.unplace(pos, sym)
 			if found != nil {
 				return nil
 			}
 		}
-		slots[pos] = sched.Idle
+		s.slots[pos] = 0
 		return nil
 	}
 	if err := rec(0); err != nil {
@@ -218,84 +194,3 @@ func searchLength(m *core.Model, n int, alphabet []string, opt Options, st *Stat
 	}
 	return found, nil
 }
-
-// pruneOK applies incremental necessary conditions after slots[pos]
-// has been placed. It returns false when the prefix can no longer be
-// extended to a feasible schedule.
-func pruneOK(m *core.Model, slots []string, pos, n int, count, minCount map[string]int, needs []windowNeed) bool {
-	// remaining capacity must allow reaching every minimum count
-	remaining := n - pos - 1
-	deficit := 0
-	for e, lb := range minCount {
-		if d := lb - count[e]; d > 0 {
-			deficit += d
-		}
-	}
-	if deficit > remaining {
-		return false
-	}
-	// Fully-determined deadline windows inside the prefix must carry
-	// enough capacity. For asynchronous constraints every window of
-	// length d ending at pos+1 applies; for periodic constraints only
-	// the anchored windows [jp, jp+d) do.
-	for _, wn := range needs {
-		if wn.d > n {
-			continue // window wraps; checked at the leaf
-		}
-		var lo int
-		if wn.period == 0 {
-			if pos+1 < wn.d {
-				continue
-			}
-			lo = pos + 1 - wn.d
-		} else {
-			// the anchored window newly completed at pos+1, if any
-			if (pos+1-wn.d)%wn.period != 0 || pos+1 < wn.d {
-				continue
-			}
-			lo = pos + 1 - wn.d
-		}
-		for e, k := range wn.need {
-			c := 0
-			for i := lo; i <= pos; i++ {
-				if slots[i] == e {
-					c++
-				}
-			}
-			if c < k {
-				return false
-			}
-		}
-	}
-	return true
-}
-
-// contiguousPrefixOK prunes prefixes that already break contiguity:
-// placing a different symbol at pos interrupts the run ending at
-// pos−1, which is only legal when that run is a whole number of
-// executions. A run touching slot 0 is exempt (it may be the wrapped
-// tail of the cycle's final execution; the leaf check decides).
-func contiguousPrefixOK(m *core.Model, slots []string, pos int) bool {
-	if pos == 0 {
-		return true
-	}
-	prev := slots[pos-1]
-	if prev == slots[pos] || prev == sched.Idle {
-		return true
-	}
-	w := m.Comm.WeightOf(prev)
-	if w <= 1 {
-		return true
-	}
-	run := 0
-	i := pos - 1
-	for ; i >= 0 && slots[i] == prev; i-- {
-		run++
-	}
-	if i < 0 {
-		return true // run reaches slot 0: may wrap
-	}
-	return run%w == 0
-}
-
-func ceilDiv(a, b int) int { return (a + b - 1) / b }

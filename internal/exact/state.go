@@ -1,0 +1,337 @@
+package exact
+
+import (
+	"rtm/internal/core"
+	"rtm/internal/sched"
+)
+
+// problem is the immutable, index-based description of one search: the
+// symbol alphabet (0 = idle, 1.. = the used elements in ascending
+// order, so integer order equals the lexicographic order the symmetry
+// break and the determinism guarantee are stated in), the per-symbol
+// weights, and the deadline-window demands, all hoisted out of the
+// per-candidate hot path. It is shared read-only between workers.
+type problem struct {
+	m       *core.Model
+	syms    []string // syms[0] == sched.Idle; rest sorted ascending
+	weights []int    // per symbol id
+	needs   []needSpec
+	// breakRotations: feasibility is rotation-invariant only when
+	// every constraint is asynchronous (periodic invocations are
+	// phase-locked to t = 0).
+	breakRotations bool
+	contiguous     bool
+	maxCand        int
+}
+
+// needPair is one element's slot demand inside a deadline window.
+type needPair struct {
+	sym int // symbol id
+	k   int // required slots of sym per window
+}
+
+// needSpec holds the per-element slot demand a single deadline window
+// must satisfy for one constraint (a necessary condition: element
+// counts inside every window of length d must reach the task graph's
+// per-element weight demand). Asynchronous constraints have sliding
+// windows (period 0 here); periodic constraints with d ≤ p have
+// disjoint windows anchored at multiples of p.
+type needSpec struct {
+	d      int
+	period int // 0 = sliding (asynchronous)
+	pairs  []needPair
+	pairOf []int // symbol id -> index into pairs, or -1
+}
+
+func newProblem(m *core.Model, opt Options) *problem {
+	p := &problem{
+		m:              m,
+		syms:           append([]string{sched.Idle}, m.ElementsUsed()...),
+		breakRotations: len(m.Periodic()) == 0,
+		contiguous:     opt.RequireContiguous,
+		maxCand:        opt.MaxCandidates,
+	}
+	symID := make(map[string]int, len(p.syms))
+	p.weights = make([]int, len(p.syms))
+	for i, s := range p.syms {
+		symID[s] = i
+		p.weights[i] = m.Comm.WeightOf(s)
+	}
+	for _, c := range m.Constraints {
+		var spec needSpec
+		switch c.Kind {
+		case core.Asynchronous:
+			spec = needSpec{d: c.Deadline}
+		case core.Periodic:
+			if c.Deadline > c.Period {
+				continue
+			}
+			spec = needSpec{d: c.Deadline, period: c.Period}
+		default:
+			continue
+		}
+		spec.pairOf = make([]int, len(p.syms))
+		for i := range spec.pairOf {
+			spec.pairOf[i] = -1
+		}
+		for _, node := range c.Task.Nodes() {
+			e := c.Task.ElementOf(node)
+			id, ok := symID[e]
+			if !ok {
+				continue
+			}
+			w := m.Comm.WeightOf(e)
+			if pi := spec.pairOf[id]; pi >= 0 {
+				spec.pairs[pi].k += w
+			} else {
+				spec.pairOf[id] = len(spec.pairs)
+				spec.pairs = append(spec.pairs, needPair{sym: id, k: w})
+			}
+		}
+		p.needs = append(p.needs, spec)
+	}
+	return p
+}
+
+// minCounts computes, per symbol, the capacity lower bound at cycle
+// length n. An async constraint with deadline d forces
+// count_e · d ≥ n · need_e over the cycle (each of the n cyclic
+// windows of length d needs need_e slots of e, and each slot covers d
+// windows). A periodic constraint with d ≤ p has disjoint invocation
+// windows needing distinct slots, so over the alignment lcm(n, p) it
+// forces count_e ≥ need_e · n/p. Returns the bounds and their total.
+func (p *problem) minCounts(n int) ([]int, int) {
+	minCount := make([]int, len(p.syms))
+	for _, spec := range p.needs {
+		div := spec.d
+		if spec.period != 0 {
+			div = spec.period
+		}
+		for _, pr := range spec.pairs {
+			if lb := ceilDiv(n*pr.k, div); lb > minCount[pr.sym] {
+				minCount[pr.sym] = lb
+			}
+		}
+	}
+	total := 0
+	for _, v := range minCount {
+		total += v
+	}
+	return minCount, total
+}
+
+// state is the mutable per-goroutine search state at one cycle length:
+// the partial assignment plus every counter the prune needs, all
+// updated in O(pairs) on place/unplace instead of re-scanned per slot.
+type state struct {
+	p        *problem
+	n        int
+	slots    []int
+	count    []int // per symbol
+	minCount []int // per symbol
+	deficit  int   // Σ_e max(0, minCount[e] − count[e])
+	needs    []needRT
+	ck       *sched.Checker
+	strbuf   []string // reusable candidate-schedule buffer
+}
+
+// needRT carries the rolling window counters for one needSpec.
+// Sliding (async) windows keep the pair counts of the window ending
+// at the last placed slot. Anchored (periodic) windows keep
+// cumulative in-window pair counts plus a snapshot taken at each
+// window start, so the completed window's counts are cum − snap.
+type needRT struct {
+	spec   *needSpec
+	active bool // d ≤ n; wrapped windows are checked at the leaf
+	win    []int
+	cum    []int
+	snap   [][]int
+}
+
+func newState(p *problem, n int, minCount []int, totalMin int, ck *sched.Checker) *state {
+	s := &state{
+		p:        p,
+		n:        n,
+		slots:    make([]int, n),
+		count:    make([]int, len(p.syms)),
+		minCount: minCount,
+		deficit:  totalMin,
+		ck:       ck,
+		strbuf:   make([]string, n),
+	}
+	s.needs = make([]needRT, len(p.needs))
+	for i := range p.needs {
+		spec := &p.needs[i]
+		rt := needRT{spec: spec, active: spec.d <= n}
+		if rt.active {
+			if spec.period == 0 {
+				rt.win = make([]int, len(spec.pairs))
+			} else {
+				rt.cum = make([]int, len(spec.pairs))
+				rt.snap = make([][]int, (n-1)/spec.period+1)
+				for j := range rt.snap {
+					rt.snap[j] = make([]int, len(spec.pairs))
+				}
+			}
+		}
+		s.needs[i] = rt
+	}
+	return s
+}
+
+// place assigns sym to slot pos and updates every counter in O(pairs).
+func (s *state) place(pos, sym int) {
+	s.slots[pos] = sym
+	if sym != 0 {
+		s.count[sym]++
+		if s.count[sym] <= s.minCount[sym] {
+			s.deficit--
+		}
+	}
+	for i := range s.needs {
+		rt := &s.needs[i]
+		if !rt.active {
+			continue
+		}
+		spec := rt.spec
+		if spec.period == 0 {
+			if pi := spec.pairOf[sym]; pi >= 0 {
+				rt.win[pi]++
+			}
+			if pos >= spec.d {
+				if pj := spec.pairOf[s.slots[pos-spec.d]]; pj >= 0 {
+					rt.win[pj]--
+				}
+			}
+		} else {
+			r := pos % spec.period
+			if r == 0 {
+				copy(rt.snap[pos/spec.period], rt.cum)
+			}
+			if r < spec.d {
+				if pi := spec.pairOf[sym]; pi >= 0 {
+					rt.cum[pi]++
+				}
+			}
+		}
+	}
+}
+
+// unplace reverses place. Slots above pos must already be unplaced.
+func (s *state) unplace(pos, sym int) {
+	if sym != 0 {
+		if s.count[sym] <= s.minCount[sym] {
+			s.deficit++
+		}
+		s.count[sym]--
+	}
+	for i := range s.needs {
+		rt := &s.needs[i]
+		if !rt.active {
+			continue
+		}
+		spec := rt.spec
+		if spec.period == 0 {
+			if pos >= spec.d {
+				if pj := spec.pairOf[s.slots[pos-spec.d]]; pj >= 0 {
+					rt.win[pj]++
+				}
+			}
+			if pi := spec.pairOf[sym]; pi >= 0 {
+				rt.win[pi]--
+			}
+		} else if pos%spec.period < spec.d {
+			// the window-start snapshot needs no undo: it is rewritten
+			// whenever the slot is re-placed
+			if pi := spec.pairOf[sym]; pi >= 0 {
+				rt.cum[pi]--
+			}
+		}
+	}
+}
+
+// pruneOK applies the incremental necessary conditions after
+// slots[pos] has been placed: remaining capacity must cover the count
+// deficit, and every fully-determined deadline window inside the
+// prefix must carry enough capacity. For asynchronous constraints
+// every window of length d ending at pos+1 applies; for periodic
+// constraints only the anchored windows [jp, jp+d) do.
+func (s *state) pruneOK(pos int) bool {
+	if s.deficit > s.n-pos-1 {
+		return false
+	}
+	for i := range s.needs {
+		rt := &s.needs[i]
+		if !rt.active {
+			continue
+		}
+		spec := rt.spec
+		if pos+1 < spec.d {
+			continue
+		}
+		if spec.period == 0 {
+			for pi, pr := range spec.pairs {
+				if rt.win[pi] < pr.k {
+					return false
+				}
+			}
+		} else {
+			if (pos+1-spec.d)%spec.period != 0 {
+				continue
+			}
+			snap := rt.snap[(pos+1-spec.d)/spec.period]
+			for pi, pr := range spec.pairs {
+				if rt.cum[pi]-snap[pi] < pr.k {
+					return false
+				}
+			}
+		}
+	}
+	return true
+}
+
+// contigPrefixOK prunes prefixes that already break contiguity:
+// placing a different symbol at pos interrupts the run ending at
+// pos−1, which is only legal when that run is a whole number of
+// executions. A run touching slot 0 is exempt (it may be the wrapped
+// tail of the cycle's final execution; the leaf check decides).
+func (s *state) contigPrefixOK(pos int) bool {
+	if pos == 0 {
+		return true
+	}
+	prev := s.slots[pos-1]
+	if prev == s.slots[pos] || prev == 0 {
+		return true
+	}
+	w := s.p.weights[prev]
+	if w <= 1 {
+		return true
+	}
+	run := 0
+	i := pos - 1
+	for ; i >= 0 && s.slots[i] == prev; i-- {
+		run++
+	}
+	if i < 0 {
+		return true // run reaches slot 0: may wrap
+	}
+	return run%w == 0
+}
+
+// leafCheck evaluates the complete assignment. On success it returns
+// a schedule owning its own memory.
+func (s *state) leafCheck() *sched.Schedule {
+	for i, id := range s.slots {
+		s.strbuf[i] = s.p.syms[id]
+	}
+	cand := &sched.Schedule{Slots: s.strbuf}
+	if s.p.contiguous && !s.ck.Contiguous(cand) {
+		return nil
+	}
+	if !s.ck.Feasible(cand) {
+		return nil
+	}
+	return sched.New(s.strbuf...)
+}
+
+func ceilDiv(a, b int) int { return (a + b - 1) / b }

@@ -12,6 +12,18 @@ import (
 	"rtm/internal/workload"
 )
 
+// exactWorkers is the worker count every experiment passes to the
+// exact searcher. It defaults to 1 so the committed tables carry the
+// sequential search's deterministic node and candidate counts;
+// rtbench -workers overrides it for wall-clock runs.
+var exactWorkers = 1
+
+// SetExactWorkers sets the exact-search worker count used by E2–E4
+// (see exact.Options.Workers). The found/infeasible verdicts and the
+// schedules are identical for any value; only the effort statistics
+// and the wall-clock change.
+func SetExactWorkers(w int) { exactWorkers = w }
+
 // E2ExactSearch demonstrates Theorem 1: the exact searcher always
 // terminates, finding a finite feasible static schedule when one
 // exists; explored-node counts grow exponentially with instance size.
@@ -26,7 +38,7 @@ func E2ExactSearch() *Table {
 	for _, n := range []int{2, 3, 4, 5} {
 		m := workload.AsyncOnly(rng, n, 0.7)
 		start := time.Now()
-		s, st, err := exact.FindSchedule(m, exact.Options{MaxLen: 8})
+		s, st, err := exact.FindSchedule(m, exact.Options{MaxLen: 8, Workers: exactWorkers})
 		elapsed := time.Since(start)
 		found := err == nil
 		schedLen := "-"
@@ -66,7 +78,7 @@ func E2ExactSearch() *Table {
 			})
 		}
 		start := time.Now()
-		_, st, err := exact.FindSchedule(m, exact.Options{MaxLen: h.maxLen})
+		_, st, err := exact.FindSchedule(m, exact.Options{MaxLen: h.maxLen, Workers: exactWorkers})
 		elapsed := time.Since(start)
 		t.AddRow(len(h.ds), m.DeadlineDensity(), "tight", yesNo(err == nil), "-",
 			st.NodesExplored, st.Candidates, elapsed.Round(time.Microsecond))
@@ -107,6 +119,7 @@ func E3ThreePartition() *Table {
 		start := time.Now()
 		s, st, err := exact.FindSchedule(m, exact.Options{
 			MinLen: n, MaxLen: n, RequireContiguous: true, MaxCandidates: 5_000_000,
+			Workers: exactWorkers,
 		})
 		elapsed := time.Since(start)
 		feasible := err == nil
@@ -147,6 +160,7 @@ func E4CyclicOrdering() *Table {
 			cycle := n + 1
 			s, _, serr := exact.FindSchedule(m, exact.Options{
 				MinLen: cycle, MaxLen: cycle, RequireContiguous: true,
+				Workers: exactWorkers,
 			})
 			coreOK = yesNo(serr == nil)
 			if serr == nil {

@@ -62,10 +62,14 @@ func LocalSearch(m *core.Model, opt SearchOptions) (*Result, error) {
 	rng := rand.New(rand.NewSource(opt.Seed + 1))
 	elems := m.ElementsUsed()
 	alphabet := append([]string{sched.Idle}, elems...)
+	// One analyzer-equivalent checker for the whole run: candidate
+	// feasibility per mutation without re-deriving alignment windows or
+	// re-parsing executions (Validate has ruled out cyclic task graphs).
+	ck := sched.MustChecker(m)
 
 	for r := 0; r < restarts; r++ {
 		s := randomInitial(m, n, rng)
-		cost := violation(m, s)
+		cost := violation(ck, s)
 		if cost == 0 {
 			return verified(m, s)
 		}
@@ -77,7 +81,7 @@ func LocalSearch(m *core.Model, opt SearchOptions) (*Result, error) {
 				// swap two slots
 				j := rng.Intn(n)
 				s.Slots[i], s.Slots[j] = s.Slots[j], s.Slots[i]
-				nc := violation(m, s)
+				nc := violation(ck, s)
 				if nc <= cost {
 					cost = nc
 				} else {
@@ -89,7 +93,7 @@ func LocalSearch(m *core.Model, opt SearchOptions) (*Result, error) {
 					continue
 				}
 				s.Slots[i] = cand
-				nc := violation(m, s)
+				nc := violation(ck, s)
 				if nc <= cost {
 					cost = nc
 				} else {
@@ -151,18 +155,13 @@ func randomInitial(m *core.Model, n int, rng *rand.Rand) *sched.Schedule {
 
 // violation is the search's cost: the total amount by which
 // constraints overshoot their deadlines under the exact semantics
-// (capped per constraint to keep Infinite latencies comparable).
-func violation(m *core.Model, s *sched.Schedule) int {
-	a := sched.AnalyzerFor(m, s)
+// (capped per constraint to keep Infinite latencies comparable). The
+// checker's Worsts reports the same per-constraint worst cases as the
+// Analyzer, in m.Constraints order.
+func violation(ck *sched.Checker, s *sched.Schedule) int {
 	total := 0
-	for _, c := range m.Constraints {
-		var worst int
-		switch c.Kind {
-		case core.Asynchronous:
-			worst = a.Latency(c.Task)
-		case core.Periodic:
-			worst = a.PeriodicWorstResponse(c)
-		}
+	for ci, worst := range ck.Worsts(s) {
+		c := ck.Constraint(ci)
 		if worst > c.Deadline {
 			over := worst - c.Deadline
 			cap := 10 * c.Deadline

@@ -113,6 +113,20 @@ func ScheduleExact(m *Model, maxLen int) (*StaticSchedule, error) {
 	return s, err
 }
 
+// ExactOptions tune the exhaustive search; set Workers to
+// runtime.NumCPU() to fan the search out over all cores while keeping
+// the returned schedule deterministic.
+type ExactOptions = exact.Options
+
+// ExactStats reports exhaustive-search effort.
+type ExactStats = exact.Stats
+
+// ScheduleExactOpt searches exhaustively under the full option set
+// and returns the search statistics alongside.
+func ScheduleExactOpt(m *Model, opt ExactOptions) (*StaticSchedule, *ExactStats, error) {
+	return exact.FindSchedule(m, opt)
+}
+
 // Verify checks a static schedule against every constraint of the
 // model under the exact execution-trace semantics.
 func Verify(m *Model, s *StaticSchedule) *Report { return sched.Check(m, s) }
