@@ -1,12 +1,14 @@
 GO ?= go
 
-.PHONY: build test race vet bench
+.PHONY: build test race vet bench serve fuzz
 
 build:
 	$(GO) build ./...
 
-test:
-	$(GO) test ./...
+# Default gate: vet plus the full suite under the race detector (the
+# service's single-flight test is only meaningful with -race on).
+test: vet
+	$(GO) test -race ./...
 
 # The parallel exact searcher is exercised under the race detector;
 # TestParallelDeterminism and the checker equivalence suite run here.
@@ -22,3 +24,13 @@ bench:
 # Worker-count sweep for the parallel exact search (EXPERIMENTS.md §E2b).
 bench-parallel:
 	$(GO) test -run xxx -bench BenchmarkExactParallel -benchtime 20x .
+
+# Run the scheduling daemon (cmd/rtserved) with defaults.
+serve:
+	$(GO) run ./cmd/rtserved
+
+# Short fuzz passes: the spec parser round-trip and the canonical
+# fingerprint's renaming invariance.
+fuzz:
+	$(GO) test -run xxx -fuzz FuzzParse -fuzztime 10s ./internal/spec/
+	$(GO) test -run xxx -fuzz FuzzFingerprint -fuzztime 10s ./internal/spec/

@@ -1,0 +1,164 @@
+// Command rtserved is the scheduling daemon: it serves the
+// internal/service scheduling pipeline over HTTP, turning the paper's
+// offline synthesis into an online service with a canonical schedule
+// cache.
+//
+// Usage:
+//
+//	rtserved [-addr :8437] [-cache 256] [-workers N] [-maxlen L] [-maxcand C] [-timeout 30s]
+//
+// Endpoints:
+//
+//	POST /schedule   body: a specification (internal/spec syntax);
+//	                 response: JSON verdict + schedule
+//	GET  /metrics    plain-text service counters (expvar style)
+//	GET  /healthz    liveness probe
+//
+// Identical workloads — up to element renaming and constraint
+// reordering — share one cache entry, so repeated POSTs of isomorphic
+// specifications cost a fingerprint and a lookup instead of an
+// NP-hard search.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"rtm/internal/exact"
+	"rtm/internal/service"
+	"rtm/internal/spec"
+)
+
+func main() {
+	addr := flag.String("addr", ":8437", "listen address")
+	cacheSize := flag.Int("cache", 256, "schedule cache capacity (isomorphism classes)")
+	workers := flag.Int("workers", -1, "exact-search workers per request (-1 = all CPUs)")
+	maxLen := flag.Int("maxlen", 0, "exact-search schedule length bound (0 = hyperperiod, capped)")
+	maxCand := flag.Int("maxcand", 0, "exact-search candidate budget per request (0 = unlimited)")
+	timeout := flag.Duration("timeout", 30*time.Second, "per-request scheduling timeout")
+	flag.Parse()
+
+	svc := service.New(service.Options{
+		CacheSize: *cacheSize,
+		Exact:     exact.Options{MaxLen: *maxLen, MaxCandidates: *maxCand, Workers: *workers},
+	})
+	srv := &http.Server{Addr: *addr, Handler: newMux(svc, *timeout)}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	go func() {
+		<-ctx.Done()
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		srv.Shutdown(shutdownCtx)
+	}()
+
+	log.Printf("rtserved listening on %s (cache=%d workers=%d)", *addr, *cacheSize, *workers)
+	if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Fatal(err)
+	}
+}
+
+// newMux wires the service endpoints; factored out so tests can drive
+// the handler without a listener.
+func newMux(svc *service.Service, timeout time.Duration) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/schedule", func(w http.ResponseWriter, r *http.Request) {
+		handleSchedule(svc, timeout, w, r)
+	})
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		io.WriteString(w, svc.Metrics().String())
+		fmt.Fprintf(w, "rtm_cache_len %d\n", svc.CacheLen())
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		io.WriteString(w, "ok\n")
+	})
+	return mux
+}
+
+// scheduleResponse is the JSON verdict for one request.
+type scheduleResponse struct {
+	System      string           `json:"system,omitempty"`
+	Fingerprint string           `json:"fingerprint"`
+	Decided     bool             `json:"decided"`
+	Feasible    bool             `json:"feasible"`
+	Source      string           `json:"source"`
+	CacheHit    bool             `json:"cacheHit"`
+	Shared      bool             `json:"shared,omitempty"`
+	Cycle       int              `json:"cycle,omitempty"`
+	Schedule    []string         `json:"schedule,omitempty"`
+	Constraints []constraintJSON `json:"constraints,omitempty"`
+	ElapsedUS   int64            `json:"elapsedMicros"`
+}
+
+type constraintJSON struct {
+	Name     string `json:"name"`
+	Latency  int    `json:"latency"`
+	Deadline int    `json:"deadline"`
+	OK       bool   `json:"ok"`
+}
+
+func handleSchedule(svc *service.Service, timeout time.Duration, w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST a specification to /schedule", http.StatusMethodNotAllowed)
+		return
+	}
+	body, err := io.ReadAll(io.LimitReader(r.Body, 1<<20))
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	sp, err := spec.Parse(string(body))
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	ctx := r.Context()
+	if timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, timeout)
+		defer cancel()
+	}
+	res, err := svc.Schedule(ctx, sp.Model)
+	switch {
+	case err == nil:
+	case errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled):
+		http.Error(w, "scheduling timed out", http.StatusGatewayTimeout)
+		return
+	default:
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	resp := scheduleResponse{
+		System:      sp.Name,
+		Fingerprint: res.Fingerprint,
+		Decided:     res.Decided,
+		Feasible:    res.Feasible,
+		Source:      res.Source,
+		CacheHit:    res.CacheHit,
+		Shared:      res.Shared,
+		ElapsedUS:   res.Elapsed.Microseconds(),
+	}
+	if res.Feasible {
+		resp.Cycle = res.Schedule.Len()
+		resp.Schedule = append([]string{}, res.Schedule.Slots...)
+		for _, c := range res.Report.Constraints {
+			resp.Constraints = append(resp.Constraints, constraintJSON{
+				Name: c.Name, Latency: c.Latency, Deadline: c.Deadline, OK: c.OK,
+			})
+		}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(resp)
+}

@@ -1,0 +1,152 @@
+package main
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"rtm/internal/service"
+)
+
+const exampleSpec = `system ctl
+element fS weight 1
+element fK weight 1
+element fX weight 1
+path fS -> fK
+
+periodic trk period 12 deadline 12 { fS -> fK }
+sporadic upd separation 9 deadline 8 { fX }
+`
+
+// renamedSpec is exampleSpec under a different element naming and
+// constraint order — the same isomorphism class.
+const renamedSpec = `system ctl2
+element b weight 1
+element a weight 1
+element c weight 1
+path a -> b
+
+sporadic one separation 9 deadline 8 { c }
+periodic two period 12 deadline 12 { a -> b }
+`
+
+func newTestServer(t *testing.T) (*httptest.Server, *service.Service) {
+	t.Helper()
+	svc := service.New(service.Options{})
+	srv := httptest.NewServer(newMux(svc, 10*time.Second))
+	t.Cleanup(srv.Close)
+	return srv, svc
+}
+
+func postSpec(t *testing.T, url, body string) (*http.Response, scheduleResponse) {
+	t.Helper()
+	resp, err := http.Post(url+"/schedule", "text/plain", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out scheduleResponse
+	if resp.StatusCode == http.StatusOK {
+		if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return resp, out
+}
+
+func TestServedScheduleEndpoint(t *testing.T) {
+	srv, _ := newTestServer(t)
+
+	resp, cold := postSpec(t, srv.URL, exampleSpec)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	if !cold.Decided || !cold.Feasible || cold.CacheHit {
+		t.Fatalf("cold response: %+v", cold)
+	}
+	if cold.Cycle == 0 || len(cold.Schedule) != cold.Cycle {
+		t.Fatalf("schedule missing: %+v", cold)
+	}
+	for _, c := range cold.Constraints {
+		if !c.OK {
+			t.Fatalf("constraint %s not met in response", c.Name)
+		}
+	}
+
+	_, warm := postSpec(t, srv.URL, exampleSpec)
+	if !warm.CacheHit || warm.Source != "cache" {
+		t.Fatalf("warm response missed the cache: %+v", warm)
+	}
+
+	// an isomorphic spec under different names must hit the same entry
+	// and come back scheduled in its own names
+	_, iso := postSpec(t, srv.URL, renamedSpec)
+	if !iso.CacheHit {
+		t.Fatalf("isomorphic spec missed the cache: %+v", iso)
+	}
+	if iso.Fingerprint != cold.Fingerprint {
+		t.Fatalf("fingerprints differ: %s vs %s", iso.Fingerprint, cold.Fingerprint)
+	}
+	for _, slot := range iso.Schedule {
+		if strings.HasPrefix(slot, "f") {
+			t.Fatalf("translated schedule leaks foreign element %q", slot)
+		}
+	}
+}
+
+func TestServedBadRequests(t *testing.T) {
+	srv, _ := newTestServer(t)
+
+	resp, _ := postSpec(t, srv.URL, "element dangling syntax")
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("malformed spec: status = %d", resp.StatusCode)
+	}
+
+	get, err := http.Get(srv.URL + "/schedule")
+	if err != nil {
+		t.Fatal(err)
+	}
+	get.Body.Close()
+	if get.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET /schedule: status = %d", get.StatusCode)
+	}
+}
+
+func TestServedMetricsAndHealth(t *testing.T) {
+	srv, svc := newTestServer(t)
+	if _, body := postSpec(t, srv.URL, exampleSpec); !body.Feasible {
+		t.Fatal("seed request infeasible")
+	}
+
+	resp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(raw)
+	for _, want := range []string{"rtm_requests 1", "rtm_searches 1", "rtm_cache_len 1"} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("metrics missing %q:\n%s", want, text)
+		}
+	}
+	if svc.Metrics().Requests.Load() != 1 {
+		t.Fatal("service counter drifted from endpoint output")
+	}
+
+	h, err := http.Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.Body.Close()
+	if h.StatusCode != http.StatusOK {
+		t.Fatalf("healthz: status = %d", h.StatusCode)
+	}
+}

@@ -1,0 +1,425 @@
+package core
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// This file computes a canonical form of a model: a serialization that
+// is identical for any two models that differ only by renaming of
+// functional elements, renaming of task-graph nodes, or reordering of
+// constraints — and different for any two models that are not
+// isomorphic in that sense. Isomorphic models are indistinguishable to
+// every scheduler and verifier in this repository (all semantics are
+// defined up to the element bijection), so the canonical form is a
+// sound cache key for scheduling results: a schedule synthesized for
+// one model transfers to any isomorphic model by mapping each slot
+// through the two canonical element orders.
+//
+// The construction is classic individualization–refinement (the
+// algorithm family behind nauty): iterated color refinement over the
+// communication graph and the constraint task graphs, with exhaustive
+// tie-breaking on the first non-singleton color class and the
+// lexicographically least serialization winning. The worst case is
+// exponential on highly symmetric models (as it must be — graph
+// canonization subsumes isomorphism testing), but models in this
+// domain are small and refinement almost always discharges the
+// partition in one or two rounds.
+
+// Canonical is the canonical form of a model.
+type Canonical struct {
+	// Key is the canonical serialization: equal keys ⟺ isomorphic
+	// models. It is bulky; use Fingerprint for a fixed-size digest.
+	Key string
+	// Order lists the element names in canonical order: Order[i] is
+	// the element assigned canonical index i.
+	Order []string
+	// Index is the inverse of Order.
+	Index map[string]int
+}
+
+// Fingerprint returns a fixed-size hex digest of the canonical key.
+func (c *Canonical) Fingerprint() string {
+	sum := sha256.Sum256([]byte(c.Key))
+	return hex.EncodeToString(sum[:])
+}
+
+// Fingerprint is shorthand for Canonicalize(m).Fingerprint().
+func Fingerprint(m *Model) string { return Canonicalize(m).Fingerprint() }
+
+// Canonicalize computes the canonical form. The model should satisfy
+// Validate (task nodes executing elements unknown to the communication
+// graph are tolerated but lumped together).
+func Canonicalize(m *Model) *Canonical {
+	cz := newCanonizer(m)
+	n := len(cz.elems)
+	col := make([]int, n) // uniform initial coloring; refine splits it
+	cz.search(col)
+	c := &Canonical{Key: cz.bestKey, Order: make([]string, n), Index: make(map[string]int, n)}
+	for e, r := range cz.bestOrder {
+		c.Order[r] = cz.elems[e]
+		c.Index[cz.elems[e]] = r
+	}
+	return c
+}
+
+// canonizer holds the index-form model and the search state.
+type canonizer struct {
+	m     *Model
+	elems []string // base order (insertion order; never affects the result)
+	succ  [][]int  // communication-graph adjacency, element indices
+	pred  [][]int
+	cons  []canonCons
+	roles [][]canonRole // per element: its occurrences across all task graphs
+
+	bestKey   string
+	bestOrder []int // element base index -> canonical index
+}
+
+// canonCons is one constraint in index form.
+type canonCons struct {
+	kind     Kind
+	period   int
+	deadline int
+	nodes    []canonNode
+}
+
+// canonNode is one task-graph node: the element it executes plus its
+// predecessor/successor nodes (indices into the same nodes slice).
+type canonNode struct {
+	elem int // element base index, -1 when unknown
+	pred []int
+	succ []int
+}
+
+// canonRole locates one task node executing a given element.
+type canonRole struct {
+	cons, node int
+}
+
+func newCanonizer(m *Model) *canonizer {
+	cz := &canonizer{m: m, elems: m.Comm.Elements()}
+	idx := make(map[string]int, len(cz.elems))
+	for i, e := range cz.elems {
+		idx[e] = i
+	}
+	cz.succ = make([][]int, len(cz.elems))
+	cz.pred = make([][]int, len(cz.elems))
+	for i, e := range cz.elems {
+		for _, s := range m.Comm.G.Succ(e) {
+			cz.succ[i] = append(cz.succ[i], idx[s])
+		}
+		for _, p := range m.Comm.G.Pred(e) {
+			cz.pred[i] = append(cz.pred[i], idx[p])
+		}
+	}
+	cz.roles = make([][]canonRole, len(cz.elems))
+	for ci, c := range m.Constraints {
+		cc := canonCons{kind: c.Kind, period: c.Period, deadline: c.Deadline}
+		nodes := c.Task.Nodes()
+		nidx := make(map[string]int, len(nodes))
+		for i, nd := range nodes {
+			nidx[nd] = i
+		}
+		cc.nodes = make([]canonNode, len(nodes))
+		for i, nd := range nodes {
+			e, ok := idx[c.Task.ElementOf(nd)]
+			if !ok {
+				e = -1
+			}
+			cn := canonNode{elem: e}
+			for _, p := range c.Task.G.Pred(nd) {
+				cn.pred = append(cn.pred, nidx[p])
+			}
+			for _, s := range c.Task.G.Succ(nd) {
+				cn.succ = append(cn.succ, nidx[s])
+			}
+			cc.nodes[i] = cn
+			if e >= 0 {
+				cz.roles[e] = append(cz.roles[e], canonRole{cons: ci, node: i})
+			}
+		}
+		cz.cons = append(cz.cons, cc)
+	}
+	return cz
+}
+
+// search refines the coloring and, while non-singleton color classes
+// remain, individualizes every member of the first one in turn,
+// keeping the lexicographically least serialization reached.
+func (cz *canonizer) search(col []int) {
+	col = cz.refine(col)
+	cell := firstNonSingleton(col)
+	if cell < 0 {
+		key, order := cz.serialize(col)
+		if cz.bestOrder == nil || key < cz.bestKey {
+			cz.bestKey, cz.bestOrder = key, order
+		}
+		return
+	}
+	for e := range col {
+		if col[e] != cell {
+			continue
+		}
+		next := make([]int, len(col))
+		copy(next, col)
+		next[e] = -1 // unique minimal color: e is individualized
+		cz.search(next)
+	}
+}
+
+// refine iterates color refinement to a fixed point: each round an
+// element's new color is the rank of its signature — old color plus
+// the color multisets of its communication neighbours and of its task
+// contexts. The partition only ever splits, so a round that does not
+// increase the number of colors is the fixed point.
+func (cz *canonizer) refine(col []int) []int {
+	for {
+		sigs := make([]string, len(col))
+		for e := range col {
+			sigs[e] = cz.signature(col, e)
+		}
+		next := rankStrings(sigs)
+		if distinct(next) == distinct(col) {
+			return next
+		}
+		col = next
+	}
+}
+
+func (cz *canonizer) signature(col []int, e int) string {
+	var b strings.Builder
+	b.WriteString("c")
+	b.WriteString(strconv.Itoa(col[e]))
+	b.WriteString("|w")
+	b.WriteString(strconv.Itoa(cz.m.Comm.WeightOf(cz.elems[e])))
+	writeColorSet(&b, "|s", col, cz.succ[e])
+	writeColorSet(&b, "|p", col, cz.pred[e])
+	// task roles: one descriptor per occurrence of e in a task graph,
+	// as a sorted multiset so constraint order cannot matter
+	descs := make([]string, 0, len(cz.roles[e]))
+	for _, r := range cz.roles[e] {
+		c := &cz.cons[r.cons]
+		nd := &c.nodes[r.node]
+		var d strings.Builder
+		d.WriteString("k")
+		d.WriteString(strconv.Itoa(int(c.kind)))
+		d.WriteString(",p")
+		d.WriteString(strconv.Itoa(c.period))
+		d.WriteString(",d")
+		d.WriteString(strconv.Itoa(c.deadline))
+		writeColorSet(&d, ",a", col, nodeElems(c, nd.pred))
+		writeColorSet(&d, ",b", col, nodeElems(c, nd.succ))
+		descs = append(descs, d.String())
+	}
+	sort.Strings(descs)
+	b.WriteString("|t")
+	b.WriteString(strings.Join(descs, ";"))
+	return b.String()
+}
+
+// nodeElems maps task-node indices to the element indices they execute.
+func nodeElems(c *canonCons, nodes []int) []int {
+	out := make([]int, len(nodes))
+	for i, n := range nodes {
+		out[i] = c.nodes[n].elem
+	}
+	return out
+}
+
+// writeColorSet appends the sorted multiset of colors of the given
+// element indices (index -1 contributes a sentinel).
+func writeColorSet(b *strings.Builder, tag string, col []int, elems []int) {
+	cs := make([]int, len(elems))
+	for i, e := range elems {
+		if e < 0 {
+			cs[i] = -2
+		} else {
+			cs[i] = col[e]
+		}
+	}
+	sort.Ints(cs)
+	b.WriteString(tag)
+	for i, c := range cs {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(strconv.Itoa(c))
+	}
+}
+
+// serialize renders the model under a discrete coloring (every class a
+// singleton): weights and communication edges in canonical element
+// order, then the sorted multiset of constraint serializations, each
+// with its task graph canonized under the now-fixed element labels.
+func (cz *canonizer) serialize(col []int) (string, []int) {
+	var b strings.Builder
+	b.WriteString("n")
+	b.WriteString(strconv.Itoa(len(col)))
+	b.WriteString(";w")
+	inv := make([]int, len(col)) // canonical index -> base index
+	for e, r := range col {
+		inv[r] = e
+	}
+	for r, e := range inv {
+		if r > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(strconv.Itoa(cz.m.Comm.WeightOf(cz.elems[e])))
+	}
+	var edges []string
+	for e, ss := range cz.succ {
+		for _, s := range ss {
+			edges = append(edges, strconv.Itoa(col[e])+">"+strconv.Itoa(col[s]))
+		}
+	}
+	sort.Strings(edges)
+	b.WriteString(";a")
+	b.WriteString(strings.Join(edges, ","))
+	var cs []string
+	for i := range cz.cons {
+		c := &cz.cons[i]
+		cs = append(cs, "k"+strconv.Itoa(int(c.kind))+
+			";p"+strconv.Itoa(c.period)+
+			";d"+strconv.Itoa(c.deadline)+
+			";t"+canonTask(c, col))
+	}
+	sort.Strings(cs)
+	b.WriteString(";C{")
+	b.WriteString(strings.Join(cs, "|"))
+	b.WriteString("}")
+	return b.String(), col
+}
+
+// canonTask canonizes one task graph given fixed element labels. The
+// same individualization–refinement scheme runs over the task nodes,
+// whose initial colors are the canonical indices of the elements they
+// execute; task graphs are tiny, so the search is cheap.
+func canonTask(c *canonCons, elemCol []int) string {
+	n := len(c.nodes)
+	col := make([]int, n)
+	for i, nd := range c.nodes {
+		if nd.elem < 0 {
+			col[i] = -2
+		} else {
+			col[i] = elemCol[nd.elem]
+		}
+	}
+	best := ""
+	var search func(col []int)
+	search = func(col []int) {
+		col = taskRefine(c, col)
+		cell := firstNonSingleton(col)
+		if cell < 0 {
+			key := taskSerialize(c, col, elemCol)
+			if best == "" || key < best {
+				best = key
+			}
+			return
+		}
+		for i := range col {
+			if col[i] != cell {
+				continue
+			}
+			next := make([]int, n)
+			copy(next, col)
+			next[i] = -3
+			search(next)
+		}
+	}
+	search(col)
+	return best
+}
+
+func taskRefine(c *canonCons, col []int) []int {
+	for {
+		sigs := make([]string, len(col))
+		for i := range col {
+			nd := &c.nodes[i]
+			var b strings.Builder
+			b.WriteString("c")
+			b.WriteString(strconv.Itoa(col[i]))
+			writeColorSet(&b, "|a", col, nd.pred)
+			writeColorSet(&b, "|b", col, nd.succ)
+			sigs[i] = b.String()
+		}
+		next := rankStrings(sigs)
+		if distinct(next) == distinct(col) {
+			return next
+		}
+		col = next
+	}
+}
+
+func taskSerialize(c *canonCons, col, elemCol []int) string {
+	inv := make([]int, len(col))
+	for i, r := range col {
+		inv[r] = i
+	}
+	var b strings.Builder
+	for r, i := range inv {
+		if r > 0 {
+			b.WriteByte(',')
+		}
+		if e := c.nodes[i].elem; e < 0 {
+			b.WriteString("?")
+		} else {
+			b.WriteString(strconv.Itoa(elemCol[e]))
+		}
+	}
+	var edges []string
+	for i, nd := range c.nodes {
+		for _, s := range nd.succ {
+			edges = append(edges, strconv.Itoa(col[i])+">"+strconv.Itoa(col[s]))
+		}
+	}
+	sort.Strings(edges)
+	b.WriteString("/")
+	b.WriteString(strings.Join(edges, ","))
+	return b.String()
+}
+
+// rankStrings maps each string to the rank of its value among the
+// sorted distinct values.
+func rankStrings(sigs []string) []int {
+	uniq := append([]string(nil), sigs...)
+	sort.Strings(uniq)
+	rank := make(map[string]int, len(uniq))
+	for _, s := range uniq {
+		if _, ok := rank[s]; !ok {
+			rank[s] = len(rank)
+		}
+	}
+	out := make([]int, len(sigs))
+	for i, s := range sigs {
+		out[i] = rank[s]
+	}
+	return out
+}
+
+func distinct(col []int) int {
+	seen := make(map[int]bool, len(col))
+	for _, c := range col {
+		seen[c] = true
+	}
+	return len(seen)
+}
+
+// firstNonSingleton returns the smallest color owned by two or more
+// elements, or -1 when the coloring is discrete.
+func firstNonSingleton(col []int) int {
+	count := make(map[int]int, len(col))
+	for _, c := range col {
+		count[c]++
+	}
+	best := -1
+	for c, k := range count {
+		if k > 1 && (best < 0 || c < best) {
+			best = c
+		}
+	}
+	return best
+}

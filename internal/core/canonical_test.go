@@ -1,0 +1,222 @@
+package core_test
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"rtm/internal/core"
+	"rtm/internal/sched"
+	"rtm/internal/workload"
+)
+
+// renameModel rebuilds m with permuted element names, permuted task
+// node names, shuffled insertion orders, and shuffled constraint
+// order — everything the canonical form must be invariant under. It
+// returns the rebuilt model and the element renaming.
+func renameModel(rng *rand.Rand, m *core.Model) (*core.Model, map[string]string) {
+	elems := m.Comm.Elements()
+	perm := rng.Perm(len(elems))
+	ren := make(map[string]string, len(elems))
+	for i, e := range elems {
+		ren[e] = fmt.Sprintf("z%03d", perm[i])
+	}
+	out := core.NewModel()
+	for _, i := range rng.Perm(len(elems)) {
+		out.Comm.AddElement(ren[elems[i]], m.Comm.WeightOf(elems[i]))
+	}
+	for _, e := range m.Comm.G.Edges() {
+		out.Comm.AddPath(ren[e.From], ren[e.To])
+	}
+	for _, ci := range rng.Perm(len(m.Constraints)) {
+		c := m.Constraints[ci]
+		task := core.NewTaskGraph()
+		nodes := c.Task.Nodes()
+		nren := make(map[string]string, len(nodes))
+		for j, nd := range rng.Perm(len(nodes)) {
+			nren[nodes[nd]] = fmt.Sprintf("n%d_%d", ci, j)
+		}
+		for _, nd := range nodes {
+			task.AddStep(nren[nd], ren[c.Task.ElementOf(nd)])
+		}
+		for _, e := range c.Task.G.Edges() {
+			task.AddPrec(nren[e.From], nren[e.To])
+		}
+		out.AddConstraint(&core.Constraint{
+			Name:     fmt.Sprintf("q%d", ci),
+			Task:     task,
+			Period:   c.Period,
+			Deadline: c.Deadline,
+			Kind:     c.Kind,
+		})
+	}
+	return out, ren
+}
+
+// randomSchedule draws a candidate schedule over m's used elements.
+func randomSchedule(rng *rand.Rand, m *core.Model, n int) *sched.Schedule {
+	alphabet := append([]string{sched.Idle}, m.ElementsUsed()...)
+	slots := make([]string, n)
+	for i := range slots {
+		slots[i] = alphabet[rng.Intn(len(alphabet))]
+	}
+	return &sched.Schedule{Slots: slots}
+}
+
+// TestCanonicalInvariance: the fingerprint is invariant under element
+// renaming, task-node renaming, insertion-order shuffling, and
+// constraint permutation — and the canonical element orders of the two
+// isomorphic models translate schedules so that verification verdicts
+// transfer exactly.
+func TestCanonicalInvariance(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 60; trial++ {
+		m, err := workload.Random(rng, workload.Params{
+			Elements:    2 + rng.Intn(5),
+			MaxWeight:   1 + rng.Intn(3),
+			EdgeProb:    0.4,
+			Constraints: 1 + rng.Intn(4),
+			ChainLen:    1 + rng.Intn(3),
+			AsyncFrac:   0.5,
+			TargetUtil:  0.5,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		m2, ren := renameModel(rng, m)
+		if err := m2.Validate(); err != nil {
+			t.Fatalf("renamed model invalid: %v", err)
+		}
+		ca, cb := core.Canonicalize(m), core.Canonicalize(m2)
+		if ca.Key != cb.Key {
+			t.Fatalf("trial %d: canonical keys differ under renaming\n%s\nvs\n%s", trial, ca.Key, cb.Key)
+		}
+		if ca.Fingerprint() != cb.Fingerprint() {
+			t.Fatalf("trial %d: fingerprints differ under renaming", trial)
+		}
+		// translating a schedule through the canonical orders must
+		// preserve the verification verdict
+		s := randomSchedule(rng, m, 1+rng.Intn(10))
+		s2 := s.Remap(func(e string) string { return cb.Order[ca.Index[e]] })
+		ra, rb := sched.Check(m, s), sched.Check(m2, s2)
+		if ra.Feasible != rb.Feasible {
+			t.Fatalf("trial %d: translated schedule verdict changed: %v vs %v", trial, ra.Feasible, rb.Feasible)
+		}
+		// double-check the translation equals the renaming itself
+		s3 := s.Remap(func(e string) string { return ren[e] })
+		for i := range s2.Slots {
+			if s2.Slots[i] != s3.Slots[i] {
+				t.Fatalf("trial %d: canonical translation disagrees with the renaming at slot %d", trial, i)
+			}
+		}
+	}
+}
+
+// TestCanonicalDistinguishes: any mutation that changes how models
+// verify — weights, periods, deadlines, kinds, task structure — must
+// change the fingerprint.
+func TestCanonicalDistinguishes(t *testing.T) {
+	base := func() *core.Model {
+		m := core.NewModel()
+		m.Comm.AddElement("a", 1)
+		m.Comm.AddElement("b", 2)
+		m.Comm.AddPath("a", "b")
+		m.AddConstraint(&core.Constraint{
+			Name: "AB", Task: core.ChainTask("a", "b"),
+			Period: 8, Deadline: 8, Kind: core.Asynchronous,
+		})
+		m.AddConstraint(&core.Constraint{
+			Name: "A", Task: core.ChainTask("a"),
+			Period: 4, Deadline: 4, Kind: core.Periodic,
+		})
+		return m
+	}
+	fp := core.Fingerprint(base())
+	mutations := map[string]func(*core.Model){
+		"weight":   func(m *core.Model) { m.Comm.AddElement("b", 3) },
+		"period":   func(m *core.Model) { m.Constraints[1].Period = 5 },
+		"deadline": func(m *core.Model) { m.Constraints[0].Deadline = 7 },
+		"kind":     func(m *core.Model) { m.Constraints[1].Kind = core.Asynchronous },
+		"extra-cons": func(m *core.Model) {
+			m.AddConstraint(&core.Constraint{Name: "B", Task: core.ChainTask("b"), Period: 9, Deadline: 9, Kind: core.Periodic})
+		},
+		"task-reverse": func(m *core.Model) { m.Constraints[0].Task = core.ChainTask("b", "a"); m.Comm.AddPath("b", "a") },
+		"comm-edge":    func(m *core.Model) { m.Comm.AddPath("b", "a") },
+	}
+	for name, mutate := range mutations {
+		m := base()
+		mutate(m)
+		if core.Fingerprint(m) == fp {
+			t.Errorf("mutation %q left the fingerprint unchanged", name)
+		}
+	}
+}
+
+// TestCanonicalSymmetricModels exercises the individualization search:
+// fully interchangeable elements force tie-breaking, and the result
+// must still be renaming-invariant.
+func TestCanonicalSymmetricModels(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	sym := func(names []string) *core.Model {
+		m := core.NewModel()
+		for _, n := range names {
+			m.Comm.AddElement(n, 1)
+			m.AddConstraint(&core.Constraint{
+				Name: "c" + n, Task: core.ChainTask(n),
+				Period: 6, Deadline: 6, Kind: core.Asynchronous,
+			})
+		}
+		return m
+	}
+	a := sym([]string{"u", "v", "w", "x", "y"})
+	b, _ := renameModel(rng, a)
+	if core.Fingerprint(a) != core.Fingerprint(b) {
+		t.Fatal("symmetric model fingerprint not renaming-invariant")
+	}
+	// breaking the symmetry of one element must change the key
+	c := sym([]string{"u", "v", "w", "x", "y"})
+	c.Comm.AddElement("y", 2)
+	c.Constraints[4].Deadline = 8
+	c.Constraints[4].Period = 8
+	if core.Fingerprint(a) == core.Fingerprint(c) {
+		t.Fatal("asymmetric variant collides with the symmetric model")
+	}
+}
+
+// TestCanonicalAgreesWithVerify: over random model pairs, equal
+// fingerprints imply equal verification behaviour on translated
+// candidate schedules (the soundness direction the schedule cache
+// depends on), and the canonical order is a proper bijection.
+func TestCanonicalAgreesWithVerify(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for trial := 0; trial < 40; trial++ {
+		m1, err := workload.Random(rng, workload.Params{
+			Elements: 2 + rng.Intn(3), MaxWeight: 2, EdgeProb: 0.5,
+			Constraints: 1 + rng.Intn(2), ChainLen: 2, AsyncFrac: 0.5, TargetUtil: 0.6,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		m2, err := workload.Random(rng, workload.Params{
+			Elements: 2 + rng.Intn(3), MaxWeight: 2, EdgeProb: 0.5,
+			Constraints: 1 + rng.Intn(2), ChainLen: 2, AsyncFrac: 0.5, TargetUtil: 0.6,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		c1, c2 := core.Canonicalize(m1), core.Canonicalize(m2)
+		if len(c1.Order) != len(c1.Index) {
+			t.Fatal("canonical order is not a bijection")
+		}
+		if c1.Key != c2.Key {
+			continue // distinct models; nothing to cross-check
+		}
+		for k := 0; k < 5; k++ {
+			s := randomSchedule(rng, m1, 1+rng.Intn(8))
+			s2 := s.Remap(func(e string) string { return c2.Order[c1.Index[e]] })
+			if sched.Check(m1, s).Feasible != sched.Check(m2, s2).Feasible {
+				t.Fatalf("equal fingerprints but verification verdicts differ (trial %d)", trial)
+			}
+		}
+	}
+}

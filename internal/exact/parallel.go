@@ -1,6 +1,7 @@
 package exact
 
 import (
+	"context"
 	"math"
 	"sync"
 	"sync/atomic"
@@ -27,7 +28,7 @@ import (
 // searchLengthParallel explores one cycle length with the given
 // worker count. splitDepth 0 auto-picks the smallest depth whose
 // worst-case prefix count reaches 4 × workers.
-func searchLengthParallel(p *problem, n, workers, splitDepth int, st *Stats) (*sched.Schedule, error) {
+func searchLengthParallel(ctx context.Context, p *problem, n, workers, splitDepth int, st *Stats) (*sched.Schedule, error) {
 	minCount, totalMin := p.minCounts(n)
 	if totalMin > n {
 		return nil, nil // capacity bound already unsatisfiable at this length
@@ -46,7 +47,7 @@ func searchLengthParallel(p *problem, n, workers, splitDepth int, st *Stats) (*s
 		if err != nil {
 			return nil, err
 		}
-		return searchLength(p, n, ck, st)
+		return searchLength(ctx, p, n, ck, st)
 	}
 
 	prefixes, enumNodes := enumPrefixes(p, n, minCount, totalMin, depth)
@@ -72,6 +73,17 @@ func searchLengthParallel(p *problem, n, workers, splitDepth int, st *Stats) (*s
 	if workers > len(prefixes) {
 		workers = len(prefixes)
 	}
+	// cancellation hook: a done context trips the same stop flag the
+	// budget abort uses, draining the pool promptly
+	watcherDone := make(chan struct{})
+	defer close(watcherDone)
+	go func() {
+		select {
+		case <-ctx.Done():
+			stop.Store(true)
+		case <-watcherDone:
+		}
+	}()
 	work := make(chan int)
 	var wg sync.WaitGroup
 	wg.Add(workers)
@@ -109,6 +121,12 @@ func searchLengthParallel(p *problem, n, workers, splitDepth int, st *Stats) (*s
 
 	st.NodesExplored += int(nodeTotal.Load())
 	st.Candidates = int(candTotal.Load())
+	if err := ctx.Err(); err != nil {
+		// a canceled search may have been stopped before the
+		// lowest-index subtree finished, so any speculative hit is
+		// unreliable: report only the cancellation
+		return nil, err
+	}
 	if best != nil {
 		return best, nil
 	}

@@ -20,6 +20,7 @@
 package exact
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"runtime"
@@ -80,6 +81,17 @@ var ErrNotFound = errors.New("exact: no feasible static schedule within length b
 // the bounded space is exhausted, or ErrBudget when the candidate
 // budget runs out.
 func FindSchedule(m *core.Model, opt Options) (*sched.Schedule, *Stats, error) {
+	return FindScheduleCtx(context.Background(), m, opt)
+}
+
+// FindScheduleCtx is FindSchedule under a context: the search polls
+// ctx between node batches (sequential) and cancels the worker pool
+// (parallel) as soon as the context is done, returning ctx.Err()
+// alongside whatever stats had accumulated. A canceled search says
+// nothing about feasibility — like ErrBudget, the abort is an effort
+// limit, not a verdict. This is the per-request cancellation hook the
+// scheduling service uses to bound latencies of admitted searches.
+func FindScheduleCtx(ctx context.Context, m *core.Model, opt Options) (*sched.Schedule, *Stats, error) {
 	if opt.MaxLen <= 0 {
 		return nil, nil, fmt.Errorf("exact: MaxLen must be positive, got %d", opt.MaxLen)
 	}
@@ -98,13 +110,16 @@ func FindSchedule(m *core.Model, opt Options) (*sched.Schedule, *Stats, error) {
 		return nil, nil, fmt.Errorf("exact: %w", err)
 	}
 	for n := minLen; n <= opt.MaxLen; n++ {
+		if err := ctx.Err(); err != nil {
+			return nil, st, err
+		}
 		st.LengthsTried = append(st.LengthsTried, n)
 		var s *sched.Schedule
 		var err error
 		if workers > 1 {
-			s, err = searchLengthParallel(p, n, workers, opt.SplitDepth, st)
+			s, err = searchLengthParallel(ctx, p, n, workers, opt.SplitDepth, st)
 		} else {
-			s, err = searchLength(p, n, ck, st)
+			s, err = searchLength(ctx, p, n, ck, st)
 		}
 		if err != nil {
 			return nil, st, err
@@ -145,7 +160,7 @@ func FeasibleOpt(m *core.Model, opt Options) (bool, *Stats, error) {
 // cycle length. Its visiting order — and therefore the schedule found
 // and every Stats field — is the determinism reference for the
 // parallel fan-out.
-func searchLength(p *problem, n int, ck *sched.Checker, st *Stats) (*sched.Schedule, error) {
+func searchLength(ctx context.Context, p *problem, n int, ck *sched.Checker, st *Stats) (*sched.Schedule, error) {
 	minCount, totalMin := p.minCounts(n)
 	if totalMin > n {
 		return nil, nil // capacity bound already unsatisfiable at this length
@@ -159,6 +174,11 @@ func searchLength(p *problem, n int, ck *sched.Checker, st *Stats) (*sched.Sched
 			return nil
 		}
 		st.NodesExplored++
+		if st.NodesExplored&0x3ff == 0 {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+		}
 		if pos == n {
 			st.Candidates++
 			if p.maxCand > 0 && st.Candidates > p.maxCand {

@@ -1,0 +1,120 @@
+package sched
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"rtm/internal/core"
+	"rtm/internal/graph"
+	"rtm/internal/workload"
+)
+
+// agreesWithReference asserts that a Checker gives the same answers
+// as the one-shot Check/AnalyzerFor path on one candidate schedule.
+func agreesWithReference(t *testing.T, label string, m *core.Model, ck *Checker, s *Schedule) {
+	t.Helper()
+	wantRep := Check(m, s)
+	if got := ck.Feasible(s); got != wantRep.Feasible {
+		t.Fatalf("%s: Feasible = %v, Check = %v\nschedule %v", label, got, wantRep.Feasible, s.Slots)
+	}
+	want := analyzerWorst(m, s)
+	got := ck.Worsts(s)
+	if len(got) != len(want) {
+		t.Fatalf("%s: worsts length %d != %d", label, len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("%s: constraint %d worst = %d, analyzer = %d\nschedule %v",
+				label, i, got[i], want[i], s.Slots)
+		}
+	}
+	if got, want := ck.Contiguous(s), Contiguous(m.Comm, s); got != want {
+		t.Fatalf("%s: Contiguous = %v, reference = %v", label, got, want)
+	}
+}
+
+// TestCheckerPropertyRandomModels is the property-test hardening pass
+// over the fast checker: on fully random models (random connected
+// communication DAGs, random chain constraints, mixed kinds and
+// weights) the Checker must agree with the reference Check/Analyzer
+// on every candidate schedule — feasibility verdict, per-constraint
+// worst-case latencies, and contiguity alike.
+func TestCheckerPropertyRandomModels(t *testing.T) {
+	rng := rand.New(rand.NewSource(1985))
+	trials := 40
+	if testing.Short() {
+		trials = 10
+	}
+	for trial := 0; trial < trials; trial++ {
+		m, err := workload.Random(rng, workload.Params{
+			Elements:    2 + rng.Intn(5),
+			MaxWeight:   1 + rng.Intn(3),
+			EdgeProb:    rng.Float64(),
+			Constraints: 1 + rng.Intn(4),
+			ChainLen:    1 + rng.Intn(3),
+			AsyncFrac:   rng.Float64(),
+			TargetUtil:  0.2 + 0.6*rng.Float64(),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ck := MustChecker(m)
+		for round := 0; round < 40; round++ {
+			s := randomScheduleOver(rng, m, 1+rng.Intn(12))
+			agreesWithReference(t, fmt.Sprintf("trial %d round %d", trial, round), m, ck, s)
+		}
+	}
+}
+
+// TestCheckerPropertyDAGTasks drives the same agreement property with
+// general DAG task graphs (not just chains): each constraint's task is
+// a random induced sub-DAG of the communication graph, so precedence
+// fan-in/fan-out and multi-node tasks are exercised, which
+// workload.Random's chain constraints never produce.
+func TestCheckerPropertyDAGTasks(t *testing.T) {
+	rng := rand.New(rand.NewSource(85))
+	trials := 30
+	if testing.Short() {
+		trials = 8
+	}
+	for trial := 0; trial < trials; trial++ {
+		g := graph.RandomConnectedDAG(rng, "e", 3+rng.Intn(4), 0.5)
+		m := core.NewModel()
+		for _, n := range g.Nodes() {
+			m.Comm.AddElement(n, 1+rng.Intn(2))
+		}
+		for _, e := range g.Edges() {
+			m.Comm.AddPath(e.From, e.To)
+		}
+		nCons := 1 + rng.Intn(3)
+		for i := 0; i < nCons; i++ {
+			sub := graph.RandomSubDAG(rng, g, 1+rng.Intn(3))
+			task := core.NewTaskGraph()
+			for _, n := range sub.Nodes() {
+				task.AddStep("s"+n, n)
+			}
+			for _, e := range sub.Edges() {
+				task.AddPrec("s"+e.From, "s"+e.To)
+			}
+			w := task.ComputationTime(m.Comm)
+			kind := core.Periodic
+			if rng.Intn(2) == 0 {
+				kind = core.Asynchronous
+			}
+			period := 2*w + rng.Intn(8)
+			m.AddConstraint(&core.Constraint{
+				Name: fmt.Sprintf("d%d", i), Task: task,
+				Period: period, Deadline: period, Kind: kind,
+			})
+		}
+		if m.Validate() != nil {
+			continue // e.g. sub-DAG tasks that break compatibility; not the property under test
+		}
+		ck := MustChecker(m)
+		for round := 0; round < 40; round++ {
+			s := randomScheduleOver(rng, m, 1+rng.Intn(10))
+			agreesWithReference(t, fmt.Sprintf("dag trial %d round %d", trial, round), m, ck, s)
+		}
+	}
+}

@@ -54,6 +54,22 @@ func (s *Schedule) Unroll(k int) []string {
 	return out
 }
 
+// Remap returns a copy of the schedule with every non-idle slot
+// renamed through f. Idle slots stay idle. It translates schedules
+// between models that are identical up to element renaming — the
+// canonical schedule cache stores one schedule per isomorphism class
+// and remaps it into each requester's element names.
+func (s *Schedule) Remap(f func(string) string) *Schedule {
+	out := &Schedule{Slots: make([]string, len(s.Slots))}
+	for i, x := range s.Slots {
+		if x == Idle {
+			continue
+		}
+		out.Slots[i] = f(x)
+	}
+	return out
+}
+
 // BusySlots returns the number of non-idle slots per cycle.
 func (s *Schedule) BusySlots() int {
 	n := 0

@@ -1,0 +1,71 @@
+package service
+
+import (
+	"context"
+	"testing"
+)
+
+// BenchmarkServiceHotCold prices the cache against the NP-hard search
+// on the scaled density-1 hardness instance (deadlines {2w,3w,6w},
+// Σw/d = 1, w = 3): static analysis cannot reject it, so a cold
+// request must exhaust the exact search space to refute it, while a
+// hot request is canonicalization plus an LRU lookup. The acceptance
+// bar is hot ≥ 100× faster than cold; measured ratios are recorded in
+// EXPERIMENTS.md.
+func BenchmarkServiceHotCold(b *testing.B) {
+	ctx := context.Background()
+	hard := density1Instance(3, []int{2, 3, 6}) // infeasible: cold = full exhaustion
+	// the feasible face of the family packs only at unit weight (with
+	// w > 1 an execution is an atomic block of w occurrences, which a
+	// d = 2w element cannot afford next to any other work), so the
+	// positive hit path — remap + re-verify — is priced on w = 1
+	packs := density1Instance(1, []int{2, 6, 6, 6})
+
+	b.Run("cold-exact", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			svc := New(Options{DisableHeuristic: true})
+			res, err := svc.Schedule(ctx, hard)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if !res.Decided || res.Feasible {
+				b.Fatal("hardness instance must be refuted")
+			}
+		}
+	})
+	b.Run("hot-infeasible", func(b *testing.B) {
+		svc := New(Options{DisableHeuristic: true})
+		if _, err := svc.Schedule(ctx, hard); err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			res, err := svc.Schedule(ctx, hard)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if !res.CacheHit {
+				b.Fatal("hot request missed the cache")
+			}
+		}
+	})
+	b.Run("hot-feasible", func(b *testing.B) {
+		svc := New(Options{DisableHeuristic: true})
+		if _, err := svc.Schedule(ctx, packs); err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			res, err := svc.Schedule(ctx, packs)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if !res.CacheHit || res.Schedule == nil {
+				b.Fatal("hot request missed the cache")
+			}
+		}
+	})
+}

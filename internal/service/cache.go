@@ -1,0 +1,70 @@
+package service
+
+import "container/list"
+
+// entry is one cached scheduling outcome in canonical form: the
+// verdict plus, when feasible, the schedule with each slot as a
+// canonical element index (-1 = idle). Storing canonical indices
+// instead of names is what lets one entry serve every model in the
+// fingerprint's isomorphism class — the hit path remaps the indices
+// through the requester's own canonical element order.
+type entry struct {
+	key      string
+	decided  bool // false: the search budget ran out (never cached)
+	feasible bool
+	slots    []int  // nil unless feasible
+	source   string // which pipeline stage produced the outcome
+}
+
+// lruCache is a bounded LRU over canonical fingerprints. Not safe for
+// concurrent use; the service guards it with its own mutex.
+type lruCache struct {
+	cap   int
+	order *list.List               // front = most recent; values are *entry
+	items map[string]*list.Element //
+}
+
+func newLRUCache(capacity int) *lruCache {
+	return &lruCache{cap: capacity, order: list.New(), items: make(map[string]*list.Element)}
+}
+
+// get returns the entry for key (touching it) or nil.
+func (c *lruCache) get(key string) *entry {
+	el, ok := c.items[key]
+	if !ok {
+		return nil
+	}
+	c.order.MoveToFront(el)
+	return el.Value.(*entry)
+}
+
+// add inserts or refreshes an entry and reports how many entries were
+// evicted to stay within capacity.
+func (c *lruCache) add(e *entry) int {
+	if el, ok := c.items[e.key]; ok {
+		el.Value = e
+		c.order.MoveToFront(el)
+		return 0
+	}
+	c.items[e.key] = c.order.PushFront(e)
+	evicted := 0
+	for c.order.Len() > c.cap {
+		back := c.order.Back()
+		delete(c.items, back.Value.(*entry).key)
+		c.order.Remove(back)
+		evicted++
+	}
+	return evicted
+}
+
+// remove drops an entry (used when a hit fails re-verification, which
+// would indicate a canonicalization defect; the service degrades to a
+// fresh search rather than serving a wrong schedule).
+func (c *lruCache) remove(key string) {
+	if el, ok := c.items[key]; ok {
+		delete(c.items, key)
+		c.order.Remove(el)
+	}
+}
+
+func (c *lruCache) len() int { return c.order.Len() }

@@ -1,0 +1,77 @@
+package service
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync/atomic"
+)
+
+// Metrics is the service's counter set: monotonically increasing
+// atomics in the style of expvar, rendered as plain "name value"
+// lines for the daemon's /metrics endpoint. All fields are safe for
+// concurrent use; read them through Snapshot or String.
+type Metrics struct {
+	Requests     atomic.Int64 // Schedule calls accepted for processing
+	Invalid      atomic.Int64 // model validation failures
+	CacheHits    atomic.Int64 // requests served from the schedule cache
+	CacheMisses  atomic.Int64 // requests that had to enter the flight path
+	FlightShared atomic.Int64 // requests that piggybacked on an in-flight search
+	Searches     atomic.Int64 // admission pipelines actually executed
+
+	AdmissionRejects atomic.Int64 // proven infeasible by static analysis
+	HeuristicSolved  atomic.Int64 // schedules produced by the paper's heuristic
+	ExactSolved      atomic.Int64 // schedules produced by exhaustive search
+	ExactRefuted     atomic.Int64 // proven infeasible by exhaustion
+	Undecided        atomic.Int64 // searches cut off by the candidate budget
+	Canceled         atomic.Int64 // searches aborted by request contexts
+
+	Evictions atomic.Int64 // cache entries displaced by newer fingerprints
+
+	hitNanos    atomic.Int64 // cumulative latency of cache-hit requests
+	searchNanos atomic.Int64 // cumulative latency of executed pipelines
+}
+
+// Snapshot returns every counter by name, including the derived
+// average latencies (in nanoseconds) of the hit and search paths.
+func (mt *Metrics) Snapshot() map[string]int64 {
+	s := map[string]int64{
+		"requests":          mt.Requests.Load(),
+		"invalid":           mt.Invalid.Load(),
+		"cache_hits":        mt.CacheHits.Load(),
+		"cache_misses":      mt.CacheMisses.Load(),
+		"flight_shared":     mt.FlightShared.Load(),
+		"searches":          mt.Searches.Load(),
+		"admission_rejects": mt.AdmissionRejects.Load(),
+		"heuristic_solved":  mt.HeuristicSolved.Load(),
+		"exact_solved":      mt.ExactSolved.Load(),
+		"exact_refuted":     mt.ExactRefuted.Load(),
+		"undecided":         mt.Undecided.Load(),
+		"canceled":          mt.Canceled.Load(),
+		"evictions":         mt.Evictions.Load(),
+		"hit_ns_total":      mt.hitNanos.Load(),
+		"search_ns_total":   mt.searchNanos.Load(),
+	}
+	if h := s["cache_hits"]; h > 0 {
+		s["hit_ns_avg"] = s["hit_ns_total"] / h
+	}
+	if n := s["searches"]; n > 0 {
+		s["search_ns_avg"] = s["search_ns_total"] / n
+	}
+	return s
+}
+
+// String renders the snapshot as sorted "rtm_<name> <value>" lines.
+func (mt *Metrics) String() string {
+	snap := mt.Snapshot()
+	names := make([]string, 0, len(snap))
+	for k := range snap {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	var b strings.Builder
+	for _, k := range names {
+		fmt.Fprintf(&b, "rtm_%s %d\n", k, snap[k])
+	}
+	return b.String()
+}

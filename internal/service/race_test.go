@@ -1,0 +1,97 @@
+package service
+
+import (
+	"context"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"rtm/internal/core"
+)
+
+// TestServiceSingleFlightUnderLoad is the satellite race/soak test:
+// hammer one service with concurrent identical, isomorphic-renamed,
+// and distinct requests, and assert — via the metrics counters — that
+// every fingerprint triggered exactly one admission pipeline. Run
+// under `go test -race` (the default `make test` does).
+func TestServiceSingleFlightUnderLoad(t *testing.T) {
+	svc := New(Options{CacheSize: 64})
+	ctx := context.Background()
+
+	// four distinct isomorphism classes, two of them slow enough
+	// ({2w,3w,6w} with w=2 exhausts ~600 nodes) that followers really
+	// do pile onto an in-flight search
+	classes := []*core.Model{
+		core.ExampleSystem(core.DefaultExampleParams()),
+		density1Instance(1, []int{2, 6, 6, 6}),
+		density1Instance(2, []int{2, 3, 6}),
+		density1Instance(2, []int{2, 6, 6, 6}),
+	}
+	const goroutinesPerClass = 8
+	const repsPerGoroutine = 5
+
+	var wg sync.WaitGroup
+	errs := make(chan error, len(classes)*goroutinesPerClass)
+	for ci, m := range classes {
+		for g := 0; g < goroutinesPerClass; g++ {
+			wg.Add(1)
+			// half the goroutines use a renamed isomorphic copy, so
+			// dedup must happen on the fingerprint, not on pointer or
+			// surface equality
+			req := m
+			if g%2 == 1 {
+				req = renameModel(rand.New(rand.NewSource(int64(ci*100+g))), m)
+			}
+			go func(m *core.Model) {
+				defer wg.Done()
+				for r := 0; r < repsPerGoroutine; r++ {
+					res, err := svc.Schedule(ctx, m)
+					if err != nil {
+						errs <- err
+						return
+					}
+					if !res.Decided {
+						errs <- errUndecided
+						return
+					}
+					if res.Feasible && !res.Report.Feasible {
+						errs <- errUnverified
+						return
+					}
+				}
+			}(req)
+		}
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	mt := svc.Metrics().Snapshot()
+	want := int64(len(classes))
+	if mt["searches"] != want {
+		t.Fatalf("searches = %d, want exactly %d (one per fingerprint)", mt["searches"], want)
+	}
+	if mt["cache_misses"] != want {
+		t.Fatalf("cache_misses = %d, want %d", mt["cache_misses"], want)
+	}
+	total := int64(len(classes) * goroutinesPerClass * repsPerGoroutine)
+	if mt["requests"] != total {
+		t.Fatalf("requests = %d, want %d", mt["requests"], total)
+	}
+	// every request is accounted for by exactly one path
+	if got := mt["cache_hits"] + mt["flight_shared"] + mt["cache_misses"]; got != total {
+		t.Fatalf("hits(%d) + shared(%d) + misses(%d) = %d, want %d",
+			mt["cache_hits"], mt["flight_shared"], mt["cache_misses"], got, total)
+	}
+}
+
+var (
+	errUndecided  = errorString("request came back undecided")
+	errUnverified = errorString("feasible result failed verification")
+)
+
+type errorString string
+
+func (e errorString) Error() string { return string(e) }

@@ -1,0 +1,305 @@
+// Package service is the online face of the scheduler: a concurrent,
+// in-process scheduling service that accepts models, synthesizes and
+// verifies static schedules, and memoizes results in a canonical
+// schedule cache.
+//
+// The paper's run-time model is deliberately static — all timing
+// constraints are compiled into one cyclic schedule executed
+// table-driven forever — which makes synthesis a pure function of the
+// model up to renaming of its elements. The service exploits exactly
+// that: every request is canonicalized (core.Canonicalize), and the
+// cache is keyed by the canonical fingerprint, so workloads that are
+// identical up to element renaming and constraint reordering share
+// one entry. Cached schedules are stored over canonical element
+// indices and remapped into each requester's names on the way out;
+// every positive hit is re-verified against the requesting model
+// before being served, so a canonicalization defect can cost a cache
+// miss but never a wrong schedule.
+//
+// Requests that miss are single-flighted per fingerprint: N
+// concurrent requests for the same workload trigger exactly one
+// admission pipeline (cheap static analysis, then the paper's
+// heuristic, then budgeted exact search under the request context),
+// and the result fans back out to every waiter. The cache and the
+// flight table share one mutex, so a fingerprint is searched at most
+// once for as long as its entry stays resident.
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"rtm/internal/analysis"
+	"rtm/internal/core"
+	"rtm/internal/exact"
+	"rtm/internal/heuristic"
+	"rtm/internal/sched"
+)
+
+// Options configure a Service.
+type Options struct {
+	// CacheSize bounds the schedule cache (entries = isomorphism
+	// classes). Default 256.
+	CacheSize int
+	// Exact is the per-request budget for the exhaustive fallback.
+	// MaxLen 0 picks the model's hyperperiod capped at MaxLenCap;
+	// MaxCandidates and Workers pass through (see exact.Options).
+	Exact exact.Options
+	// MaxLenCap caps the automatic MaxLen choice. Default 64.
+	MaxLenCap int
+	// DisableHeuristic skips the heuristic stage, sending every miss
+	// straight to exact search (used by benchmarks and tests that
+	// need the cold path to be the exact search).
+	DisableHeuristic bool
+}
+
+// Result is the outcome of one scheduling request.
+type Result struct {
+	// Fingerprint is the canonical model fingerprint (the cache key).
+	Fingerprint string
+	// Decided reports whether the verdict is definitive. False means
+	// the search budget ran out before feasibility was decided.
+	Decided bool
+	// Feasible reports the verdict when Decided.
+	Feasible bool
+	// Schedule is the verified static schedule in the requester's
+	// element names; nil unless feasible.
+	Schedule *sched.Schedule
+	// Report is the verification of Schedule against the requesting
+	// model; nil unless feasible.
+	Report *sched.Report
+	// Source identifies what produced the verdict: "cache",
+	// "analysis", "heuristic", or "exact".
+	Source string
+	// CacheHit is true when the verdict came from the cache; Shared
+	// is true when this request piggybacked on another request's
+	// in-flight search.
+	CacheHit bool
+	Shared   bool
+	// Elapsed is the request's wall-clock service time.
+	Elapsed time.Duration
+}
+
+// Service is a concurrent scheduling service. Create with New; all
+// methods are safe for concurrent use.
+type Service struct {
+	opt     Options
+	metrics Metrics
+
+	mu     sync.Mutex // guards cache and flight together (single-flight invariant)
+	cache  *lruCache
+	flight map[string]*call
+}
+
+// call is one in-flight admission pipeline. The outcome is canonical
+// (like a cache entry) so that every waiter — which may hold a
+// differently-named model of the same class — materializes its own
+// schedule.
+type call struct {
+	done chan struct{}
+	out  *entry
+	err  error
+}
+
+// New returns a Service with the given options.
+func New(opt Options) *Service {
+	if opt.CacheSize <= 0 {
+		opt.CacheSize = 256
+	}
+	if opt.MaxLenCap <= 0 {
+		opt.MaxLenCap = 64
+	}
+	return &Service{
+		opt:    opt,
+		cache:  newLRUCache(opt.CacheSize),
+		flight: make(map[string]*call),
+	}
+}
+
+// Metrics exposes the service counters.
+func (s *Service) Metrics() *Metrics { return &s.metrics }
+
+// CacheLen returns the number of resident cache entries.
+func (s *Service) CacheLen() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.cache.len()
+}
+
+// Schedule serves one request: validate, canonicalize, consult the
+// cache, and fall through the single-flighted admission pipeline on a
+// miss. The context cancels the exact-search stage; a canceled
+// request returns ctx.Err().
+func (s *Service) Schedule(ctx context.Context, m *core.Model) (*Result, error) {
+	start := time.Now()
+	if err := m.Validate(); err != nil {
+		s.metrics.Invalid.Add(1)
+		return nil, err
+	}
+	s.metrics.Requests.Add(1)
+	can := core.Canonicalize(m)
+	key := can.Fingerprint()
+
+	for {
+		s.mu.Lock()
+		if e := s.cache.get(key); e != nil {
+			s.mu.Unlock()
+			res, ok := s.materialize(m, can, e, start)
+			if ok {
+				s.metrics.CacheHits.Add(1)
+				s.metrics.hitNanos.Add(int64(res.Elapsed))
+				res.CacheHit = true
+				res.Source = "cache"
+				return res, nil
+			}
+			// re-verification failed: never serve it, drop the entry
+			// and search afresh
+			s.mu.Lock()
+			s.cache.remove(key)
+			s.mu.Unlock()
+			continue
+		}
+		if c, ok := s.flight[key]; ok {
+			s.mu.Unlock()
+			s.metrics.FlightShared.Add(1)
+			select {
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			case <-c.done:
+			}
+			if c.err != nil {
+				if errors.Is(c.err, context.Canceled) || errors.Is(c.err, context.DeadlineExceeded) {
+					continue // the leader was canceled, not us: retry
+				}
+				return nil, c.err
+			}
+			res, ok := s.materialize(m, can, c.out, start)
+			if !ok {
+				return nil, fmt.Errorf("service: in-flight result failed verification for %s", key)
+			}
+			res.Shared = true
+			return res, nil
+		}
+		c := &call{done: make(chan struct{})}
+		s.flight[key] = c
+		s.metrics.CacheMisses.Add(1)
+		s.mu.Unlock()
+
+		c.out, c.err = s.runPipeline(ctx, m, can, key)
+		s.mu.Lock()
+		if c.err == nil && c.out.decided {
+			s.metrics.Evictions.Add(int64(s.cache.add(c.out)))
+		}
+		delete(s.flight, key)
+		s.mu.Unlock()
+		close(c.done)
+
+		if c.err != nil {
+			return nil, c.err
+		}
+		res, ok := s.materialize(m, can, c.out, start)
+		if !ok {
+			return nil, fmt.Errorf("service: fresh result failed verification for %s", key)
+		}
+		s.metrics.searchNanos.Add(int64(res.Elapsed))
+		return res, nil
+	}
+}
+
+// runPipeline executes the admission pipeline for one fingerprint:
+// static analysis (rejecting provably infeasible models without any
+// search), the paper's heuristic, then budgeted exact search under
+// the request context. The outcome is canonical.
+func (s *Service) runPipeline(ctx context.Context, m *core.Model, can *core.Canonical, key string) (*entry, error) {
+	s.metrics.Searches.Add(1)
+
+	rep, err := analysis.Analyze(m)
+	if err != nil {
+		return nil, fmt.Errorf("service: analysis: %w", err)
+	}
+	if !rep.NecessaryOK {
+		s.metrics.AdmissionRejects.Add(1)
+		return &entry{key: key, decided: true, feasible: false, source: "analysis"}, nil
+	}
+
+	if !s.opt.DisableHeuristic {
+		if res, err := heuristic.Schedule(m, heuristic.Options{MergeShared: true}); err == nil {
+			s.metrics.HeuristicSolved.Add(1)
+			return &entry{key: key, decided: true, feasible: true, slots: canonicalSlots(can, res.Schedule), source: "heuristic"}, nil
+		}
+	}
+
+	exopt := s.opt.Exact
+	if exopt.MaxLen <= 0 {
+		exopt.MaxLen = m.Hyperperiod()
+		if exopt.MaxLen > s.opt.MaxLenCap {
+			exopt.MaxLen = s.opt.MaxLenCap
+		}
+	}
+	sc, _, err := exact.FindScheduleCtx(ctx, m, exopt)
+	switch {
+	case err == nil:
+		s.metrics.ExactSolved.Add(1)
+		return &entry{key: key, decided: true, feasible: true, slots: canonicalSlots(can, sc), source: "exact"}, nil
+	case errors.Is(err, exact.ErrNotFound):
+		s.metrics.ExactRefuted.Add(1)
+		return &entry{key: key, decided: true, feasible: false, source: "exact"}, nil
+	case errors.Is(err, exact.ErrBudget):
+		s.metrics.Undecided.Add(1)
+		// undecided outcomes are never cached: a later request (or a
+		// bigger budget) may still decide the class
+		return &entry{key: key, decided: false, feasible: false, source: "exact"}, nil
+	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+		s.metrics.Canceled.Add(1)
+		return nil, err
+	default:
+		return nil, fmt.Errorf("service: exact search: %w", err)
+	}
+}
+
+// materialize turns a canonical outcome into the requester's Result:
+// remap the canonical slots through the requester's canonical element
+// order and re-verify against the requesting model. It reports false
+// when a feasible outcome fails verification — the collision guard
+// that keeps the cache sound even if canonicalization were buggy.
+func (s *Service) materialize(m *core.Model, can *core.Canonical, e *entry, start time.Time) (*Result, bool) {
+	res := &Result{
+		Fingerprint: e.key,
+		Decided:     e.decided,
+		Feasible:    e.feasible,
+		Source:      e.source,
+	}
+	if e.feasible {
+		sc := &sched.Schedule{Slots: make([]string, len(e.slots))}
+		for i, idx := range e.slots {
+			if idx >= 0 {
+				sc.Slots[i] = can.Order[idx]
+			}
+		}
+		rep := sched.Check(m, sc)
+		if !rep.Feasible {
+			return nil, false
+		}
+		res.Schedule = sc
+		res.Report = rep
+	}
+	res.Elapsed = time.Since(start)
+	return res, true
+}
+
+// canonicalSlots converts a schedule in element names to canonical
+// index form (-1 = idle).
+func canonicalSlots(can *core.Canonical, s *sched.Schedule) []int {
+	out := make([]int, s.Len())
+	for i, e := range s.Slots {
+		if e == sched.Idle {
+			out[i] = -1
+			continue
+		}
+		out[i] = can.Index[e]
+	}
+	return out
+}

@@ -1,0 +1,284 @@
+package service
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"rtm/internal/core"
+	"rtm/internal/exact"
+	"rtm/internal/sim"
+	"rtm/internal/workload"
+)
+
+// density1Instance scales the E2 density-1 hardness family by w:
+// deadlines {2w,3w,6w} are infeasible (refuted only by exhaustion),
+// deadlines {2w,6w,6w,6w} pack. Both have Σw/d = 1, so the static
+// admission analysis cannot reject them and the verdict is down to
+// search.
+func density1Instance(w int, ds []int) *core.Model {
+	m := core.NewModel()
+	for i, d := range ds {
+		name := fmt.Sprintf("u%d", i)
+		m.Comm.AddElement(name, w)
+		m.AddConstraint(&core.Constraint{
+			Name: "c" + name, Task: core.ChainTask(name),
+			Period: d * w, Deadline: d * w, Kind: core.Asynchronous,
+		})
+	}
+	return m
+}
+
+// renameModel rebuilds m under a fresh element/node naming and a
+// shuffled constraint order — an isomorphic model with a different
+// surface, which must hit the same cache entry.
+func renameModel(rng *rand.Rand, m *core.Model) *core.Model {
+	elems := m.Comm.Elements()
+	perm := rng.Perm(len(elems))
+	ren := make(map[string]string, len(elems))
+	for i, e := range elems {
+		ren[e] = fmt.Sprintf("x%03d", perm[i])
+	}
+	out := core.NewModel()
+	for _, i := range rng.Perm(len(elems)) {
+		out.Comm.AddElement(ren[elems[i]], m.Comm.WeightOf(elems[i]))
+	}
+	for _, e := range m.Comm.G.Edges() {
+		out.Comm.AddPath(ren[e.From], ren[e.To])
+	}
+	for _, ci := range rng.Perm(len(m.Constraints)) {
+		c := m.Constraints[ci]
+		task := core.NewTaskGraph()
+		nodes := c.Task.Nodes()
+		nren := make(map[string]string, len(nodes))
+		for j, nd := range rng.Perm(len(nodes)) {
+			nren[nodes[nd]] = fmt.Sprintf("y%d_%d", ci, j)
+		}
+		for _, nd := range nodes {
+			task.AddStep(nren[nd], ren[c.Task.ElementOf(nd)])
+		}
+		for _, e := range c.Task.G.Edges() {
+			task.AddPrec(nren[e.From], nren[e.To])
+		}
+		out.AddConstraint(&core.Constraint{
+			Name: fmt.Sprintf("w%d", ci), Task: task,
+			Period: c.Period, Deadline: c.Deadline, Kind: c.Kind,
+		})
+	}
+	return out
+}
+
+func TestServiceFeasibleAndCached(t *testing.T) {
+	svc := New(Options{})
+	ctx := context.Background()
+	m := core.ExampleSystem(core.DefaultExampleParams())
+
+	r1, err := svc.Schedule(ctx, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r1.Decided || !r1.Feasible || r1.CacheHit || r1.Schedule == nil {
+		t.Fatalf("cold request: %+v", r1)
+	}
+	if !r1.Report.Feasible {
+		t.Fatal("cold schedule does not verify")
+	}
+
+	r2, err := svc.Schedule(ctx, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r2.CacheHit || r2.Source != "cache" || !r2.Feasible {
+		t.Fatalf("warm request missed the cache: %+v", r2)
+	}
+	if got := svc.Metrics().Searches.Load(); got != 1 {
+		t.Fatalf("searches = %d, want 1", got)
+	}
+
+	// an isomorphic model must hit the same entry and get a schedule
+	// verified in its own element names
+	m2 := renameModel(rand.New(rand.NewSource(3)), m)
+	r3, err := svc.Schedule(ctx, m2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r3.CacheHit {
+		t.Fatalf("renamed model missed the cache (fingerprints %s vs %s)", r1.Fingerprint, r3.Fingerprint)
+	}
+	if !r3.Report.Feasible {
+		t.Fatal("translated schedule does not verify on the renamed model")
+	}
+	for _, slot := range r3.Schedule.Slots {
+		if slot != "" && !m2.Comm.G.HasNode(slot) {
+			t.Fatalf("translated schedule leaks foreign element %q", slot)
+		}
+	}
+}
+
+func TestServiceInfeasibleCachedAndRejected(t *testing.T) {
+	svc := New(Options{})
+	ctx := context.Background()
+
+	// density-1 infeasible: admitted by analysis, refuted by exhaustion
+	hard := density1Instance(1, []int{2, 3, 6})
+	r1, err := svc.Schedule(ctx, hard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r1.Decided || r1.Feasible || r1.Source != "exact" {
+		t.Fatalf("hard instance: %+v", r1)
+	}
+	r2, err := svc.Schedule(ctx, hard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r2.CacheHit || r2.Feasible || !r2.Decided {
+		t.Fatalf("negative verdict not cached: %+v", r2)
+	}
+
+	// total pressure 2 > 1: rejected by analysis without any search
+	over := core.NewModel()
+	over.Comm.AddElement("a", 1)
+	over.Comm.AddElement("b", 1)
+	for _, n := range []string{"a", "b"} {
+		over.AddConstraint(&core.Constraint{
+			Name: "c" + n, Task: core.ChainTask(n),
+			Period: 1, Deadline: 1, Kind: core.Periodic,
+		})
+	}
+	r3, err := svc.Schedule(ctx, over)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r3.Decided || r3.Feasible || r3.Source != "analysis" {
+		t.Fatalf("overloaded instance not rejected by admission: %+v", r3)
+	}
+	if got := svc.Metrics().AdmissionRejects.Load(); got != 1 {
+		t.Fatalf("admission_rejects = %d, want 1", got)
+	}
+}
+
+func TestServiceBudgetUndecidedNotCached(t *testing.T) {
+	svc := New(Options{
+		Exact:            exact.Options{MaxCandidates: 1},
+		DisableHeuristic: true,
+	})
+	ctx := context.Background()
+	hard := density1Instance(2, []int{2, 3, 6})
+	r1, err := svc.Schedule(ctx, hard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Decided || r1.Feasible {
+		t.Fatalf("budget-starved search claimed a verdict: %+v", r1)
+	}
+	if svc.CacheLen() != 0 {
+		t.Fatal("undecided outcome was cached")
+	}
+	if _, err := svc.Schedule(ctx, hard); err != nil {
+		t.Fatal(err)
+	}
+	if got := svc.Metrics().Searches.Load(); got != 2 {
+		t.Fatalf("searches = %d, want 2 (undecided outcomes must re-search)", got)
+	}
+}
+
+func TestServiceContextCanceled(t *testing.T) {
+	svc := New(Options{DisableHeuristic: true})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := svc.Schedule(ctx, density1Instance(2, []int{2, 3, 6}))
+	if err == nil {
+		t.Fatal("canceled request succeeded")
+	}
+	if got := svc.Metrics().Canceled.Load(); got != 1 {
+		t.Fatalf("canceled = %d, want 1", got)
+	}
+}
+
+func TestServiceCacheEviction(t *testing.T) {
+	svc := New(Options{CacheSize: 2})
+	ctx := context.Background()
+	rng := rand.New(rand.NewSource(9))
+	for i := 0; i < 4; i++ {
+		m := workload.AsyncOnly(rng, 2+i, 0.5)
+		if _, err := svc.Schedule(ctx, m); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := svc.CacheLen(); got != 2 {
+		t.Fatalf("cache holds %d entries, want 2", got)
+	}
+	if got := svc.Metrics().Evictions.Load(); got != 2 {
+		t.Fatalf("evictions = %d, want 2", got)
+	}
+}
+
+// TestServiceCacheSimCrossCheck is the satellite cross-check: over
+// ≥50 random seeds, sim.Run outcomes (miss/stale counts) must be
+// identical for a schedule fetched from the service cache and for a
+// freshly synthesized one — including when the cache hit happens
+// through a renamed (isomorphic) model and the schedule had to be
+// translated.
+func TestServiceCacheSimCrossCheck(t *testing.T) {
+	ctx := context.Background()
+	rng := rand.New(rand.NewSource(41))
+
+	models := []*core.Model{
+		core.ExampleSystem(core.DefaultExampleParams()),
+		density1Instance(1, []int{2, 6, 6, 6}),
+	}
+	for len(models) < 5 {
+		m, err := workload.Random(rng, workload.Params{
+			Elements: 3, MaxWeight: 2, EdgeProb: 0.5,
+			Constraints: 2, ChainLen: 2, AsyncFrac: 0.5, TargetUtil: 0.4,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		models = append(models, m)
+	}
+
+	checked := 0
+	for mi, m := range models {
+		warm := New(Options{})
+		cold, err := warm.Schedule(ctx, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !cold.Feasible {
+			continue // nothing to simulate
+		}
+		// the cached copy is fetched through a renamed model, so the
+		// schedule travels canonical-index form and is remapped
+		m2 := renameModel(rng, m)
+		cached, err := warm.Schedule(ctx, m2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !cached.CacheHit {
+			t.Fatalf("model %d: renamed request missed the cache", mi)
+		}
+		// freshly synthesized for the renamed model on a cold service
+		fresh, err := New(Options{}).Schedule(ctx, m2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !fresh.Feasible {
+			t.Fatalf("model %d: fresh service disagrees on feasibility", mi)
+		}
+		for seed := int64(0); seed < 50; seed++ {
+			a := sim.Run(m2, cached.Schedule, sim.Options{Seed: seed})
+			b := sim.Run(m2, fresh.Schedule, sim.Options{Seed: seed})
+			if a.MissCount != b.MissCount || a.StaleCount != b.StaleCount {
+				t.Fatalf("model %d seed %d: cached sim (miss=%d stale=%d) != fresh sim (miss=%d stale=%d)",
+					mi, seed, a.MissCount, a.StaleCount, b.MissCount, b.StaleCount)
+			}
+			checked++
+		}
+	}
+	if checked < 50 {
+		t.Fatalf("only %d seed cross-checks ran, want ≥ 50", checked)
+	}
+}

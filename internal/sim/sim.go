@@ -20,10 +20,15 @@ type Options struct {
 	// Horizon in slots; 0 means 3 hyperperiods plus the largest
 	// deadline.
 	Horizon int
-	// Seed for the random asynchronous arrival generator.
+	// Seed for the random asynchronous arrival generator. Ignored
+	// when Adversarial is set: the adversarial arrival pattern is a
+	// deterministic sweep of every schedule phase, so there is no
+	// randomness for a seed to steer and two runs differing only in
+	// Seed are identical.
 	Seed int64
 	// Adversarial makes every asynchronous constraint arrive at its
-	// worst instant (scanning all phases) instead of randomly.
+	// worst instant (scanning all phases) instead of randomly; it
+	// supersedes Seed (see above).
 	Adversarial bool
 }
 

@@ -115,6 +115,56 @@ func TestRandomAsyncRespectsSeparation(t *testing.T) {
 	}
 }
 
+// TestSeedIgnoredWhenAdversarial pins the documented Options
+// contract: under Adversarial the arrival pattern is a deterministic
+// phase sweep, so the Seed must have no effect whatsoever — byte-wise
+// identical invocation outcomes across seeds — while the random mode
+// really does consume it.
+func TestSeedIgnoredWhenAdversarial(t *testing.T) {
+	m := core.ExampleSystem(core.DefaultExampleParams())
+	res, err := heuristic.Schedule(m, heuristic.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := Run(m, res.Schedule, Options{Adversarial: true, Seed: 0})
+	for _, seed := range []int64{1, 7, 1 << 40, -3} {
+		r := Run(m, res.Schedule, Options{Adversarial: true, Seed: seed})
+		if len(r.Outcomes) != len(ref.Outcomes) {
+			t.Fatalf("seed %d: %d outcomes, want %d", seed, len(r.Outcomes), len(ref.Outcomes))
+		}
+		for i := range r.Outcomes {
+			if r.Outcomes[i] != ref.Outcomes[i] {
+				t.Fatalf("seed %d: outcome %d = %+v, want %+v (seed leaked into adversarial run)",
+					seed, i, r.Outcomes[i], ref.Outcomes[i])
+			}
+		}
+		if r.MissCount != ref.MissCount || r.StaleCount != ref.StaleCount || r.WorstSlack != ref.WorstSlack {
+			t.Fatalf("seed %d: summary diverged: %s vs %s", seed, r, ref)
+		}
+	}
+
+	// sanity check on the contrast: in random mode the seed is live —
+	// some seed in a small range must shift at least one arrival time
+	a := Run(m, res.Schedule, Options{Seed: 0})
+	seedLive := false
+	for seed := int64(1); seed < 8 && !seedLive; seed++ {
+		b := Run(m, res.Schedule, Options{Seed: seed})
+		if len(a.Outcomes) != len(b.Outcomes) {
+			seedLive = true
+			break
+		}
+		for i := range a.Outcomes {
+			if a.Outcomes[i].Invocation != b.Outcomes[i].Invocation {
+				seedLive = true
+				break
+			}
+		}
+	}
+	if !seedLive {
+		t.Fatal("random mode ignored the seed across 8 seeds")
+	}
+}
+
 func TestResultString(t *testing.T) {
 	m := core.ExampleSystem(core.DefaultExampleParams())
 	res, err := heuristic.Schedule(m, heuristic.Options{})

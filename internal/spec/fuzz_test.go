@@ -1,6 +1,12 @@
 package spec
 
-import "testing"
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"rtm/internal/core"
+)
 
 // FuzzParse checks that the parser never panics and that anything it
 // accepts survives a Print/Parse round trip.
@@ -27,4 +33,78 @@ func FuzzParse(f *testing.F) {
 			t.Fatalf("round trip changed constraint count: %q", text)
 		}
 	})
+}
+
+// FuzzFingerprint drives the canonical model fingerprint from the
+// spec corpus: any model the parser accepts must fingerprint
+// identically after a seed-driven element renaming, task-node
+// renaming, and constraint permutation. This is the fuzz face of the
+// property the schedule cache depends on (core.Canonicalize).
+func FuzzFingerprint(f *testing.F) {
+	seeds := []string{
+		exampleSpec,
+		"element a weight 1\nperiodic P period 3 deadline 3 { a }",
+		"sporadic S separation 5 deadline 5 { x }",
+		"element f weight 4\nperiodic P period 30 deadline 30 { f }\npipeline f stages 2",
+		"element a weight 1\nelement b weight 1\npath a -> b\n" +
+			"periodic P period 6 deadline 6 { a -> b }\nsporadic Q separation 4 deadline 4 { a }",
+		"element a weight 1\nperiodic P period 3 deadline 3 { first:a -> second:a }",
+	}
+	for _, s := range seeds {
+		f.Add(s, int64(1))
+	}
+	f.Fuzz(func(t *testing.T, text string, seed int64) {
+		sp, err := Parse(text)
+		if err != nil || sp.Model.Validate() != nil {
+			return
+		}
+		m := sp.Model
+		fp := core.Fingerprint(m)
+		rng := rand.New(rand.NewSource(seed))
+		ren := renameForFuzz(rng, m)
+		if err := ren.Validate(); err != nil {
+			t.Fatalf("renamed model invalid: %v\ninput: %q", err, text)
+		}
+		if got := core.Fingerprint(ren); got != fp {
+			t.Fatalf("fingerprint not invariant under renaming (seed %d)\ninput: %q", seed, text)
+		}
+	})
+}
+
+// renameForFuzz rebuilds m under a random element/node renaming and a
+// random constraint permutation.
+func renameForFuzz(rng *rand.Rand, m *core.Model) *core.Model {
+	elems := m.Comm.Elements()
+	perm := rng.Perm(len(elems))
+	ren := make(map[string]string, len(elems))
+	for i, e := range elems {
+		ren[e] = fmt.Sprintf("f%03d", perm[i])
+	}
+	out := core.NewModel()
+	for _, i := range rng.Perm(len(elems)) {
+		out.Comm.AddElement(ren[elems[i]], m.Comm.WeightOf(elems[i]))
+	}
+	for _, e := range m.Comm.G.Edges() {
+		out.Comm.AddPath(ren[e.From], ren[e.To])
+	}
+	for _, ci := range rng.Perm(len(m.Constraints)) {
+		c := m.Constraints[ci]
+		task := core.NewTaskGraph()
+		nodes := c.Task.Nodes()
+		nren := make(map[string]string, len(nodes))
+		for j, nd := range rng.Perm(len(nodes)) {
+			nren[nodes[nd]] = fmt.Sprintf("m%d_%d", ci, j)
+		}
+		for _, nd := range nodes {
+			task.AddStep(nren[nd], ren[c.Task.ElementOf(nd)])
+		}
+		for _, e := range c.Task.G.Edges() {
+			task.AddPrec(nren[e.From], nren[e.To])
+		}
+		out.AddConstraint(&core.Constraint{
+			Name: fmt.Sprintf("r%d", ci), Task: task,
+			Period: c.Period, Deadline: c.Deadline, Kind: c.Kind,
+		})
+	}
+	return out
 }

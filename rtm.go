@@ -30,6 +30,7 @@ import (
 	"rtm/internal/pipeline"
 	"rtm/internal/process"
 	"rtm/internal/sched"
+	"rtm/internal/service"
 	"rtm/internal/sim"
 	"rtm/internal/spec"
 	"rtm/internal/synthesis"
@@ -206,6 +207,25 @@ func NewModalSystem(m *Model) *ModalSystem { return modes.NewSystem(m.Comm) }
 func ScheduleLocalSearch(m *Model, seed int64) (*ScheduleResult, error) {
 	return heuristic.LocalSearch(m, heuristic.SearchOptions{Seed: seed})
 }
+
+// Service is a concurrent in-process scheduling service with a
+// canonical schedule cache and single-flight deduplication; see
+// cmd/rtserved for the HTTP daemon built on it.
+type Service = service.Service
+
+// ServiceOptions configure a Service.
+type ServiceOptions = service.Options
+
+// ServiceResult is the outcome of one Service.Schedule request.
+type ServiceResult = service.Result
+
+// NewService returns a scheduling service with the given options.
+func NewService(opt ServiceOptions) *Service { return service.New(opt) }
+
+// Fingerprint returns the canonical model fingerprint: equal for
+// models that differ only by element/node renaming and constraint
+// reordering, and the key under which the Service caches verdicts.
+func Fingerprint(m *Model) string { return core.Fingerprint(m) }
 
 // SensitivityReport carries breakdown deadlines and scaling headroom.
 type SensitivityReport = analysis.SensitivityReport

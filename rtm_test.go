@@ -1,6 +1,7 @@
 package rtm
 
 import (
+	"context"
 	"strings"
 	"testing"
 )
@@ -178,6 +179,31 @@ func TestFacadeModalAndSensitivity(t *testing.T) {
 	}
 	if rep.Headroom < 100 {
 		t.Fatalf("headroom = %d", rep.Headroom)
+	}
+}
+
+func TestFacadeService(t *testing.T) {
+	m := ExampleSystem()
+	svc := NewService(ServiceOptions{})
+	r1, err := svc.Schedule(context.Background(), m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r1.Feasible || r1.CacheHit {
+		t.Fatalf("cold request: %+v", r1)
+	}
+	if r1.Fingerprint != Fingerprint(m) {
+		t.Fatal("result fingerprint disagrees with rtm.Fingerprint")
+	}
+	r2, err := svc.Schedule(context.Background(), m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r2.CacheHit {
+		t.Fatal("warm request missed the cache")
+	}
+	if !Verify(m, r2.Schedule).Feasible {
+		t.Fatal("cached schedule does not verify")
 	}
 }
 
