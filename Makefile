@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet bench serve fuzz
+.PHONY: build test race vet bench serve fuzz fuzz-short ci bench-json
 
 build:
 	$(GO) build ./...
@@ -34,3 +34,19 @@ serve:
 fuzz:
 	$(GO) test -run xxx -fuzz FuzzParse -fuzztime 10s ./internal/spec/
 	$(GO) test -run xxx -fuzz FuzzFingerprint -fuzztime 10s ./internal/spec/
+
+# 60 seconds spread across every fuzz target: parser, fingerprint,
+# and the schedule store's segment reader (no-panic-on-any-bytes).
+fuzz-short:
+	$(GO) test -run xxx -fuzz FuzzParse -fuzztime 20s ./internal/spec/
+	$(GO) test -run xxx -fuzz FuzzFingerprint -fuzztime 20s ./internal/spec/
+	$(GO) test -run xxx -fuzz FuzzStoreDecode -fuzztime 20s ./internal/store/
+
+# The CI gate: vet, the full suite under the race detector, then the
+# short fuzz pass.
+ci: test fuzz-short
+
+# Machine-readable micro-benchmarks (ns/op, allocs/op) for tracking
+# the perf trajectory across PRs; writes bench/BENCH_<suite>.json.
+bench-json:
+	$(GO) run ./cmd/rtbench -json bench

@@ -1,0 +1,272 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"testing"
+
+	"rtm/internal/core"
+	"rtm/internal/exact"
+	"rtm/internal/service"
+	"rtm/internal/store"
+)
+
+// This file implements -json: machine-readable benchmark output so
+// the perf trajectory is trackable across PRs. Each suite is measured
+// with testing.Benchmark and written to BENCH_<suite>.json; CI (or a
+// human) diffs ns/op and allocs/op between commits instead of eyeballing
+// log output.
+
+// benchResult is one measured benchmark.
+type benchResult struct {
+	Name        string `json:"name"`
+	Iterations  int    `json:"iterations"`
+	NsPerOp     int64  `json:"ns_per_op"`
+	AllocsPerOp int64  `json:"allocs_per_op"`
+	BytesPerOp  int64  `json:"bytes_per_op"`
+}
+
+// benchSuite is the BENCH_<suite>.json document.
+type benchSuite struct {
+	Suite      string        `json:"suite"`
+	Workers    int           `json:"workers"`
+	GoMaxProcs int           `json:"gomaxprocs"`
+	GoVersion  string        `json:"go_version"`
+	Results    []benchResult `json:"results"`
+}
+
+// hardnessInstance scales the E2 density-1 family: deadlines
+// {2w,3w,6w} have Σw/d = 1 yet pack no schedule, so refutation costs
+// a full exhaustion — the cold-path price the cache and store
+// amortize.
+func hardnessInstance(w int, ds []int) *core.Model {
+	m := core.NewModel()
+	for i, d := range ds {
+		name := fmt.Sprintf("u%d", i)
+		m.Comm.AddElement(name, w)
+		m.AddConstraint(&core.Constraint{
+			Name: "c" + name, Task: core.ChainTask(name),
+			Period: d * w, Deadline: d * w, Kind: core.Asynchronous,
+		})
+	}
+	return m
+}
+
+// writeBenchJSON measures every suite and writes one JSON file per
+// suite into dir. workers feeds the exact-search fan-out.
+func writeBenchJSON(dir string, workers int) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	suites := []struct {
+		name string
+		runs func() ([]benchResult, error)
+	}{
+		{"exact", func() ([]benchResult, error) { return benchExact(workers) }},
+		{"service", benchService},
+		{"store", benchStore},
+	}
+	for _, s := range suites {
+		results, err := s.runs()
+		if err != nil {
+			return fmt.Errorf("suite %s: %w", s.name, err)
+		}
+		doc := benchSuite{
+			Suite:      s.name,
+			Workers:    workers,
+			GoMaxProcs: runtime.GOMAXPROCS(0),
+			GoVersion:  runtime.Version(),
+			Results:    results,
+		}
+		data, err := json.MarshalIndent(doc, "", "  ")
+		if err != nil {
+			return err
+		}
+		path := filepath.Join(dir, "BENCH_"+s.name+".json")
+		if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s (%d results)\n", path, len(results))
+	}
+	return nil
+}
+
+// measure runs fn under testing.Benchmark and converts the result.
+// testing.Benchmark reports a zero result (0 iterations) when fn
+// calls b.Fatal; surface that as an error instead of writing zeros.
+func measure(name string, fn func(b *testing.B)) (benchResult, error) {
+	r := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		fn(b)
+	})
+	if r.N == 0 {
+		return benchResult{}, fmt.Errorf("benchmark %s failed", name)
+	}
+	return benchResult{
+		Name:        name,
+		Iterations:  r.N,
+		NsPerOp:     r.NsPerOp(),
+		AllocsPerOp: r.AllocsPerOp(),
+		BytesPerOp:  r.AllocedBytesPerOp(),
+	}, nil
+}
+
+func collect(parts ...func() (benchResult, error)) ([]benchResult, error) {
+	var out []benchResult
+	for _, p := range parts {
+		r, err := p()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+// benchExact prices the raw NP-hard refutation (the cost every tier
+// above it exists to avoid).
+func benchExact(workers int) ([]benchResult, error) {
+	hard := hardnessInstance(3, []int{2, 3, 6})
+	maxLen := hard.Hyperperiod()
+	if maxLen > 64 {
+		maxLen = 64
+	}
+	return collect(func() (benchResult, error) {
+		return measure("exact_refute_density1_w3", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				_, _, err := exact.FindSchedule(hard, exact.Options{MaxLen: maxLen, Workers: workers})
+				if !errors.Is(err, exact.ErrNotFound) {
+					b.Fatalf("unexpected verdict: %v", err)
+				}
+			}
+		})
+	})
+}
+
+// benchService prices the serving tiers: cold compute vs L1 (LRU) hit
+// vs L2 (durable store) hit — the hit order of the scheduling service.
+func benchService() ([]benchResult, error) {
+	ctx := context.Background()
+	hard := hardnessInstance(3, []int{2, 3, 6})
+
+	cold := func() (benchResult, error) {
+		return measure("service_cold_exact", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				svc := service.New(service.Options{DisableHeuristic: true})
+				res, err := svc.Schedule(ctx, hard)
+				if err != nil || res.Feasible {
+					b.Fatalf("res=%+v err=%v", res, err)
+				}
+			}
+		})
+	}
+	hot := func() (benchResult, error) {
+		svc := service.New(service.Options{DisableHeuristic: true})
+		if _, err := svc.Schedule(ctx, hard); err != nil {
+			return benchResult{}, err
+		}
+		return measure("service_hot_lru", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res, err := svc.Schedule(ctx, hard)
+				if err != nil || !res.CacheHit {
+					b.Fatalf("res=%+v err=%v", res, err)
+				}
+			}
+		})
+	}
+	warm := func() (benchResult, error) {
+		// warm restart: every iteration sees a fresh LRU over a warm
+		// store, so the hit is fingerprint + store load + re-verify
+		dir, err := os.MkdirTemp("", "rtbench-store-*")
+		if err != nil {
+			return benchResult{}, err
+		}
+		defer os.RemoveAll(dir)
+		st, err := store.Open(dir, store.Options{})
+		if err != nil {
+			return benchResult{}, err
+		}
+		defer st.Close()
+		if _, err := service.New(service.Options{DisableHeuristic: true, Store: st}).Schedule(ctx, hard); err != nil {
+			return benchResult{}, err
+		}
+		return measure("service_warm_store", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				svc := service.New(service.Options{DisableHeuristic: true, Store: st})
+				res, err := svc.Schedule(ctx, hard)
+				if err != nil || res.Source != "store" {
+					b.Fatalf("res=%+v err=%v", res, err)
+				}
+			}
+		})
+	}
+	return collect(cold, hot, warm)
+}
+
+// benchStore prices the store primitives themselves.
+func benchStore() ([]benchResult, error) {
+	rec := func(i int) *store.Record {
+		return &store.Record{
+			Fingerprint: fmt.Sprintf("%064x", i+1), Feasible: true,
+			Elements: 4, Slots: []int{0, 1, -1, 2, 3, -1}, Source: "exact",
+		}
+	}
+	put := func() (benchResult, error) {
+		dir, err := os.MkdirTemp("", "rtbench-store-*")
+		if err != nil {
+			return benchResult{}, err
+		}
+		defer os.RemoveAll(dir)
+		st, err := store.Open(dir, store.Options{})
+		if err != nil {
+			return benchResult{}, err
+		}
+		defer st.Close()
+		return measure("store_put_synced", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if err := st.Put(rec(i)); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+	reopen := func() (benchResult, error) {
+		dir, err := os.MkdirTemp("", "rtbench-store-*")
+		if err != nil {
+			return benchResult{}, err
+		}
+		defer os.RemoveAll(dir)
+		st, err := store.Open(dir, store.Options{NoSync: true})
+		if err != nil {
+			return benchResult{}, err
+		}
+		const n = 1000
+		for i := 0; i < n; i++ {
+			if err := st.Put(rec(i)); err != nil {
+				st.Close()
+				return benchResult{}, err
+			}
+		}
+		if err := st.Close(); err != nil {
+			return benchResult{}, err
+		}
+		return measure("store_warmstart_1000rec", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				s2, err := store.Open(dir, store.Options{})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if s2.Len() != n {
+					b.Fatalf("warm start recovered %d records", s2.Len())
+				}
+				s2.Close()
+			}
+		})
+	}
+	return collect(put, reopen)
+}

@@ -1,9 +1,13 @@
 // Command rtbench runs the full experiment suite (E1–E9 of DESIGN.md)
-// and prints the tables recorded in EXPERIMENTS.md.
+// and prints the tables recorded in EXPERIMENTS.md. With -json DIR it
+// instead runs the micro-benchmark suites (exact search, serving
+// tiers, durable store) and writes machine-readable results to
+// DIR/BENCH_<suite>.json — ns/op, allocs/op, bytes/op, workers — so
+// the perf trajectory is trackable across PRs.
 //
 // Usage:
 //
-//	rtbench [-only E3] [-workers N]
+//	rtbench [-only E3] [-workers N] [-json DIR]
 package main
 
 import (
@@ -17,7 +21,16 @@ import (
 func main() {
 	only := flag.String("only", "", "run only the experiment with this ID (e.g. E3)")
 	workers := flag.Int("workers", 1, "exact-search workers for E2-E4; 1 reproduces the committed tables' node counts, -1 means all CPUs")
+	jsonDir := flag.String("json", "", "write machine-readable benchmark results to this directory instead of running experiments")
 	flag.Parse()
+
+	if *jsonDir != "" {
+		if err := writeBenchJSON(*jsonDir, *workers); err != nil {
+			fmt.Fprintf(os.Stderr, "rtbench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	experiments.SetExactWorkers(*workers)
 

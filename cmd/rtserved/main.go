@@ -1,11 +1,12 @@
 // Command rtserved is the scheduling daemon: it serves the
 // internal/service scheduling pipeline over HTTP, turning the paper's
 // offline synthesis into an online service with a canonical schedule
-// cache.
+// cache and an optional durable schedule store.
 //
 // Usage:
 //
-//	rtserved [-addr :8437] [-cache 256] [-workers N] [-maxlen L] [-maxcand C] [-timeout 30s]
+//	rtserved [-addr :8437] [-cache 256] [-workers N] [-maxlen L] [-maxcand C]
+//	         [-timeout 30s] [-store-dir DIR] [-max-body BYTES]
 //
 // Endpoints:
 //
@@ -17,7 +18,10 @@
 // Identical workloads — up to element renaming and constraint
 // reordering — share one cache entry, so repeated POSTs of isomorphic
 // specifications cost a fingerprint and a lookup instead of an
-// NP-hard search.
+// NP-hard search. With -store-dir, decided outcomes additionally
+// persist across restarts: a warm-started daemon serves previously
+// solved classes straight from disk (source "store") without
+// re-running any search, and flushes the store on graceful shutdown.
 package main
 
 import (
@@ -25,7 +29,6 @@ import (
 	"encoding/json"
 	"errors"
 	"flag"
-	"fmt"
 	"io"
 	"log"
 	"net/http"
@@ -37,6 +40,7 @@ import (
 	"rtm/internal/exact"
 	"rtm/internal/service"
 	"rtm/internal/spec"
+	"rtm/internal/store"
 )
 
 func main() {
@@ -46,40 +50,76 @@ func main() {
 	maxLen := flag.Int("maxlen", 0, "exact-search schedule length bound (0 = hyperperiod, capped)")
 	maxCand := flag.Int("maxcand", 0, "exact-search candidate budget per request (0 = unlimited)")
 	timeout := flag.Duration("timeout", 30*time.Second, "per-request scheduling timeout")
+	storeDir := flag.String("store-dir", "", "durable schedule store directory (empty = in-memory only)")
+	maxBody := flag.Int64("max-body", 1<<20, "maximum /schedule request body in bytes (413 beyond)")
 	flag.Parse()
+
+	var st *store.Store
+	if *storeDir != "" {
+		var err error
+		st, err = store.Open(*storeDir, store.Options{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("rtserved: schedule store %s warm with %d records (%d bytes, %d corrupt skipped)",
+			*storeDir, st.Len(), st.Bytes(), st.CorruptSkipped())
+	}
 
 	svc := service.New(service.Options{
 		CacheSize: *cacheSize,
 		Exact:     exact.Options{MaxLen: *maxLen, MaxCandidates: *maxCand, Workers: *workers},
+		Store:     st,
 	})
-	srv := &http.Server{Addr: *addr, Handler: newMux(svc, *timeout)}
+	srv := &http.Server{
+		Addr:    *addr,
+		Handler: newMux(svc, *timeout, *maxBody),
+		// Hardened against slow or stuck clients: a peer that trickles
+		// headers, never finishes its body, or never reads its
+		// response cannot pin a connection. The write timeout leaves
+		// the scheduling timeout room plus slack for the response.
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       30 * time.Second,
+		WriteTimeout:      *timeout + 15*time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+	shutdownDone := make(chan struct{})
 	go func() {
+		defer close(shutdownDone)
 		<-ctx.Done()
 		shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 		defer cancel()
 		srv.Shutdown(shutdownCtx)
 	}()
 
-	log.Printf("rtserved listening on %s (cache=%d workers=%d)", *addr, *cacheSize, *workers)
+	log.Printf("rtserved listening on %s (cache=%d workers=%d store=%q)", *addr, *cacheSize, *workers, *storeDir)
 	if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
 		log.Fatal(err)
+	}
+	<-shutdownDone
+	if st != nil {
+		// graceful shutdown: flush the store so every decided outcome
+		// survives into the next start
+		if err := st.Close(); err != nil {
+			log.Printf("rtserved: closing schedule store: %v", err)
+		} else {
+			log.Printf("rtserved: schedule store flushed (%d records)", st.Len())
+		}
 	}
 }
 
 // newMux wires the service endpoints; factored out so tests can drive
 // the handler without a listener.
-func newMux(svc *service.Service, timeout time.Duration) *http.ServeMux {
+func newMux(svc *service.Service, timeout time.Duration, maxBody int64) *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/schedule", func(w http.ResponseWriter, r *http.Request) {
-		handleSchedule(svc, timeout, w, r)
+		handleSchedule(svc, timeout, maxBody, w, r)
 	})
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-		io.WriteString(w, svc.Metrics().String())
-		fmt.Fprintf(w, "rtm_cache_len %d\n", svc.CacheLen())
+		io.WriteString(w, svc.MetricsText())
 	})
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		io.WriteString(w, "ok\n")
@@ -109,13 +149,18 @@ type constraintJSON struct {
 	OK       bool   `json:"ok"`
 }
 
-func handleSchedule(svc *service.Service, timeout time.Duration, w http.ResponseWriter, r *http.Request) {
+func handleSchedule(svc *service.Service, timeout time.Duration, maxBody int64, w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		http.Error(w, "POST a specification to /schedule", http.StatusMethodNotAllowed)
 		return
 	}
-	body, err := io.ReadAll(io.LimitReader(r.Body, 1<<20))
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxBody))
 	if err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			http.Error(w, "specification exceeds the request body limit", http.StatusRequestEntityTooLarge)
+			return
+		}
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}

@@ -1,0 +1,105 @@
+// Command rtstore inspects and maintains a durable schedule store
+// (internal/store) — the on-disk L2 tier behind rtserved's schedule
+// cache.
+//
+// Usage:
+//
+//	rtstore -dir DIR ls                 list records (fingerprint, verdict, slots, source)
+//	rtstore -dir DIR stat               store totals (records, bytes, corrupt skipped)
+//	rtstore -dir DIR get <fingerprint>  print one record as JSON
+//	rtstore -dir DIR compact            rewrite the log to the live index (atomic rename)
+//	rtstore -dir DIR verify             replay the log and report integrity
+//
+// Opening a store performs recovery: a torn or corrupt tail is
+// truncated to the clean prefix (the same recovery rtserved performs
+// at startup). verify exits non-zero when it had to discard anything,
+// so it doubles as a CI/cron health probe.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"rtm/internal/store"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintf(os.Stderr, "rtstore: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("rtstore", flag.ContinueOnError)
+	dir := fs.String("dir", "", "schedule store directory")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *dir == "" {
+		return fmt.Errorf("-dir is required")
+	}
+	if fs.NArg() == 0 {
+		return fmt.Errorf("missing command: ls, stat, get, compact, or verify")
+	}
+	st, err := store.Open(*dir, store.Options{})
+	if err != nil {
+		return err
+	}
+	defer st.Close()
+
+	switch cmd := fs.Arg(0); cmd {
+	case "ls":
+		for _, fp := range st.Fingerprints() {
+			rec, _ := st.Get(fp)
+			verdict := "infeasible"
+			if rec.Feasible {
+				verdict = fmt.Sprintf("feasible cycle=%d", len(rec.Slots))
+			}
+			fmt.Fprintf(out, "%s  %-20s elems=%-3d source=%s\n", fp, verdict, rec.Elements, rec.Source)
+		}
+		return nil
+	case "stat":
+		fmt.Fprintf(out, "dir:             %s\n", st.Dir())
+		fmt.Fprintf(out, "records:         %d\n", st.Len())
+		fmt.Fprintf(out, "bytes:           %d\n", st.Bytes())
+		fmt.Fprintf(out, "corrupt skipped: %d\n", st.CorruptSkipped())
+		return nil
+	case "get":
+		if fs.NArg() != 2 {
+			return fmt.Errorf("usage: rtstore -dir DIR get <fingerprint>")
+		}
+		rec, ok := st.Get(fs.Arg(1))
+		if !ok {
+			return fmt.Errorf("no record for %s", fs.Arg(1))
+		}
+		data, err := json.MarshalIndent(rec, "", "  ")
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "%s\n", data)
+		return nil
+	case "compact":
+		before := st.Bytes()
+		if err := st.Compact(); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "compacted %d records: %d -> %d bytes\n", st.Len(), before, st.Bytes())
+		return nil
+	case "verify":
+		// Open already replayed the log, validated every frame and
+		// record, and truncated any damage to the clean prefix
+		fmt.Fprintf(out, "%d records, %d bytes clean", st.Len(), st.Bytes())
+		if n := st.CorruptSkipped(); n > 0 {
+			fmt.Fprintf(out, ", %d torn/corrupt tail(s) discarded\n", n)
+			return fmt.Errorf("log had damage (now truncated to the clean prefix)")
+		}
+		fmt.Fprintf(out, ", ok\n")
+		return nil
+	default:
+		return fmt.Errorf("unknown command %q: want ls, stat, get, compact, or verify", cmd)
+	}
+}

@@ -70,6 +70,49 @@ func (s *Schedule) Remap(f func(string) string) *Schedule {
 	return out
 }
 
+// ToIndices converts the schedule to index form through index
+// (element name → index): idle slots become -1, every other slot
+// becomes its element's index. It errors on slots naming elements
+// missing from the index. Index form is what the canonical schedule
+// cache and the durable schedule store persist — one index-form
+// schedule serves every model in an isomorphism class, each through
+// its own canonical element order.
+func (s *Schedule) ToIndices(index map[string]int) ([]int, error) {
+	out := make([]int, len(s.Slots))
+	for i, e := range s.Slots {
+		if e == Idle {
+			out[i] = -1
+			continue
+		}
+		idx, ok := index[e]
+		if !ok {
+			return nil, fmt.Errorf("sched: slot %d executes %q, not in the element index", i, e)
+		}
+		out[i] = idx
+	}
+	return out, nil
+}
+
+// FromIndices is the inverse of ToIndices: it materializes an
+// index-form schedule over the element order (slot value v ∈ [0,
+// len(order)) executes order[v]; -1 idles). It errors on any other
+// value — the bounds check that keeps untrusted index-form schedules
+// (e.g. a record read back from disk) from panicking the caller.
+func FromIndices(order []string, idx []int) (*Schedule, error) {
+	out := &Schedule{Slots: make([]string, len(idx))}
+	for i, v := range idx {
+		switch {
+		case v == -1:
+			// idle
+		case v >= 0 && v < len(order):
+			out.Slots[i] = order[v]
+		default:
+			return nil, fmt.Errorf("sched: slot %d has index %d, want -1 or [0,%d)", i, v, len(order))
+		}
+	}
+	return out, nil
+}
+
 // BusySlots returns the number of non-idle slots per cycle.
 func (s *Schedule) BusySlots() int {
 	n := 0

@@ -108,3 +108,45 @@ func TestStringParseRoundTrip(t *testing.T) {
 		t.Fatalf("empty parse: %v %v", empty, err)
 	}
 }
+
+func TestIndexFormRoundTrip(t *testing.T) {
+	order := []string{"a", "b", "c"}
+	index := map[string]int{"a": 0, "b": 1, "c": 2}
+	s := New("b", Idle, "a", "c", Idle)
+	idx, err := s.ToIndices(index)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int{1, -1, 0, 2, -1}
+	for i := range want {
+		if idx[i] != want[i] {
+			t.Fatalf("ToIndices = %v, want %v", idx, want)
+		}
+	}
+	back, err := FromIndices(order, idx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !back.Equal(s) {
+		t.Fatalf("round trip %v != %v", back.Slots, s.Slots)
+	}
+}
+
+func TestIndexFormRejectsUnknownAndOutOfRange(t *testing.T) {
+	if _, err := New("ghost").ToIndices(map[string]int{"a": 0}); err == nil {
+		t.Fatal("ToIndices accepted a slot missing from the index")
+	}
+	order := []string{"a", "b"}
+	for _, bad := range [][]int{{2}, {-2}, {1, 99}} {
+		if _, err := FromIndices(order, bad); err == nil {
+			t.Fatalf("FromIndices accepted out-of-range %v", bad)
+		}
+	}
+	s, err := FromIndices(order, []int{-1, 1, 0, -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Slots[0] != Idle || s.Slots[1] != "b" || s.Slots[2] != "a" {
+		t.Fatalf("FromIndices = %v", s.Slots)
+	}
+}

@@ -28,6 +28,11 @@ type Metrics struct {
 
 	Evictions atomic.Int64 // cache entries displaced by newer fingerprints
 
+	StoreHits      atomic.Int64 // requests served from the durable store (L2)
+	StorePuts      atomic.Int64 // decided outcomes written through to the store
+	StorePutErrors atomic.Int64 // write-throughs that failed (durability lost, not correctness)
+	StoreCorrupt   atomic.Int64 // store loads dropped at serve time (shape or re-verification failure)
+
 	hitNanos    atomic.Int64 // cumulative latency of cache-hit requests
 	searchNanos atomic.Int64 // cumulative latency of executed pipelines
 }
@@ -51,6 +56,13 @@ func (mt *Metrics) Snapshot() map[string]int64 {
 		"evictions":         mt.Evictions.Load(),
 		"hit_ns_total":      mt.hitNanos.Load(),
 		"search_ns_total":   mt.searchNanos.Load(),
+
+		// store_corrupt_skipped here counts only serve-time drops;
+		// Service.Snapshot folds in the store's own scan-time events
+		"store_hits":            mt.StoreHits.Load(),
+		"store_puts":            mt.StorePuts.Load(),
+		"store_put_errors":      mt.StorePutErrors.Load(),
+		"store_corrupt_skipped": mt.StoreCorrupt.Load(),
 	}
 	if h := s["cache_hits"]; h > 0 {
 		s["hit_ns_avg"] = s["hit_ns_total"] / h
@@ -62,8 +74,11 @@ func (mt *Metrics) Snapshot() map[string]int64 {
 }
 
 // String renders the snapshot as sorted "rtm_<name> <value>" lines.
-func (mt *Metrics) String() string {
-	snap := mt.Snapshot()
+func (mt *Metrics) String() string { return renderMetrics(mt.Snapshot()) }
+
+// renderMetrics renders a snapshot as sorted "rtm_<name> <value>"
+// lines (shared by Metrics.String and Service.MetricsText).
+func renderMetrics(snap map[string]int64) string {
 	names := make([]string, 0, len(snap))
 	for k := range snap {
 		names = append(names, k)

@@ -16,6 +16,13 @@
 // before being served, so a canonicalization defect can cost a cache
 // miss but never a wrong schedule.
 //
+// An optional durable tier (internal/store) sits behind the LRU: the
+// hit order is LRU → store → compute, decided outcomes are written
+// through, and store loads travel the same remap + re-verify path as
+// cache hits — so a warm restart serves previously solved classes
+// without re-running any search, while disk corruption can only ever
+// cost a miss.
+//
 // Requests that miss are single-flighted per fingerprint: N
 // concurrent requests for the same workload trigger exactly one
 // admission pipeline (cheap static analysis, then the paper's
@@ -37,6 +44,7 @@ import (
 	"rtm/internal/exact"
 	"rtm/internal/heuristic"
 	"rtm/internal/sched"
+	"rtm/internal/store"
 )
 
 // Options configure a Service.
@@ -54,6 +62,13 @@ type Options struct {
 	// straight to exact search (used by benchmarks and tests that
 	// need the cold path to be the exact search).
 	DisableHeuristic bool
+	// Store, when non-nil, is the durable L2 tier: requests that miss
+	// the LRU consult it before computing (hit order LRU → store →
+	// compute), and every decided outcome is written through. Store
+	// loads are remapped and re-verified against the requesting model
+	// before serving, so a corrupt or stale record can cost a miss,
+	// never a wrong schedule.
+	Store *store.Store
 }
 
 // Result is the outcome of one scheduling request.
@@ -71,8 +86,9 @@ type Result struct {
 	// Report is the verification of Schedule against the requesting
 	// model; nil unless feasible.
 	Report *sched.Report
-	// Source identifies what produced the verdict: "cache",
-	// "analysis", "heuristic", or "exact".
+	// Source identifies what produced the verdict: "cache" (LRU hit),
+	// "store" (durable-store hit), "analysis", "heuristic", or
+	// "exact".
 	Source string
 	// CacheHit is true when the verdict came from the cache; Shared
 	// is true when this request piggybacked on another request's
@@ -162,6 +178,33 @@ func (s *Service) Schedule(ctx context.Context, m *core.Model) (*Result, error) 
 			s.mu.Unlock()
 			continue
 		}
+		// L2: the durable store. Probe under the same lock (it is an
+		// in-memory index), but remap + re-verify outside it.
+		if st := s.opt.Store; st != nil {
+			if rec, ok := st.Get(key); ok {
+				s.mu.Unlock()
+				if e, err := entryFromRecord(key, can, rec); err == nil {
+					if res, ok := s.materialize(m, can, e, start); ok {
+						s.metrics.StoreHits.Add(1)
+						s.metrics.hitNanos.Add(int64(res.Elapsed))
+						res.CacheHit = true
+						res.Source = "store"
+						// promote into the LRU so the next hit skips
+						// the remapping of record slices
+						s.mu.Lock()
+						s.metrics.Evictions.Add(int64(s.cache.add(e)))
+						s.mu.Unlock()
+						return res, nil
+					}
+				}
+				// the record is inconsistent with the requesting model
+				// or fails verification: it is corrupt or stale — drop
+				// it and fall through to a fresh search
+				s.metrics.StoreCorrupt.Add(1)
+				st.Drop(key)
+				continue
+			}
+		}
 		if c, ok := s.flight[key]; ok {
 			s.mu.Unlock()
 			s.metrics.FlightShared.Add(1)
@@ -189,6 +232,18 @@ func (s *Service) Schedule(ctx context.Context, m *core.Model) (*Result, error) 
 		s.mu.Unlock()
 
 		c.out, c.err = s.runPipeline(ctx, m, can, key)
+		if c.err == nil && c.out.decided {
+			if st := s.opt.Store; st != nil {
+				// write-through: decided outcomes are write-once
+				// artifacts. A failed append degrades durability, not
+				// correctness, so it is counted rather than fatal.
+				if err := st.Put(recordFromEntry(can, c.out)); err != nil {
+					s.metrics.StorePutErrors.Add(1)
+				} else {
+					s.metrics.StorePuts.Add(1)
+				}
+			}
+		}
 		s.mu.Lock()
 		if c.err == nil && c.out.decided {
 			s.metrics.Evictions.Add(int64(s.cache.add(c.out)))
@@ -273,11 +328,12 @@ func (s *Service) materialize(m *core.Model, can *core.Canonical, e *entry, star
 		Source:      e.source,
 	}
 	if e.feasible {
-		sc := &sched.Schedule{Slots: make([]string, len(e.slots))}
-		for i, idx := range e.slots {
-			if idx >= 0 {
-				sc.Slots[i] = can.Order[idx]
-			}
+		sc, err := sched.FromIndices(can.Order, e.slots)
+		if err != nil {
+			// out-of-range indices (possible only for entries loaded
+			// from the durable store) are treated like any failed
+			// verification: never served
+			return nil, false
 		}
 		rep := sched.Check(m, sc)
 		if !rep.Feasible {
@@ -291,15 +347,12 @@ func (s *Service) materialize(m *core.Model, can *core.Canonical, e *entry, star
 }
 
 // canonicalSlots converts a schedule in element names to canonical
-// index form (-1 = idle).
+// index form (-1 = idle). Schedules arriving here were synthesized
+// over the model's own elements, so conversion cannot fail.
 func canonicalSlots(can *core.Canonical, s *sched.Schedule) []int {
-	out := make([]int, s.Len())
-	for i, e := range s.Slots {
-		if e == sched.Idle {
-			out[i] = -1
-			continue
-		}
-		out[i] = can.Index[e]
+	out, err := s.ToIndices(can.Index)
+	if err != nil {
+		panic(fmt.Sprintf("service: synthesized schedule outside the model: %v", err))
 	}
 	return out
 }

@@ -1,0 +1,294 @@
+package service
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+
+	"rtm/internal/core"
+	"rtm/internal/exact"
+	"rtm/internal/sim"
+	"rtm/internal/store"
+	"rtm/internal/workload"
+)
+
+func openStoreT(t *testing.T, dir string) *store.Store {
+	t.Helper()
+	st, err := store.Open(dir, store.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { st.Close() })
+	return st
+}
+
+// TestServiceStoreWarmStart is the tentpole's core promise: a service
+// restarted over a warm store serves previously decided classes —
+// feasible and infeasible alike — without running any pipeline stage.
+func TestServiceStoreWarmStart(t *testing.T) {
+	ctx := context.Background()
+	dir := t.TempDir()
+	feas := core.ExampleSystem(core.DefaultExampleParams())
+	infeas := density1Instance(1, []int{2, 3, 6})
+
+	st1 := openStoreT(t, dir)
+	svc1 := New(Options{Store: st1})
+	r1, err := svc1.Schedule(ctx, feas)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r1.Feasible || r1.Source == "store" {
+		t.Fatalf("cold solve: %+v", r1)
+	}
+	if r2, err := svc1.Schedule(ctx, infeas); err != nil || r2.Feasible || !r2.Decided {
+		t.Fatalf("cold refute: %+v err=%v", r2, err)
+	}
+	if got := svc1.Metrics().StorePuts.Load(); got != 2 {
+		t.Fatalf("store_puts = %d, want 2", got)
+	}
+	// warm LRU hit must not touch the store hit counter
+	if r, err := svc1.Schedule(ctx, feas); err != nil || r.Source != "cache" {
+		t.Fatalf("LRU hit: %+v err=%v", r, err)
+	}
+	if got := svc1.Metrics().StoreHits.Load(); got != 0 {
+		t.Fatalf("store_hits on LRU hit = %d, want 0", got)
+	}
+	if err := st1.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// "restart": fresh store handle, fresh service, empty LRU
+	st2 := openStoreT(t, dir)
+	if st2.Len() != 2 || st2.CorruptSkipped() != 0 {
+		t.Fatalf("reopened store: len=%d corrupt=%d", st2.Len(), st2.CorruptSkipped())
+	}
+	svc2 := New(Options{Store: st2})
+	w1, err := svc2.Schedule(ctx, feas)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w1.Source != "store" || !w1.CacheHit || !w1.Feasible || w1.Schedule == nil || !w1.Report.Feasible {
+		t.Fatalf("warm feasible: %+v", w1)
+	}
+	w2, err := svc2.Schedule(ctx, infeas)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w2.Source != "store" || w2.Feasible || !w2.Decided {
+		t.Fatalf("warm infeasible: %+v", w2)
+	}
+	if got := svc2.Metrics().Searches.Load(); got != 0 {
+		t.Fatalf("warm restart ran %d searches, want 0", got)
+	}
+	snap := svc2.Snapshot()
+	if snap["store_hits"] != 2 || snap["store_len"] != 2 || snap["store_bytes"] <= 0 || snap["store_corrupt_skipped"] != 0 {
+		t.Fatalf("snapshot gauges: %+v", snap)
+	}
+	// the store hit was promoted into the LRU: next request is L1
+	if r, err := svc2.Schedule(ctx, feas); err != nil || r.Source != "cache" {
+		t.Fatalf("post-promotion request: %+v err=%v", r, err)
+	}
+}
+
+// TestServiceStoreIsomorphicWarmStart: a store record written for one
+// surface naming must serve a renamed (isomorphic) model after
+// restart, verified in the requester's own names.
+func TestServiceStoreIsomorphicWarmStart(t *testing.T) {
+	ctx := context.Background()
+	dir := t.TempDir()
+	m := core.ExampleSystem(core.DefaultExampleParams())
+
+	st1 := openStoreT(t, dir)
+	if _, err := New(Options{Store: st1}).Schedule(ctx, m); err != nil {
+		t.Fatal(err)
+	}
+	st1.Close()
+
+	st2 := openStoreT(t, dir)
+	svc := New(Options{Store: st2})
+	m2 := renameModel(rand.New(rand.NewSource(7)), m)
+	res, err := svc.Schedule(ctx, m2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Source != "store" || !res.Report.Feasible {
+		t.Fatalf("isomorphic warm start: %+v", res)
+	}
+	for _, slot := range res.Schedule.Slots {
+		if slot != "" && !m2.Comm.G.HasNode(slot) {
+			t.Fatalf("store-loaded schedule leaks foreign element %q", slot)
+		}
+	}
+}
+
+// TestServiceStoreSimCrossCheck is the satellite cross-check: over
+// ≥25 seeds, store-loaded schedules must simulate identically to
+// freshly synthesized ones — including loads materialized through a
+// renamed model.
+func TestServiceStoreSimCrossCheck(t *testing.T) {
+	ctx := context.Background()
+	rng := rand.New(rand.NewSource(73))
+
+	models := []*core.Model{
+		core.ExampleSystem(core.DefaultExampleParams()),
+		density1Instance(1, []int{2, 6, 6, 6}),
+	}
+	for len(models) < 5 {
+		m, err := workload.Random(rng, workload.Params{
+			Elements: 3, MaxWeight: 2, EdgeProb: 0.5,
+			Constraints: 2, ChainLen: 2, AsyncFrac: 0.5, TargetUtil: 0.4,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		models = append(models, m)
+	}
+
+	checked := 0
+	for mi, m := range models {
+		dir := t.TempDir()
+		st1 := openStoreT(t, dir)
+		cold, err := New(Options{Store: st1}).Schedule(ctx, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !cold.Feasible {
+			continue // nothing to simulate
+		}
+		st1.Close()
+
+		// restart; the store load happens through a renamed model, so
+		// the record's canonical slots are remapped on the way out
+		m2 := renameModel(rng, m)
+		st2 := openStoreT(t, dir)
+		loaded, err := New(Options{Store: st2}).Schedule(ctx, m2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if loaded.Source != "store" {
+			t.Fatalf("model %d: restart missed the store: %+v", mi, loaded)
+		}
+		fresh, err := New(Options{}).Schedule(ctx, m2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !fresh.Feasible {
+			t.Fatalf("model %d: fresh service disagrees on feasibility", mi)
+		}
+		for seed := int64(0); seed < 25; seed++ {
+			a := sim.Run(m2, loaded.Schedule, sim.Options{Seed: seed})
+			b := sim.Run(m2, fresh.Schedule, sim.Options{Seed: seed})
+			if a.MissCount != b.MissCount || a.StaleCount != b.StaleCount {
+				t.Fatalf("model %d seed %d: store sim (miss=%d stale=%d) != fresh sim (miss=%d stale=%d)",
+					mi, seed, a.MissCount, a.StaleCount, b.MissCount, b.StaleCount)
+			}
+			checked++
+		}
+	}
+	if checked < 25 {
+		t.Fatalf("only %d seed cross-checks ran, want ≥ 25", checked)
+	}
+}
+
+// TestServiceStoreCorruptRecordNeverServed plants records that pass
+// framing (valid CRC, valid JSON) but are semantically wrong — the
+// damage CRC cannot catch. The service must drop them, count them,
+// and recompute the right answer.
+func TestServiceStoreCorruptRecordNeverServed(t *testing.T) {
+	ctx := context.Background()
+	m := core.ExampleSystem(core.DefaultExampleParams())
+	key := core.Fingerprint(m)
+	can := core.Canonicalize(m)
+
+	plant := func(t *testing.T, rec *store.Record) (*Service, *store.Store) {
+		t.Helper()
+		st := openStoreT(t, t.TempDir())
+		if err := st.Put(rec); err != nil {
+			t.Fatal(err)
+		}
+		return New(Options{Store: st}), st
+	}
+
+	t.Run("element-count-mismatch", func(t *testing.T) {
+		svc, st := plant(t, &store.Record{
+			Fingerprint: key, Feasible: true, Elements: 1, Slots: []int{0, 0}, Source: "exact",
+		})
+		res, err := svc.Schedule(ctx, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Source == "store" || !res.Feasible || !res.Report.Feasible {
+			t.Fatalf("corrupt record served or recompute failed: %+v", res)
+		}
+		if got := svc.Metrics().StoreCorrupt.Load(); got != 1 {
+			t.Fatalf("store_corrupt (serve-time) = %d, want 1", got)
+		}
+		if snap := svc.Snapshot(); snap["store_corrupt_skipped"] != 1 {
+			t.Fatalf("snapshot store_corrupt_skipped = %d, want 1", snap["store_corrupt_skipped"])
+		}
+		// the recompute wrote the correct record back through
+		if rec, ok := st.Get(key); !ok || rec.Elements != len(can.Order) {
+			t.Fatalf("store not healed: %+v", rec)
+		}
+	})
+
+	t.Run("unverifiable-schedule", func(t *testing.T) {
+		// an all-idle schedule is shape-valid but cannot meet any
+		// constraint: re-verification must reject it
+		svc, _ := plant(t, &store.Record{
+			Fingerprint: key, Feasible: true, Elements: len(can.Order),
+			Slots: []int{-1, -1, -1, -1}, Source: "exact",
+		})
+		res, err := svc.Schedule(ctx, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Source == "store" || !res.Feasible {
+			t.Fatalf("unverifiable record served: %+v", res)
+		}
+		if got := svc.Metrics().StoreCorrupt.Load(); got != 1 {
+			t.Fatalf("store_corrupt (serve-time) = %d, want 1", got)
+		}
+	})
+
+	t.Run("wrong-verdict-polarity", func(t *testing.T) {
+		// a "feasible" record planted for an infeasible class: the
+		// schedule cannot verify, so the service must refute afresh
+		hard := density1Instance(1, []int{2, 3, 6})
+		hkey := core.Fingerprint(hard)
+		hcan := core.Canonicalize(hard)
+		svc, _ := plant(t, &store.Record{
+			Fingerprint: hkey, Feasible: true, Elements: len(hcan.Order),
+			Slots: []int{0, 1, 2}, Source: "exact",
+		})
+		res, err := svc.Schedule(ctx, hard)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Source == "store" || res.Feasible || !res.Decided {
+			t.Fatalf("wrong-polarity record served: %+v", res)
+		}
+	})
+}
+
+// TestServiceStoreUndecidedNotPersisted: budget-starved outcomes must
+// not be written through — a later request with a bigger budget may
+// still decide the class.
+func TestServiceStoreUndecidedNotPersisted(t *testing.T) {
+	st := openStoreT(t, t.TempDir())
+	svc := New(Options{
+		Exact:            exact.Options{MaxCandidates: 1},
+		DisableHeuristic: true,
+		Store:            st,
+	})
+	res, err := svc.Schedule(context.Background(), density1Instance(2, []int{2, 3, 6}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Decided {
+		t.Fatalf("budget-starved search decided: %+v", res)
+	}
+	if st.Len() != 0 || svc.Metrics().StorePuts.Load() != 0 {
+		t.Fatalf("undecided outcome persisted: len=%d puts=%d", st.Len(), svc.Metrics().StorePuts.Load())
+	}
+}

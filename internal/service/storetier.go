@@ -1,0 +1,74 @@
+package service
+
+import (
+	"fmt"
+	"time"
+
+	"rtm/internal/core"
+	"rtm/internal/store"
+)
+
+// This file is the bridge between the service's canonical cache
+// entries and the durable store's wire records. The store is L2
+// behind the LRU: probed on an LRU miss, written through on every
+// decided solve. Records are trusted for nothing — entryFromRecord
+// checks shape, and the regular materialize path re-verifies the
+// schedule against the requesting model, so disk content can only
+// ever cost a miss.
+
+// entryFromRecord converts a store record into a cache entry,
+// rejecting records that disagree with the requesting model's
+// canonical shape.
+func entryFromRecord(key string, can *core.Canonical, rec *store.Record) (*entry, error) {
+	if rec.Fingerprint != key {
+		return nil, fmt.Errorf("service: store record for %s surfaced under %s", rec.Fingerprint, key)
+	}
+	if err := rec.Validate(); err != nil {
+		return nil, err
+	}
+	if rec.Elements != len(can.Order) {
+		return nil, fmt.Errorf("service: store record has %d canonical elements, model has %d",
+			rec.Elements, len(can.Order))
+	}
+	e := &entry{key: key, decided: true, feasible: rec.Feasible, source: rec.Source}
+	if rec.Feasible {
+		e.slots = rec.Slots
+	}
+	return e, nil
+}
+
+// recordFromEntry converts a decided cache entry into its wire
+// record. Undecided entries are never persisted (the caller gates on
+// decided; a bigger budget may still decide the class later).
+func recordFromEntry(can *core.Canonical, e *entry) *store.Record {
+	return &store.Record{
+		Fingerprint: e.key,
+		Feasible:    e.feasible,
+		Elements:    len(can.Order),
+		Slots:       e.slots,
+		Source:      e.source,
+		Unix:        time.Now().Unix(),
+	}
+}
+
+// Snapshot returns the service counters (Metrics.Snapshot) plus the
+// cache and store gauges: cache_len, and — when a store is attached —
+// store_len and store_bytes, with the store's own scan-time discard
+// events folded into store_corrupt_skipped alongside the serve-time
+// re-verification failures.
+func (s *Service) Snapshot() map[string]int64 {
+	snap := s.metrics.Snapshot()
+	snap["cache_len"] = int64(s.CacheLen())
+	if st := s.opt.Store; st != nil {
+		snap["store_len"] = int64(st.Len())
+		snap["store_bytes"] = st.Bytes()
+		snap["store_corrupt_skipped"] += st.CorruptSkipped()
+	}
+	return snap
+}
+
+// MetricsText renders Snapshot as sorted "rtm_<name> <value>" lines
+// (the daemon's /metrics body).
+func (s *Service) MetricsText() string {
+	return renderMetrics(s.Snapshot())
+}

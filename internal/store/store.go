@@ -1,0 +1,331 @@
+// Package store is the durable tier of the scheduling service: a
+// disk-backed, content-addressed store of decided scheduling
+// outcomes, keyed by the canonical model fingerprint
+// (core.Fingerprint). Synthesis is NP-hard and the run-time model is
+// static, so a decided verdict is a write-once artifact — persisting
+// it turns every future restart's cold search into a log replay.
+//
+// On disk the store is a single append-only segment log
+// (<dir>/store.log) of JSON records in segment framing (see
+// segment.go). Open replays the log into an in-memory index
+// (fingerprint → record, last write wins), truncates any torn or
+// corrupt tail to the clean prefix, and positions the write handle at
+// the end; Put appends one framed record and fsyncs. Compaction
+// rewrites the live index to a temporary file and atomically renames
+// it over the log, so readers of the directory never observe a
+// half-written log.
+//
+// Durability invariants:
+//
+//   - Prefix property: after any crash, Open recovers exactly the
+//     records whose frames were fully written — a kill mid-append
+//     costs at most the record being appended, never the log.
+//   - No panic on any input: arbitrary log bytes produce a shorter
+//     clean prefix, not a crash (FuzzStoreDecode).
+//   - The store is a cache, not an oracle: records carry no proof, so
+//     loaders must re-verify every schedule against the requesting
+//     model before serving it. CRC catches flipped bits; the loader's
+//     re-verification catches everything CRC cannot (a well-framed
+//     record with wrong content can cost a miss, never a wrong
+//     schedule).
+package store
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+
+	"rtm/internal/trace"
+)
+
+// Record is the store's record type — the trace wire form, so
+// external tooling can decode segments with the same schema.
+type Record = trace.StoreRecordJSON
+
+// logName is the active segment log inside the store directory.
+const logName = "store.log"
+
+// Options configure a Store.
+type Options struct {
+	// NoSync skips the fsync after each append. Throughput-friendly
+	// for tests and benchmarks; a crash may then lose recently
+	// appended records (but never corrupt the recovered prefix).
+	NoSync bool
+}
+
+// Store is a durable schedule store. All methods are safe for
+// concurrent use.
+type Store struct {
+	dir string
+	opt Options
+
+	mu      sync.Mutex
+	f       *os.File           // active log, positioned at the clean end
+	index   map[string]*Record // fingerprint → latest record
+	bytes   int64              // clean log length
+	corrupt int64              // discard events observed while scanning
+	closed  bool
+}
+
+// Open opens (creating if necessary) the store rooted at dir,
+// replaying the segment log into the index and truncating any torn or
+// corrupt tail to the clean prefix.
+func Open(dir string, opt Options) (*Store, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	path := filepath.Join(dir, logName)
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	s := &Store{dir: dir, opt: opt, f: f, index: make(map[string]*Record)}
+	valid, dropped, err := scanSegment(bufio.NewReader(f), func(r *Record) error {
+		s.index[r.Fingerprint] = r
+		return nil
+	})
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("store: replaying %s: %w", path, err)
+	}
+	if dropped {
+		s.corrupt++
+	}
+	fi, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	if fi.Size() != valid {
+		// torn-tail recovery: drop the damaged suffix so future
+		// appends extend a well-framed log
+		if err := f.Truncate(valid); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("store: truncating torn tail: %w", err)
+		}
+	}
+	if _, err := f.Seek(valid, io.SeekStart); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	s.bytes = valid
+	return s, nil
+}
+
+// Get returns a copy of the record for fingerprint fp, if present.
+func (s *Store) Get(fp string) (*Record, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	r, ok := s.index[fp]
+	if !ok {
+		return nil, false
+	}
+	cp := *r
+	cp.Slots = append([]int(nil), r.Slots...)
+	return &cp, true
+}
+
+// Put appends a record to the log and indexes it. Re-putting a record
+// identical to the indexed one is a no-op, so write-through on warm
+// traffic does not grow the log. The record is validated before any
+// byte is written.
+func (s *Store) Put(rec *Record) error {
+	payload, err := trace.EncodeStoreRecord(rec)
+	if err != nil {
+		return err
+	}
+	buf, err := frame(payload)
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return fmt.Errorf("store: closed")
+	}
+	if old, ok := s.index[rec.Fingerprint]; ok && sameRecord(old, rec) {
+		return nil
+	}
+	if _, err := s.f.Write(buf); err != nil {
+		return fmt.Errorf("store: append: %w", err)
+	}
+	if !s.opt.NoSync {
+		if err := s.f.Sync(); err != nil {
+			return fmt.Errorf("store: sync: %w", err)
+		}
+	}
+	cp := *rec
+	cp.Slots = append([]int(nil), rec.Slots...)
+	s.index[rec.Fingerprint] = &cp
+	s.bytes += int64(len(buf))
+	return nil
+}
+
+// sameRecord reports whether two records carry the same outcome
+// (timestamps excluded — they are informational).
+func sameRecord(a, b *Record) bool {
+	if a.Feasible != b.Feasible || a.Elements != b.Elements || a.Source != b.Source || len(a.Slots) != len(b.Slots) {
+		return false
+	}
+	for i := range a.Slots {
+		if a.Slots[i] != b.Slots[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Drop removes fp from the in-memory index, so it can no longer be
+// served. The log is not rewritten — a dropped record disappears from
+// disk at the next Compact. Loaders call this when a record fails
+// re-verification; because every load is re-verified, a record that
+// resurfaces on restart still can never be served, only re-dropped.
+func (s *Store) Drop(fp string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.index, fp)
+}
+
+// Compact rewrites the log to exactly the live index (one record per
+// fingerprint, sorted) via a temporary file and an atomic rename, so
+// a crash during compaction leaves either the old or the new log,
+// never a mixture.
+func (s *Store) Compact() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return fmt.Errorf("store: closed")
+	}
+	path := filepath.Join(s.dir, logName)
+	tmp := path + ".tmp"
+	tf, err := os.Create(tmp)
+	if err != nil {
+		return fmt.Errorf("store: compact: %w", err)
+	}
+	w := bufio.NewWriter(tf)
+	var size int64
+	for _, fp := range sortedKeys(s.index) {
+		payload, err := trace.EncodeStoreRecord(s.index[fp])
+		if err != nil {
+			tf.Close()
+			os.Remove(tmp)
+			return fmt.Errorf("store: compact: %w", err)
+		}
+		buf, err := frame(payload)
+		if err != nil {
+			tf.Close()
+			os.Remove(tmp)
+			return fmt.Errorf("store: compact: %w", err)
+		}
+		if _, err := w.Write(buf); err != nil {
+			tf.Close()
+			os.Remove(tmp)
+			return fmt.Errorf("store: compact: %w", err)
+		}
+		size += int64(len(buf))
+	}
+	if err := w.Flush(); err != nil {
+		tf.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("store: compact: %w", err)
+	}
+	if err := tf.Sync(); err != nil {
+		tf.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("store: compact: %w", err)
+	}
+	if err := tf.Close(); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("store: compact: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("store: compact: %w", err)
+	}
+	syncDir(s.dir)
+	// the old handle points at the replaced inode; swing to the new log
+	f, err := os.OpenFile(path, os.O_RDWR, 0o644)
+	if err != nil {
+		return fmt.Errorf("store: compact: reopening: %w", err)
+	}
+	if _, err := f.Seek(size, io.SeekStart); err != nil {
+		f.Close()
+		return fmt.Errorf("store: compact: %w", err)
+	}
+	s.f.Close()
+	s.f = f
+	s.bytes = size
+	return nil
+}
+
+// Close flushes and closes the log. The store is unusable afterwards.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	var err error
+	if !s.opt.NoSync {
+		err = s.f.Sync()
+	}
+	if cerr := s.f.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// Len returns the number of indexed records.
+func (s *Store) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.index)
+}
+
+// Bytes returns the clean length of the segment log.
+func (s *Store) Bytes() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.bytes
+}
+
+// CorruptSkipped returns how many torn-or-corrupt-tail discard events
+// this store has observed while scanning its log.
+func (s *Store) CorruptSkipped() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.corrupt
+}
+
+// Fingerprints returns the indexed fingerprints in sorted order.
+func (s *Store) Fingerprints() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return sortedKeys(s.index)
+}
+
+// Dir returns the store's root directory.
+func (s *Store) Dir() string { return s.dir }
+
+func sortedKeys(m map[string]*Record) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// syncDir fsyncs a directory so a just-renamed file survives a crash;
+// best-effort on filesystems that refuse directory syncs.
+func syncDir(dir string) {
+	if d, err := os.Open(dir); err == nil {
+		d.Sync()
+		d.Close()
+	}
+}

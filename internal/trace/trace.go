@@ -178,6 +178,84 @@ func EncodeReport(r *sched.Report) ([]byte, error) {
 	return json.MarshalIndent(out, "", "  ")
 }
 
+// StoreRecordJSON is the wire form of one durable schedule-store
+// record (internal/store): the decided outcome of an admission
+// pipeline for one canonical fingerprint. The schedule travels in
+// canonical index form — slot value -1 idles, any other value indexes
+// the model's canonical element order — so one record serves every
+// model in the fingerprint's isomorphism class.
+type StoreRecordJSON struct {
+	// Fingerprint is the canonical model fingerprint (64 hex chars,
+	// see core.Fingerprint) — the record's content address.
+	Fingerprint string `json:"fingerprint"`
+	// Feasible is the decided verdict. Undecided (budget-starved)
+	// outcomes are never persisted.
+	Feasible bool `json:"feasible"`
+	// Elements is the canonical element count of the model the record
+	// was solved for; loaders reject records whose count disagrees
+	// with the requesting model before indexing anything.
+	Elements int `json:"elements"`
+	// Slots is the schedule in canonical index form; nil unless
+	// feasible.
+	Slots []int `json:"slots,omitempty"`
+	// Source names the pipeline stage that produced the verdict
+	// ("analysis", "heuristic", "exact").
+	Source string `json:"source,omitempty"`
+	// Unix is the creation time in seconds (informational).
+	Unix int64 `json:"unix,omitempty"`
+}
+
+// Validate checks the record's internal consistency: a well-formed
+// content address, and a schedule whose every slot is -1 or a valid
+// canonical element index. It does not (cannot) check the schedule
+// against a model — that is the loader's re-verification step.
+func (r *StoreRecordJSON) Validate() error {
+	if len(r.Fingerprint) != 64 {
+		return fmt.Errorf("trace: store record fingerprint %q is not 64 hex chars", r.Fingerprint)
+	}
+	for _, c := range r.Fingerprint {
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return fmt.Errorf("trace: store record fingerprint %q is not lowercase hex", r.Fingerprint)
+		}
+	}
+	if r.Elements < 0 {
+		return fmt.Errorf("trace: store record has %d elements", r.Elements)
+	}
+	if !r.Feasible && len(r.Slots) > 0 {
+		return fmt.Errorf("trace: infeasible store record carries a %d-slot schedule", len(r.Slots))
+	}
+	if r.Feasible && len(r.Slots) == 0 {
+		return fmt.Errorf("trace: feasible store record carries no schedule")
+	}
+	for i, v := range r.Slots {
+		if v < -1 || v >= r.Elements {
+			return fmt.Errorf("trace: store record slot %d has index %d, want -1 or [0,%d)", i, v, r.Elements)
+		}
+	}
+	return nil
+}
+
+// EncodeStoreRecord renders a validated record as compact JSON — log
+// records are framed individually, so they stay single-line.
+func EncodeStoreRecord(r *StoreRecordJSON) ([]byte, error) {
+	if err := r.Validate(); err != nil {
+		return nil, err
+	}
+	return json.Marshal(r)
+}
+
+// DecodeStoreRecord reconstructs and validates a record.
+func DecodeStoreRecord(data []byte) (*StoreRecordJSON, error) {
+	var r StoreRecordJSON
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, fmt.Errorf("trace: %w", err)
+	}
+	if err := r.Validate(); err != nil {
+		return nil, err
+	}
+	return &r, nil
+}
+
 // RecordJSON is the wire form of a VM execution record.
 type RecordJSON struct {
 	Horizon    int                      `json:"horizon"`

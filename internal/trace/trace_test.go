@@ -145,3 +145,46 @@ func TestRecordEncode(t *testing.T) {
 		t.Fatal("executions missing")
 	}
 }
+
+func TestStoreRecordRoundTripAndValidation(t *testing.T) {
+	fp := strings.Repeat("ab", 32)
+	rec := &StoreRecordJSON{
+		Fingerprint: fp, Feasible: true, Elements: 3,
+		Slots: []int{0, -1, 2, 1}, Source: "exact", Unix: 1754000000,
+	}
+	data, err := EncodeStoreRecord(rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(data), "\n") {
+		t.Fatal("store record JSON must be single-line")
+	}
+	back, err := DecodeStoreRecord(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Fingerprint != fp || !back.Feasible || back.Elements != 3 || len(back.Slots) != 4 || back.Source != "exact" {
+		t.Fatalf("round trip lost fields: %+v", back)
+	}
+
+	bad := []*StoreRecordJSON{
+		{Fingerprint: "short", Feasible: false, Elements: 1},
+		{Fingerprint: strings.Repeat("ZZ", 32), Feasible: false, Elements: 1},
+		{Fingerprint: fp, Feasible: true, Elements: 2, Slots: []int{2}},
+		{Fingerprint: fp, Feasible: true, Elements: 2, Slots: []int{-2}},
+		{Fingerprint: fp, Feasible: true, Elements: 2},
+		{Fingerprint: fp, Feasible: false, Elements: 2, Slots: []int{0}},
+		{Fingerprint: fp, Feasible: false, Elements: -1},
+	}
+	for i, r := range bad {
+		if _, err := EncodeStoreRecord(r); err == nil {
+			t.Fatalf("bad record %d encoded: %+v", i, r)
+		}
+	}
+	if _, err := DecodeStoreRecord([]byte(`{"fingerprint":"x"}`)); err == nil {
+		t.Fatal("decode accepted malformed fingerprint")
+	}
+	if _, err := DecodeStoreRecord([]byte(`not json`)); err == nil {
+		t.Fatal("decode accepted non-JSON")
+	}
+}

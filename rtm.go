@@ -33,6 +33,7 @@ import (
 	"rtm/internal/service"
 	"rtm/internal/sim"
 	"rtm/internal/spec"
+	"rtm/internal/store"
 	"rtm/internal/synthesis"
 )
 
@@ -226,6 +227,22 @@ func NewService(opt ServiceOptions) *Service { return service.New(opt) }
 // models that differ only by element/node renaming and constraint
 // reordering, and the key under which the Service caches verdicts.
 func Fingerprint(m *Model) string { return core.Fingerprint(m) }
+
+// ScheduleStore is the durable schedule store: crash-safe,
+// content-addressed persistence of decided scheduling outcomes.
+// Attach one via ServiceOptions.Store to give a Service an L2 tier
+// that survives restarts (hit order LRU → store → compute).
+type ScheduleStore = store.Store
+
+// ScheduleStoreOptions configure a ScheduleStore.
+type ScheduleStoreOptions = store.Options
+
+// OpenScheduleStore opens (creating if necessary) the durable
+// schedule store rooted at dir, recovering any torn or corrupt log
+// tail to the clean prefix.
+func OpenScheduleStore(dir string, opt ScheduleStoreOptions) (*ScheduleStore, error) {
+	return store.Open(dir, opt)
+}
 
 // SensitivityReport carries breakdown deadlines and scaling headroom.
 type SensitivityReport = analysis.SensitivityReport

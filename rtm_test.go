@@ -222,3 +222,33 @@ func TestFacadeLocalSearch(t *testing.T) {
 		t.Fatal("infeasible result")
 	}
 }
+
+func TestFacadeScheduleStoreWarmStart(t *testing.T) {
+	dir := t.TempDir()
+	m := ExampleSystem()
+
+	st, err := OpenScheduleStore(dir, ScheduleStoreOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc := NewService(ServiceOptions{Store: st})
+	if _, err := svc.Schedule(context.Background(), m); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	st2, err := OpenScheduleStore(dir, ScheduleStoreOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	res, err := NewService(ServiceOptions{Store: st2}).Schedule(context.Background(), m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Source != "store" || !res.Feasible || !res.Report.Feasible {
+		t.Fatalf("facade warm start: %+v", res)
+	}
+}
