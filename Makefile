@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet bench serve fuzz fuzz-short ci bench-json
+.PHONY: build test race vet bench serve fuzz fuzz-short ci bench-json bench-load bench-load-smoke
 
 build:
 	$(GO) build ./...
@@ -42,11 +42,24 @@ fuzz-short:
 	$(GO) test -run xxx -fuzz FuzzFingerprint -fuzztime 20s ./internal/spec/
 	$(GO) test -run xxx -fuzz FuzzStoreDecode -fuzztime 20s ./internal/store/
 
-# The CI gate: vet, the full suite under the race detector, then the
-# short fuzz pass.
-ci: test fuzz-short
+# The CI gate: vet, the full suite under the race detector, the short
+# fuzz pass, then a load-suite smoke (results to a throwaway dir so the
+# committed bench/ numbers stay the curated ones).
+ci: test fuzz-short bench-load-smoke
 
 # Machine-readable micro-benchmarks (ns/op, allocs/op) for tracking
 # the perf trajectory across PRs; writes bench/BENCH_<suite>.json.
 bench-json:
 	$(GO) run ./cmd/rtbench -json bench
+
+# Service load suite: closed-loop hot paths (verified-hit fast path vs
+# remap + re-check) and an open-loop cold burst against the bounded
+# exact-search admission; writes bench/BENCH_service_load.json with
+# p50/p95/p99 latency and throughput per scenario.
+bench-load:
+	$(GO) run ./cmd/rtbench -load bench
+
+# Same suite into a throwaway directory — the CI smoke that proves the
+# load harness runs end to end without touching committed results.
+bench-load-smoke:
+	$(GO) run ./cmd/rtbench -load $$(mktemp -d)

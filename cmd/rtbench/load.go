@@ -1,0 +1,343 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"rtm/internal/core"
+	"rtm/internal/exact"
+	"rtm/internal/service"
+)
+
+// This file implements -load: a service-level load suite that prices
+// the serving hot path under concurrency — the closed-loop repeat
+// workloads the verified-hit memo exists for, and the open-loop cold
+// burst the admission semaphore exists for. Results (throughput plus
+// p50/p95/p99 latency) go to DIR/BENCH_service_load.json so the
+// scaling trajectory is trackable across PRs like the micro suites.
+
+// loadScenario is one measured load scenario.
+type loadScenario struct {
+	Name       string `json:"name"`
+	Mode       string `json:"mode"` // closed (fixed workers loop) or open (burst)
+	Goroutines int    `json:"goroutines"`
+	Requests   int    `json:"requests"` // completed successfully
+	Shed       int    `json:"shed"`     // rejected with ErrOverloaded
+	DurationMS int64  `json:"duration_ms"`
+
+	ThroughputRPS float64 `json:"throughput_rps"`
+	P50US         int64   `json:"p50_us"`
+	P95US         int64   `json:"p95_us"`
+	P99US         int64   `json:"p99_us"`
+	MaxUS         int64   `json:"max_us"`
+
+	CacheHits  int64 `json:"cache_hits"`
+	MemoHits   int64 `json:"memo_hits"`
+	Overloaded int64 `json:"overloaded"`
+}
+
+// loadSuiteDoc is the BENCH_service_load.json document.
+type loadSuiteDoc struct {
+	Suite      string         `json:"suite"`
+	GoMaxProcs int            `json:"gomaxprocs"`
+	GoVersion  string         `json:"go_version"`
+	Scenarios  []loadScenario `json:"scenarios"`
+}
+
+// percentile returns the p-th percentile (0 < p ≤ 100) of sorted
+// latencies, in microseconds.
+func percentile(sorted []time.Duration, p float64) int64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := int(float64(len(sorted))*p/100) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx].Microseconds()
+}
+
+// summarize folds raw latencies and counters into a scenario row.
+func summarize(name, mode string, goroutines int, lats []time.Duration, shed int, wall time.Duration, mt *service.Metrics) loadScenario {
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	sc := loadScenario{
+		Name:       name,
+		Mode:       mode,
+		Goroutines: goroutines,
+		Requests:   len(lats),
+		Shed:       shed,
+		DurationMS: wall.Milliseconds(),
+		P50US:      percentile(lats, 50),
+		P95US:      percentile(lats, 95),
+		P99US:      percentile(lats, 99),
+		CacheHits:  mt.CacheHits.Load(),
+		MemoHits:   mt.MemoHits.Load(),
+		Overloaded: mt.Overloaded.Load(),
+	}
+	if len(lats) > 0 {
+		sc.MaxUS = lats[len(lats)-1].Microseconds()
+	}
+	if wall > 0 {
+		sc.ThroughputRPS = float64(len(lats)) / wall.Seconds()
+	}
+	return sc
+}
+
+// closedLoop drives total requests through fn from g goroutines, each
+// looping as fast as the service answers (closed-loop load: a new
+// request only after the previous response).
+func closedLoop(g, total int, fn func() error) ([]time.Duration, time.Duration, error) {
+	var (
+		wg   sync.WaitGroup
+		mu   sync.Mutex
+		lats = make([]time.Duration, 0, total)
+	)
+	errCh := make(chan error, g)
+	per := total / g
+	start := time.Now()
+	for w := 0; w < g; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			own := make([]time.Duration, 0, per)
+			for i := 0; i < per; i++ {
+				t0 := time.Now()
+				if err := fn(); err != nil {
+					errCh <- err
+					return
+				}
+				own = append(own, time.Since(t0))
+			}
+			mu.Lock()
+			lats = append(lats, own...)
+			mu.Unlock()
+		}()
+	}
+	wg.Wait()
+	wall := time.Since(start)
+	close(errCh)
+	if err := <-errCh; err != nil {
+		return nil, 0, err
+	}
+	return lats, wall, nil
+}
+
+// hotScenario prices the hit path under closed-loop concurrency: g
+// goroutines re-posting the byte-identical example workload. With the
+// verified-hit memo on, repeats skip remap + re-check (and measure the
+// memo fast path); with memo disabled (resultMemo < 0) every hit pays
+// the full remap + re-verify — the pair is the acceptance comparison.
+func hotScenario(name string, resultMemo, g, total int) (loadScenario, error) {
+	ctx := context.Background()
+	svc := service.New(service.Options{ResultMemo: resultMemo})
+	m := core.ExampleSystem(core.DefaultExampleParams())
+	if _, err := svc.Schedule(ctx, m); err != nil { // prime the entry
+		return loadScenario{}, err
+	}
+	lats, wall, err := closedLoop(g, total, func() error {
+		res, err := svc.Schedule(ctx, m)
+		if err != nil {
+			return err
+		}
+		if !res.CacheHit {
+			return fmt.Errorf("%s: hot request missed the cache", name)
+		}
+		return nil
+	})
+	if err != nil {
+		return loadScenario{}, err
+	}
+	return summarize(name, "closed", g, lats, 0, wall, svc.Metrics()), nil
+}
+
+// isoScenario mixes k renamed (isomorphic) surfaces of one class under
+// closed-loop load: every request is a cache hit, and each surface
+// memo-hits after its first materialization — the steady state of a
+// fleet of clients naming the same system differently.
+func isoScenario(g, total, k int) (loadScenario, error) {
+	ctx := context.Background()
+	svc := service.New(service.Options{ResultMemo: k})
+	base := core.ExampleSystem(core.DefaultExampleParams())
+	rng := rand.New(rand.NewSource(11))
+	models := make([]*core.Model, k)
+	models[0] = base
+	for i := 1; i < k; i++ {
+		models[i] = renameForLoad(rng, base)
+	}
+	if _, err := svc.Schedule(ctx, base); err != nil {
+		return loadScenario{}, err
+	}
+	var next int64
+	var mu sync.Mutex
+	lats, wall, err := closedLoop(g, total, func() error {
+		mu.Lock()
+		m := models[next%int64(k)]
+		next++
+		mu.Unlock()
+		res, err := svc.Schedule(ctx, m)
+		if err != nil {
+			return err
+		}
+		if !res.CacheHit {
+			return errors.New("isomorphic hot request missed the cache")
+		}
+		return nil
+	})
+	if err != nil {
+		return loadScenario{}, err
+	}
+	return summarize(fmt.Sprintf("hot_isomorphic_%dsurfaces", k), "closed", g, lats, 0, wall, svc.Metrics()), nil
+}
+
+// coldBurstScenario prices admission under an open-loop burst: 32
+// requests over 16 distinct hard classes (density-1 refutations, the
+// workloads only exhaustion can decide) arrive at once against one
+// exact-search slot and a short queue-wait budget, so the semaphore
+// must shed the overflow with ErrOverloaded instead of queueing it
+// all. A candidate budget bounds every admitted search, keeping the
+// suite's wall clock bounded no matter the admission order.
+func coldBurstScenario() (loadScenario, error) {
+	ctx := context.Background()
+	svc := service.New(service.Options{
+		DisableHeuristic:  true,
+		SearchConcurrency: 1,
+		SearchQueueWait:   2 * time.Millisecond,
+		Exact:             exact.Options{MaxCandidates: 20_000},
+	})
+	// density-1 deadline multisets (Σ 1/d = 1): every class saturates
+	// the admission analysis, so the verdict is down to exact search
+	sets := [][]int{
+		{2, 3, 6}, {2, 4, 4}, {3, 3, 3}, {4, 4, 4, 4},
+		{2, 4, 6, 12}, {2, 3, 9, 18}, {3, 4, 4, 6}, {2, 5, 5, 10},
+	}
+	var models []*core.Model
+	for _, w := range []int{2, 3} {
+		for _, ds := range sets {
+			m := hardnessInstance(w, ds)
+			models = append(models, m, m) // a coalescing duplicate per class
+		}
+	}
+	n := len(models)
+	var (
+		wg   sync.WaitGroup
+		mu   sync.Mutex
+		lats []time.Duration
+		shed int
+	)
+	errCh := make(chan error, n)
+	start := time.Now()
+	for _, m := range models {
+		wg.Add(1)
+		go func(m *core.Model) {
+			defer wg.Done()
+			t0 := time.Now()
+			_, err := svc.Schedule(ctx, m)
+			d := time.Since(t0)
+			mu.Lock()
+			defer mu.Unlock()
+			switch {
+			case err == nil:
+				lats = append(lats, d)
+			case errors.Is(err, service.ErrOverloaded):
+				shed++
+			default:
+				errCh <- err
+			}
+		}(m)
+	}
+	wg.Wait()
+	wall := time.Since(start)
+	close(errCh)
+	if err := <-errCh; err != nil {
+		return loadScenario{}, err
+	}
+	return summarize("cold_burst_backpressure", "open", n, lats, shed, wall, svc.Metrics()), nil
+}
+
+// renameForLoad rebuilds m under a fresh element naming (an
+// isomorphic surface for the mixed-surface scenario).
+func renameForLoad(rng *rand.Rand, m *core.Model) *core.Model {
+	elems := m.Comm.Elements()
+	perm := rng.Perm(len(elems))
+	ren := make(map[string]string, len(elems))
+	for i, e := range elems {
+		ren[e] = fmt.Sprintf("e%03d", perm[i])
+	}
+	out := core.NewModel()
+	for _, e := range elems {
+		out.Comm.AddElement(ren[e], m.Comm.WeightOf(e))
+	}
+	for _, e := range m.Comm.G.Edges() {
+		out.Comm.AddPath(ren[e.From], ren[e.To])
+	}
+	for _, c := range m.Constraints {
+		task := core.NewTaskGraph()
+		for _, nd := range c.Task.Nodes() {
+			task.AddStep(nd, ren[c.Task.ElementOf(nd)])
+		}
+		for _, e := range c.Task.G.Edges() {
+			task.AddPrec(e.From, e.To)
+		}
+		out.AddConstraint(&core.Constraint{
+			Name: c.Name, Task: task,
+			Period: c.Period, Deadline: c.Deadline, Kind: c.Kind,
+		})
+	}
+	return out
+}
+
+// writeLoadJSON runs the load suite and writes BENCH_service_load.json
+// into dir.
+func writeLoadJSON(dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	g := 2 * runtime.GOMAXPROCS(0)
+	if g < 4 {
+		g = 4
+	}
+	const total = 4000
+	var scenarios []loadScenario
+	for _, run := range []func() (loadScenario, error){
+		func() (loadScenario, error) { return hotScenario("hot_repeat_verified", 0, g, total) },
+		func() (loadScenario, error) { return hotScenario("hot_remap_recheck", -1, g, total) },
+		func() (loadScenario, error) { return isoScenario(g, total, 4) },
+		coldBurstScenario,
+	} {
+		sc, err := run()
+		if err != nil {
+			return err
+		}
+		scenarios = append(scenarios, sc)
+		fmt.Printf("%-28s %-6s p50=%dµs p95=%dµs p99=%dµs %.0f req/s (%d ok, %d shed)\n",
+			sc.Name, sc.Mode, sc.P50US, sc.P95US, sc.P99US, sc.ThroughputRPS, sc.Requests, sc.Shed)
+	}
+	doc := loadSuiteDoc{
+		Suite:      "service_load",
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		GoVersion:  runtime.Version(),
+		Scenarios:  scenarios,
+	}
+	data, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	path := filepath.Join(dir, "BENCH_service_load.json")
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s (%d scenarios)\n", path, len(scenarios))
+	return nil
+}

@@ -3,11 +3,16 @@
 // instead runs the micro-benchmark suites (exact search, serving
 // tiers, durable store) and writes machine-readable results to
 // DIR/BENCH_<suite>.json — ns/op, allocs/op, bytes/op, workers — so
-// the perf trajectory is trackable across PRs.
+// the perf trajectory is trackable across PRs. With -load DIR it runs
+// the service load suite — closed-loop repeat workloads over the
+// verified-hit fast path and the remap + re-check hit path, a mixed
+// isomorphic-surface workload, and an open-loop cold burst against
+// the bounded exact-search admission — and writes p50/p95/p99 latency
+// plus throughput to DIR/BENCH_service_load.json.
 //
 // Usage:
 //
-//	rtbench [-only E3] [-workers N] [-json DIR]
+//	rtbench [-only E3] [-workers N] [-json DIR] [-load DIR]
 package main
 
 import (
@@ -22,10 +27,20 @@ func main() {
 	only := flag.String("only", "", "run only the experiment with this ID (e.g. E3)")
 	workers := flag.Int("workers", 1, "exact-search workers for E2-E4; 1 reproduces the committed tables' node counts, -1 means all CPUs")
 	jsonDir := flag.String("json", "", "write machine-readable benchmark results to this directory instead of running experiments")
+	loadDir := flag.String("load", "", "run the service load suite and write BENCH_service_load.json to this directory")
 	flag.Parse()
 
 	if *jsonDir != "" {
 		if err := writeBenchJSON(*jsonDir, *workers); err != nil {
+			fmt.Fprintf(os.Stderr, "rtbench: %v\n", err)
+			os.Exit(1)
+		}
+		if *loadDir == "" {
+			return
+		}
+	}
+	if *loadDir != "" {
+		if err := writeLoadJSON(*loadDir); err != nil {
 			fmt.Fprintf(os.Stderr, "rtbench: %v\n", err)
 			os.Exit(1)
 		}

@@ -5,8 +5,11 @@
 //
 // Usage:
 //
-//	rtserved [-addr :8437] [-cache 256] [-workers N] [-maxlen L] [-maxcand C]
-//	         [-timeout 30s] [-store-dir DIR] [-max-body BYTES]
+//	rtserved [-addr :8437] [-cache 256] [-shards 8] [-memo 8]
+//	         [-workers N] [-maxlen L] [-maxcand C] [-timeout 30s]
+//	         [-search-concurrency N] [-queue-wait 500ms]
+//	         [-store-dir DIR] [-max-body BYTES] [-resp-cache 1024]
+//	         [-pprof PORT]
 //
 // Endpoints:
 //
@@ -18,10 +21,25 @@
 // Identical workloads — up to element renaming and constraint
 // reordering — share one cache entry, so repeated POSTs of isomorphic
 // specifications cost a fingerprint and a lookup instead of an
-// NP-hard search. With -store-dir, decided outcomes additionally
-// persist across restarts: a warm-started daemon serves previously
-// solved classes straight from disk (source "store") without
-// re-running any search, and flushes the store on graceful shutdown.
+// NP-hard search. Byte-identical repeat workloads go further: the
+// service's verified-hit memo skips the schedule remap and re-check,
+// and the daemon serves the memoized JSON response bytes directly
+// (only the elapsedMicros field is freshly stamped).
+//
+// Cold workloads compete for a bounded number of exact-search
+// admission slots (-search-concurrency, default GOMAXPROCS). A
+// request that cannot get a slot within -queue-wait is answered 429
+// Too Many Requests with a Retry-After header, so an overload burst
+// sheds cold traffic instead of starving cache hits.
+//
+// With -store-dir, decided outcomes additionally persist across
+// restarts: a warm-started daemon serves previously solved classes
+// straight from disk (source "store") without re-running any search,
+// and flushes the store on graceful shutdown.
+//
+// -pprof PORT exposes net/http/pprof on 127.0.0.1:PORT (never a
+// public interface) with mutex and block profiling enabled, for
+// inspecting lock contention in the sharded serving path.
 package main
 
 import (
@@ -29,11 +47,14 @@ import (
 	"encoding/json"
 	"errors"
 	"flag"
+	"fmt"
 	"io"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
+	"runtime"
 	"syscall"
 	"time"
 
@@ -46,12 +67,18 @@ import (
 func main() {
 	addr := flag.String("addr", ":8437", "listen address")
 	cacheSize := flag.Int("cache", 256, "schedule cache capacity (isomorphism classes)")
+	cacheShards := flag.Int("shards", 8, "schedule cache shard count (rounded up to a power of two)")
+	memo := flag.Int("memo", 8, "verified-hit memo slots per cache entry (-1 disables)")
 	workers := flag.Int("workers", -1, "exact-search workers per request (-1 = all CPUs)")
 	maxLen := flag.Int("maxlen", 0, "exact-search schedule length bound (0 = hyperperiod, capped)")
 	maxCand := flag.Int("maxcand", 0, "exact-search candidate budget per request (0 = unlimited)")
 	timeout := flag.Duration("timeout", 30*time.Second, "per-request scheduling timeout")
+	searchConc := flag.Int("search-concurrency", 0, "concurrent exact searches (0 = GOMAXPROCS, -1 = unlimited)")
+	queueWait := flag.Duration("queue-wait", 0, "max wait for a search slot before 429 (0 = 500ms default, -1ns = fail fast)")
 	storeDir := flag.String("store-dir", "", "durable schedule store directory (empty = in-memory only)")
 	maxBody := flag.Int64("max-body", 1<<20, "maximum /schedule request body in bytes (413 beyond)")
+	respCacheSize := flag.Int("resp-cache", 1024, "serialized response body cache capacity (0 disables)")
+	pprofPort := flag.Int("pprof", 0, "serve net/http/pprof on 127.0.0.1:PORT (0 disables)")
 	flag.Parse()
 
 	var st *store.Store
@@ -66,13 +93,18 @@ func main() {
 	}
 
 	svc := service.New(service.Options{
-		CacheSize: *cacheSize,
-		Exact:     exact.Options{MaxLen: *maxLen, MaxCandidates: *maxCand, Workers: *workers},
-		Store:     st,
+		CacheSize:         *cacheSize,
+		CacheShards:       *cacheShards,
+		ResultMemo:        *memo,
+		Exact:             exact.Options{MaxLen: *maxLen, MaxCandidates: *maxCand, Workers: *workers},
+		SearchConcurrency: *searchConc,
+		SearchQueueWait:   *queueWait,
+		Store:             st,
 	})
+	d := newDaemon(svc, *timeout, *maxBody, *respCacheSize)
 	srv := &http.Server{
 		Addr:    *addr,
-		Handler: newMux(svc, *timeout, *maxBody),
+		Handler: d.mux(),
 		// Hardened against slow or stuck clients: a peer that trickles
 		// headers, never finishes its body, or never reads its
 		// response cannot pin a connection. The write timeout leaves
@@ -81,6 +113,10 @@ func main() {
 		ReadTimeout:       30 * time.Second,
 		WriteTimeout:      *timeout + 15*time.Second,
 		IdleTimeout:       2 * time.Minute,
+	}
+
+	if *pprofPort > 0 {
+		startPprof(*pprofPort)
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -94,7 +130,8 @@ func main() {
 		srv.Shutdown(shutdownCtx)
 	}()
 
-	log.Printf("rtserved listening on %s (cache=%d workers=%d store=%q)", *addr, *cacheSize, *workers, *storeDir)
+	log.Printf("rtserved listening on %s (cache=%d shards=%d workers=%d store=%q)",
+		*addr, *cacheSize, svc.CacheShards(), *workers, *storeDir)
 	if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
 		log.Fatal(err)
 	}
@@ -110,16 +147,56 @@ func main() {
 	}
 }
 
+// startPprof serves net/http/pprof on a loopback-only port with mutex
+// and block profiling enabled — diagnostic surface for the sharded
+// hot path, never exposed on the service address.
+func startPprof(port int) {
+	runtime.SetMutexProfileFraction(100)
+	runtime.SetBlockProfileRate(int(time.Millisecond)) // sample blocking ≳1ms on average
+	addr := fmt.Sprintf("127.0.0.1:%d", port)
+	go func() {
+		log.Printf("rtserved: pprof on http://%s/debug/pprof/ (loopback only)", addr)
+		log.Printf("rtserved: pprof server: %v", http.ListenAndServe(addr, pprofMux()))
+	}()
+}
+
+// pprofMux registers the net/http/pprof handlers on a dedicated mux
+// (the default mux is never used, so the service address cannot leak
+// profiling endpoints).
+func pprofMux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// daemon bundles the serving state behind the HTTP handlers.
+type daemon struct {
+	svc     *service.Service
+	timeout time.Duration
+	maxBody int64
+	resp    *respCache
+}
+
+func newDaemon(svc *service.Service, timeout time.Duration, maxBody int64, respCacheSize int) *daemon {
+	return &daemon{svc: svc, timeout: timeout, maxBody: maxBody, resp: newRespCache(respCacheSize)}
+}
+
 // newMux wires the service endpoints; factored out so tests can drive
 // the handler without a listener.
 func newMux(svc *service.Service, timeout time.Duration, maxBody int64) *http.ServeMux {
+	return newDaemon(svc, timeout, maxBody, 1024).mux()
+}
+
+func (d *daemon) mux() *http.ServeMux {
 	mux := http.NewServeMux()
-	mux.HandleFunc("/schedule", func(w http.ResponseWriter, r *http.Request) {
-		handleSchedule(svc, timeout, maxBody, w, r)
-	})
+	mux.HandleFunc("/schedule", d.handleSchedule)
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-		io.WriteString(w, svc.MetricsText())
+		io.WriteString(w, d.svc.MetricsText())
 	})
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		io.WriteString(w, "ok\n")
@@ -127,10 +204,14 @@ func newMux(svc *service.Service, timeout time.Duration, maxBody int64) *http.Se
 	return mux
 }
 
-// scheduleResponse is the JSON verdict for one request.
+// scheduleResponse is the JSON verdict for one request. ElapsedUS
+// must stay the final field: the response body cache stores the
+// serialized bytes up to the elapsedMicros value and stamps each
+// request's own elapsed time into the tail.
 type scheduleResponse struct {
 	System      string           `json:"system,omitempty"`
 	Fingerprint string           `json:"fingerprint"`
+	OrderDigest string           `json:"orderDigest,omitempty"`
 	Decided     bool             `json:"decided"`
 	Feasible    bool             `json:"feasible"`
 	Source      string           `json:"source"`
@@ -149,12 +230,25 @@ type constraintJSON struct {
 	OK       bool   `json:"ok"`
 }
 
-func handleSchedule(svc *service.Service, timeout time.Duration, maxBody int64, w http.ResponseWriter, r *http.Request) {
+// scheduleStatus maps a service error to its HTTP status and whether
+// the client should be told to retry (429 carries Retry-After).
+func scheduleStatus(err error) (code int, retryable bool) {
+	switch {
+	case errors.Is(err, service.ErrOverloaded):
+		return http.StatusTooManyRequests, true
+	case errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled):
+		return http.StatusGatewayTimeout, false
+	default:
+		return http.StatusBadRequest, false
+	}
+}
+
+func (d *daemon) handleSchedule(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		http.Error(w, "POST a specification to /schedule", http.StatusMethodNotAllowed)
 		return
 	}
-	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxBody))
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, d.maxBody))
 	if err != nil {
 		var tooBig *http.MaxBytesError
 		if errors.As(err, &tooBig) {
@@ -170,30 +264,51 @@ func handleSchedule(svc *service.Service, timeout time.Duration, maxBody int64, 
 		return
 	}
 	ctx := r.Context()
-	if timeout > 0 {
+	if d.timeout > 0 {
 		var cancel context.CancelFunc
-		ctx, cancel = context.WithTimeout(ctx, timeout)
+		ctx, cancel = context.WithTimeout(ctx, d.timeout)
 		defer cancel()
 	}
-	res, err := svc.Schedule(ctx, sp.Model)
-	switch {
-	case err == nil:
-	case errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled):
-		http.Error(w, "scheduling timed out", http.StatusGatewayTimeout)
-		return
-	default:
-		http.Error(w, err.Error(), http.StatusBadRequest)
+	res, err := d.svc.Schedule(ctx, sp.Model)
+	if err != nil {
+		code, retryable := scheduleStatus(err)
+		if retryable {
+			w.Header().Set("Retry-After", "1")
+		}
+		msg := err.Error()
+		switch code {
+		case http.StatusTooManyRequests:
+			msg = "scheduler overloaded; retry later"
+		case http.StatusGatewayTimeout:
+			msg = "scheduling timed out"
+		}
+		http.Error(w, msg, code)
 		return
 	}
+
+	// verified-hit fast path, response layer: a repeat of an already
+	// served surface reuses the serialized body, stamping only the
+	// fresh elapsed time
+	key := respKey(sp.Name, res.Fingerprint, res.OrderDigest)
+	if res.CacheHit {
+		if pre := d.resp.get(key); pre != nil {
+			w.Header().Set("Content-Type", "application/json")
+			w.Write(appendElapsed(pre, res.Elapsed.Microseconds()))
+			return
+		}
+	}
+
 	resp := scheduleResponse{
 		System:      sp.Name,
 		Fingerprint: res.Fingerprint,
+		OrderDigest: res.OrderDigest,
 		Decided:     res.Decided,
 		Feasible:    res.Feasible,
 		Source:      res.Source,
 		CacheHit:    res.CacheHit,
 		Shared:      res.Shared,
-		ElapsedUS:   res.Elapsed.Microseconds(),
+		// ElapsedUS stays zero here: the zero is the serialization
+		// placeholder every response stamps over
 	}
 	if res.Feasible {
 		resp.Cycle = res.Schedule.Len()
@@ -204,6 +319,18 @@ func handleSchedule(svc *service.Service, timeout time.Duration, maxBody int64, 
 			})
 		}
 	}
+	b, err := json.Marshal(resp)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	prefix := b[: len(b)-2 : len(b)-2] // strip the `0}` placeholder tail
+	if res.CacheHit {
+		// only LRU-hit bodies are cached: their content is stable for
+		// the (fingerprint, digest, system) identity by the verified-hit
+		// memo's guarantee
+		d.resp.put(key, prefix)
+	}
 	w.Header().Set("Content-Type", "application/json")
-	json.NewEncoder(w).Encode(resp)
+	w.Write(appendElapsed(prefix, res.Elapsed.Microseconds()))
 }

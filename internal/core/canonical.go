@@ -1,11 +1,12 @@
 package core
 
 import (
+	"bytes"
 	"crypto/sha256"
 	"encoding/hex"
 	"sort"
 	"strconv"
-	"strings"
+	"sync"
 )
 
 // This file computes a canonical form of a model: a serialization that
@@ -28,6 +29,15 @@ import (
 // canonization subsumes isomorphism testing), but models in this
 // domain are small and refinement almost always discharges the
 // partition in one or two rounds.
+//
+// This implementation is the allocation-lean rewrite of the seed
+// canonicalizer (vendored verbatim in canonical_reference_test.go as
+// the oracle): signatures are built into reused byte buffers and
+// ranked by byte comparison instead of materializing per-round
+// []string values, and all scratch state lives in a sync.Pool'd
+// canonizer. Every byte it compares is identical to the reference's
+// string comparisons, so Key, Order, and Fingerprint are bit-for-bit
+// equal to the oracle — pinned by TestCanonicalMatchesReference.
 
 // Canonical is the canonical form of a model.
 type Canonical struct {
@@ -50,33 +60,77 @@ func (c *Canonical) Fingerprint() string {
 // Fingerprint is shorthand for Canonicalize(m).Fingerprint().
 func Fingerprint(m *Model) string { return Canonicalize(m).Fingerprint() }
 
+// canonizerPool recycles canonizer state (adjacency, roles, and every
+// refinement scratch buffer) across Canonicalize calls — the service
+// canonicalizes once per request, so this is hot-path state.
+var canonizerPool = sync.Pool{New: func() any { return new(canonizer) }}
+
 // Canonicalize computes the canonical form. The model should satisfy
 // Validate (task nodes executing elements unknown to the communication
 // graph are tolerated but lumped together).
 func Canonicalize(m *Model) *Canonical {
-	cz := newCanonizer(m)
+	cz := canonizerPool.Get().(*canonizer)
+	cz.init(m)
 	n := len(cz.elems)
-	col := make([]int, n) // uniform initial coloring; refine splits it
-	cz.search(col)
-	c := &Canonical{Key: cz.bestKey, Order: make([]string, n), Index: make(map[string]int, n)}
+	cz.col0 = growInts(cz.col0, n)
+	for i := range cz.col0 {
+		cz.col0[i] = 0 // uniform initial coloring; refine splits it
+	}
+	cz.search(cz.col0)
+	c := &Canonical{Key: string(cz.bestKey), Order: make([]string, n), Index: make(map[string]int, n)}
 	for e, r := range cz.bestOrder {
 		c.Order[r] = cz.elems[e]
 		c.Index[cz.elems[e]] = r
 	}
+	cz.elems = cz.elems[:0] // drop the model's strings before pooling
+	canonizerPool.Put(cz)
 	return c
 }
 
-// canonizer holds the index-form model and the search state.
+// canonizer holds the index-form model, the search state, and all
+// reusable scratch. Except for the per-branch coloring copies in
+// search (which backtracking requires), the refinement loop allocates
+// nothing after the buffers have grown to the model's size.
 type canonizer struct {
-	m     *Model
-	elems []string // base order (insertion order; never affects the result)
-	succ  [][]int  // communication-graph adjacency, element indices
-	pred  [][]int
-	cons  []canonCons
-	roles [][]canonRole // per element: its occurrences across all task graphs
+	weights []int    // element weights by base index
+	elems   []string // base order (insertion order; never affects the result)
+	succ    [][]int  // communication-graph adjacency, element indices
+	pred    [][]int
+	cons    []canonCons
+	roles   [][]canonRole // per element: its occurrences across all task graphs
 
-	bestKey   string
+	haveBest  bool
+	bestKey   []byte
 	bestOrder []int // element base index -> canonical index
+
+	idx map[string]int // element name -> base index (reused)
+
+	col0   []int // initial coloring
+	sigBuf []byte // one refinement round's signatures, concatenated
+	sigOff []int  // sigBuf segment bounds (len n+1)
+	perm   []int  // ranking permutation
+	counts []int  // color histogram scratch
+	setTmp []int  // color-multiset sort scratch
+
+	descBuf  []byte // task-role descriptors of one element
+	descOff  []int
+	descPerm []int
+
+	keyBuf []byte // serialization being built at a leaf
+	inv    []int  // canonical index -> base index
+	segBuf []byte // sortable segments (edges, constraint serializations)
+	segOff []int
+	segPerm []int
+
+	tSigBuf []byte // task-graph canonization scratch
+	tSigOff []int
+	tPerm   []int
+	tKeyBuf []byte
+	tBest   []byte
+	tHave   bool
+	tInv    []int
+
+	sorter segSorter
 }
 
 // canonCons is one constraint in index form.
@@ -100,23 +154,54 @@ type canonRole struct {
 	cons, node int
 }
 
-func newCanonizer(m *Model) *canonizer {
-	cz := &canonizer{m: m, elems: m.Comm.Elements()}
-	idx := make(map[string]int, len(cz.elems))
-	for i, e := range cz.elems {
-		idx[e] = i
+// growInts returns s resized to n, reusing capacity.
+func growInts(s []int, n int) []int {
+	if cap(s) < n {
+		return make([]int, n)
 	}
-	cz.succ = make([][]int, len(cz.elems))
-	cz.pred = make([][]int, len(cz.elems))
+	return s[:n]
+}
+
+// growLists returns s resized to n with every inner slice emptied,
+// reusing both levels of capacity.
+func growLists(s [][]int, n int) [][]int {
+	if cap(s) < n {
+		return make([][]int, n)
+	}
+	s = s[:n]
+	for i := range s {
+		s[i] = s[i][:0]
+	}
+	return s
+}
+
+func (cz *canonizer) init(m *Model) {
+	cz.elems = m.Comm.Elements()
+	n := len(cz.elems)
+	if cz.idx == nil {
+		cz.idx = make(map[string]int, n)
+	} else {
+		clear(cz.idx)
+	}
+	for i, e := range cz.elems {
+		cz.idx[e] = i
+	}
+	cz.weights = growInts(cz.weights, n)
+	for i, e := range cz.elems {
+		cz.weights[i] = m.Comm.WeightOf(e)
+	}
+	cz.succ = growLists(cz.succ, n)
+	cz.pred = growLists(cz.pred, n)
 	for i, e := range cz.elems {
 		for _, s := range m.Comm.G.Succ(e) {
-			cz.succ[i] = append(cz.succ[i], idx[s])
+			cz.succ[i] = append(cz.succ[i], cz.idx[s])
 		}
 		for _, p := range m.Comm.G.Pred(e) {
-			cz.pred[i] = append(cz.pred[i], idx[p])
+			cz.pred[i] = append(cz.pred[i], cz.idx[p])
 		}
 	}
-	cz.roles = make([][]canonRole, len(cz.elems))
+	cz.roles = growRoles(cz.roles, n)
+	cz.cons = cz.cons[:0]
 	for ci, c := range m.Constraints {
 		cc := canonCons{kind: c.Kind, period: c.Period, deadline: c.Deadline}
 		nodes := c.Task.Nodes()
@@ -126,7 +211,7 @@ func newCanonizer(m *Model) *canonizer {
 		}
 		cc.nodes = make([]canonNode, len(nodes))
 		for i, nd := range nodes {
-			e, ok := idx[c.Task.ElementOf(nd)]
+			e, ok := cz.idx[c.Task.ElementOf(nd)]
 			if !ok {
 				e = -1
 			}
@@ -144,20 +229,29 @@ func newCanonizer(m *Model) *canonizer {
 		}
 		cz.cons = append(cz.cons, cc)
 	}
-	return cz
+	cz.haveBest = false
+	cz.bestKey = cz.bestKey[:0]
+}
+
+func growRoles(s [][]canonRole, n int) [][]canonRole {
+	if cap(s) < n {
+		return make([][]canonRole, n)
+	}
+	s = s[:n]
+	for i := range s {
+		s[i] = s[i][:0]
+	}
+	return s
 }
 
 // search refines the coloring and, while non-singleton color classes
 // remain, individualizes every member of the first one in turn,
 // keeping the lexicographically least serialization reached.
 func (cz *canonizer) search(col []int) {
-	col = cz.refine(col)
-	cell := firstNonSingleton(col)
+	cz.refine(col)
+	cell := cz.firstNonSingleton(col)
 	if cell < 0 {
-		key, order := cz.serialize(col)
-		if cz.bestOrder == nil || key < cz.bestKey {
-			cz.bestKey, cz.bestOrder = key, order
-		}
+		cz.serialize(col)
 		return
 	}
 	for e := range col {
@@ -171,134 +265,310 @@ func (cz *canonizer) search(col []int) {
 	}
 }
 
-// refine iterates color refinement to a fixed point: each round an
-// element's new color is the rank of its signature — old color plus
-// the color multisets of its communication neighbours and of its task
-// contexts. The partition only ever splits, so a round that does not
-// increase the number of colors is the fixed point.
-func (cz *canonizer) refine(col []int) []int {
+// refine iterates color refinement to a fixed point in place: each
+// round an element's new color is the rank of its signature — old
+// color plus the color multisets of its communication neighbours and
+// of its task contexts. The partition only ever splits, so a round
+// that does not increase the number of colors is the fixed point.
+// Like the reference, the returned coloring is the ranked form of the
+// final round.
+func (cz *canonizer) refine(col []int) {
+	cur := cz.distinct(col)
 	for {
-		sigs := make([]string, len(col))
-		for e := range col {
-			sigs[e] = cz.signature(col, e)
+		cz.signatures(col)
+		next := cz.rankInto(cz.sigBuf, cz.sigOff, col)
+		if next == cur {
+			return
 		}
-		next := rankStrings(sigs)
-		if distinct(next) == distinct(col) {
-			return next
+		cur = next
+	}
+}
+
+// signatures renders every element's refinement signature into sigBuf,
+// byte-identical to the reference's per-element strings.
+func (cz *canonizer) signatures(col []int) {
+	buf := cz.sigBuf[:0]
+	off := append(cz.sigOff[:0], 0)
+	for e := range col {
+		buf = append(buf, 'c')
+		buf = strconv.AppendInt(buf, int64(col[e]), 10)
+		buf = append(buf, "|w"...)
+		buf = strconv.AppendInt(buf, int64(cz.weights[e]), 10)
+		buf = cz.appendColorSet(buf, "|s", col, cz.succ[e])
+		buf = cz.appendColorSet(buf, "|p", col, cz.pred[e])
+		// task roles: one descriptor per occurrence of e in a task
+		// graph, as a sorted multiset so constraint order cannot matter
+		dbuf := cz.descBuf[:0]
+		doff := append(cz.descOff[:0], 0)
+		for _, r := range cz.roles[e] {
+			c := &cz.cons[r.cons]
+			nd := &c.nodes[r.node]
+			dbuf = append(dbuf, 'k')
+			dbuf = strconv.AppendInt(dbuf, int64(c.kind), 10)
+			dbuf = append(dbuf, ",p"...)
+			dbuf = strconv.AppendInt(dbuf, int64(c.period), 10)
+			dbuf = append(dbuf, ",d"...)
+			dbuf = strconv.AppendInt(dbuf, int64(c.deadline), 10)
+			dbuf = cz.appendNodeElemColorSet(dbuf, ",a", col, c, nd.pred)
+			dbuf = cz.appendNodeElemColorSet(dbuf, ",b", col, c, nd.succ)
+			doff = append(doff, len(dbuf))
 		}
-		col = next
+		cz.descBuf, cz.descOff = dbuf, doff
+		cz.descPerm = identityPerm(cz.descPerm, len(doff)-1)
+		cz.sorter = segSorter{buf: dbuf, off: doff, perm: cz.descPerm}
+		sort.Sort(&cz.sorter)
+		buf = append(buf, "|t"...)
+		for i, p := range cz.descPerm {
+			if i > 0 {
+				buf = append(buf, ';')
+			}
+			buf = append(buf, dbuf[doff[p]:doff[p+1]]...)
+		}
+		off = append(off, len(buf))
 	}
+	cz.sigBuf, cz.sigOff = buf, off
 }
 
-func (cz *canonizer) signature(col []int, e int) string {
-	var b strings.Builder
-	b.WriteString("c")
-	b.WriteString(strconv.Itoa(col[e]))
-	b.WriteString("|w")
-	b.WriteString(strconv.Itoa(cz.m.Comm.WeightOf(cz.elems[e])))
-	writeColorSet(&b, "|s", col, cz.succ[e])
-	writeColorSet(&b, "|p", col, cz.pred[e])
-	// task roles: one descriptor per occurrence of e in a task graph,
-	// as a sorted multiset so constraint order cannot matter
-	descs := make([]string, 0, len(cz.roles[e]))
-	for _, r := range cz.roles[e] {
-		c := &cz.cons[r.cons]
-		nd := &c.nodes[r.node]
-		var d strings.Builder
-		d.WriteString("k")
-		d.WriteString(strconv.Itoa(int(c.kind)))
-		d.WriteString(",p")
-		d.WriteString(strconv.Itoa(c.period))
-		d.WriteString(",d")
-		d.WriteString(strconv.Itoa(c.deadline))
-		writeColorSet(&d, ",a", col, nodeElems(c, nd.pred))
-		writeColorSet(&d, ",b", col, nodeElems(c, nd.succ))
-		descs = append(descs, d.String())
-	}
-	sort.Strings(descs)
-	b.WriteString("|t")
-	b.WriteString(strings.Join(descs, ";"))
-	return b.String()
-}
-
-// nodeElems maps task-node indices to the element indices they execute.
-func nodeElems(c *canonCons, nodes []int) []int {
-	out := make([]int, len(nodes))
-	for i, n := range nodes {
-		out[i] = c.nodes[n].elem
-	}
-	return out
-}
-
-// writeColorSet appends the sorted multiset of colors of the given
-// element indices (index -1 contributes a sentinel).
-func writeColorSet(b *strings.Builder, tag string, col []int, elems []int) {
-	cs := make([]int, len(elems))
-	for i, e := range elems {
+// appendColorSet appends tag plus the sorted multiset of colors of the
+// given element indices (index -1 contributes a sentinel) —
+// byte-identical to the reference writeColorSet.
+func (cz *canonizer) appendColorSet(dst []byte, tag string, col []int, elems []int) []byte {
+	t := cz.setTmp[:0]
+	for _, e := range elems {
 		if e < 0 {
-			cs[i] = -2
+			t = append(t, -2)
 		} else {
-			cs[i] = col[e]
+			t = append(t, col[e])
 		}
 	}
-	sort.Ints(cs)
-	b.WriteString(tag)
-	for i, c := range cs {
+	cz.setTmp = t
+	return appendSortedInts(dst, tag, t)
+}
+
+// appendNodeElemColorSet is appendColorSet over the elements executed
+// by the given task nodes (fusing the reference's nodeElems step).
+func (cz *canonizer) appendNodeElemColorSet(dst []byte, tag string, col []int, c *canonCons, nodes []int) []byte {
+	t := cz.setTmp[:0]
+	for _, n := range nodes {
+		if e := c.nodes[n].elem; e < 0 {
+			t = append(t, -2)
+		} else {
+			t = append(t, col[e])
+		}
+	}
+	cz.setTmp = t
+	return appendSortedInts(dst, tag, t)
+}
+
+// appendSortedInts sorts vals in place and appends tag then the
+// comma-joined decimals.
+func appendSortedInts(dst []byte, tag string, vals []int) []byte {
+	insertionSortInts(vals)
+	dst = append(dst, tag...)
+	for i, c := range vals {
 		if i > 0 {
-			b.WriteByte(',')
+			dst = append(dst, ',')
 		}
-		b.WriteString(strconv.Itoa(c))
+		dst = strconv.AppendInt(dst, int64(c), 10)
 	}
+	return dst
+}
+
+// insertionSortInts sorts tiny slices (neighbour sets, color
+// multisets) without the interface allocations of sort.Ints.
+func insertionSortInts(s []int) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}
+
+// identityPerm returns p resized to n and reset to 0..n-1.
+func identityPerm(p []int, n int) []int {
+	p = growInts(p, n)
+	for i := range p {
+		p[i] = i
+	}
+	return p
+}
+
+// segSorter orders a permutation by byte comparison of buffer
+// segments — the allocation-free equivalent of sort.Strings over the
+// materialized signature strings.
+type segSorter struct {
+	buf  []byte
+	off  []int
+	perm []int
+}
+
+func (s *segSorter) Len() int { return len(s.perm) }
+func (s *segSorter) Less(i, j int) bool {
+	a, b := s.perm[i], s.perm[j]
+	return bytes.Compare(s.buf[s.off[a]:s.off[a+1]], s.buf[s.off[b]:s.off[b+1]]) < 0
+}
+func (s *segSorter) Swap(i, j int) { s.perm[i], s.perm[j] = s.perm[j], s.perm[i] }
+
+// rankInto writes each segment's rank among the sorted distinct
+// segments into col (the in-place equivalent of the reference
+// rankStrings) and returns the number of distinct segments.
+func (cz *canonizer) rankInto(buf []byte, off []int, col []int) int {
+	n := len(col)
+	if n == 0 {
+		return 0
+	}
+	cz.perm = identityPerm(cz.perm, n)
+	cz.sorter = segSorter{buf: buf, off: off, perm: cz.perm}
+	sort.Sort(&cz.sorter)
+	rank := 0
+	prev := cz.perm[0]
+	col[prev] = 0
+	for _, p := range cz.perm[1:] {
+		if !bytes.Equal(buf[off[p]:off[p+1]], buf[off[prev]:off[prev+1]]) {
+			rank++
+		}
+		col[p] = rank
+		prev = p
+	}
+	return rank + 1
+}
+
+// distinct counts the distinct colors of a coloring. Colors are ≥ -3
+// (the individualization sentinels), so a shifted histogram suffices.
+func (cz *canonizer) distinct(col []int) int {
+	const shift = 3
+	max := 0
+	for _, c := range col {
+		if c+shift > max {
+			max = c + shift
+		}
+	}
+	cz.counts = growInts(cz.counts, max+1)
+	counts := cz.counts
+	d := 0
+	for _, c := range col {
+		if counts[c+shift] == 0 {
+			d++
+		}
+		counts[c+shift]++
+	}
+	for _, c := range col {
+		counts[c+shift] = 0
+	}
+	return d
+}
+
+// firstNonSingleton returns the smallest color owned by two or more
+// elements, or -1 when the coloring is discrete. col is always a
+// ranked coloring here, so colors are dense in [0, len(col)).
+func (cz *canonizer) firstNonSingleton(col []int) int {
+	n := len(col)
+	cz.counts = growInts(cz.counts, n)
+	counts := cz.counts
+	for _, c := range col {
+		counts[c]++
+	}
+	best := -1
+	for c := 0; c < n; c++ {
+		if counts[c] > 1 {
+			best = c
+			break
+		}
+	}
+	for _, c := range col {
+		counts[c] = 0
+	}
+	return best
 }
 
 // serialize renders the model under a discrete coloring (every class a
-// singleton): weights and communication edges in canonical element
-// order, then the sorted multiset of constraint serializations, each
-// with its task graph canonized under the now-fixed element labels.
-func (cz *canonizer) serialize(col []int) (string, []int) {
-	var b strings.Builder
-	b.WriteString("n")
-	b.WriteString(strconv.Itoa(len(col)))
-	b.WriteString(";w")
-	inv := make([]int, len(col)) // canonical index -> base index
+// singleton) into keyBuf — weights and communication edges in
+// canonical element order, then the sorted multiset of constraint
+// serializations, each with its task graph canonized under the
+// now-fixed element labels — and keeps it when it beats the best key
+// so far. Byte-identical to the reference serialize.
+func (cz *canonizer) serialize(col []int) {
+	b := cz.keyBuf[:0]
+	b = append(b, 'n')
+	b = strconv.AppendInt(b, int64(len(col)), 10)
+	b = append(b, ";w"...)
+	cz.inv = growInts(cz.inv, len(col)) // canonical index -> base index
 	for e, r := range col {
-		inv[r] = e
+		cz.inv[r] = e
 	}
-	for r, e := range inv {
+	for r, e := range cz.inv {
 		if r > 0 {
-			b.WriteByte(',')
+			b = append(b, ',')
 		}
-		b.WriteString(strconv.Itoa(cz.m.Comm.WeightOf(cz.elems[e])))
+		b = strconv.AppendInt(b, int64(cz.weights[e]), 10)
 	}
-	var edges []string
+	// edges as sortable "from>to" segments over canonical indices
+	seg := cz.segBuf[:0]
+	soff := append(cz.segOff[:0], 0)
 	for e, ss := range cz.succ {
 		for _, s := range ss {
-			edges = append(edges, strconv.Itoa(col[e])+">"+strconv.Itoa(col[s]))
+			seg = strconv.AppendInt(seg, int64(col[e]), 10)
+			seg = append(seg, '>')
+			seg = strconv.AppendInt(seg, int64(col[s]), 10)
+			soff = append(soff, len(seg))
 		}
 	}
-	sort.Strings(edges)
-	b.WriteString(";a")
-	b.WriteString(strings.Join(edges, ","))
-	var cs []string
+	cz.segBuf, cz.segOff = seg, soff
+	cz.segPerm = identityPerm(cz.segPerm, len(soff)-1)
+	cz.sorter = segSorter{buf: seg, off: soff, perm: cz.segPerm}
+	sort.Sort(&cz.sorter)
+	b = append(b, ";a"...)
+	for i, p := range cz.segPerm {
+		if i > 0 {
+			b = append(b, ',')
+		}
+		b = append(b, seg[soff[p]:soff[p+1]]...)
+	}
+	cz.keyBuf = b // canonTask below reuses segBuf; keep the key safe first
+
+	// constraint serializations as sortable segments
+	seg = seg[:0]
+	soff = soff[:1]
 	for i := range cz.cons {
 		c := &cz.cons[i]
-		cs = append(cs, "k"+strconv.Itoa(int(c.kind))+
-			";p"+strconv.Itoa(c.period)+
-			";d"+strconv.Itoa(c.deadline)+
-			";t"+canonTask(c, col))
+		seg = append(seg, 'k')
+		seg = strconv.AppendInt(seg, int64(c.kind), 10)
+		seg = append(seg, ";p"...)
+		seg = strconv.AppendInt(seg, int64(c.period), 10)
+		seg = append(seg, ";d"...)
+		seg = strconv.AppendInt(seg, int64(c.deadline), 10)
+		seg = append(seg, ";t"...)
+		seg = append(seg, cz.canonTask(c, col)...)
+		soff = append(soff, len(seg))
 	}
-	sort.Strings(cs)
-	b.WriteString(";C{")
-	b.WriteString(strings.Join(cs, "|"))
-	b.WriteString("}")
-	return b.String(), col
+	cz.segBuf, cz.segOff = seg, soff
+	cz.segPerm = identityPerm(cz.segPerm, len(soff)-1)
+	cz.sorter = segSorter{buf: seg, off: soff, perm: cz.segPerm}
+	sort.Sort(&cz.sorter)
+	b = cz.keyBuf
+	b = append(b, ";C{"...)
+	for i, p := range cz.segPerm {
+		if i > 0 {
+			b = append(b, '|')
+		}
+		b = append(b, seg[soff[p]:soff[p+1]]...)
+	}
+	b = append(b, '}')
+	cz.keyBuf = b
+
+	if !cz.haveBest || bytes.Compare(b, cz.bestKey) < 0 {
+		cz.haveBest = true
+		cz.bestKey = append(cz.bestKey[:0], b...)
+		cz.bestOrder = append(cz.bestOrder[:0], col...)
+	}
 }
 
 // canonTask canonizes one task graph given fixed element labels. The
 // same individualization–refinement scheme runs over the task nodes,
 // whose initial colors are the canonical indices of the elements they
-// execute; task graphs are tiny, so the search is cheap.
-func canonTask(c *canonCons, elemCol []int) string {
+// execute; task graphs are tiny, so the search is cheap. The returned
+// slice is valid until the next canonTask call.
+func (cz *canonizer) canonTask(c *canonCons, elemCol []int) []byte {
 	n := len(c.nodes)
 	col := make([]int, n)
 	for i, nd := range c.nodes {
@@ -308,118 +578,128 @@ func canonTask(c *canonCons, elemCol []int) string {
 			col[i] = elemCol[nd.elem]
 		}
 	}
-	best := ""
-	var search func(col []int)
-	search = func(col []int) {
-		col = taskRefine(c, col)
-		cell := firstNonSingleton(col)
-		if cell < 0 {
-			key := taskSerialize(c, col, elemCol)
-			if best == "" || key < best {
-				best = key
-			}
-			return
-		}
-		for i := range col {
-			if col[i] != cell {
-				continue
-			}
-			next := make([]int, n)
-			copy(next, col)
-			next[i] = -3
-			search(next)
-		}
-	}
-	search(col)
-	return best
+	cz.tHave = false
+	cz.tBest = cz.tBest[:0]
+	cz.taskSearch(c, elemCol, col)
+	return cz.tBest
 }
 
-func taskRefine(c *canonCons, col []int) []int {
+func (cz *canonizer) taskSearch(c *canonCons, elemCol []int, col []int) {
+	cz.taskRefine(c, col)
+	cell := cz.firstNonSingleton(col)
+	if cell < 0 {
+		cz.taskSerialize(c, col, elemCol)
+		return
+	}
+	for i := range col {
+		if col[i] != cell {
+			continue
+		}
+		next := make([]int, len(col))
+		copy(next, col)
+		next[i] = -3
+		cz.taskSearch(c, elemCol, next)
+	}
+}
+
+func (cz *canonizer) taskRefine(c *canonCons, col []int) {
+	cur := cz.distinct(col)
 	for {
-		sigs := make([]string, len(col))
+		buf := cz.tSigBuf[:0]
+		off := append(cz.tSigOff[:0], 0)
 		for i := range col {
 			nd := &c.nodes[i]
-			var b strings.Builder
-			b.WriteString("c")
-			b.WriteString(strconv.Itoa(col[i]))
-			writeColorSet(&b, "|a", col, nd.pred)
-			writeColorSet(&b, "|b", col, nd.succ)
-			sigs[i] = b.String()
+			buf = append(buf, 'c')
+			buf = strconv.AppendInt(buf, int64(col[i]), 10)
+			buf = cz.appendNodeColorSet(buf, "|a", col, nd.pred)
+			buf = cz.appendNodeColorSet(buf, "|b", col, nd.succ)
+			off = append(off, len(buf))
 		}
-		next := rankStrings(sigs)
-		if distinct(next) == distinct(col) {
-			return next
+		cz.tSigBuf, cz.tSigOff = buf, off
+		next := cz.rankTaskInto(buf, off, col)
+		if next == cur {
+			return
 		}
-		col = next
+		cur = next
 	}
 }
 
-func taskSerialize(c *canonCons, col, elemCol []int) string {
-	inv := make([]int, len(col))
-	for i, r := range col {
-		inv[r] = i
+// appendNodeColorSet is appendColorSet over task-node indices (which
+// are never negative) under a node coloring.
+func (cz *canonizer) appendNodeColorSet(dst []byte, tag string, col []int, nodes []int) []byte {
+	t := cz.setTmp[:0]
+	for _, n := range nodes {
+		t = append(t, col[n])
 	}
-	var b strings.Builder
-	for r, i := range inv {
+	cz.setTmp = t
+	return appendSortedInts(dst, tag, t)
+}
+
+// rankTaskInto is rankInto over the task scratch permutation.
+func (cz *canonizer) rankTaskInto(buf []byte, off []int, col []int) int {
+	n := len(col)
+	if n == 0 {
+		return 0
+	}
+	cz.tPerm = identityPerm(cz.tPerm, n)
+	cz.sorter = segSorter{buf: buf, off: off, perm: cz.tPerm}
+	sort.Sort(&cz.sorter)
+	rank := 0
+	prev := cz.tPerm[0]
+	col[prev] = 0
+	for _, p := range cz.tPerm[1:] {
+		if !bytes.Equal(buf[off[p]:off[p+1]], buf[off[prev]:off[prev+1]]) {
+			rank++
+		}
+		col[p] = rank
+		prev = p
+	}
+	return rank + 1
+}
+
+func (cz *canonizer) taskSerialize(c *canonCons, col, elemCol []int) {
+	cz.tInv = growInts(cz.tInv, len(col))
+	for i, r := range col {
+		cz.tInv[r] = i
+	}
+	b := cz.tKeyBuf[:0]
+	for r, i := range cz.tInv {
 		if r > 0 {
-			b.WriteByte(',')
+			b = append(b, ',')
 		}
 		if e := c.nodes[i].elem; e < 0 {
-			b.WriteString("?")
+			b = append(b, '?')
 		} else {
-			b.WriteString(strconv.Itoa(elemCol[e]))
+			b = strconv.AppendInt(b, int64(elemCol[e]), 10)
 		}
 	}
-	var edges []string
+	// edges as sortable "from>to" segments over node colors; the task
+	// scratch buffers are free again here (taskRefine is done)
+	seg := cz.tSigBuf[:0]
+	soff := append(cz.tSigOff[:0], 0)
 	for i, nd := range c.nodes {
 		for _, s := range nd.succ {
-			edges = append(edges, strconv.Itoa(col[i])+">"+strconv.Itoa(col[s]))
+			seg = strconv.AppendInt(seg, int64(col[i]), 10)
+			seg = append(seg, '>')
+			seg = strconv.AppendInt(seg, int64(col[s]), 10)
+			soff = append(soff, len(seg))
 		}
 	}
-	sort.Strings(edges)
-	b.WriteString("/")
-	b.WriteString(strings.Join(edges, ","))
-	return b.String()
-}
-
-// rankStrings maps each string to the rank of its value among the
-// sorted distinct values.
-func rankStrings(sigs []string) []int {
-	uniq := append([]string(nil), sigs...)
-	sort.Strings(uniq)
-	rank := make(map[string]int, len(uniq))
-	for _, s := range uniq {
-		if _, ok := rank[s]; !ok {
-			rank[s] = len(rank)
+	cz.tSigBuf, cz.tSigOff = seg, soff
+	cz.tPerm = identityPerm(cz.tPerm, len(soff)-1)
+	cz.sorter = segSorter{buf: seg, off: soff, perm: cz.tPerm}
+	sort.Sort(&cz.sorter)
+	b = append(b, '/')
+	for i, p := range cz.tPerm {
+		if i > 0 {
+			b = append(b, ',')
 		}
+		b = append(b, seg[soff[p]:soff[p+1]]...)
 	}
-	out := make([]int, len(sigs))
-	for i, s := range sigs {
-		out[i] = rank[s]
-	}
-	return out
-}
+	cz.tKeyBuf = b
 
-func distinct(col []int) int {
-	seen := make(map[int]bool, len(col))
-	for _, c := range col {
-		seen[c] = true
+	if !cz.tHave || bytes.Compare(b, cz.tBest) < 0 {
+		cz.tHave = true
+		cz.tBest = append(cz.tBest[:0], b...)
 	}
-	return len(seen)
-}
-
-// firstNonSingleton returns the smallest color owned by two or more
-// elements, or -1 when the coloring is discrete.
-func firstNonSingleton(col []int) int {
-	count := make(map[int]int, len(col))
-	for _, c := range col {
-		count[c]++
-	}
-	best := -1
-	for c, k := range count {
-		if k > 1 && (best < 0 || c < best) {
-			best = c
-		}
-	}
-	return best
 }

@@ -1,0 +1,199 @@
+package core_test
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"rtm/internal/core"
+	"rtm/internal/spec"
+	"rtm/internal/workload"
+)
+
+// This file pins the allocation-lean canonicalizer to the vendored
+// seed implementation (canonical_reference_test.go): Key, Order, and
+// Fingerprint must be bit-for-bit identical on the spec corpus, on
+// random workload models, and on renamed variants of both — the
+// property the canonical schedule cache's correctness rests on.
+
+// specCorpus is the FuzzFingerprint seed corpus (internal/spec), plus
+// the full example system spec.
+var specCorpus = []string{
+	`
+# the paper's Figure 1/2 control system
+system control
+element fX weight 2
+element fY weight 3
+element fZ weight 1
+element fS weight 4
+element fK weight 2
+path fX -> fS
+path fY -> fS
+path fZ -> fS
+path fS -> fK
+path fK -> fS
+
+periodic X period 20 deadline 20 { fX -> fS -> fK }
+periodic Y period 40 deadline 40 { fY -> fS -> fK }
+sporadic Z separation 100 deadline 30 { fZ -> fS }
+`,
+	"element a weight 1\nperiodic P period 3 deadline 3 { a }",
+	"sporadic S separation 5 deadline 5 { x }",
+	"element f weight 4\nperiodic P period 30 deadline 30 { f }\npipeline f stages 2",
+	"element a weight 1\nelement b weight 1\npath a -> b\n" +
+		"periodic P period 6 deadline 6 { a -> b }\nsporadic Q separation 4 deadline 4 { a }",
+	"element a weight 1\nperiodic P period 3 deadline 3 { first:a -> second:a }",
+}
+
+// assertCanonicalEqual fails unless the rewritten canonicalizer and
+// the oracle agree exactly on m.
+func assertCanonicalEqual(t *testing.T, label string, m *core.Model) {
+	t.Helper()
+	got := core.Canonicalize(m)
+	want := core.RefCanonicalize(m)
+	if got.Key != want.Key {
+		t.Fatalf("%s: canonical key diverges from the oracle\n got: %s\nwant: %s", label, got.Key, want.Key)
+	}
+	if got.Fingerprint() != want.Fingerprint() {
+		t.Fatalf("%s: fingerprint diverges from the oracle", label)
+	}
+	if len(got.Order) != len(want.Order) {
+		t.Fatalf("%s: order length %d vs oracle %d", label, len(got.Order), len(want.Order))
+	}
+	for i := range got.Order {
+		if got.Order[i] != want.Order[i] {
+			t.Fatalf("%s: canonical order diverges at %d: %q vs %q", label, i, got.Order[i], want.Order[i])
+		}
+	}
+	for e, i := range want.Index {
+		if got.Index[e] != i {
+			t.Fatalf("%s: canonical index diverges for %q: %d vs %d", label, e, got.Index[e], i)
+		}
+	}
+}
+
+// TestCanonicalMatchesReference is the oracle-equality property test:
+// over the spec corpus, random workload models, symmetric models, and
+// renamed variants of all of them, the allocation-lean Canonicalize
+// must reproduce the vendored seed canonicalizer bit-for-bit.
+func TestCanonicalMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(1234))
+
+	for i, text := range specCorpus {
+		sp, err := spec.Parse(text)
+		if err != nil {
+			continue // FuzzFingerprint skips unparseable seeds too
+		}
+		assertCanonicalEqual(t, fmt.Sprintf("spec-corpus-%d", i), sp.Model)
+		for r := 0; r < 3; r++ {
+			ren, _ := renameModel(rng, sp.Model)
+			assertCanonicalEqual(t, fmt.Sprintf("spec-corpus-%d-renamed-%d", i, r), ren)
+		}
+	}
+
+	for trial := 0; trial < 80; trial++ {
+		m, err := workload.Random(rng, workload.Params{
+			Elements:    2 + rng.Intn(6),
+			MaxWeight:   1 + rng.Intn(3),
+			EdgeProb:    0.4,
+			Constraints: 1 + rng.Intn(4),
+			ChainLen:    1 + rng.Intn(3),
+			AsyncFrac:   0.5,
+			TargetUtil:  0.5,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		assertCanonicalEqual(t, fmt.Sprintf("random-%d", trial), m)
+		ren, _ := renameModel(rng, m)
+		assertCanonicalEqual(t, fmt.Sprintf("random-%d-renamed", trial), ren)
+	}
+
+	// fully symmetric models force deep individualization tie-breaking
+	// (many search leaves) — the worst case for serialize reuse
+	for _, k := range []int{2, 3, 5, 6} {
+		m := core.NewModel()
+		for i := 0; i < k; i++ {
+			name := fmt.Sprintf("s%d", i)
+			m.Comm.AddElement(name, 1)
+			m.AddConstraint(&core.Constraint{
+				Name: "c" + name, Task: core.ChainTask(name),
+				Period: 3 * k, Deadline: 3 * k, Kind: core.Asynchronous,
+			})
+		}
+		assertCanonicalEqual(t, fmt.Sprintf("symmetric-%d", k), m)
+		ren, _ := renameModel(rng, m)
+		assertCanonicalEqual(t, fmt.Sprintf("symmetric-%d-renamed", k), ren)
+	}
+}
+
+// TestCanonicalPoolReuse exercises the sync.Pool'd scratch across
+// models of very different shapes back-to-back: stale buffer content
+// from a bigger model must never leak into a smaller one.
+func TestCanonicalPoolReuse(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	big, err := workload.Random(rng, workload.Params{
+		Elements: 8, MaxWeight: 3, EdgeProb: 0.5,
+		Constraints: 4, ChainLen: 3, AsyncFrac: 0.5, TargetUtil: 0.5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	small := core.NewModel()
+	small.Comm.AddElement("a", 1)
+	small.AddConstraint(&core.Constraint{
+		Name: "P", Task: core.ChainTask("a"), Period: 3, Deadline: 3, Kind: core.Periodic,
+	})
+	for round := 0; round < 10; round++ {
+		assertCanonicalEqual(t, fmt.Sprintf("pool-big-%d", round), big)
+		assertCanonicalEqual(t, fmt.Sprintf("pool-small-%d", round), small)
+	}
+}
+
+// BenchmarkCanonicalize prices the allocation-lean canonicalizer
+// against the vendored oracle (run with -benchmem; the acceptance bar
+// is ≥ 2x fewer allocs/op). The corpus mixes the example system, a
+// random workload, and a symmetric model.
+func BenchmarkCanonicalize(b *testing.B) {
+	models := benchCorpus(b)
+	for name, m := range models {
+		b.Run("lean/"+name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				core.Canonicalize(m)
+			}
+		})
+		b.Run("oracle/"+name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				core.RefCanonicalize(m)
+			}
+		})
+	}
+}
+
+func benchCorpus(b *testing.B) map[string]*core.Model {
+	b.Helper()
+	rng := rand.New(rand.NewSource(7))
+	random, err := workload.Random(rng, workload.Params{
+		Elements: 6, MaxWeight: 3, EdgeProb: 0.4,
+		Constraints: 3, ChainLen: 2, AsyncFrac: 0.5, TargetUtil: 0.5,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	sym := core.NewModel()
+	for i := 0; i < 5; i++ {
+		name := fmt.Sprintf("s%d", i)
+		sym.Comm.AddElement(name, 1)
+		sym.AddConstraint(&core.Constraint{
+			Name: "c" + name, Task: core.ChainTask(name),
+			Period: 15, Deadline: 15, Kind: core.Asynchronous,
+		})
+	}
+	return map[string]*core.Model{
+		"example":   core.ExampleSystem(core.DefaultExampleParams()),
+		"random6":   random,
+		"symmetric": sym,
+	}
+}

@@ -1,0 +1,386 @@
+package core
+
+// The seed's string-signature individualization–refinement
+// canonicalizer, preserved verbatim as a test oracle: the
+// allocation-lean Canonicalize must reproduce its Key, Order, and
+// Fingerprint bit-for-bit on every model. Do not "improve" this file —
+// its value is that it does not change.
+
+import (
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// refCanonicalize computes the canonical form with the reference
+// algorithm.
+func refCanonicalize(m *Model) *Canonical {
+	cz := newRefCanonizer(m)
+	n := len(cz.elems)
+	col := make([]int, n) // uniform initial coloring; refine splits it
+	cz.search(col)
+	c := &Canonical{Key: cz.bestKey, Order: make([]string, n), Index: make(map[string]int, n)}
+	for e, r := range cz.bestOrder {
+		c.Order[r] = cz.elems[e]
+		c.Index[cz.elems[e]] = r
+	}
+	return c
+}
+
+// refCanonizer holds the index-form model and the search state.
+type refCanonizer struct {
+	m     *Model
+	elems []string // base order (insertion order; never affects the result)
+	succ  [][]int  // communication-graph adjacency, element indices
+	pred  [][]int
+	cons  []refCanonCons
+	roles [][]refCanonRole // per element: its occurrences across all task graphs
+
+	bestKey   string
+	bestOrder []int // element base index -> canonical index
+}
+
+// refCanonCons is one constraint in index form.
+type refCanonCons struct {
+	kind     Kind
+	period   int
+	deadline int
+	nodes    []refCanonNode
+}
+
+// refCanonNode is one task-graph node: the element it executes plus its
+// predecessor/successor nodes (indices into the same nodes slice).
+type refCanonNode struct {
+	elem int // element base index, -1 when unknown
+	pred []int
+	succ []int
+}
+
+// refCanonRole locates one task node executing a given element.
+type refCanonRole struct {
+	cons, node int
+}
+
+func newRefCanonizer(m *Model) *refCanonizer {
+	cz := &refCanonizer{m: m, elems: m.Comm.Elements()}
+	idx := make(map[string]int, len(cz.elems))
+	for i, e := range cz.elems {
+		idx[e] = i
+	}
+	cz.succ = make([][]int, len(cz.elems))
+	cz.pred = make([][]int, len(cz.elems))
+	for i, e := range cz.elems {
+		for _, s := range m.Comm.G.Succ(e) {
+			cz.succ[i] = append(cz.succ[i], idx[s])
+		}
+		for _, p := range m.Comm.G.Pred(e) {
+			cz.pred[i] = append(cz.pred[i], idx[p])
+		}
+	}
+	cz.roles = make([][]refCanonRole, len(cz.elems))
+	for ci, c := range m.Constraints {
+		cc := refCanonCons{kind: c.Kind, period: c.Period, deadline: c.Deadline}
+		nodes := c.Task.Nodes()
+		nidx := make(map[string]int, len(nodes))
+		for i, nd := range nodes {
+			nidx[nd] = i
+		}
+		cc.nodes = make([]refCanonNode, len(nodes))
+		for i, nd := range nodes {
+			e, ok := idx[c.Task.ElementOf(nd)]
+			if !ok {
+				e = -1
+			}
+			cn := refCanonNode{elem: e}
+			for _, p := range c.Task.G.Pred(nd) {
+				cn.pred = append(cn.pred, nidx[p])
+			}
+			for _, s := range c.Task.G.Succ(nd) {
+				cn.succ = append(cn.succ, nidx[s])
+			}
+			cc.nodes[i] = cn
+			if e >= 0 {
+				cz.roles[e] = append(cz.roles[e], refCanonRole{cons: ci, node: i})
+			}
+		}
+		cz.cons = append(cz.cons, cc)
+	}
+	return cz
+}
+
+// search refines the coloring and, while non-singleton color classes
+// remain, individualizes every member of the first one in turn,
+// keeping the lexicographically least serialization reached.
+func (cz *refCanonizer) search(col []int) {
+	col = cz.refine(col)
+	cell := refFirstNonSingleton(col)
+	if cell < 0 {
+		key, order := cz.serialize(col)
+		if cz.bestOrder == nil || key < cz.bestKey {
+			cz.bestKey, cz.bestOrder = key, order
+		}
+		return
+	}
+	for e := range col {
+		if col[e] != cell {
+			continue
+		}
+		next := make([]int, len(col))
+		copy(next, col)
+		next[e] = -1 // unique minimal color: e is individualized
+		cz.search(next)
+	}
+}
+
+// refine iterates color refinement to a fixed point: each round an
+// element's new color is the rank of its signature — old color plus
+// the color multisets of its communication neighbours and of its task
+// contexts. The partition only ever splits, so a round that does not
+// increase the number of colors is the fixed point.
+func (cz *refCanonizer) refine(col []int) []int {
+	for {
+		sigs := make([]string, len(col))
+		for e := range col {
+			sigs[e] = cz.signature(col, e)
+		}
+		next := refRankStrings(sigs)
+		if refDistinct(next) == refDistinct(col) {
+			return next
+		}
+		col = next
+	}
+}
+
+func (cz *refCanonizer) signature(col []int, e int) string {
+	var b strings.Builder
+	b.WriteString("c")
+	b.WriteString(strconv.Itoa(col[e]))
+	b.WriteString("|w")
+	b.WriteString(strconv.Itoa(cz.m.Comm.WeightOf(cz.elems[e])))
+	refWriteColorSet(&b, "|s", col, cz.succ[e])
+	refWriteColorSet(&b, "|p", col, cz.pred[e])
+	// task roles: one descriptor per occurrence of e in a task graph,
+	// as a sorted multiset so constraint order cannot matter
+	descs := make([]string, 0, len(cz.roles[e]))
+	for _, r := range cz.roles[e] {
+		c := &cz.cons[r.cons]
+		nd := &c.nodes[r.node]
+		var d strings.Builder
+		d.WriteString("k")
+		d.WriteString(strconv.Itoa(int(c.kind)))
+		d.WriteString(",p")
+		d.WriteString(strconv.Itoa(c.period))
+		d.WriteString(",d")
+		d.WriteString(strconv.Itoa(c.deadline))
+		refWriteColorSet(&d, ",a", col, refNodeElems(c, nd.pred))
+		refWriteColorSet(&d, ",b", col, refNodeElems(c, nd.succ))
+		descs = append(descs, d.String())
+	}
+	sort.Strings(descs)
+	b.WriteString("|t")
+	b.WriteString(strings.Join(descs, ";"))
+	return b.String()
+}
+
+// refNodeElems maps task-node indices to the element indices they execute.
+func refNodeElems(c *refCanonCons, nodes []int) []int {
+	out := make([]int, len(nodes))
+	for i, n := range nodes {
+		out[i] = c.nodes[n].elem
+	}
+	return out
+}
+
+// refWriteColorSet appends the sorted multiset of colors of the given
+// element indices (index -1 contributes a sentinel).
+func refWriteColorSet(b *strings.Builder, tag string, col []int, elems []int) {
+	cs := make([]int, len(elems))
+	for i, e := range elems {
+		if e < 0 {
+			cs[i] = -2
+		} else {
+			cs[i] = col[e]
+		}
+	}
+	sort.Ints(cs)
+	b.WriteString(tag)
+	for i, c := range cs {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(strconv.Itoa(c))
+	}
+}
+
+// serialize renders the model under a discrete coloring (every class a
+// singleton): weights and communication edges in canonical element
+// order, then the sorted multiset of constraint serializations, each
+// with its task graph canonized under the now-fixed element labels.
+func (cz *refCanonizer) serialize(col []int) (string, []int) {
+	var b strings.Builder
+	b.WriteString("n")
+	b.WriteString(strconv.Itoa(len(col)))
+	b.WriteString(";w")
+	inv := make([]int, len(col)) // canonical index -> base index
+	for e, r := range col {
+		inv[r] = e
+	}
+	for r, e := range inv {
+		if r > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(strconv.Itoa(cz.m.Comm.WeightOf(cz.elems[e])))
+	}
+	var edges []string
+	for e, ss := range cz.succ {
+		for _, s := range ss {
+			edges = append(edges, strconv.Itoa(col[e])+">"+strconv.Itoa(col[s]))
+		}
+	}
+	sort.Strings(edges)
+	b.WriteString(";a")
+	b.WriteString(strings.Join(edges, ","))
+	var cs []string
+	for i := range cz.cons {
+		c := &cz.cons[i]
+		cs = append(cs, "k"+strconv.Itoa(int(c.kind))+
+			";p"+strconv.Itoa(c.period)+
+			";d"+strconv.Itoa(c.deadline)+
+			";t"+refCanonTask(c, col))
+	}
+	sort.Strings(cs)
+	b.WriteString(";C{")
+	b.WriteString(strings.Join(cs, "|"))
+	b.WriteString("}")
+	return b.String(), col
+}
+
+// refCanonTask canonizes one task graph given fixed element labels. The
+// same individualization–refinement scheme runs over the task nodes,
+// whose initial colors are the canonical indices of the elements they
+// execute; task graphs are tiny, so the search is cheap.
+func refCanonTask(c *refCanonCons, elemCol []int) string {
+	n := len(c.nodes)
+	col := make([]int, n)
+	for i, nd := range c.nodes {
+		if nd.elem < 0 {
+			col[i] = -2
+		} else {
+			col[i] = elemCol[nd.elem]
+		}
+	}
+	best := ""
+	var search func(col []int)
+	search = func(col []int) {
+		col = refTaskRefine(c, col)
+		cell := refFirstNonSingleton(col)
+		if cell < 0 {
+			key := refTaskSerialize(c, col, elemCol)
+			if best == "" || key < best {
+				best = key
+			}
+			return
+		}
+		for i := range col {
+			if col[i] != cell {
+				continue
+			}
+			next := make([]int, n)
+			copy(next, col)
+			next[i] = -3
+			search(next)
+		}
+	}
+	search(col)
+	return best
+}
+
+func refTaskRefine(c *refCanonCons, col []int) []int {
+	for {
+		sigs := make([]string, len(col))
+		for i := range col {
+			nd := &c.nodes[i]
+			var b strings.Builder
+			b.WriteString("c")
+			b.WriteString(strconv.Itoa(col[i]))
+			refWriteColorSet(&b, "|a", col, nd.pred)
+			refWriteColorSet(&b, "|b", col, nd.succ)
+			sigs[i] = b.String()
+		}
+		next := refRankStrings(sigs)
+		if refDistinct(next) == refDistinct(col) {
+			return next
+		}
+		col = next
+	}
+}
+
+func refTaskSerialize(c *refCanonCons, col, elemCol []int) string {
+	inv := make([]int, len(col))
+	for i, r := range col {
+		inv[r] = i
+	}
+	var b strings.Builder
+	for r, i := range inv {
+		if r > 0 {
+			b.WriteByte(',')
+		}
+		if e := c.nodes[i].elem; e < 0 {
+			b.WriteString("?")
+		} else {
+			b.WriteString(strconv.Itoa(elemCol[e]))
+		}
+	}
+	var edges []string
+	for i, nd := range c.nodes {
+		for _, s := range nd.succ {
+			edges = append(edges, strconv.Itoa(col[i])+">"+strconv.Itoa(col[s]))
+		}
+	}
+	sort.Strings(edges)
+	b.WriteString("/")
+	b.WriteString(strings.Join(edges, ","))
+	return b.String()
+}
+
+// refRankStrings maps each string to the rank of its value among the
+// sorted distinct values.
+func refRankStrings(sigs []string) []int {
+	uniq := append([]string(nil), sigs...)
+	sort.Strings(uniq)
+	rank := make(map[string]int, len(uniq))
+	for _, s := range uniq {
+		if _, ok := rank[s]; !ok {
+			rank[s] = len(rank)
+		}
+	}
+	out := make([]int, len(sigs))
+	for i, s := range sigs {
+		out[i] = rank[s]
+	}
+	return out
+}
+
+func refDistinct(col []int) int {
+	seen := make(map[int]bool, len(col))
+	for _, c := range col {
+		seen[c] = true
+	}
+	return len(seen)
+}
+
+// refFirstNonSingleton returns the smallest color owned by two or more
+// elements, or -1 when the coloring is discrete.
+func refFirstNonSingleton(col []int) int {
+	count := make(map[int]int, len(col))
+	for _, c := range col {
+		count[c]++
+	}
+	best := -1
+	for c, k := range count {
+		if k > 1 && (best < 0 || c < best) {
+			best = c
+		}
+	}
+	return best
+}

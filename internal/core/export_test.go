@@ -1,0 +1,7 @@
+package core
+
+// RefCanonicalize exposes the vendored reference canonicalizer
+// (canonical_reference_test.go) to external test packages, so the
+// oracle-equality property test can drive it from the spec corpus and
+// random workloads without an import cycle.
+func RefCanonicalize(m *Model) *Canonical { return refCanonicalize(m) }

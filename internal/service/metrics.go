@@ -15,9 +15,11 @@ type Metrics struct {
 	Requests     atomic.Int64 // Schedule calls accepted for processing
 	Invalid      atomic.Int64 // model validation failures
 	CacheHits    atomic.Int64 // requests served from the schedule cache
+	MemoHits     atomic.Int64 // hits served by the verified-hit fast path (no remap/re-check)
 	CacheMisses  atomic.Int64 // requests that had to enter the flight path
 	FlightShared atomic.Int64 // requests that piggybacked on an in-flight search
 	Searches     atomic.Int64 // admission pipelines actually executed
+	Overloaded   atomic.Int64 // requests shed by exact-search admission (ErrOverloaded)
 
 	AdmissionRejects atomic.Int64 // proven infeasible by static analysis
 	HeuristicSolved  atomic.Int64 // schedules produced by the paper's heuristic
@@ -33,29 +35,33 @@ type Metrics struct {
 	StorePutErrors atomic.Int64 // write-throughs that failed (durability lost, not correctness)
 	StoreCorrupt   atomic.Int64 // store loads dropped at serve time (shape or re-verification failure)
 
-	hitNanos    atomic.Int64 // cumulative latency of cache-hit requests
-	searchNanos atomic.Int64 // cumulative latency of executed pipelines
+	hitNanos       atomic.Int64 // cumulative latency of cache-hit requests
+	searchNanos    atomic.Int64 // cumulative latency of executed pipelines
+	queueWaitNanos atomic.Int64 // cumulative time spent queued for exact-search admission
 }
 
 // Snapshot returns every counter by name, including the derived
 // average latencies (in nanoseconds) of the hit and search paths.
 func (mt *Metrics) Snapshot() map[string]int64 {
 	s := map[string]int64{
-		"requests":          mt.Requests.Load(),
-		"invalid":           mt.Invalid.Load(),
-		"cache_hits":        mt.CacheHits.Load(),
-		"cache_misses":      mt.CacheMisses.Load(),
-		"flight_shared":     mt.FlightShared.Load(),
-		"searches":          mt.Searches.Load(),
-		"admission_rejects": mt.AdmissionRejects.Load(),
-		"heuristic_solved":  mt.HeuristicSolved.Load(),
-		"exact_solved":      mt.ExactSolved.Load(),
-		"exact_refuted":     mt.ExactRefuted.Load(),
-		"undecided":         mt.Undecided.Load(),
-		"canceled":          mt.Canceled.Load(),
-		"evictions":         mt.Evictions.Load(),
-		"hit_ns_total":      mt.hitNanos.Load(),
-		"search_ns_total":   mt.searchNanos.Load(),
+		"requests":            mt.Requests.Load(),
+		"invalid":             mt.Invalid.Load(),
+		"cache_hits":          mt.CacheHits.Load(),
+		"memo_hits":           mt.MemoHits.Load(),
+		"cache_misses":        mt.CacheMisses.Load(),
+		"flight_shared":       mt.FlightShared.Load(),
+		"searches":            mt.Searches.Load(),
+		"overloaded":          mt.Overloaded.Load(),
+		"admission_rejects":   mt.AdmissionRejects.Load(),
+		"heuristic_solved":    mt.HeuristicSolved.Load(),
+		"exact_solved":        mt.ExactSolved.Load(),
+		"exact_refuted":       mt.ExactRefuted.Load(),
+		"undecided":           mt.Undecided.Load(),
+		"canceled":            mt.Canceled.Load(),
+		"evictions":           mt.Evictions.Load(),
+		"hit_ns_total":        mt.hitNanos.Load(),
+		"search_ns_total":     mt.searchNanos.Load(),
+		"queue_wait_ns_total": mt.queueWaitNanos.Load(),
 
 		// store_corrupt_skipped here counts only serve-time drops;
 		// Service.Snapshot folds in the store's own scan-time events

@@ -16,6 +16,22 @@
 // before being served, so a canonicalization defect can cost a cache
 // miss but never a wrong schedule.
 //
+// The serving path is built to scale with cores:
+//
+//   - The LRU + single-flight table is sharded by fingerprint hash
+//     (power-of-two shards, one mutex each), so concurrent hits on
+//     different isomorphism classes never contend on a lock.
+//   - Each cache entry memoizes its verified materializations per
+//     requester surface (Result.OrderDigest): a byte-identical repeat
+//     workload skips the remap + re-verify entirely and is served the
+//     already-verified schedule — the verified-hit fast path. Only
+//     results that passed verification ever enter the memo.
+//   - The exact-search stage sits behind a bounded admission
+//     semaphore (default GOMAXPROCS slots) with a queue-wait budget:
+//     a burst of cold searches queues briefly and then fails fast
+//     with ErrOverloaded instead of starving hit serving. Hits,
+//     static analysis, and the heuristic are never gated.
+//
 // An optional durable tier (internal/store) sits behind the LRU: the
 // hit order is LRU → store → compute, decided outcomes are written
 // through, and store loads travel the same remap + re-verify path as
@@ -27,16 +43,20 @@
 // concurrent requests for the same workload trigger exactly one
 // admission pipeline (cheap static analysis, then the paper's
 // heuristic, then budgeted exact search under the request context),
-// and the result fans back out to every waiter. The cache and the
-// flight table share one mutex, so a fingerprint is searched at most
-// once for as long as its entry stays resident.
+// and the result fans back out to every waiter. A fingerprint's cache
+// slot and flight slot live in the same shard under the same mutex,
+// so a fingerprint is searched at most once for as long as its entry
+// stays resident.
 package service
 
 import (
 	"context"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
 	"errors"
 	"fmt"
-	"sync"
+	"runtime"
 	"time"
 
 	"rtm/internal/analysis"
@@ -47,17 +67,43 @@ import (
 	"rtm/internal/store"
 )
 
+// ErrOverloaded reports that the exact-search admission queue was
+// full for longer than the queue-wait budget. The request was not
+// searched; the caller should retry after backing off (rtserved maps
+// this to HTTP 429 with a Retry-After header).
+var ErrOverloaded = errors.New("service: overloaded: exact-search admission queue is full")
+
 // Options configure a Service.
 type Options struct {
 	// CacheSize bounds the schedule cache (entries = isomorphism
-	// classes). Default 256.
+	// classes). Default 256. Capacity is split evenly across shards
+	// (rounded up per shard), so the effective bound is CacheSize
+	// rounded up to a multiple of CacheShards.
 	CacheSize int
+	// CacheShards is the shard count for the LRU + single-flight
+	// table, rounded up to a power of two. Default 8. Use 1 to get
+	// the exact single-LRU eviction semantics.
+	CacheShards int
+	// ResultMemo caps how many verified materializations (requester
+	// surfaces) each cache entry memoizes for the verified-hit fast
+	// path. 0 picks the default (8); negative disables the memo so
+	// every hit re-runs remap + re-verify.
+	ResultMemo int
 	// Exact is the per-request budget for the exhaustive fallback.
 	// MaxLen 0 picks the model's hyperperiod capped at MaxLenCap;
 	// MaxCandidates and Workers pass through (see exact.Options).
 	Exact exact.Options
 	// MaxLenCap caps the automatic MaxLen choice. Default 64.
 	MaxLenCap int
+	// SearchConcurrency bounds how many exact searches run at once
+	// (the backpressure valve that keeps cold bursts from starving
+	// hit serving). 0 picks GOMAXPROCS; negative disables the bound.
+	SearchConcurrency int
+	// SearchQueueWait is how long a request may wait for an exact
+	// search admission slot before failing with ErrOverloaded. 0
+	// picks the default (500ms); negative fails fast without
+	// queueing.
+	SearchQueueWait time.Duration
 	// DisableHeuristic skips the heuristic stage, sending every miss
 	// straight to exact search (used by benchmarks and tests that
 	// need the cold path to be the exact search).
@@ -75,26 +121,37 @@ type Options struct {
 type Result struct {
 	// Fingerprint is the canonical model fingerprint (the cache key).
 	Fingerprint string
+	// OrderDigest identifies the requester's surface within the
+	// fingerprint's isomorphism class: a digest of the canonical
+	// element order plus the constraint names/parameters/task shapes
+	// as the requester spelled them. Byte-identical repeat workloads
+	// share a digest; the verified-hit memo and rtserved's response
+	// cache are keyed by (Fingerprint, OrderDigest).
+	OrderDigest string
 	// Decided reports whether the verdict is definitive. False means
 	// the search budget ran out before feasibility was decided.
 	Decided bool
 	// Feasible reports the verdict when Decided.
 	Feasible bool
 	// Schedule is the verified static schedule in the requester's
-	// element names; nil unless feasible.
+	// element names; nil unless feasible. Repeat requests with the
+	// same OrderDigest may share one schedule value — treat it as
+	// read-only.
 	Schedule *sched.Schedule
 	// Report is the verification of Schedule against the requesting
-	// model; nil unless feasible.
+	// model; nil unless feasible. May be shared like Schedule.
 	Report *sched.Report
 	// Source identifies what produced the verdict: "cache" (LRU hit),
 	// "store" (durable-store hit), "analysis", "heuristic", or
-	// "exact".
+	// "exact". Source is the authoritative serving tier.
 	Source string
-	// CacheHit is true when the verdict came from the cache; Shared
-	// is true when this request piggybacked on another request's
-	// in-flight search.
+	// CacheHit is true only when the verdict came from the in-memory
+	// LRU (Source "cache"). Durable-store hits leave it false — use
+	// Source to distinguish tiers.
 	CacheHit bool
-	Shared   bool
+	// Shared is true when this request piggybacked on another
+	// request's in-flight search.
+	Shared bool
 	// Elapsed is the request's wall-clock service time.
 	Elapsed time.Duration
 }
@@ -105,9 +162,10 @@ type Service struct {
 	opt     Options
 	metrics Metrics
 
-	mu     sync.Mutex // guards cache and flight together (single-flight invariant)
-	cache  *lruCache
-	flight map[string]*call
+	cache     *shardedCache
+	memoCap   int
+	sem       chan struct{} // exact-search admission slots; nil = unbounded
+	queueWait time.Duration // ≤ 0: fail fast when the semaphore is full
 }
 
 // call is one in-flight admission pipeline. The outcome is canonical
@@ -125,30 +183,67 @@ func New(opt Options) *Service {
 	if opt.CacheSize <= 0 {
 		opt.CacheSize = 256
 	}
+	if opt.CacheShards <= 0 {
+		opt.CacheShards = 8
+	}
 	if opt.MaxLenCap <= 0 {
 		opt.MaxLenCap = 64
 	}
-	return &Service{
-		opt:    opt,
-		cache:  newLRUCache(opt.CacheSize),
-		flight: make(map[string]*call),
+	memoCap := opt.ResultMemo
+	switch {
+	case memoCap == 0:
+		memoCap = 8
+	case memoCap < 0:
+		memoCap = 0
 	}
+	s := &Service{
+		opt:     opt,
+		cache:   newShardedCache(opt.CacheSize, opt.CacheShards),
+		memoCap: memoCap,
+	}
+	conc := opt.SearchConcurrency
+	if conc == 0 {
+		conc = runtime.GOMAXPROCS(0)
+	}
+	if conc > 0 {
+		s.sem = make(chan struct{}, conc)
+	}
+	switch {
+	case opt.SearchQueueWait == 0:
+		s.queueWait = 500 * time.Millisecond
+	case opt.SearchQueueWait > 0:
+		s.queueWait = opt.SearchQueueWait
+	default:
+		s.queueWait = 0 // fail fast
+	}
+	return s
 }
 
 // Metrics exposes the service counters.
 func (s *Service) Metrics() *Metrics { return &s.metrics }
 
-// CacheLen returns the number of resident cache entries.
-func (s *Service) CacheLen() int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.cache.len()
+// CacheLen returns the number of resident cache entries (summed
+// across shards).
+func (s *Service) CacheLen() int { return s.cache.len() }
+
+// CacheShards returns the shard count (a power of two).
+func (s *Service) CacheShards() int { return len(s.cache.shards) }
+
+// EvictionsByShard returns each shard's eviction counter; the sum
+// equals Metrics.Evictions.
+func (s *Service) EvictionsByShard() []int64 { return s.cache.evictionsByShard() }
+
+// newEntry builds a cache entry wired to this service's memo policy.
+func (s *Service) newEntry(key string, decided, feasible bool, slots []int, source string) *entry {
+	return &entry{key: key, decided: decided, feasible: feasible, slots: slots, source: source, memoCap: s.memoCap}
 }
 
 // Schedule serves one request: validate, canonicalize, consult the
-// cache, and fall through the single-flighted admission pipeline on a
-// miss. The context cancels the exact-search stage; a canceled
-// request returns ctx.Err().
+// cache shard, and fall through the single-flighted admission
+// pipeline on a miss. The context cancels the exact-search stage; a
+// canceled request returns ctx.Err(). A request that cannot get an
+// exact-search admission slot within the queue-wait budget returns
+// ErrOverloaded.
 func (s *Service) Schedule(ctx context.Context, m *core.Model) (*Result, error) {
 	start := time.Now()
 	if err := m.Validate(); err != nil {
@@ -158,12 +253,14 @@ func (s *Service) Schedule(ctx context.Context, m *core.Model) (*Result, error) 
 	s.metrics.Requests.Add(1)
 	can := core.Canonicalize(m)
 	key := can.Fingerprint()
+	digest := requestDigest(m, can)
+	sh := s.cache.shard(key)
 
 	for {
-		s.mu.Lock()
-		if e := s.cache.get(key); e != nil {
-			s.mu.Unlock()
-			res, ok := s.materialize(m, can, e, start)
+		sh.mu.Lock()
+		if e := sh.lru.get(key); e != nil {
+			sh.mu.Unlock()
+			res, ok := s.materialize(m, can, digest, e, start)
 			if ok {
 				s.metrics.CacheHits.Add(1)
 				s.metrics.hitNanos.Add(int64(res.Elapsed))
@@ -173,27 +270,26 @@ func (s *Service) Schedule(ctx context.Context, m *core.Model) (*Result, error) 
 			}
 			// re-verification failed: never serve it, drop the entry
 			// and search afresh
-			s.mu.Lock()
-			s.cache.remove(key)
-			s.mu.Unlock()
+			sh.mu.Lock()
+			sh.lru.remove(key)
+			sh.mu.Unlock()
 			continue
 		}
-		// L2: the durable store. Probe under the same lock (it is an
+		// L2: the durable store. Probe under the shard lock (it is an
 		// in-memory index), but remap + re-verify outside it.
 		if st := s.opt.Store; st != nil {
 			if rec, ok := st.Get(key); ok {
-				s.mu.Unlock()
-				if e, err := entryFromRecord(key, can, rec); err == nil {
-					if res, ok := s.materialize(m, can, e, start); ok {
+				sh.mu.Unlock()
+				if e, err := entryFromRecord(key, can, rec, s.memoCap); err == nil {
+					if res, ok := s.materialize(m, can, digest, e, start); ok {
 						s.metrics.StoreHits.Add(1)
 						s.metrics.hitNanos.Add(int64(res.Elapsed))
-						res.CacheHit = true
 						res.Source = "store"
 						// promote into the LRU so the next hit skips
 						// the remapping of record slices
-						s.mu.Lock()
-						s.metrics.Evictions.Add(int64(s.cache.add(e)))
-						s.mu.Unlock()
+						sh.mu.Lock()
+						s.addToShard(sh, e)
+						sh.mu.Unlock()
 						return res, nil
 					}
 				}
@@ -205,8 +301,8 @@ func (s *Service) Schedule(ctx context.Context, m *core.Model) (*Result, error) 
 				continue
 			}
 		}
-		if c, ok := s.flight[key]; ok {
-			s.mu.Unlock()
+		if c, ok := sh.flight[key]; ok {
+			sh.mu.Unlock()
 			s.metrics.FlightShared.Add(1)
 			select {
 			case <-ctx.Done():
@@ -219,7 +315,7 @@ func (s *Service) Schedule(ctx context.Context, m *core.Model) (*Result, error) 
 				}
 				return nil, c.err
 			}
-			res, ok := s.materialize(m, can, c.out, start)
+			res, ok := s.materialize(m, can, digest, c.out, start)
 			if !ok {
 				return nil, fmt.Errorf("service: in-flight result failed verification for %s", key)
 			}
@@ -227,9 +323,9 @@ func (s *Service) Schedule(ctx context.Context, m *core.Model) (*Result, error) 
 			return res, nil
 		}
 		c := &call{done: make(chan struct{})}
-		s.flight[key] = c
+		sh.flight[key] = c
 		s.metrics.CacheMisses.Add(1)
-		s.mu.Unlock()
+		sh.mu.Unlock()
 
 		c.out, c.err = s.runPipeline(ctx, m, can, key)
 		if c.err == nil && c.out.decided {
@@ -244,18 +340,18 @@ func (s *Service) Schedule(ctx context.Context, m *core.Model) (*Result, error) 
 				}
 			}
 		}
-		s.mu.Lock()
+		sh.mu.Lock()
 		if c.err == nil && c.out.decided {
-			s.metrics.Evictions.Add(int64(s.cache.add(c.out)))
+			s.addToShard(sh, c.out)
 		}
-		delete(s.flight, key)
-		s.mu.Unlock()
+		delete(sh.flight, key)
+		sh.mu.Unlock()
 		close(c.done)
 
 		if c.err != nil {
 			return nil, c.err
 		}
-		res, ok := s.materialize(m, can, c.out, start)
+		res, ok := s.materialize(m, can, digest, c.out, start)
 		if !ok {
 			return nil, fmt.Errorf("service: fresh result failed verification for %s", key)
 		}
@@ -264,10 +360,51 @@ func (s *Service) Schedule(ctx context.Context, m *core.Model) (*Result, error) 
 	}
 }
 
+// addToShard inserts an entry into a shard's LRU (caller holds the
+// shard lock) and accounts evictions both per shard and globally.
+func (s *Service) addToShard(sh *cacheShard, e *entry) {
+	if ev := sh.lru.add(e); ev > 0 {
+		sh.evictions.Add(int64(ev))
+		s.metrics.Evictions.Add(int64(ev))
+	}
+}
+
+// acquireSearch takes an exact-search admission slot, waiting at most
+// the queue-wait budget. It returns ErrOverloaded when the queue is
+// saturated and ctx.Err() when the request is canceled while queued.
+func (s *Service) acquireSearch(ctx context.Context) error {
+	select {
+	case s.sem <- struct{}{}:
+		return nil
+	default:
+	}
+	if s.queueWait <= 0 {
+		s.metrics.Overloaded.Add(1)
+		return ErrOverloaded
+	}
+	waitStart := time.Now()
+	t := time.NewTimer(s.queueWait)
+	defer t.Stop()
+	select {
+	case s.sem <- struct{}{}:
+		s.metrics.queueWaitNanos.Add(int64(time.Since(waitStart)))
+		return nil
+	case <-t.C:
+		s.metrics.queueWaitNanos.Add(int64(time.Since(waitStart)))
+		s.metrics.Overloaded.Add(1)
+		return ErrOverloaded
+	case <-ctx.Done():
+		s.metrics.queueWaitNanos.Add(int64(time.Since(waitStart)))
+		s.metrics.Canceled.Add(1)
+		return ctx.Err()
+	}
+}
+
 // runPipeline executes the admission pipeline for one fingerprint:
 // static analysis (rejecting provably infeasible models without any
-// search), the paper's heuristic, then budgeted exact search under
-// the request context. The outcome is canonical.
+// search), the paper's heuristic, then budgeted exact search — gated
+// by the bounded admission semaphore — under the request context. The
+// outcome is canonical.
 func (s *Service) runPipeline(ctx context.Context, m *core.Model, can *core.Canonical, key string) (*entry, error) {
 	s.metrics.Searches.Add(1)
 
@@ -277,14 +414,23 @@ func (s *Service) runPipeline(ctx context.Context, m *core.Model, can *core.Cano
 	}
 	if !rep.NecessaryOK {
 		s.metrics.AdmissionRejects.Add(1)
-		return &entry{key: key, decided: true, feasible: false, source: "analysis"}, nil
+		return s.newEntry(key, true, false, nil, "analysis"), nil
 	}
 
 	if !s.opt.DisableHeuristic {
 		if res, err := heuristic.Schedule(m, heuristic.Options{MergeShared: true}); err == nil {
 			s.metrics.HeuristicSolved.Add(1)
-			return &entry{key: key, decided: true, feasible: true, slots: canonicalSlots(can, res.Schedule), source: "heuristic"}, nil
+			return s.newEntry(key, true, true, canonicalSlots(can, res.Schedule), "heuristic"), nil
 		}
+	}
+
+	// only the NP-hard stage is backpressured: a burst of cold
+	// searches must queue (briefly) and shed, not monopolize the box
+	if s.sem != nil {
+		if err := s.acquireSearch(ctx); err != nil {
+			return nil, err
+		}
+		defer func() { <-s.sem }()
 	}
 
 	exopt := s.opt.Exact
@@ -298,15 +444,15 @@ func (s *Service) runPipeline(ctx context.Context, m *core.Model, can *core.Cano
 	switch {
 	case err == nil:
 		s.metrics.ExactSolved.Add(1)
-		return &entry{key: key, decided: true, feasible: true, slots: canonicalSlots(can, sc), source: "exact"}, nil
+		return s.newEntry(key, true, true, canonicalSlots(can, sc), "exact"), nil
 	case errors.Is(err, exact.ErrNotFound):
 		s.metrics.ExactRefuted.Add(1)
-		return &entry{key: key, decided: true, feasible: false, source: "exact"}, nil
+		return s.newEntry(key, true, false, nil, "exact"), nil
 	case errors.Is(err, exact.ErrBudget):
 		s.metrics.Undecided.Add(1)
 		// undecided outcomes are never cached: a later request (or a
 		// bigger budget) may still decide the class
-		return &entry{key: key, decided: false, feasible: false, source: "exact"}, nil
+		return s.newEntry(key, false, false, nil, "exact"), nil
 	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
 		s.metrics.Canceled.Add(1)
 		return nil, err
@@ -320,30 +466,90 @@ func (s *Service) runPipeline(ctx context.Context, m *core.Model, can *core.Cano
 // order and re-verify against the requesting model. It reports false
 // when a feasible outcome fails verification — the collision guard
 // that keeps the cache sound even if canonicalization were buggy.
-func (s *Service) materialize(m *core.Model, can *core.Canonical, e *entry, start time.Time) (*Result, bool) {
+//
+// The verified-hit fast path: when this entry has already been
+// materialized and verified for the same request digest, the memoized
+// schedule and report are served directly — the digest pins the
+// canonical element order and the constraint surface, so the remap
+// and re-check would reproduce the memoized values bit for bit.
+func (s *Service) materialize(m *core.Model, can *core.Canonical, digest string, e *entry, start time.Time) (*Result, bool) {
 	res := &Result{
 		Fingerprint: e.key,
+		OrderDigest: digest,
 		Decided:     e.decided,
 		Feasible:    e.feasible,
 		Source:      e.source,
 	}
 	if e.feasible {
-		sc, err := sched.FromIndices(can.Order, e.slots)
-		if err != nil {
-			// out-of-range indices (possible only for entries loaded
-			// from the durable store) are treated like any failed
-			// verification: never served
-			return nil, false
+		if v := e.lookupVerified(digest); v != nil {
+			s.metrics.MemoHits.Add(1)
+			res.Schedule = v.schedule
+			res.Report = v.report
+		} else {
+			sc, err := sched.FromIndices(can.Order, e.slots)
+			if err != nil {
+				// out-of-range indices (possible only for entries loaded
+				// from the durable store) are treated like any failed
+				// verification: never served
+				return nil, false
+			}
+			rep := sched.Check(m, sc)
+			if !rep.Feasible {
+				return nil, false
+			}
+			e.storeVerified(digest, &verified{schedule: sc, report: rep})
+			res.Schedule = sc
+			res.Report = rep
 		}
-		rep := sched.Check(m, sc)
-		if !rep.Feasible {
-			return nil, false
-		}
-		res.Schedule = sc
-		res.Report = rep
 	}
 	res.Elapsed = time.Since(start)
 	return res, true
+}
+
+// requestDigest digests the requester's surface: the canonical
+// element order plus every constraint's name, parameters, and task
+// shape in the requester's own spelling and order. Within one
+// fingerprint (isomorphism class), an equal digest means the remap
+// target and the verification report are determined — the soundness
+// condition the verified-hit memo rests on. A differently-spelled
+// isomorphic model gets a different digest and simply takes the full
+// remap + re-verify path.
+func requestDigest(m *core.Model, can *core.Canonical) string {
+	h := sha256.New()
+	var buf [8]byte
+	writeInt := func(v int) {
+		binary.LittleEndian.PutUint64(buf[:], uint64(v))
+		h.Write(buf[:])
+	}
+	writeStr := func(s string) {
+		writeInt(len(s))
+		h.Write([]byte(s))
+	}
+	writeInt(len(can.Order))
+	for _, e := range can.Order {
+		writeStr(e)
+	}
+	writeInt(len(m.Constraints))
+	for _, c := range m.Constraints {
+		writeStr(c.Name)
+		writeInt(int(c.Kind))
+		writeInt(c.Period)
+		writeInt(c.Deadline)
+		nodes := c.Task.Nodes()
+		writeInt(len(nodes))
+		for _, nd := range nodes {
+			writeStr(nd)
+			writeStr(c.Task.ElementOf(nd))
+		}
+		edges := c.Task.G.Edges()
+		writeInt(len(edges))
+		for _, e := range edges {
+			writeStr(e.From)
+			writeStr(e.To)
+		}
+	}
+	sum := h.Sum(nil)
+	return hex.EncodeToString(sum[:16])
 }
 
 // canonicalSlots converts a schedule in element names to canonical

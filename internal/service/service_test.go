@@ -198,7 +198,9 @@ func TestServiceContextCanceled(t *testing.T) {
 }
 
 func TestServiceCacheEviction(t *testing.T) {
-	svc := New(Options{CacheSize: 2})
+	// CacheShards: 1 pins the exact single-LRU eviction semantics;
+	// multi-shard accounting is covered by the shard tests.
+	svc := New(Options{CacheSize: 2, CacheShards: 1})
 	ctx := context.Background()
 	rng := rand.New(rand.NewSource(9))
 	for i := 0; i < 4; i++ {

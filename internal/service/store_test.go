@@ -67,7 +67,9 @@ func TestServiceStoreWarmStart(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if w1.Source != "store" || !w1.CacheHit || !w1.Feasible || w1.Schedule == nil || !w1.Report.Feasible {
+	// CacheHit is LRU-only; a durable-store hit reports Source "store"
+	// with CacheHit false
+	if w1.Source != "store" || w1.CacheHit || !w1.Feasible || w1.Schedule == nil || !w1.Report.Feasible {
 		t.Fatalf("warm feasible: %+v", w1)
 	}
 	w2, err := svc2.Schedule(ctx, infeas)

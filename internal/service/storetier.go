@@ -18,8 +18,9 @@ import (
 
 // entryFromRecord converts a store record into a cache entry,
 // rejecting records that disagree with the requesting model's
-// canonical shape.
-func entryFromRecord(key string, can *core.Canonical, rec *store.Record) (*entry, error) {
+// canonical shape. memoCap wires the service's verified-hit memo
+// policy into the revived entry.
+func entryFromRecord(key string, can *core.Canonical, rec *store.Record, memoCap int) (*entry, error) {
 	if rec.Fingerprint != key {
 		return nil, fmt.Errorf("service: store record for %s surfaced under %s", rec.Fingerprint, key)
 	}
@@ -30,7 +31,7 @@ func entryFromRecord(key string, can *core.Canonical, rec *store.Record) (*entry
 		return nil, fmt.Errorf("service: store record has %d canonical elements, model has %d",
 			rec.Elements, len(can.Order))
 	}
-	e := &entry{key: key, decided: true, feasible: rec.Feasible, source: rec.Source}
+	e := &entry{key: key, decided: true, feasible: rec.Feasible, source: rec.Source, memoCap: memoCap}
 	if rec.Feasible {
 		e.slots = rec.Slots
 	}
@@ -52,13 +53,14 @@ func recordFromEntry(can *core.Canonical, e *entry) *store.Record {
 }
 
 // Snapshot returns the service counters (Metrics.Snapshot) plus the
-// cache and store gauges: cache_len, and — when a store is attached —
-// store_len and store_bytes, with the store's own scan-time discard
-// events folded into store_corrupt_skipped alongside the serve-time
-// re-verification failures.
+// cache and store gauges: cache_len and cache_shards, and — when a
+// store is attached — store_len and store_bytes, with the store's own
+// scan-time discard events folded into store_corrupt_skipped
+// alongside the serve-time re-verification failures.
 func (s *Service) Snapshot() map[string]int64 {
 	snap := s.metrics.Snapshot()
 	snap["cache_len"] = int64(s.CacheLen())
+	snap["cache_shards"] = int64(s.CacheShards())
 	if st := s.opt.Store; st != nil {
 		snap["store_len"] = int64(st.Len())
 		snap["store_bytes"] = st.Bytes()
