@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet bench serve fuzz fuzz-short ci bench-json bench-load bench-load-smoke
+.PHONY: build test race vet bench serve fuzz fuzz-short ci bench-json bench-load bench-load-smoke bench-solver bench-solver-smoke
 
 build:
 	$(GO) build ./...
@@ -35,17 +35,19 @@ fuzz:
 	$(GO) test -run xxx -fuzz FuzzParse -fuzztime 10s ./internal/spec/
 	$(GO) test -run xxx -fuzz FuzzFingerprint -fuzztime 10s ./internal/spec/
 
-# 60 seconds spread across every fuzz target: parser, fingerprint,
-# and the schedule store's segment reader (no-panic-on-any-bytes).
+# 80 seconds spread across every fuzz target: parser, fingerprint,
+# the schedule store's segment reader (no-panic-on-any-bytes), and the
+# pruned-vs-seed differential oracle of the exact search.
 fuzz-short:
 	$(GO) test -run xxx -fuzz FuzzParse -fuzztime 20s ./internal/spec/
 	$(GO) test -run xxx -fuzz FuzzFingerprint -fuzztime 20s ./internal/spec/
 	$(GO) test -run xxx -fuzz FuzzStoreDecode -fuzztime 20s ./internal/store/
+	$(GO) test -run xxx -fuzz FuzzExactPruned -fuzztime 20s ./internal/exact/
 
 # The CI gate: vet, the full suite under the race detector, the short
-# fuzz pass, then a load-suite smoke (results to a throwaway dir so the
-# committed bench/ numbers stay the curated ones).
-ci: test fuzz-short bench-load-smoke
+# fuzz pass, then the load-suite and solver-suite smokes (results to
+# throwaway dirs so the committed bench/ numbers stay the curated ones).
+ci: test fuzz-short bench-load-smoke bench-solver-smoke
 
 # Machine-readable micro-benchmarks (ns/op, allocs/op) for tracking
 # the perf trajectory across PRs; writes bench/BENCH_<suite>.json.
@@ -63,3 +65,13 @@ bench-load:
 # load harness runs end to end without touching committed results.
 bench-load-smoke:
 	$(GO) run ./cmd/rtbench -load $$(mktemp -d)
+
+# Exact-search pruner suite: refutation-heavy E2/E3/E4 rows, pruners
+# off vs on, both memo sharing modes; writes bench/BENCH_exact_prune.json.
+bench-solver:
+	$(GO) run ./cmd/rtbench -solver bench
+
+# Solver suite into a throwaway directory — verifies verdict parity
+# between pruner configurations end to end without touching bench/.
+bench-solver-smoke:
+	$(GO) run ./cmd/rtbench -solver $$(mktemp -d)

@@ -131,6 +131,11 @@ func collect(parts ...func() (benchResult, error)) ([]benchResult, error) {
 // benchExact prices the raw NP-hard refutation (the cost every tier
 // above it exists to avoid).
 func benchExact(workers int) ([]benchResult, error) {
+	if workers < 0 {
+		// the -workers "-1 = all CPUs" convenience; exact.Options
+		// rejects negatives
+		workers = runtime.GOMAXPROCS(0)
+	}
 	hard := hardnessInstance(3, []int{2, 3, 6})
 	maxLen := hard.Hyperperiod()
 	if maxLen > 64 {

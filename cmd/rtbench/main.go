@@ -8,11 +8,15 @@
 // verified-hit fast path and the remap + re-check hit path, a mixed
 // isomorphic-surface workload, and an open-loop cold burst against
 // the bounded exact-search admission — and writes p50/p95/p99 latency
-// plus throughput to DIR/BENCH_service_load.json.
+// plus throughput to DIR/BENCH_service_load.json. With -solver DIR it
+// runs the exact-search pruner suite — the refutation-heavy E2/E3/E4
+// rows, pruners off vs. on, plus both transposition-table sharing
+// modes — and writes node counts, cut tallies and wall time to
+// DIR/BENCH_exact_prune.json.
 //
 // Usage:
 //
-//	rtbench [-only E3] [-workers N] [-json DIR] [-load DIR]
+//	rtbench [-only E3] [-workers N] [-json DIR] [-load DIR] [-solver DIR]
 package main
 
 import (
@@ -28,8 +32,16 @@ func main() {
 	workers := flag.Int("workers", 1, "exact-search workers for E2-E4; 1 reproduces the committed tables' node counts, -1 means all CPUs")
 	jsonDir := flag.String("json", "", "write machine-readable benchmark results to this directory instead of running experiments")
 	loadDir := flag.String("load", "", "run the service load suite and write BENCH_service_load.json to this directory")
+	solverDir := flag.String("solver", "", "run the exact-search pruner suite and write BENCH_exact_prune.json to this directory")
 	flag.Parse()
 
+	if *solverDir != "" {
+		if err := writeSolverJSON(*solverDir); err != nil {
+			fmt.Fprintf(os.Stderr, "rtbench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if *jsonDir != "" {
 		if err := writeBenchJSON(*jsonDir, *workers); err != nil {
 			fmt.Fprintf(os.Stderr, "rtbench: %v\n", err)

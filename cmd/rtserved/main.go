@@ -6,7 +6,7 @@
 // Usage:
 //
 //	rtserved [-addr :8437] [-cache 256] [-shards 8] [-memo 8]
-//	         [-workers N] [-maxlen L] [-maxcand C] [-timeout 30s]
+//	         [-workers N] [-prune] [-maxlen L] [-maxcand C] [-timeout 30s]
 //	         [-search-concurrency N] [-queue-wait 500ms]
 //	         [-store-dir DIR] [-max-body BYTES] [-resp-cache 1024]
 //	         [-pprof PORT]
@@ -70,6 +70,7 @@ func main() {
 	cacheShards := flag.Int("shards", 8, "schedule cache shard count (rounded up to a power of two)")
 	memo := flag.Int("memo", 8, "verified-hit memo slots per cache entry (-1 disables)")
 	workers := flag.Int("workers", -1, "exact-search workers per request (-1 = all CPUs)")
+	prune := flag.Bool("prune", true, "enable the exact-search pruners (symmetry, memo, bounds); -prune=false restores the bit-for-bit seed search")
 	maxLen := flag.Int("maxlen", 0, "exact-search schedule length bound (0 = hyperperiod, capped)")
 	maxCand := flag.Int("maxcand", 0, "exact-search candidate budget per request (0 = unlimited)")
 	timeout := flag.Duration("timeout", 30*time.Second, "per-request scheduling timeout")
@@ -92,11 +93,19 @@ func main() {
 			*storeDir, st.Len(), st.Bytes(), st.CorruptSkipped())
 	}
 
+	// exact.Options rejects negative Workers (no silent clamping), so
+	// the "-1 = all CPUs" convenience is resolved here
+	if *workers < 0 {
+		*workers = runtime.GOMAXPROCS(0)
+	}
 	svc := service.New(service.Options{
 		CacheSize:         *cacheSize,
 		CacheShards:       *cacheShards,
 		ResultMemo:        *memo,
-		Exact:             exact.Options{MaxLen: *maxLen, MaxCandidates: *maxCand, Workers: *workers},
+		Exact: exact.Options{
+			MaxLen: *maxLen, MaxCandidates: *maxCand, Workers: *workers,
+			DisableSymmetry: !*prune, DisableMemo: !*prune, DisableBounds: !*prune,
+		},
 		SearchConcurrency: *searchConc,
 		SearchQueueWait:   *queueWait,
 		Store:             st,

@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	rtsynth [-exact maxlen] [-workers N] [-merge] [-simulate] <spec-file>
+//	rtsynth [-exact maxlen] [-workers N] [-prune] [-merge] [-simulate] <spec-file>
 //	rtsynth -example            # use the paper's Figure 1/2 system
 //
 // The specification syntax is documented in internal/spec.
@@ -13,6 +13,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 
 	"rtm/internal/analysis"
 	"rtm/internal/core"
@@ -34,6 +35,7 @@ func main() {
 func run() error {
 	exactLen := flag.Int("exact", 0, "use the exact searcher with this maximum schedule length instead of the heuristic")
 	workers := flag.Int("workers", -1, "parallel workers for the exact search (-1 = all CPUs, 1 = sequential)")
+	prune := flag.Bool("prune", true, "enable the exact-search pruners (symmetry, memo, bounds)")
 	merge := flag.Bool("merge", true, "apply the shared-operation merge before scheduling")
 	simulate := flag.Bool("simulate", false, "run the closed-loop simulator on the resulting schedule")
 	gantt := flag.Bool("gantt", false, "draw an ASCII timeline of the schedule")
@@ -76,7 +78,14 @@ func run() error {
 
 	var schedule *sched.Schedule
 	if *exactLen > 0 {
-		s, st, err := exact.FindSchedule(m, exact.Options{MaxLen: *exactLen, Workers: *workers})
+		if *workers < 0 {
+			// exact.Options rejects negative Workers; resolve "all CPUs" here
+			*workers = runtime.GOMAXPROCS(0)
+		}
+		s, st, err := exact.FindSchedule(m, exact.Options{
+			MaxLen: *exactLen, Workers: *workers,
+			DisableSymmetry: !*prune, DisableMemo: !*prune, DisableBounds: !*prune,
+		})
 		if err != nil {
 			return fmt.Errorf("exact search: %w (explored %d nodes)", err, st.NodesExplored)
 		}

@@ -1,0 +1,191 @@
+package core
+
+import (
+	"sort"
+	"strconv"
+)
+
+// Element interchangeability. Two functional elements a and b are
+// interchangeable when swapping them everywhere — in the
+// communication weights and in every timing constraint's task graph —
+// yields the same model up to the relabeling. For scheduling purposes
+// (the checker's semantics depend only on element weights and the
+// constraints' task graphs, periods, deadlines and kinds) this means
+// any schedule remains feasible after exchanging the two elements'
+// slots, so a search may explore only one representative per orbit of
+// the induced symmetry group.
+//
+// The test used here is sound but deliberately conservative: a pair
+// is accepted only when the constraint multiset is provably invariant
+// under the transposition. Constraints whose task graphs are simple
+// chains (paths) are compared by their canonical element sequence;
+// a constraint with a non-path task graph involving a or b makes the
+// pair non-interchangeable (general DAG isomorphism is not attempted).
+// Because the accepted transpositions of a connected class generate
+// the full symmetric group on that class, every permutation within a
+// reported orbit is a model automorphism.
+
+// Orbits returns the equivalence classes of interchangeable elements
+// with two or more members, each class sorted, classes sorted by
+// their first element. Elements not used by any constraint are
+// ignored (they never appear in a schedule produced from the model).
+func (m *Model) Orbits() [][]string {
+	elems := m.ElementsUsed()
+	if len(elems) < 2 {
+		return nil
+	}
+	// Precompute, per constraint, the canonical chain sequence (or nil
+	// for non-path task graphs) and the set of elements involved.
+	infos := make([]conInfo, len(m.Constraints))
+	for i, c := range m.Constraints {
+		seq, ok := pathSequence(c.Task)
+		set := make(map[string]bool)
+		for _, node := range c.Task.Nodes() {
+			set[c.Task.ElementOf(node)] = true
+		}
+		if !ok {
+			seq = nil
+		}
+		infos[i] = conInfo{seq: seq, elements: set}
+	}
+
+	// Union-find over verified pairwise swaps.
+	parent := make(map[string]string, len(elems))
+	for _, e := range elems {
+		parent[e] = e
+	}
+	var find func(string) string
+	find = func(x string) string {
+		if parent[x] != x {
+			parent[x] = find(parent[x])
+		}
+		return parent[x]
+	}
+
+	for i := 0; i < len(elems); i++ {
+		for j := i + 1; j < len(elems); j++ {
+			a, b := elems[i], elems[j]
+			if find(a) == find(b) {
+				continue // already joined via other swaps
+			}
+			if m.interchangeable(infos, a, b) {
+				parent[find(b)] = find(a)
+			}
+		}
+	}
+
+	byRoot := make(map[string][]string)
+	for _, e := range elems {
+		r := find(e)
+		byRoot[r] = append(byRoot[r], e)
+	}
+	var out [][]string
+	for _, class := range byRoot {
+		if len(class) < 2 {
+			continue
+		}
+		sort.Strings(class)
+		out = append(out, class)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i][0] < out[j][0] })
+	return out
+}
+
+type conInfo struct {
+	seq      []string // canonical chain; nil when the task graph is not a path
+	elements map[string]bool
+}
+
+// interchangeable verifies the transposition (a b) against the
+// precomputed constraint summaries.
+func (m *Model) interchangeable(infos []conInfo, a, b string) bool {
+	if m.Comm.WeightOf(a) != m.Comm.WeightOf(b) {
+		return false
+	}
+	swap := func(e string) string {
+		switch e {
+		case a:
+			return b
+		case b:
+			return a
+		}
+		return e
+	}
+	// Constraint descriptor under a relabeling: kind, period, deadline
+	// and the relabeled chain sequence. The multiset of descriptors
+	// must be invariant under the swap.
+	orig := make(map[string]int)
+	swapped := make(map[string]int)
+	for i, c := range m.Constraints {
+		info := infos[i]
+		if !info.elements[a] && !info.elements[b] {
+			continue // fixed by the swap; contributes equally to both sides
+		}
+		if info.seq == nil {
+			// non-path task graph touching a or b: be conservative
+			return false
+		}
+		key := func(mapped func(string) string) string {
+			s := descriptorPrefix(c)
+			for _, e := range info.seq {
+				s += "\x00" + mapped(e)
+			}
+			return s
+		}
+		orig[key(func(e string) string { return e })]++
+		swapped[key(swap)]++
+	}
+	if len(orig) != len(swapped) {
+		return false
+	}
+	for k, n := range orig {
+		if swapped[k] != n {
+			return false
+		}
+	}
+	return true
+}
+
+func descriptorPrefix(c *Constraint) string {
+	// name is deliberately excluded: it does not affect scheduling
+	return c.Kind.String() + "|" + strconv.Itoa(c.Period) + "|" + strconv.Itoa(c.Deadline)
+}
+
+// pathSequence returns the element sequence of a task graph that is a
+// simple directed path (including the single-node case), or ok=false
+// for any other shape.
+func pathSequence(t *TaskGraph) ([]string, bool) {
+	nodes := t.G.Nodes()
+	if len(nodes) == 0 {
+		return nil, false
+	}
+	start := ""
+	for _, n := range nodes {
+		if t.G.InDegree(n) > 1 || t.G.OutDegree(n) > 1 {
+			return nil, false
+		}
+		if t.G.InDegree(n) == 0 {
+			if start != "" {
+				return nil, false // two sources: not a single path
+			}
+			start = n
+		}
+	}
+	if start == "" {
+		return nil, false // cyclic (cannot happen for validated models)
+	}
+	seq := make([]string, 0, len(nodes))
+	cur := start
+	for {
+		seq = append(seq, t.ElementOf(cur))
+		succ := t.G.Succ(cur)
+		if len(succ) == 0 {
+			break
+		}
+		cur = succ[0]
+	}
+	if len(seq) != len(nodes) {
+		return nil, false // disconnected
+	}
+	return seq, true
+}

@@ -1,0 +1,138 @@
+package core
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+)
+
+// unitAsync builds a model with one weight-w element and one
+// single-node asynchronous constraint (period = deadline = d) per
+// entry.
+func unitAsync(t *testing.T, entries ...[3]int) *Model {
+	t.Helper()
+	m := NewModel()
+	for i, e := range entries {
+		name := fmt.Sprintf("u%d", i)
+		m.Comm.AddElement(name, e[0])
+		m.AddConstraint(&Constraint{
+			Name: "c" + name, Task: ChainTask(name),
+			Period: e[1], Deadline: e[2], Kind: Asynchronous,
+		})
+	}
+	if err := m.Validate(); err != nil {
+		t.Fatalf("model invalid: %v", err)
+	}
+	return m
+}
+
+func TestOrbitsIdenticalElements(t *testing.T) {
+	// three identical unit ops and one distinct: {u0,u1,u2} is one orbit
+	m := unitAsync(t, [3]int{1, 6, 6}, [3]int{1, 6, 6}, [3]int{1, 6, 6}, [3]int{1, 2, 2})
+	want := [][]string{{"u0", "u1", "u2"}}
+	if got := m.Orbits(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("Orbits() = %v, want %v", got, want)
+	}
+}
+
+func TestOrbitsDiscrimination(t *testing.T) {
+	cases := []struct {
+		name string
+		m    *Model
+	}{
+		{"different-weight", unitAsync(t, [3]int{1, 6, 6}, [3]int{2, 6, 6})},
+		{"different-deadline", unitAsync(t, [3]int{1, 4, 4}, [3]int{1, 6, 6})},
+	}
+	// different kind: periodic vs asynchronous at the same (p, d)
+	mk := NewModel()
+	mk.Comm.AddElement("a", 1)
+	mk.Comm.AddElement("b", 1)
+	mk.AddConstraint(&Constraint{Name: "A", Task: ChainTask("a"), Period: 4, Deadline: 4, Kind: Periodic})
+	mk.AddConstraint(&Constraint{Name: "B", Task: ChainTask("b"), Period: 4, Deadline: 4, Kind: Asynchronous})
+	cases = append(cases, struct {
+		name string
+		m    *Model
+	}{"different-kind", mk})
+
+	for _, tc := range cases {
+		if got := tc.m.Orbits(); got != nil {
+			t.Errorf("%s: Orbits() = %v, want nil", tc.name, got)
+		}
+	}
+}
+
+func TestOrbitsChainPositions(t *testing.T) {
+	// a and b sit at different positions of the same chain: swapping
+	// them reverses the sequence, so they are not interchangeable even
+	// though their weights match
+	m := NewModel()
+	m.Comm.AddElement("a", 1)
+	m.Comm.AddElement("b", 1)
+	m.AddConstraint(&Constraint{Name: "A", Task: ChainTask("a", "b"), Period: 4, Deadline: 4, Kind: Asynchronous})
+	if got := m.Orbits(); got != nil {
+		t.Fatalf("Orbits() = %v, want nil", got)
+	}
+}
+
+func TestOrbitsParallelChainsConservative(t *testing.T) {
+	// two identical disjoint chains (a,b) and (c,d): the model IS
+	// invariant under the simultaneous swap (a c)(b d), but no single
+	// transposition fixes it, so the conservative pairwise test
+	// reports no orbits — soundness over completeness
+	m := NewModel()
+	for _, e := range []string{"a", "b", "c", "d"} {
+		m.Comm.AddElement(e, 1)
+	}
+	m.AddConstraint(&Constraint{Name: "A", Task: ChainTask("a", "b"), Period: 8, Deadline: 8, Kind: Asynchronous})
+	m.AddConstraint(&Constraint{Name: "B", Task: ChainTask("c", "d"), Period: 8, Deadline: 8, Kind: Asynchronous})
+	if got := m.Orbits(); got != nil {
+		t.Fatalf("Orbits() = %v, want nil", got)
+	}
+}
+
+func TestOrbitsNonPathConservative(t *testing.T) {
+	// a fork task graph touching the candidate pair blocks the orbit
+	// (general DAG isomorphism is not attempted)
+	m := NewModel()
+	for _, e := range []string{"a", "b", "s"} {
+		m.Comm.AddElement(e, 1)
+	}
+	fork := NewTaskGraph()
+	fork.AddStep("s", "s")
+	fork.AddStep("a", "a")
+	fork.AddStep("b", "b")
+	fork.AddPrec("s", "a")
+	fork.AddPrec("s", "b")
+	m.AddConstraint(&Constraint{Name: "F", Task: fork, Period: 6, Deadline: 6, Kind: Asynchronous})
+	if got := m.Orbits(); got != nil {
+		t.Fatalf("Orbits() = %v, want nil", got)
+	}
+}
+
+func TestOrbitsSharedChainContext(t *testing.T) {
+	// u1 and u2 are identical single ops AND appear symmetrically as
+	// members of equal-shape chains with a shared head: (h,u1) and
+	// (h,u2) swap onto each other, so the orbit survives
+	m := NewModel()
+	for _, e := range []string{"h", "u1", "u2"} {
+		m.Comm.AddElement(e, 1)
+	}
+	m.AddConstraint(&Constraint{Name: "C1", Task: ChainTask("h", "u1"), Period: 8, Deadline: 8, Kind: Asynchronous})
+	m.AddConstraint(&Constraint{Name: "C2", Task: ChainTask("h", "u2"), Period: 8, Deadline: 8, Kind: Asynchronous})
+	want := [][]string{{"u1", "u2"}}
+	if got := m.Orbits(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("Orbits() = %v, want %v", got, want)
+	}
+}
+
+func TestOrbitsIgnoresUnusedElements(t *testing.T) {
+	// elements with no constraint never appear in a schedule and are
+	// excluded from orbit computation
+	m := unitAsync(t, [3]int{1, 6, 6}, [3]int{1, 6, 6})
+	m.Comm.AddElement("idle1", 1)
+	m.Comm.AddElement("idle2", 1)
+	want := [][]string{{"u0", "u1"}}
+	if got := m.Orbits(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("Orbits() = %v, want %v", got, want)
+	}
+}

@@ -1,0 +1,66 @@
+package exact
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"rtm/internal/sched"
+	"rtm/internal/workload"
+)
+
+// FuzzExactPruned is the differential fuzz target for PR 5: the
+// pruning engine against the vendored seed oracle on random models.
+// The pruners must be invisible in the results — identical error
+// class, identical lex-first witness — on every generated instance.
+func FuzzExactPruned(f *testing.F) {
+	f.Add(int64(1), uint8(2), uint8(1), uint8(1), false)
+	f.Add(int64(42), uint8(4), uint8(3), uint8(2), false)
+	f.Add(int64(7), uint8(3), uint8(2), uint8(1), true)
+	f.Add(int64(99), uint8(5), uint8(4), uint8(3), true)
+	f.Fuzz(func(t *testing.T, seed int64, elems, cons, chain uint8, contig bool) {
+		rng := rand.New(rand.NewSource(seed))
+		p := workload.Params{
+			Elements:    1 + int(elems%5),
+			MaxWeight:   2,
+			EdgeProb:    0.5,
+			Constraints: 1 + int(cons%4),
+			ChainLen:    1 + int(chain%3),
+			AsyncFrac:   0.5,
+			TargetUtil:  0.6,
+		}
+		m, err := workload.Random(rng, p)
+		if err != nil {
+			t.Skip()
+		}
+		opt := Options{MaxLen: 6, RequireContiguous: contig}
+
+		refS, _, refErr := refFindSchedule(m, opt)
+		s, st, err := FindSchedule(m, opt)
+
+		if (err == nil) != (refErr == nil) || (err != nil && !errors.Is(err, refErr)) {
+			t.Fatalf("verdict diverged: pruned err = %v, reference = %v (model %v)", err, refErr, m)
+		}
+		if (s == nil) != (refS == nil) {
+			t.Fatalf("witness diverged: pruned %v, reference %v", s, refS)
+		}
+		if s != nil {
+			if !s.Equal(refS) {
+				t.Fatalf("lex-first witness diverged: pruned %v, reference %v", s, refS)
+			}
+			if !sched.Feasible(m, s) {
+				t.Fatalf("pruned witness fails the independent checker: %v", s)
+			}
+			if contig && !sched.Contiguous(m.Comm, s) {
+				t.Fatalf("pruned witness is preempted: %v", s)
+			}
+		}
+		if refErr == nil || errors.Is(refErr, ErrNotFound) {
+			// decided instances: the pruned engine may not explore more
+			_, refSt, _ := refFindSchedule(m, opt)
+			if st.NodesExplored > refSt.NodesExplored {
+				t.Fatalf("pruned search explored more nodes: %d > %d", st.NodesExplored, refSt.NodesExplored)
+			}
+		}
+	})
+}

@@ -24,14 +24,42 @@ import (
 // ones run to completion, so the winner is exactly the sequential
 // result. Budget aborts (MaxCandidates) cancel everything and are the
 // one documented source of nondeterminism under Workers > 1.
+//
+// The pruners run in the workers too. The memo table is either shared
+// (striped locks, every worker probes and stores the same table) or
+// per-worker (each worker stores only its own single-stripe table,
+// probing it plus the master table — frozen during the length — and
+// merging into the master at the end-of-length barrier). Either way
+// the per-pruner Stats are lower bounds: cancelled speculative
+// subtrees lose their tallies, and memo hits depend on timing.
+
+// pruneTally accumulates one worker's pruner cuts; merged into Stats
+// after the pool drains.
+type pruneTally struct {
+	sym, memo, bound int64
+}
+
+// workerMemo is one worker's view of the transposition table: the
+// tables to probe (in order) and the single table it may write.
+type workerMemo struct {
+	probe []*memoTable
+	store *memoTable // nil = memoization off
+}
 
 // searchLengthParallel explores one cycle length with the given
 // worker count. splitDepth 0 auto-picks the smallest depth whose
 // worst-case prefix count reaches 4 × workers.
-func searchLengthParallel(ctx context.Context, p *problem, n, workers, splitDepth int, st *Stats) (*sched.Schedule, error) {
+func searchLengthParallel(ctx context.Context, p *problem, n, workers, splitDepth int, mt *memoTable, st *Stats) (*sched.Schedule, error) {
 	minCount, totalMin := p.minCounts(n)
 	if totalMin > n {
+		if p.bounds {
+			st.PrunedByBound++
+		}
 		return nil, nil // capacity bound already unsatisfiable at this length
+	}
+	if p.bounds && p.refuteLength(n, minCount, totalMin) {
+		st.PrunedByBound++
+		return nil, nil // exact-cover certificate: no descent needed
 	}
 	depth := splitDepth
 	if depth <= 0 {
@@ -47,10 +75,10 @@ func searchLengthParallel(ctx context.Context, p *problem, n, workers, splitDept
 		if err != nil {
 			return nil, err
 		}
-		return searchLength(ctx, p, n, ck, st)
+		return searchLength(ctx, p, n, ck, mt, st)
 	}
 
-	prefixes, enumNodes := enumPrefixes(p, n, minCount, totalMin, depth)
+	prefixes, enumNodes := enumPrefixes(p, n, minCount, totalMin, depth, mt, st)
 	st.NodesExplored += enumNodes
 	if len(prefixes) == 0 {
 		return nil, nil
@@ -73,6 +101,8 @@ func searchLengthParallel(ctx context.Context, p *problem, n, workers, splitDept
 	if workers > len(prefixes) {
 		workers = len(prefixes)
 	}
+	tallies := make([]pruneTally, workers)
+	locals := make([]*memoTable, workers)
 	// cancellation hook: a done context trips the same stop flag the
 	// budget abort uses, draining the pool promptly
 	watcherDone := make(chan struct{})
@@ -88,7 +118,7 @@ func searchLengthParallel(ctx context.Context, p *problem, n, workers, splitDept
 	var wg sync.WaitGroup
 	wg.Add(workers)
 	for w := 0; w < workers; w++ {
-		go func() {
+		go func(w int) {
 			defer wg.Done()
 			ck, err := sched.NewChecker(p.m)
 			if err != nil {
@@ -96,6 +126,18 @@ func searchLengthParallel(ctx context.Context, p *problem, n, workers, splitDept
 				return
 			}
 			ls := newState(p, n, minCount, totalMin, ck)
+			var wm workerMemo
+			if mt != nil {
+				if p.memoPerWorker {
+					// local table written lock-free-ish (single stripe,
+					// uncontended); the shared master is probe-only until
+					// the barrier merge below.
+					locals[w] = newMemoTable(p.memoEntries, 1)
+					wm = workerMemo{probe: []*memoTable{locals[w], mt}, store: locals[w]}
+				} else {
+					wm = workerMemo{probe: []*memoTable{mt}, store: mt}
+				}
+			}
 			var nodes int64
 			defer func() { nodeTotal.Add(nodes) }()
 			for idx := range work {
@@ -106,12 +148,12 @@ func searchLengthParallel(ctx context.Context, p *problem, n, workers, splitDept
 				for i, sym := range pfx {
 					ls.place(i, sym)
 				}
-				searchSubtree(ls, idx, len(pfx), &nodes, &stop, &budgetHit, &candTotal, &bestIdx, &mu, &best)
+				searchSubtree(ls, idx, len(pfx), &nodes, &tallies[w], wm, &stop, &budgetHit, &candTotal, &bestIdx, &mu, &best)
 				for i := len(pfx) - 1; i >= 0; i-- {
 					ls.unplace(i, pfx[i])
 				}
 			}
-		}()
+		}(w)
 	}
 	for idx := range prefixes {
 		work <- idx
@@ -121,6 +163,20 @@ func searchLengthParallel(ctx context.Context, p *problem, n, workers, splitDept
 
 	st.NodesExplored += int(nodeTotal.Load())
 	st.Candidates = int(candTotal.Load())
+	for w := range tallies {
+		st.PrunedBySymmetry += int(tallies[w].sym)
+		st.PrunedByMemo += int(tallies[w].memo)
+		st.PrunedByBound += int(tallies[w].bound)
+	}
+	if mt != nil && p.memoPerWorker {
+		// barrier merge: next length (and the next prefix enumeration)
+		// probes everything any worker refuted this length
+		for _, local := range locals {
+			if local != nil {
+				local.mergeInto(mt)
+			}
+		}
+	}
 	if err := ctx.Err(); err != nil {
 		// a canceled search may have been stopped before the
 		// lowest-index subtree finished, so any speculative hit is
@@ -156,8 +212,11 @@ func autoSplitDepth(syms, n, workers int) int {
 // enumPrefixes walks the pruned search tree down to the split depth
 // in sequential visiting order, returning every surviving prefix
 // (index order = lexicographic order) and the number of internal
-// nodes visited on the way.
-func enumPrefixes(p *problem, n int, minCount []int, totalMin, depth int) ([][]int, int) {
+// nodes visited on the way. It applies the same pruners as the
+// workers — probe-only for the memo table (its subtrees are not
+// exhausted here, so nothing may be stored) — and tallies cuts
+// directly into st: this phase is sequential.
+func enumPrefixes(p *problem, n int, minCount []int, totalMin, depth int, mt *memoTable, st *Stats) ([][]int, int) {
 	s := newState(p, n, minCount, totalMin, nil) // leafCheck never reached
 	var prefixes [][]int
 	nodes := 0
@@ -168,12 +227,27 @@ func enumPrefixes(p *problem, n int, minCount []int, totalMin, depth int) ([][]i
 			return
 		}
 		nodes++
+		if mt != nil && s.memoEligible(pos) && mt.probe(s.buildSig(pos)) {
+			st.PrunedByMemo++
+			return
+		}
 		for sym := 0; sym < len(p.syms); sym++ {
 			if p.breakRotations && pos > 0 && sym < s.slots[0] {
 				continue
 			}
+			if p.orbitPrev != nil {
+				if op := p.orbitPrev[sym]; op >= 0 && s.count[op] == 0 {
+					st.PrunedBySymmetry++
+					continue
+				}
+			}
 			s.place(pos, sym)
-			if s.pruneOK(pos) && (!p.contiguous || s.contigPrefixOK(pos)) {
+			ok := s.pruneOK(pos) && (!p.contiguous || s.contigPrefixOK(pos))
+			if ok && p.bounds && !s.boundOK(pos) {
+				st.PrunedByBound++
+				ok = false
+			}
+			if ok {
 				rec(pos + 1)
 			}
 			s.unplace(pos, sym)
@@ -188,14 +262,17 @@ func enumPrefixes(p *problem, n int, minCount []int, totalMin, depth int) ([][]i
 // records the subtree's lexicographically first feasible schedule
 // into best when it improves on bestIdx, and aborts early when a
 // lower-indexed subtree has already won or the budget tripped.
-func searchSubtree(ls *state, idx, from int, nodes *int64, stop, budgetHit *atomic.Bool,
-	candTotal, bestIdx *atomic.Int64, mu *sync.Mutex, best **sched.Schedule) {
+func searchSubtree(ls *state, idx, from int, nodes *int64, tally *pruneTally, wm workerMemo,
+	stop, budgetHit *atomic.Bool, candTotal, bestIdx *atomic.Int64, mu *sync.Mutex, best **sched.Schedule) {
 
 	p := ls.p
-	var rec func(pos int) bool // false aborts the whole subtree
-	rec = func(pos int) bool {
+	// rec returns (cont, leafFree): cont=false aborts the whole
+	// subtree; leafFree licenses memoizing the node as empty (see
+	// searchLength — aborts and leaves both poison it).
+	var rec func(pos int) (bool, bool)
+	rec = func(pos int) (bool, bool) {
 		if stop.Load() || int64(idx) > bestIdx.Load() {
-			return false
+			return false, false
 		}
 		*nodes++
 		if pos == ls.n {
@@ -203,7 +280,7 @@ func searchSubtree(ls *state, idx, from int, nodes *int64, stop, budgetHit *atom
 			if p.maxCand > 0 && tot > int64(p.maxCand) {
 				budgetHit.Store(true)
 				stop.Store(true)
-				return false
+				return false, false
 			}
 			if cand := ls.leafCheck(); cand != nil {
 				mu.Lock()
@@ -212,26 +289,53 @@ func searchSubtree(ls *state, idx, from int, nodes *int64, stop, budgetHit *atom
 					bestIdx.Store(int64(idx))
 				}
 				mu.Unlock()
-				return false // lex-first within this subtree: done here
+				return false, false // lex-first within this subtree: done here
 			}
-			return true
+			return true, false
 		}
+		memoable := wm.store != nil && ls.memoEligible(pos)
+		if memoable {
+			sig := ls.buildSig(pos)
+			for _, t := range wm.probe {
+				if t.probe(sig) {
+					tally.memo++
+					return true, true
+				}
+			}
+		}
+		leafFree := true
 		for sym := 0; sym < len(p.syms); sym++ {
 			if p.breakRotations && pos > 0 && sym < ls.slots[0] {
 				continue
 			}
+			if p.orbitPrev != nil {
+				if op := p.orbitPrev[sym]; op >= 0 && ls.count[op] == 0 {
+					tally.sym++
+					continue
+				}
+			}
 			ls.place(pos, sym)
-			ok := true
-			if ls.pruneOK(pos) && (!p.contiguous || ls.contigPrefixOK(pos)) {
-				ok = rec(pos + 1)
+			ok := ls.pruneOK(pos) && (!p.contiguous || ls.contigPrefixOK(pos))
+			if ok && p.bounds && !ls.boundOK(pos) {
+				tally.bound++
+				ok = false
+			}
+			cont := true
+			if ok {
+				var lf bool
+				cont, lf = rec(pos + 1)
+				leafFree = leafFree && lf
 			}
 			ls.unplace(pos, sym)
-			if !ok {
-				return false
+			if !cont {
+				return false, false
 			}
 		}
 		ls.slots[pos] = 0
-		return true
+		if leafFree && memoable {
+			wm.store.store(ls.buildSig(pos))
+		}
+		return true, leafFree
 	}
 	rec(from)
 }

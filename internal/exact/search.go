@@ -23,7 +23,6 @@ import (
 	"context"
 	"errors"
 	"fmt"
-	"runtime"
 
 	"rtm/internal/core"
 	"rtm/internal/sched"
@@ -56,13 +55,62 @@ type Options struct {
 	// 0 picks the smallest depth whose prefix count is at least
 	// 4 × Workers. Ignored when the search runs sequentially.
 	SplitDepth int
+	// The three pruners (DESIGN.md §10) are ON by default; each can
+	// be disabled independently. All of them preserve the verdict and
+	// the lex-first witness exactly; with all three disabled the
+	// search is bit-for-bit the seed engine, Stats included.
+	DisableSymmetry bool // orbit symmetry breaking
+	DisableMemo     bool // dominance memoization (transposition table)
+	DisableBounds   bool // demand-bound cuts
+	// MemoEntries bounds the transposition table (0 = default 2^18
+	// entries; negative disables memoization like DisableMemo).
+	MemoEntries int
+	// MemoPerWorker switches the parallel search from one shared
+	// striped-lock table to per-worker tables merged at each length
+	// barrier (no lock contention, less sharing). Ignored when
+	// Workers ≤ 1.
+	MemoPerWorker bool
 }
 
-// Stats reports search effort.
+// BadOptionsError reports an Options field whose value is invalid.
+type BadOptionsError struct {
+	Field string
+	Value int
+}
+
+func (e *BadOptionsError) Error() string {
+	return fmt.Sprintf("exact: invalid Options.%s: %d", e.Field, e.Value)
+}
+
+// validate rejects malformed options with a typed error. Negative
+// Workers and SplitDepth are rejected rather than silently clamped:
+// callers that want "all CPUs" must resolve GOMAXPROCS themselves.
+func (opt Options) validate() error {
+	if opt.MaxLen <= 0 {
+		return &BadOptionsError{Field: "MaxLen", Value: opt.MaxLen}
+	}
+	if opt.Workers < 0 {
+		return &BadOptionsError{Field: "Workers", Value: opt.Workers}
+	}
+	if opt.SplitDepth < 0 {
+		return &BadOptionsError{Field: "SplitDepth", Value: opt.SplitDepth}
+	}
+	return nil
+}
+
+// Stats reports search effort. The three pruner counters are exact
+// and deterministic when Workers ≤ 1; under a parallel search they
+// are lower bounds (speculative subtrees may be cancelled before
+// their cuts are tallied, and the shared memo table makes hit counts
+// timing-dependent).
 type Stats struct {
 	NodesExplored int // partial assignments visited
 	Candidates    int // complete schedules feasibility-checked
 	LengthsTried  []int
+
+	PrunedBySymmetry int // placements skipped by the orbit symmetry break
+	PrunedByMemo     int // subtrees skipped by the transposition table
+	PrunedByBound    int // demand-bound cuts (nodes and whole lengths)
 }
 
 // ErrBudget is returned when MaxCandidates is exhausted before the
@@ -92,22 +140,31 @@ func FindSchedule(m *core.Model, opt Options) (*sched.Schedule, *Stats, error) {
 // limit, not a verdict. This is the per-request cancellation hook the
 // scheduling service uses to bound latencies of admitted searches.
 func FindScheduleCtx(ctx context.Context, m *core.Model, opt Options) (*sched.Schedule, *Stats, error) {
-	if opt.MaxLen <= 0 {
-		return nil, nil, fmt.Errorf("exact: MaxLen must be positive, got %d", opt.MaxLen)
+	if err := opt.validate(); err != nil {
+		return nil, nil, err
 	}
 	minLen := opt.MinLen
 	if minLen < 1 {
 		minLen = 1
 	}
 	workers := opt.Workers
-	if workers < 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
 	st := &Stats{}
 	p := newProblem(m, opt)
 	ck, err := sched.NewChecker(m)
 	if err != nil {
 		return nil, nil, fmt.Errorf("exact: %w", err)
+	}
+	// The transposition table is shared across the per-length restarts
+	// of the iterative deepening: the signature carries every
+	// length-dependent component, so a refutation derived at length n
+	// prunes the matching residual states at length n+1 for free.
+	var mt *memoTable
+	if p.memoOK {
+		stripes := 1
+		if workers > 1 && !p.memoPerWorker {
+			stripes = memoStripes
+		}
+		mt = newMemoTable(p.memoEntries, stripes)
 	}
 	for n := minLen; n <= opt.MaxLen; n++ {
 		if err := ctx.Err(); err != nil {
@@ -117,9 +174,9 @@ func FindScheduleCtx(ctx context.Context, m *core.Model, opt Options) (*sched.Sc
 		var s *sched.Schedule
 		var err error
 		if workers > 1 {
-			s, err = searchLengthParallel(ctx, p, n, workers, opt.SplitDepth, st)
+			s, err = searchLengthParallel(ctx, p, n, workers, opt.SplitDepth, mt, st)
 		} else {
-			s, err = searchLength(ctx, p, n, ck, st)
+			s, err = searchLength(ctx, p, n, ck, mt, st)
 		}
 		if err != nil {
 			return nil, st, err
@@ -160,33 +217,53 @@ func FeasibleOpt(m *core.Model, opt Options) (bool, *Stats, error) {
 // cycle length. Its visiting order — and therefore the schedule found
 // and every Stats field — is the determinism reference for the
 // parallel fan-out.
-func searchLength(ctx context.Context, p *problem, n int, ck *sched.Checker, st *Stats) (*sched.Schedule, error) {
+func searchLength(ctx context.Context, p *problem, n int, ck *sched.Checker, mt *memoTable, st *Stats) (*sched.Schedule, error) {
 	minCount, totalMin := p.minCounts(n)
 	if totalMin > n {
+		if p.bounds {
+			st.PrunedByBound++
+		}
 		return nil, nil // capacity bound already unsatisfiable at this length
+	}
+	if p.bounds && p.refuteLength(n, minCount, totalMin) {
+		st.PrunedByBound++
+		return nil, nil // exact-cover certificate: no descent needed
 	}
 	s := newState(p, n, minCount, totalMin, ck)
 	var found *sched.Schedule
 
-	var rec func(pos int) error
-	rec = func(pos int) error {
+	// rec explores the subtree below pos. leafFree reports that the
+	// subtree was exhausted without ever reaching pos == n — the
+	// precondition for memoizing it as empty (a leaf check depends on
+	// the whole prefix; a prune-driven refutation only on the
+	// residual-state signature).
+	var rec func(pos int) (bool, error)
+	rec = func(pos int) (bool, error) {
 		if found != nil {
-			return nil
+			return false, nil
 		}
 		st.NodesExplored++
 		if st.NodesExplored&0x3ff == 0 {
 			if err := ctx.Err(); err != nil {
-				return err
+				return false, err
 			}
 		}
 		if pos == n {
 			st.Candidates++
 			if p.maxCand > 0 && st.Candidates > p.maxCand {
-				return ErrBudget
+				return false, ErrBudget
 			}
 			found = s.leafCheck()
-			return nil
+			return false, nil
 		}
+		memoable := mt != nil && s.memoEligible(pos)
+		if memoable {
+			if mt.probe(s.buildSig(pos)) {
+				st.PrunedByMemo++
+				return true, nil
+			}
+		}
+		leafFree := true
 		for sym := 0; sym < len(p.syms); sym++ {
 			// symmetry break: the minimal rotation of any string
 			// begins with its minimal symbol, so every later slot
@@ -195,21 +272,41 @@ func searchLength(ctx context.Context, p *problem, n int, ck *sched.Checker, st 
 			if p.breakRotations && pos > 0 && sym < s.slots[0] {
 				continue
 			}
-			s.place(pos, sym)
-			if s.pruneOK(pos) && (!p.contiguous || s.contigPrefixOK(pos)) {
-				if err := rec(pos + 1); err != nil {
-					return err
+			// orbit symmetry break: a symbol whose smaller orbit-mate
+			// has not appeared cannot start in the lex-first witness
+			if p.orbitPrev != nil {
+				if op := p.orbitPrev[sym]; op >= 0 && s.count[op] == 0 {
+					st.PrunedBySymmetry++
+					continue
 				}
+			}
+			s.place(pos, sym)
+			ok := s.pruneOK(pos) && (!p.contiguous || s.contigPrefixOK(pos))
+			if ok && p.bounds && !s.boundOK(pos) {
+				st.PrunedByBound++
+				ok = false
+			}
+			if ok {
+				lf, err := rec(pos + 1)
+				if err != nil {
+					return false, err
+				}
+				leafFree = leafFree && lf
 			}
 			s.unplace(pos, sym)
 			if found != nil {
-				return nil
+				return false, nil
 			}
 		}
 		s.slots[pos] = 0
-		return nil
+		if leafFree && memoable {
+			// the state is back to its probe-time value: rebuild the
+			// signature (the scratch buffer was clobbered by children)
+			mt.store(s.buildSig(pos))
+		}
+		return leafFree, nil
 	}
-	if err := rec(0); err != nil {
+	if _, err := rec(0); err != nil {
 		return nil, err
 	}
 	return found, nil

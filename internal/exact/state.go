@@ -1,6 +1,8 @@
 package exact
 
 import (
+	"sort"
+
 	"rtm/internal/core"
 	"rtm/internal/sched"
 )
@@ -22,6 +24,29 @@ type problem struct {
 	breakRotations bool
 	contiguous     bool
 	maxCand        int
+
+	// Pruner configuration (see prune.go and DESIGN.md §10).
+	bounds bool // demand-bound cuts enabled
+	// orbitPrev[sym] is the next-smaller symbol in sym's orbit of
+	// interchangeable elements, or -1. A symbol may be placed only
+	// after its orbit predecessor has appeared.
+	orbitPrev []int
+	// orbitBits lists the symbols whose appearance the memo signature
+	// must record (every symbol that is some other symbol's
+	// orbitPrev), in ascending order.
+	orbitBits []int
+	// hallSpec[sym] designates the densest sliding spec covering sym
+	// (index into needs, or -1); hallK is its per-window demand. The
+	// demand profile uses one spec per element so demands stay
+	// additive.
+	hallSpec []int
+	hallK    []int
+	hasHall  bool
+	// memoOK gates memoization on representability: every signature
+	// component must fit its encoding.
+	memoOK        bool
+	memoEntries   int
+	memoPerWorker bool
 }
 
 // needPair is one element's slot demand inside a deadline window.
@@ -90,7 +115,80 @@ func newProblem(m *core.Model, opt Options) *problem {
 		}
 		p.needs = append(p.needs, spec)
 	}
+
+	p.bounds = !opt.DisableBounds
+	p.memoEntries = opt.MemoEntries
+	p.memoPerWorker = opt.MemoPerWorker
+	if !opt.DisableMemo && opt.MemoEntries >= 0 {
+		// every signature component must fit its encoding: one byte
+		// per symbol id, one bit per spec / orbit symbol
+		p.memoOK = len(p.syms) <= 254 && len(p.needs) <= 64
+	}
+	if !opt.DisableSymmetry {
+		p.initOrbits(m, symID)
+	}
+	p.initHall()
 	return p
+}
+
+// initOrbits maps core.Orbits onto symbol ids: within each orbit of
+// interchangeable elements, orbitPrev chains the symbols in ascending
+// order.
+func (p *problem) initOrbits(m *core.Model, symID map[string]int) {
+	orbits := m.Orbits()
+	if len(orbits) == 0 {
+		return
+	}
+	p.orbitPrev = make([]int, len(p.syms))
+	for i := range p.orbitPrev {
+		p.orbitPrev[i] = -1
+	}
+	seen := make(map[int]bool)
+	for _, class := range orbits {
+		prev := -1
+		for _, e := range class {
+			id, ok := symID[e]
+			if !ok {
+				continue
+			}
+			// class is sorted and syms are sorted, so ids ascend
+			p.orbitPrev[id] = prev
+			if prev >= 0 && !seen[prev] {
+				seen[prev] = true
+				p.orbitBits = append(p.orbitBits, prev)
+			}
+			prev = id
+		}
+	}
+	sort.Ints(p.orbitBits)
+	if len(p.orbitBits) > 64 {
+		p.memoOK = false // appearance bits no longer fit one uvarint
+	}
+}
+
+// initHall designates, per symbol, the sliding spec with the largest
+// demand density k/d; the demand profile of boundOK uses exactly one
+// spec per element so window demands stay additive across elements.
+func (p *problem) initHall() {
+	p.hallSpec = make([]int, len(p.syms))
+	p.hallK = make([]int, len(p.syms))
+	for i := range p.hallSpec {
+		p.hallSpec[i] = -1
+	}
+	for i := range p.needs {
+		spec := &p.needs[i]
+		if spec.period != 0 {
+			continue
+		}
+		for _, pr := range spec.pairs {
+			cur := p.hallSpec[pr.sym]
+			if cur < 0 || pr.k*p.needs[cur].d > p.hallK[pr.sym]*spec.d {
+				p.hallSpec[pr.sym] = i
+				p.hallK[pr.sym] = pr.k
+				p.hasHall = true
+			}
+		}
+	}
 }
 
 // minCounts computes, per symbol, the capacity lower bound at cycle
@@ -133,6 +231,19 @@ type state struct {
 	needs    []needRT
 	ck       *sched.Checker
 	strbuf   []string // reusable candidate-schedule buffer
+
+	// Pruner state (prune.go). slideWin is the largest active sliding
+	// deadline: the memo signature carries the last slideWin slots and
+	// probing is gated on pos ≥ slideWin. anchorGate is the largest
+	// active anchored period: below it, first-window special cases
+	// make the signature carry pos itself. activeMask is the bitmask
+	// of active needs (length-dependent, so cross-length signature
+	// collisions stay sound).
+	slideWin   int
+	anchorGate int
+	activeMask uint64
+	sigbuf     []byte
+	hallDelta  []int
 }
 
 // needRT carries the rolling window counters for one needSpec.
@@ -174,7 +285,23 @@ func newState(p *problem, n int, minCount []int, totalMin int, ck *sched.Checker
 				}
 			}
 		}
+		if rt.active {
+			s.activeMask |= 1 << uint(i&63)
+			if spec.period == 0 {
+				if spec.d > s.slideWin {
+					s.slideWin = spec.d
+				}
+			} else if spec.period > s.anchorGate {
+				s.anchorGate = spec.period
+			}
+		}
 		s.needs[i] = rt
+	}
+	if p.bounds && p.hasHall {
+		s.hallDelta = make([]int, n+1)
+	}
+	if p.memoOK {
+		s.sigbuf = make([]byte, 0, 4*len(p.syms)+s.slideWin+16)
 	}
 	return s
 }

@@ -21,8 +21,14 @@ var exactWorkers = 1
 // SetExactWorkers sets the exact-search worker count used by E2–E4
 // (see exact.Options.Workers). The found/infeasible verdicts and the
 // schedules are identical for any value; only the effort statistics
-// and the wall-clock change.
-func SetExactWorkers(w int) { exactWorkers = w }
+// and the wall-clock change. Non-positive values fall back to 1
+// (exact.Options rejects negative Workers).
+func SetExactWorkers(w int) {
+	if w < 1 {
+		w = 1
+	}
+	exactWorkers = w
+}
 
 // E2ExactSearch demonstrates Theorem 1: the exact searcher always
 // terminates, finding a finite feasible static schedule when one
@@ -31,12 +37,13 @@ func E2ExactSearch() *Table {
 	t := &Table{
 		ID:      "E2",
 		Title:   "Theorem 1: exact search for finite feasible static schedules",
-		Columns: []string{"constraints", "density", "kind", "found", "sched-len", "nodes-explored", "candidates", "time"},
+		Columns: []string{"constraints", "density", "kind", "found", "sched-len", "nodes-explored", "nodes-pruned", "candidates", "time"},
 	}
 	rng := rand.New(rand.NewSource(21))
 	// feasible instances: search stops at the first witness
 	for _, n := range []int{2, 3, 4, 5} {
 		m := workload.AsyncOnly(rng, n, 0.7)
+		_, stBase, _ := exact.FindSchedule(m, prunersOff(exact.Options{MaxLen: 8, Workers: exactWorkers}))
 		start := time.Now()
 		s, st, err := exact.FindSchedule(m, exact.Options{MaxLen: 8, Workers: exactWorkers})
 		elapsed := time.Since(start)
@@ -48,7 +55,7 @@ func E2ExactSearch() *Table {
 			schedLen = "err"
 		}
 		t.AddRow(n, m.DeadlineDensity(), "feasible", yesNo(found), schedLen,
-			st.NodesExplored, st.Candidates, elapsed.Round(time.Microsecond))
+			stBase.NodesExplored, st.NodesExplored, st.Candidates, elapsed.Round(time.Microsecond))
 	}
 	// Infeasible instances with exactly unit capacity (Σ 1/d = 1) are
 	// not rejected by the capacity bound — the searcher must exhaust
@@ -77,16 +84,27 @@ func E2ExactSearch() *Table {
 				Period: d, Deadline: d, Kind: core.Asynchronous,
 			})
 		}
+		_, stBase, _ := exact.FindSchedule(m, prunersOff(exact.Options{MaxLen: h.maxLen, Workers: exactWorkers}))
 		start := time.Now()
 		_, st, err := exact.FindSchedule(m, exact.Options{MaxLen: h.maxLen, Workers: exactWorkers})
 		elapsed := time.Since(start)
 		t.AddRow(len(h.ds), m.DeadlineDensity(), "tight", yesNo(err == nil), "-",
-			st.NodesExplored, st.Candidates, elapsed.Round(time.Microsecond))
+			stBase.NodesExplored, st.NodesExplored, st.Candidates, elapsed.Round(time.Microsecond))
 	}
 	t.Notes = append(t.Notes,
 		"feasible rows stop at the first witness; infeasible rows exhaust every length up to the bound,",
-		"so their explored-node counts expose the exponential decision cost (Theorem 2) under Theorem 1's termination guarantee")
+		"so their explored-node counts expose the exponential decision cost (Theorem 2) under Theorem 1's termination guarantee",
+		"nodes-explored is the seed engine (pruners off); nodes-pruned is the default engine (PR 5 pruners on) — identical verdicts")
 	return t
+}
+
+// prunersOff disables the PR-5 pruners, restoring the seed engine's
+// deterministic node counts for the before/after columns.
+func prunersOff(opt exact.Options) exact.Options {
+	opt.DisableSymmetry = true
+	opt.DisableMemo = true
+	opt.DisableBounds = true
+	return opt
 }
 
 // E3ThreePartition runs the Theorem 2(i) reduction: YES 3-PARTITION
@@ -97,7 +115,7 @@ func E3ThreePartition() *Table {
 	t := &Table{
 		ID:      "E3",
 		Title:   "Theorem 2(i): 3-PARTITION reduction (unit separator + rigid items)",
-		Columns: []string{"m", "B", "kind", "3P-solver", "sched-feasible", "decode-ok", "nodes-explored", "time"},
+		Columns: []string{"m", "B", "kind", "3P-solver", "sched-feasible", "decode-ok", "nodes-explored", "nodes-pruned", "time"},
 	}
 	cases := []struct {
 		tp   nphard.ThreePartition
@@ -112,15 +130,17 @@ func E3ThreePartition() *Table {
 		_, spOK := c.tp.Solve()
 		m, err := nphard.EncodeThreePartition(c.tp)
 		if err != nil {
-			t.AddRow(c.tp.M(), c.tp.B, c.kind, yesNo(spOK), "encode-err", "-", "-", "-")
+			t.AddRow(c.tp.M(), c.tp.B, c.kind, yesNo(spOK), "encode-err", "-", "-", "-", "-")
 			continue
 		}
 		n := c.tp.M() * (c.tp.B + 1)
-		start := time.Now()
-		s, st, err := exact.FindSchedule(m, exact.Options{
+		opt := exact.Options{
 			MinLen: n, MaxLen: n, RequireContiguous: true, MaxCandidates: 5_000_000,
 			Workers: exactWorkers,
-		})
+		}
+		_, stBase, _ := exact.FindSchedule(m, prunersOff(opt))
+		start := time.Now()
+		s, st, err := exact.FindSchedule(m, opt)
 		elapsed := time.Since(start)
 		feasible := err == nil
 		decodeOK := "-"
@@ -129,10 +149,11 @@ func E3ThreePartition() *Table {
 			decodeOK = yesNo(ok)
 		}
 		t.AddRow(c.tp.M(), c.tp.B, c.kind, yesNo(spOK), yesNo(feasible), decodeOK,
-			st.NodesExplored, elapsed.Round(time.Microsecond))
+			stBase.NodesExplored, st.NodesExplored, elapsed.Round(time.Microsecond))
 	}
 	t.Notes = append(t.Notes,
-		"feasibility of the encoding must equal the 3-PARTITION answer on every row")
+		"feasibility of the encoding must equal the 3-PARTITION answer on every row",
+		"nodes-explored is the seed engine (pruners off); nodes-pruned the default engine — the NO row's exhaustion shrinks the most")
 	return t
 }
 
@@ -145,7 +166,7 @@ func E4CyclicOrdering() *Table {
 	t := &Table{
 		ID:      "E4",
 		Title:   "Theorem 2(ii): CYCLIC ORDERING family (single ops, one deviant deadline, no pipelining)",
-		Columns: []string{"n", "triples", "CO-solver", "core-schedule", "arrangement", "solver-time"},
+		Columns: []string{"n", "triples", "CO-solver", "core-schedule", "arrangement", "nodes-explored", "nodes-pruned", "solver-time"},
 	}
 	rng := rand.New(rand.NewSource(33))
 	for _, n := range []int{4, 5, 6, 7} {
@@ -156,19 +177,23 @@ func E4CyclicOrdering() *Table {
 
 		m, err := nphard.EncodeCyclicCore(n, 1)
 		coreOK, arrOK := "-", "-"
+		nodesBase, nodesPruned := "-", "-"
 		if err == nil {
 			cycle := n + 1
-			s, _, serr := exact.FindSchedule(m, exact.Options{
+			opt := exact.Options{
 				MinLen: cycle, MaxLen: cycle, RequireContiguous: true,
 				Workers: exactWorkers,
-			})
+			}
+			_, stBase, _ := exact.FindSchedule(m, prunersOff(opt))
+			s, st, serr := exact.FindSchedule(m, opt)
 			coreOK = yesNo(serr == nil)
+			nodesBase, nodesPruned = fmt.Sprint(stBase.NodesExplored), fmt.Sprint(st.NodesExplored)
 			if serr == nil {
 				_, ok := nphard.DecodeArrangement(n, 1, s.Slots)
 				arrOK = yesNo(ok)
 			}
 		}
-		t.AddRow(n, len(co.Triples), yesNo(coOK), coreOK, arrOK, elapsed.Round(time.Microsecond))
+		t.AddRow(n, len(co.Triples), yesNo(coOK), coreOK, arrOK, nodesBase, nodesPruned, elapsed.Round(time.Microsecond))
 	}
 	t.Notes = append(t.Notes,
 		"the core encoding's feasible schedules are exactly circular arrangements; triple gadgets per [MOK 83]",

@@ -91,7 +91,10 @@ type Options struct {
 	ResultMemo int
 	// Exact is the per-request budget for the exhaustive fallback.
 	// MaxLen 0 picks the model's hyperperiod capped at MaxLenCap;
-	// MaxCandidates and Workers pass through (see exact.Options).
+	// MaxCandidates and Workers pass through (see exact.Options;
+	// Workers must be ≥ 0). The search pruners default to on, so the
+	// same admission budget refutes far deeper instances before a
+	// request sheds as ErrOverloaded or aborts on ErrBudget.
 	Exact exact.Options
 	// MaxLenCap caps the automatic MaxLen choice. Default 64.
 	MaxLenCap int

@@ -117,7 +117,12 @@ func ScheduleExact(m *Model, maxLen int) (*StaticSchedule, error) {
 
 // ExactOptions tune the exhaustive search; set Workers to
 // runtime.NumCPU() to fan the search out over all cores while keeping
-// the returned schedule deterministic.
+// the returned schedule deterministic (negative Workers is rejected
+// with a typed error — resolve "all CPUs" yourself). The three tree
+// pruners — orbit symmetry breaking, dominance memoization, and
+// demand-bound cuts (DESIGN.md §10) — are on by default and never
+// change the verdict or the witness; the Disable* fields restore the
+// unpruned engine.
 type ExactOptions = exact.Options
 
 // ExactStats reports exhaustive-search effort.
