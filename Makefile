@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet bench serve fuzz fuzz-short ci bench-json bench-load bench-load-smoke bench-solver bench-solver-smoke
+.PHONY: build test race vet bench serve fuzz fuzz-short ci bench-json bench-load bench-load-smoke bench-solver bench-solver-smoke bench-corpus bench-corpus-smoke
 
 build:
 	$(GO) build ./...
@@ -35,19 +35,22 @@ fuzz:
 	$(GO) test -run xxx -fuzz FuzzParse -fuzztime 10s ./internal/spec/
 	$(GO) test -run xxx -fuzz FuzzFingerprint -fuzztime 10s ./internal/spec/
 
-# 80 seconds spread across every fuzz target: parser, fingerprint,
-# the schedule store's segment reader (no-panic-on-any-bytes), and the
-# pruned-vs-seed differential oracle of the exact search.
+# 100 seconds spread across every fuzz target: parser, fingerprint,
+# the schedule store's segment reader (no-panic-on-any-bytes), the
+# pruned-vs-seed differential oracle of the exact search, and the
+# analytic tier's verdict-vs-oracle soundness check.
 fuzz-short:
 	$(GO) test -run xxx -fuzz FuzzParse -fuzztime 20s ./internal/spec/
 	$(GO) test -run xxx -fuzz FuzzFingerprint -fuzztime 20s ./internal/spec/
 	$(GO) test -run xxx -fuzz FuzzStoreDecode -fuzztime 20s ./internal/store/
 	$(GO) test -run xxx -fuzz FuzzExactPruned -fuzztime 20s ./internal/exact/
+	$(GO) test -run xxx -fuzz FuzzAnalysisSound -fuzztime 20s ./internal/analysis/
 
 # The CI gate: vet, the full suite under the race detector, the short
-# fuzz pass, then the load-suite and solver-suite smokes (results to
-# throwaway dirs so the committed bench/ numbers stay the curated ones).
-ci: test fuzz-short bench-load-smoke bench-solver-smoke
+# fuzz pass, then the load-, solver- and corpus-suite smokes (results
+# to throwaway dirs so the committed bench/ numbers stay the curated
+# ones).
+ci: test fuzz-short bench-load-smoke bench-solver-smoke bench-corpus-smoke
 
 # Machine-readable micro-benchmarks (ns/op, allocs/op) for tracking
 # the perf trajectory across PRs; writes bench/BENCH_<suite>.json.
@@ -75,3 +78,16 @@ bench-solver:
 # between pruner configurations end to end without touching bench/.
 bench-solver-smoke:
 	$(GO) run ./cmd/rtbench -solver $$(mktemp -d)
+
+# Random-DAG corpus suite: 2000 distinct isomorphism classes through
+# the admission pipeline with the analytic tier off vs on — per-tier
+# decision fractions, exact-search work saved, and a verdict-parity
+# cross-check; writes bench/BENCH_corpus.json.
+bench-corpus:
+	$(GO) run ./cmd/rtbench -corpus bench -corpus-n 2000
+
+# Corpus suite into a throwaway directory at smoke size — the CI gate
+# that runs the generator, both pipeline configurations, and the
+# parity cross-check end to end.
+bench-corpus-smoke:
+	$(GO) run ./cmd/rtbench -corpus $$(mktemp -d) -corpus-n 200

@@ -1,0 +1,355 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"time"
+
+	"rtm/internal/core"
+	"rtm/internal/exact"
+	"rtm/internal/service"
+	"rtm/internal/workload"
+)
+
+// This file implements -corpus: the analytic-tier acceptance suite.
+// It draws N distinct isomorphism classes from the layered random-DAG
+// generator across three deadline-tightness regimes, pushes every
+// class through the full admission pipeline twice — analysis tier off,
+// then on — and writes per-tier decision fractions plus the exact-
+// search work (wall time, searches, nodes) the tier saved to
+// DIR/BENCH_corpus.json. The two runs double as a scale soundness
+// check: any verdict disagreement the exact bound cannot explain
+// aborts the suite.
+
+const (
+	// corpusMaxLenCap bounds the exact stage's automatic schedule
+	// length so a refutation-heavy draw cannot stall the suite.
+	corpusMaxLenCap = 24
+	// corpusMaxCandidates is the per-request exact budget; draws that
+	// exhaust it stay undecided, which the suite reports but tolerates.
+	corpusMaxCandidates = 20_000
+)
+
+// corpusRegime is one band of the corpus mix: a deadline-tightness
+// range (Stretch), a period-to-deadline range (PeriodStretch), and the
+// asynchronous share of its constraints.
+type corpusRegime struct {
+	Name      string  `json:"name"`
+	StretchLo float64 `json:"stretch_lo"`
+	StretchHi float64 `json:"stretch_hi"`
+	PeriodLo  float64 `json:"period_lo"`
+	PeriodHi  float64 `json:"period_hi"`
+	AsyncMax  float64 `json:"async_max"`
+	Share     float64 `json:"share"`
+	Classes   int     `json:"classes"`
+}
+
+// corpusRegimes is the fixed mix. Tight draws mostly refute, loose
+// draws mostly construct, the middle band is where the verdict is
+// genuinely in play. The anchored band (periodic-heavy, p ≫ d) is
+// where the analytic tier earns its keep against the exact search:
+// deadline windows that are individually satisfiable but overloaded in
+// aggregate defeat the searcher's per-window cuts — it must branch to
+// find the contradiction — while the cross-element demand sum refutes
+// them in O(model).
+func corpusRegimes() []corpusRegime {
+	return []corpusRegime{
+		{Name: "tight", StretchLo: 1.0, StretchHi: 1.15, PeriodLo: 1.0, PeriodHi: 2.0, AsyncMax: 1.0, Share: 0.25},
+		{Name: "mid", StretchLo: 1.2, StretchHi: 1.8, PeriodLo: 1.0, PeriodHi: 2.0, AsyncMax: 1.0, Share: 0.3},
+		{Name: "loose", StretchLo: 2.0, StretchHi: 3.5, PeriodLo: 1.0, PeriodHi: 2.0, AsyncMax: 1.0, Share: 0.25},
+		{Name: "anchored", StretchLo: 1.0, StretchHi: 1.4, PeriodLo: 2.5, PeriodHi: 6.0, AsyncMax: 0.15, Share: 0.2},
+	}
+}
+
+// corpusClass is one distinct isomorphism class of the corpus.
+type corpusClass struct {
+	m      *core.Model
+	regime string
+	bound  int // the exact stage's MaxLen for this model
+}
+
+// corpusVerdict is what one run decided about one class.
+type corpusVerdict struct {
+	decided    bool
+	feasible   bool
+	source     string
+	witnessLen int
+}
+
+// buildCorpus draws classes regime by regime, deduplicating on the
+// canonical fingerprint until every regime hits its quota.
+func buildCorpus(seed int64, n int) ([]corpusClass, []corpusRegime, error) {
+	regimes := corpusRegimes()
+	seen := make(map[string]bool, n)
+	classes := make([]corpusClass, 0, n)
+	for ri := range regimes {
+		reg := &regimes[ri]
+		quota := int(float64(n) * reg.Share)
+		if ri == len(regimes)-1 {
+			quota = n - len(classes) // absorb rounding in the last band
+		}
+		rng := rand.New(rand.NewSource(seed + int64(ri)*7919))
+		attempts := 0
+		for got := 0; got < quota; attempts++ {
+			if attempts > 200*quota+1000 {
+				return nil, nil, fmt.Errorf("corpus: regime %s stalled at %d/%d distinct classes", reg.Name, got, quota)
+			}
+			p := workload.LayeredParams{
+				Layers:        1 + rng.Intn(3),
+				Width:         1 + rng.Intn(3),
+				Density:       0.3 + 0.4*rng.Float64(),
+				MaxWeight:     1 + rng.Intn(3),
+				Constraints:   1 + rng.Intn(4),
+				ChainLen:      1 + rng.Intn(4),
+				AsyncFrac:     reg.AsyncMax * rng.Float64(),
+				Stretch:       reg.StretchLo + (reg.StretchHi-reg.StretchLo)*rng.Float64(),
+				PeriodStretch: reg.PeriodLo + (reg.PeriodHi-reg.PeriodLo)*rng.Float64(),
+			}
+			m, err := workload.Layered(rng, p)
+			if err != nil {
+				continue
+			}
+			fp := core.Fingerprint(m)
+			if seen[fp] {
+				continue
+			}
+			seen[fp] = true
+			bound := m.Hyperperiod()
+			if bound > corpusMaxLenCap {
+				bound = corpusMaxLenCap
+			}
+			classes = append(classes, corpusClass{m: m, regime: reg.Name, bound: bound})
+			reg.Classes++
+			got++
+		}
+	}
+	return classes, regimes, nil
+}
+
+// corpusRun is the measured outcome of pushing the whole corpus
+// through one service configuration.
+type corpusRun struct {
+	Name         string `json:"name"`
+	AnalysisTier bool   `json:"analysis_tier"`
+	WallMS       int64  `json:"wall_ms"`
+
+	Decided    int `json:"decided"`
+	Feasible   int `json:"feasible"`
+	Infeasible int `json:"infeasible"`
+	Undecided  int `json:"undecided"`
+
+	AnalysisSolved  int64 `json:"analysis_solved"`
+	AnalysisRefuted int64 `json:"analysis_refuted"`
+	HeuristicSolved int64 `json:"heuristic_solved"`
+	Searches        int64 `json:"searches"`
+	ExactNodes      int64 `json:"exact_nodes_total"`
+	SearchMS        int64 `json:"search_ms"`
+
+	// per-request cold-path latency across the corpus (every class is
+	// a cache miss — fresh service, distinct classes)
+	P50US int64 `json:"p50_us"`
+	P95US int64 `json:"p95_us"`
+	P99US int64 `json:"p99_us"`
+
+	FracAnalysis  float64 `json:"frac_analysis"`
+	FracHeuristic float64 `json:"frac_heuristic"`
+	FracExact     float64 `json:"frac_exact"`
+	FracUndecided float64 `json:"frac_undecided"`
+}
+
+// runCorpus pushes every class through a fresh service and records
+// the per-class verdicts plus the aggregate tier counters.
+func runCorpus(name string, classes []corpusClass, analysisTier bool) (corpusRun, []corpusVerdict, error) {
+	svc := service.New(service.Options{
+		DisableAnalysis:   !analysisTier,
+		SearchConcurrency: -1, // sequential callers; never shed
+		MaxLenCap:         corpusMaxLenCap,
+		Exact:             exact.Options{MaxCandidates: corpusMaxCandidates},
+	})
+	ctx := context.Background()
+	verdicts := make([]corpusVerdict, len(classes))
+	lats := make([]time.Duration, 0, len(classes))
+	run := corpusRun{Name: name, AnalysisTier: analysisTier}
+	start := time.Now()
+	for i, c := range classes {
+		t0 := time.Now()
+		res, err := svc.Schedule(ctx, c.m)
+		lats = append(lats, time.Since(t0))
+		if err != nil {
+			return run, nil, fmt.Errorf("%s: class %d (%s): %w", name, i, core.Fingerprint(c.m), err)
+		}
+		v := corpusVerdict{decided: res.Decided, feasible: res.Feasible, source: res.Source}
+		if res.Schedule != nil {
+			v.witnessLen = len(res.Schedule.Slots)
+		}
+		verdicts[i] = v
+		switch {
+		case !res.Decided:
+			run.Undecided++
+		case res.Feasible:
+			run.Decided++
+			run.Feasible++
+		default:
+			run.Decided++
+			run.Infeasible++
+		}
+		if (i+1)%500 == 0 {
+			fmt.Printf("  %s: %d/%d classes\n", name, i+1, len(classes))
+		}
+	}
+	run.WallMS = time.Since(start).Milliseconds()
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	run.P50US = percentile(lats, 50)
+	run.P95US = percentile(lats, 95)
+	run.P99US = percentile(lats, 99)
+	snap := svc.Metrics().Snapshot()
+	run.AnalysisSolved = snap["analysis_solved"]
+	run.AnalysisRefuted = snap["analysis_refuted"]
+	run.HeuristicSolved = snap["heuristic_solved"]
+	run.Searches = snap["searches"]
+	run.ExactNodes = snap["exact_nodes_total"]
+	run.SearchMS = snap["search_ns_total"] / 1e6
+	n := float64(len(classes))
+	if n > 0 {
+		run.FracAnalysis = float64(run.AnalysisSolved+run.AnalysisRefuted) / n
+		run.FracHeuristic = float64(run.HeuristicSolved) / n
+		run.FracExact = float64(run.Searches) / n
+		run.FracUndecided = float64(run.Undecided) / n
+	}
+	return run, verdicts, nil
+}
+
+// checkParity cross-checks the two runs' verdicts class by class.
+// A disagreement is a soundness bug unless the exact bound explains
+// it: an exact "infeasible" only proves no schedule up to the MaxLen
+// bound, so a verified witness longer than that bound from the other
+// run is a bound artifact, not a contradiction. An analytic
+// refutation claims every length, so any verified witness against it
+// is fatal.
+func checkParity(classes []corpusClass, off, on []corpusVerdict) (agree, partial, boundArtifacts int, err error) {
+	for i := range classes {
+		a, b := off[i], on[i]
+		if !a.decided || !b.decided {
+			partial++
+			continue
+		}
+		if a.feasible == b.feasible {
+			agree++
+			continue
+		}
+		feas, infeas := a, b
+		if b.feasible {
+			feas, infeas = b, a
+		}
+		if infeas.source == "analysis" || feas.witnessLen <= classes[i].bound {
+			return 0, 0, 0, fmt.Errorf(
+				"soundness mismatch on class %s (regime %s): feasible via %s (witness len %d) vs infeasible via %s (bound %d)",
+				core.Fingerprint(classes[i].m), classes[i].regime,
+				feas.source, feas.witnessLen, infeas.source, classes[i].bound)
+		}
+		boundArtifacts++
+	}
+	return agree, partial, boundArtifacts, nil
+}
+
+// corpusDoc is the BENCH_corpus.json document.
+type corpusDoc struct {
+	Suite      string `json:"suite"`
+	GoMaxProcs int    `json:"gomaxprocs"`
+	GoVersion  string `json:"go_version"`
+	Seed       int64  `json:"seed"`
+	Classes    int    `json:"classes"`
+
+	Regimes []corpusRegime `json:"regimes"`
+	Runs    []corpusRun    `json:"runs"` // [analysis off, analysis on]
+
+	ParityAgree    int `json:"parity_agree"`
+	ParityPartial  int `json:"parity_partial"`
+	BoundArtifacts int `json:"bound_artifacts"`
+
+	SearchesSaved   int64   `json:"searches_saved"`
+	ExactNodesSaved int64   `json:"exact_nodes_saved"`
+	WallMSSaved     int64   `json:"wall_ms_saved"`
+	SpeedupX        float64 `json:"speedup_x"`
+	P50SpeedupX     float64 `json:"p50_speedup_x"`
+}
+
+// writeCorpusJSON runs the corpus suite and writes BENCH_corpus.json
+// into dir.
+func writeCorpusJSON(dir string, n int, seed int64) error {
+	if n <= 0 {
+		return fmt.Errorf("corpus: class count must be positive, got %d", n)
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	fmt.Printf("drawing %d distinct classes (seed %d)...\n", n, seed)
+	classes, regimes, err := buildCorpus(seed, n)
+	if err != nil {
+		return err
+	}
+	for _, r := range regimes {
+		fmt.Printf("  regime %-5s stretch [%.2f, %.2f]: %d classes\n", r.Name, r.StretchLo, r.StretchHi, r.Classes)
+	}
+
+	offRun, offV, err := runCorpus("analysis_off", classes, false)
+	if err != nil {
+		return err
+	}
+	onRun, onV, err := runCorpus("analysis_on", classes, true)
+	if err != nil {
+		return err
+	}
+	agree, partial, artifacts, err := checkParity(classes, offV, onV)
+	if err != nil {
+		return err
+	}
+
+	doc := corpusDoc{
+		Suite:          "corpus",
+		GoMaxProcs:     runtime.GOMAXPROCS(0),
+		GoVersion:      runtime.Version(),
+		Seed:           seed,
+		Classes:        len(classes),
+		Regimes:        regimes,
+		Runs:           []corpusRun{offRun, onRun},
+		ParityAgree:    agree,
+		ParityPartial:  partial,
+		BoundArtifacts: artifacts,
+
+		SearchesSaved:   offRun.Searches - onRun.Searches,
+		ExactNodesSaved: offRun.ExactNodes - onRun.ExactNodes,
+		WallMSSaved:     offRun.WallMS - onRun.WallMS,
+	}
+	if onRun.WallMS > 0 {
+		doc.SpeedupX = float64(offRun.WallMS) / float64(onRun.WallMS)
+	}
+	if onRun.P50US > 0 {
+		doc.P50SpeedupX = float64(offRun.P50US) / float64(onRun.P50US)
+	}
+
+	for _, r := range doc.Runs {
+		fmt.Printf("%-12s wall=%dms p50=%dµs p95=%dµs analysis=%.1f%% heuristic=%.1f%% exact=%.1f%% undecided=%.1f%% searches=%d nodes=%d\n",
+			r.Name, r.WallMS, r.P50US, r.P95US, 100*r.FracAnalysis, 100*r.FracHeuristic, 100*r.FracExact, 100*r.FracUndecided,
+			r.Searches, r.ExactNodes)
+	}
+	fmt.Printf("parity: %d agree, %d partial, %d bound artifacts; saved %d searches / %d nodes / %dms (wall %.2fx, p50 %.2fx)\n",
+		agree, partial, artifacts, doc.SearchesSaved, doc.ExactNodesSaved, doc.WallMSSaved, doc.SpeedupX, doc.P50SpeedupX)
+
+	data, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	path := filepath.Join(dir, "BENCH_corpus.json")
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s (%d classes)\n", path, len(classes))
+	return nil
+}

@@ -12,11 +12,16 @@
 // runs the exact-search pruner suite — the refutation-heavy E2/E3/E4
 // rows, pruners off vs. on, plus both transposition-table sharing
 // modes — and writes node counts, cut tallies and wall time to
-// DIR/BENCH_exact_prune.json.
+// DIR/BENCH_exact_prune.json. With -corpus DIR it draws -corpus-n
+// distinct random layered-DAG classes and runs the whole set through
+// the admission pipeline with the analytic tier off and on, writing
+// per-tier decision fractions, the exact-search work saved, and a
+// verdict-parity cross-check to DIR/BENCH_corpus.json.
 //
 // Usage:
 //
 //	rtbench [-only E3] [-workers N] [-json DIR] [-load DIR] [-solver DIR]
+//	        [-corpus DIR [-corpus-n N] [-corpus-seed S]]
 package main
 
 import (
@@ -33,8 +38,18 @@ func main() {
 	jsonDir := flag.String("json", "", "write machine-readable benchmark results to this directory instead of running experiments")
 	loadDir := flag.String("load", "", "run the service load suite and write BENCH_service_load.json to this directory")
 	solverDir := flag.String("solver", "", "run the exact-search pruner suite and write BENCH_exact_prune.json to this directory")
+	corpusDir := flag.String("corpus", "", "run the random-DAG corpus suite and write BENCH_corpus.json to this directory")
+	corpusN := flag.Int("corpus-n", 2000, "distinct isomorphism classes to draw for -corpus")
+	corpusSeed := flag.Int64("corpus-seed", 1, "generator seed for -corpus")
 	flag.Parse()
 
+	if *corpusDir != "" {
+		if err := writeCorpusJSON(*corpusDir, *corpusN, *corpusSeed); err != nil {
+			fmt.Fprintf(os.Stderr, "rtbench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if *solverDir != "" {
 		if err := writeSolverJSON(*solverDir); err != nil {
 			fmt.Fprintf(os.Stderr, "rtbench: %v\n", err)

@@ -6,7 +6,8 @@
 // Usage:
 //
 //	rtserved [-addr :8437] [-cache 256] [-shards 8] [-memo 8]
-//	         [-workers N] [-prune] [-maxlen L] [-maxcand C] [-timeout 30s]
+//	         [-workers N] [-prune] [-analysis-tier] [-maxlen L]
+//	         [-maxcand C] [-timeout 30s]
 //	         [-search-concurrency N] [-queue-wait 500ms]
 //	         [-store-dir DIR] [-max-body BYTES] [-resp-cache 1024]
 //	         [-pprof PORT]
@@ -71,6 +72,7 @@ func main() {
 	memo := flag.Int("memo", 8, "verified-hit memo slots per cache entry (-1 disables)")
 	workers := flag.Int("workers", -1, "exact-search workers per request (-1 = all CPUs)")
 	prune := flag.Bool("prune", true, "enable the exact-search pruners (symmetry, memo, bounds); -prune=false restores the bit-for-bit seed search")
+	analysisTier := flag.Bool("analysis-tier", true, "enable the analytic admission tier (O(model) YES/NO before heuristic/exact); -analysis-tier=false measures what it saves")
 	maxLen := flag.Int("maxlen", 0, "exact-search schedule length bound (0 = hyperperiod, capped)")
 	maxCand := flag.Int("maxcand", 0, "exact-search candidate budget per request (0 = unlimited)")
 	timeout := flag.Duration("timeout", 30*time.Second, "per-request scheduling timeout")
@@ -99,15 +101,16 @@ func main() {
 		*workers = runtime.GOMAXPROCS(0)
 	}
 	svc := service.New(service.Options{
-		CacheSize:         *cacheSize,
-		CacheShards:       *cacheShards,
-		ResultMemo:        *memo,
+		CacheSize:   *cacheSize,
+		CacheShards: *cacheShards,
+		ResultMemo:  *memo,
 		Exact: exact.Options{
 			MaxLen: *maxLen, MaxCandidates: *maxCand, Workers: *workers,
 			DisableSymmetry: !*prune, DisableMemo: !*prune, DisableBounds: !*prune,
 		},
 		SearchConcurrency: *searchConc,
 		SearchQueueWait:   *queueWait,
+		DisableAnalysis:   !*analysisTier,
 		Store:             st,
 	})
 	d := newDaemon(svc, *timeout, *maxBody, *respCacheSize)

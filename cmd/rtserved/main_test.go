@@ -140,7 +140,7 @@ func TestServedMetricsAndHealth(t *testing.T) {
 		t.Fatal(err)
 	}
 	text := string(raw)
-	for _, want := range []string{"rtm_requests 1", "rtm_searches 1", "rtm_cache_len 1"} {
+	for _, want := range []string{"rtm_requests 1", "rtm_cache_misses 1", "rtm_cache_len 1"} {
 		if !strings.Contains(text, want) {
 			t.Fatalf("metrics missing %q:\n%s", want, text)
 		}
@@ -277,13 +277,14 @@ func TestServedStoreWarmRestart(t *testing.T) {
 	}
 
 	// the corrupted record was skipped: its class recomputes (one
-	// search), is served correctly, and is written through again
+	// fresh admission pipeline), is served correctly, and is written
+	// through again
 	_, redo := postSpec(t, srv2.URL, auxSpec)
 	if redo.Source == "store" || !redo.Feasible {
 		t.Fatalf("corrupted class response: %+v", redo)
 	}
-	if got := metricValue(t, srv2.URL, "searches"); got != 1 {
-		t.Fatalf("corrupted class reran %d searches, want 1", got)
+	if got := metricValue(t, srv2.URL, "cache_misses"); got != 1 {
+		t.Fatalf("corrupted class reran %d pipelines, want 1", got)
 	}
 	if got := metricValue(t, srv2.URL, "store_len"); got != 2 {
 		t.Fatalf("store_len after heal = %d, want 2", got)

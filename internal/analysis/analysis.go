@@ -114,6 +114,10 @@ func Analyze(m *core.Model) (*Report, error) {
 		r.NecessaryFailures = append(r.NecessaryFailures,
 			fmt.Sprintf("total element pressure %.3f exceeds processor capacity 1", r.TotalPressure))
 	}
+	if refuted, why := DemandRefute(m); refuted {
+		r.NecessaryOK = false
+		r.NecessaryFailures = append(r.NecessaryFailures, why)
+	}
 	r.Theorem3OK = heuristic.CheckTheorem3Hypotheses(m) == nil
 	return r, nil
 }

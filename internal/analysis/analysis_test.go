@@ -1,10 +1,11 @@
-package analysis
+package analysis_test
 
 import (
 	"math/rand"
 	"strings"
 	"testing"
 
+	"rtm/internal/analysis"
 	"rtm/internal/core"
 	"rtm/internal/exact"
 	"rtm/internal/heuristic"
@@ -13,14 +14,14 @@ import (
 
 func TestAnalyzeExample(t *testing.T) {
 	m := core.ExampleSystem(core.DefaultExampleParams())
-	r, err := Analyze(m)
+	r, err := analysis.Analyze(m)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if !r.NecessaryOK {
 		t.Fatalf("example should pass necessary conditions:\n%s", r)
 	}
-	byName := map[string]ConstraintInfo{}
+	byName := map[string]analysis.ConstraintInfo{}
 	for _, c := range r.Constraints {
 		byName[c.Name] = c
 	}
@@ -59,7 +60,7 @@ func TestAnalyzeBranchingCriticalPath(t *testing.T) {
 	task.AddPrec("l", "t")
 	task.AddPrec("r", "t")
 	m.AddConstraint(&core.Constraint{Name: "D", Task: task, Period: 20, Deadline: 20, Kind: core.Periodic})
-	r, err := Analyze(m)
+	r, err := analysis.Analyze(m)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -88,7 +89,7 @@ func TestNecessaryFailsOnOverPressure(t *testing.T) {
 	// pressure: a 1/2 + b max(1/2, 1/3) = 1/2 -> total 1.0 OK; tighten:
 	m.Constraints[0].Deadline = 1
 	m.Constraints[0].Period = 1
-	r, err := Analyze(m)
+	r, err := analysis.Analyze(m)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -96,8 +97,8 @@ func TestNecessaryFailsOnOverPressure(t *testing.T) {
 	if r.NecessaryOK {
 		t.Fatalf("over-pressure not detected:\n%s", r)
 	}
-	v, _, err := Decide(m)
-	if err != nil || v != Infeasible {
+	v, _, err := analysis.Decide(m)
+	if err != nil || v != analysis.Infeasible {
 		t.Fatalf("verdict = %v, %v", v, err)
 	}
 }
@@ -109,11 +110,11 @@ func TestDecideFeasibleViaTheorem3(t *testing.T) {
 		Name: "A", Task: core.ChainTask("a"),
 		Period: 8, Deadline: 8, Kind: core.Asynchronous,
 	})
-	v, r, err := Decide(m)
+	v, r, err := analysis.Decide(m)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if v != Feasible || !r.Theorem3OK {
+	if v != analysis.Feasible || !r.Theorem3OK {
 		t.Fatalf("verdict = %v\n%s", v, r)
 	}
 	// the certificate must be honest: the constructive scheduler works
@@ -124,14 +125,15 @@ func TestDecideFeasibleViaTheorem3(t *testing.T) {
 
 func TestDecideUnknown(t *testing.T) {
 	m := core.ExampleSystem(core.DefaultExampleParams())
-	v, _, err := Decide(m)
+	v, _, err := analysis.Decide(m)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if v != Unknown {
+	if v != analysis.Unknown {
 		t.Fatalf("verdict = %v", v)
 	}
-	if v.String() != "unknown" || Infeasible.String() != "infeasible" || Feasible.String() != "feasible" {
+	if v.String() != "unknown" || analysis.Infeasible.String() != "infeasible" ||
+		analysis.Feasible.String() != "feasible" {
 		t.Fatal("verdict strings wrong")
 	}
 }
@@ -143,14 +145,14 @@ func TestAnalyzeInvalidModel(t *testing.T) {
 		Name: "A", Task: core.ChainTask("a"),
 		Period: 4, Deadline: 4, Kind: core.Periodic,
 	})
-	if _, err := Analyze(m); err == nil {
+	if _, err := analysis.Analyze(m); err == nil {
 		t.Fatal("invalid model analyzed")
 	}
 }
 
 func TestReportString(t *testing.T) {
 	m := core.ExampleSystem(core.DefaultExampleParams())
-	r, _ := Analyze(m)
+	r, _ := analysis.Analyze(m)
 	out := r.String()
 	for _, want := range []string{"constraint analysis:", "total element pressure:", "Theorem 3"} {
 		if !strings.Contains(out, want) {
@@ -170,12 +172,12 @@ func TestVerdictSoundnessProperty(t *testing.T) {
 		if m.Validate() != nil {
 			continue
 		}
-		v, _, err := Decide(m)
+		v, _, err := analysis.Decide(m)
 		if err != nil {
 			t.Fatal(err)
 		}
 		switch v {
-		case Infeasible:
+		case analysis.Infeasible:
 			ok, _, err := exact.Feasible(m, 6)
 			if err != nil {
 				t.Fatal(err)
@@ -184,7 +186,7 @@ func TestVerdictSoundnessProperty(t *testing.T) {
 				t.Fatalf("Infeasible verdict but schedule found for %+v", m.Constraints)
 			}
 			checked++
-		case Feasible:
+		case analysis.Feasible:
 			if _, err := heuristic.Theorem3Schedule(m); err != nil {
 				t.Fatalf("Feasible verdict but construction failed: %v", err)
 			}

@@ -1,0 +1,69 @@
+package analysis
+
+import (
+	"strings"
+
+	"rtm/internal/core"
+	"rtm/internal/sched"
+)
+
+// FastDecision is the outcome of the analytic admission tier. Its
+// invariant is asymmetric by design: Infeasible rests on necessary
+// conditions (slack, element pressure, window demand — each a proof
+// that no static schedule exists), while Feasible is never taken on a
+// screen's word — it always carries a materialized Witness together
+// with the Checker report proving it against the exact trace
+// semantics. Unknown defers to the heuristic and exact tiers.
+type FastDecision struct {
+	Verdict Verdict
+	// Reason explains an Infeasible verdict (the violated conditions)
+	// or names the certifying construction for Feasible.
+	Reason string
+	// Witness is the verified schedule; non-nil iff Verdict is
+	// Feasible.
+	Witness *sched.Schedule
+	// Check is the Checker report for Witness (Feasible only).
+	Check *sched.Report
+	// Servers maps constraint name to the {period, deadline} the
+	// construction chose (Feasible only).
+	Servers map[string][2]int
+	// Analysis is the full static report backing the verdict.
+	Analysis *Report
+}
+
+// DecideFast runs the complete analytic tier on m: the necessary
+// battery (per-constraint slack, aggregate element pressure, the
+// demand-bound sweep of DemandRefute) for NO, then the generalized
+// Theorem-3 construction (Construct) for YES. Everything is
+// search-free — O(model) extraction plus a bounded sweep and at most
+// two EDF layouts over a capped hyperperiod — so it is safe to run on
+// every cold request before any exponential machinery starts. The
+// model must validate.
+func DecideFast(m *core.Model) (*FastDecision, error) {
+	r, err := Analyze(m)
+	if err != nil {
+		return nil, err
+	}
+	if !r.NecessaryOK {
+		return &FastDecision{
+			Verdict:  Infeasible,
+			Reason:   strings.Join(r.NecessaryFailures, "; "),
+			Analysis: r,
+		}, nil
+	}
+	c, ok, err := Construct(m)
+	if err != nil {
+		return nil, err
+	}
+	if ok {
+		return &FastDecision{
+			Verdict:  Feasible,
+			Reason:   "generalized Theorem-3 construction, witness verified",
+			Witness:  c.Schedule,
+			Check:    c.Report,
+			Servers:  c.Servers,
+			Analysis: r,
+		}, nil
+	}
+	return &FastDecision{Verdict: Unknown, Analysis: r}, nil
+}

@@ -1,0 +1,215 @@
+package analysis
+
+import (
+	"fmt"
+
+	"rtm/internal/core"
+)
+
+// This file is the search-free demand-bound core: the window-demand
+// extraction shared with the exact search (internal/exact builds its
+// incremental pruning state from WindowSpecs) and the closed-form
+// necessary test DemandRefute built on top of it. The exact search
+// applies the same window arithmetic incrementally per placed slot;
+// here the windows are summed analytically over the trace prefix, so a
+// model can be refuted in O(model + points) without ever descending
+// into the schedule tree.
+
+// ElementNeed is one element's slot demand inside a deadline window:
+// the element must occupy at least Slots of the window's positions
+// (weight × multiplicity in the constraint's task graph — a relaxation
+// of the whole-execution requirement, hence a necessary condition).
+type ElementNeed struct {
+	Elem  string
+	Slots int
+}
+
+// WindowSpec is the window-demand form of one timing constraint. An
+// asynchronous constraint (Period 0 here) may be invoked at any
+// integral instant, so EVERY window of length D in the trace must
+// carry the demand; a periodic constraint with d ≤ p is invoked at
+// multiples of its period, so only the anchored windows [jp, jp+D) do.
+// Periodic constraints with d > p have overlapping windows whose
+// demands are not additive; they yield no spec.
+type WindowSpec struct {
+	Constraint string
+	D          int
+	Period     int // 0 = sliding (asynchronous)
+	Need       []ElementNeed
+}
+
+// WindowSpecs extracts the per-constraint window demands of m: the
+// demand-bound core shared by this package's analytic tests and the
+// exact search's incremental pruners. Need entries appear in
+// first-seen task-node order, with Slots accumulating weight ×
+// multiplicity per element.
+func WindowSpecs(m *core.Model) []WindowSpec {
+	var out []WindowSpec
+	for _, c := range m.Constraints {
+		var spec WindowSpec
+		switch c.Kind {
+		case core.Asynchronous:
+			spec = WindowSpec{Constraint: c.Name, D: c.Deadline}
+		case core.Periodic:
+			if c.Deadline > c.Period {
+				continue
+			}
+			spec = WindowSpec{Constraint: c.Name, D: c.Deadline, Period: c.Period}
+		default:
+			continue
+		}
+		idx := make(map[string]int)
+		for _, node := range c.Task.Nodes() {
+			e := c.Task.ElementOf(node)
+			w := m.Comm.WeightOf(e)
+			if w <= 0 {
+				continue
+			}
+			if i, ok := idx[e]; ok {
+				spec.Need[i].Slots += w
+			} else {
+				idx[e] = len(spec.Need)
+				spec.Need = append(spec.Need, ElementNeed{Elem: e, Slots: w})
+			}
+		}
+		out = append(out, spec)
+	}
+	return out
+}
+
+// demandCurve is one constraint's forced occurrence count of one
+// element as a step function of the trace prefix length: zero before
+// start, then +k at start, start+period, start+2·period, …
+//
+// Asynchronous constraints use the chain of disjoint windows
+// [0,d), [d,2d), …: every window of length d must carry k slots of the
+// element, so ⌊L/d⌋·k slots are forced inside [0, L). Periodic
+// constraints (d ≤ p) use their anchored windows [jp, jp+d), disjoint
+// because d ≤ p, forcing (j+1)·k slots by L = jp + d.
+type demandCurve struct {
+	start  int
+	period int
+	k      int
+}
+
+func (c demandCurve) at(L int) int {
+	if L < c.start {
+		return 0
+	}
+	return (1 + (L-c.start)/c.period) * c.k
+}
+
+// demandSweepCap bounds the prefix lengths DemandRefute examines.
+// Soundness never depends on the cap — every tested point is a genuine
+// necessary condition — it only bounds how far the sweep looks.
+const demandSweepCap = 2048
+
+// DemandRefute decides whether m is infeasible by the aggregate
+// demand-bound argument: for each element e, the forced occurrence
+// count of e within the trace prefix [0, L) is the maximum over the
+// constraints using e of that constraint's window-chain demand (one
+// slot of e may serve every constraint whose window contains it, hence
+// max, not sum); slots are exclusive across elements, so the summed
+// forced counts may not exceed L. The sweep evaluates every prefix
+// length where some curve steps, up to demandSweepCap. It returns a
+// human-readable certificate for the first violated prefix.
+//
+// This is strictly stronger than the long-run pressure test for
+// anchored (periodic) demand, whose windows concentrate work early:
+// two periodic constraints with p = 10, d = 2 and two units of work
+// each pass Σ pressure = 0.4 but force 4 slots into the first 2.
+func DemandRefute(m *core.Model) (bool, string) {
+	specs := WindowSpecs(m)
+	// curves grouped per element, in first-seen order
+	curveIdx := make(map[string]int)
+	var curves [][]demandCurve
+	for _, s := range specs {
+		period := s.Period
+		if period == 0 {
+			period = s.D
+		}
+		for _, nd := range s.Need {
+			if nd.Slots <= 0 {
+				continue
+			}
+			i, ok := curveIdx[nd.Elem]
+			if !ok {
+				i = len(curves)
+				curveIdx[nd.Elem] = i
+				curves = append(curves, nil)
+			}
+			curves[i] = append(curves[i], demandCurve{start: s.D, period: period, k: nd.Slots})
+		}
+	}
+	if len(curves) == 0 {
+		return false, ""
+	}
+	// Refutation horizon: per element, max_c at(L) ≤ maxK + maxSlope·L
+	// (since at(L) = k + ⌊(L−start)/period⌋·k ≤ k + L·k/period), so the
+	// summed envelope A + B·L bounds forced(L). With B < 1 the envelope
+	// drops below the line total > L past A/(1−B) — no later prefix can
+	// refute, and the sweep may stop there instead of at the cap.
+	bound := demandSweepCap
+	var a int
+	var b float64
+	for _, cs := range curves {
+		maxK, maxSlope := 0, 0.0
+		for _, c := range cs {
+			if c.k > maxK {
+				maxK = c.k
+			}
+			if s := float64(c.k) / float64(c.period); s > maxSlope {
+				maxSlope = s
+			}
+		}
+		a += maxK
+		b += maxSlope
+	}
+	if b < 1 {
+		if h := int(float64(a)/(1-b)) + 1; h < bound {
+			bound = h
+		}
+	}
+	// Sweep the step points of every curve up to the horizon by merging
+	// the specs' arithmetic progressions (start D, stride period) — no
+	// materialized point set, no sort. Each iteration visits the least
+	// pending step point and advances every progression sitting on it.
+	next := make([]int, len(specs))
+	stride := make([]int, len(specs))
+	for i, s := range specs {
+		next[i] = s.D
+		stride[i] = s.Period
+		if stride[i] == 0 {
+			stride[i] = s.D
+		}
+	}
+	for {
+		L := bound + 1
+		for _, n := range next {
+			if n < L {
+				L = n
+			}
+		}
+		if L > bound {
+			return false, ""
+		}
+		for i, n := range next {
+			if n == L {
+				next[i] += stride[i]
+			}
+		}
+		total := 0
+		for _, cs := range curves {
+			forced := 0
+			for _, c := range cs {
+				if f := c.at(L); f > forced {
+					forced = f
+				}
+			}
+			total += forced
+		}
+		if total > L {
+			return true, fmt.Sprintf("window demand forces %d slots into every trace prefix of length %d", total, L)
+		}
+	}
+}

@@ -1,0 +1,70 @@
+package analysis_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"rtm/internal/analysis"
+	"rtm/internal/exact"
+	"rtm/internal/sched"
+	"rtm/internal/workload"
+)
+
+// FuzzAnalysisSound is the differential soundness target for the
+// analytic tier: on corpus-style random models, DecideFast's verdict
+// may never contradict the exact oracle. An Infeasible verdict claims
+// no cyclic schedule of ANY length exists, so finding one at any
+// bounded length is a refutation of the refuter; a Feasible verdict
+// must ship a witness the independent Checker accepts. Unknown is
+// always allowed — the tier's only failure mode is being wrong, never
+// being incomplete.
+func FuzzAnalysisSound(f *testing.F) {
+	f.Add(int64(1), uint8(2), uint8(2), uint8(10), uint8(12))
+	f.Add(int64(42), uint8(3), uint8(3), uint8(0), uint8(30))
+	f.Add(int64(7), uint8(1), uint8(2), uint8(25), uint8(2))
+	f.Add(int64(99), uint8(4), uint8(1), uint8(14), uint8(20))
+	f.Fuzz(func(t *testing.T, seed int64, shape, cons, tight, frac uint8) {
+		rng := rand.New(rand.NewSource(seed))
+		p := workload.LayeredParams{
+			Layers:      1 + int(shape%3),
+			Width:       1 + int(shape/3%2),
+			Density:     0.5,
+			MaxWeight:   1 + int(shape%2),
+			Constraints: 1 + int(cons%3),
+			ChainLen:    1 + int(cons/3%3),
+			AsyncFrac:   float64(frac%100) / 100,
+			// stretch 1.0–3.9: tight draws refute, loose draws construct
+			Stretch:       1.0 + float64(tight%30)/10,
+			PeriodStretch: 1.0 + float64(tight%20)/20,
+		}
+		m, err := workload.Layered(rng, p)
+		if err != nil {
+			t.Skip()
+		}
+		fd, err := analysis.DecideFast(m)
+		if err != nil {
+			t.Fatalf("DecideFast on a validated model: %v", err)
+		}
+		switch fd.Verdict {
+		case analysis.Infeasible:
+			bound := m.Hyperperiod()
+			if bound > 10 {
+				bound = 10
+			}
+			ok, _, err := exact.Feasible(m, bound)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if ok {
+				t.Fatalf("DecideFast refuted a feasible model (reason %q): %+v", fd.Reason, m.Constraints)
+			}
+		case analysis.Feasible:
+			if fd.Witness == nil {
+				t.Fatal("feasible verdict without a witness")
+			}
+			if !sched.Feasible(m, fd.Witness) {
+				t.Fatalf("analytic witness fails the independent Checker: %v", fd.Witness)
+			}
+		}
+	})
+}

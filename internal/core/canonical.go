@@ -105,7 +105,7 @@ type canonizer struct {
 
 	idx map[string]int // element name -> base index (reused)
 
-	col0   []int // initial coloring
+	col0   []int  // initial coloring
 	sigBuf []byte // one refinement round's signatures, concatenated
 	sigOff []int  // sigBuf segment bounds (len n+1)
 	perm   []int  // ranking permutation
@@ -116,10 +116,10 @@ type canonizer struct {
 	descOff  []int
 	descPerm []int
 
-	keyBuf []byte // serialization being built at a leaf
-	inv    []int  // canonical index -> base index
-	segBuf []byte // sortable segments (edges, constraint serializations)
-	segOff []int
+	keyBuf  []byte // serialization being built at a leaf
+	inv     []int  // canonical index -> base index
+	segBuf  []byte // sortable segments (edges, constraint serializations)
+	segOff  []int
 	segPerm []int
 
 	tSigBuf []byte // task-graph canonization scratch

@@ -3,6 +3,7 @@ package exact
 import (
 	"sort"
 
+	"rtm/internal/analysis"
 	"rtm/internal/core"
 	"rtm/internal/sched"
 )
@@ -82,36 +83,23 @@ func newProblem(m *core.Model, opt Options) *problem {
 		symID[s] = i
 		p.weights[i] = m.Comm.WeightOf(s)
 	}
-	for _, c := range m.Constraints {
-		var spec needSpec
-		switch c.Kind {
-		case core.Asynchronous:
-			spec = needSpec{d: c.Deadline}
-		case core.Periodic:
-			if c.Deadline > c.Period {
-				continue
-			}
-			spec = needSpec{d: c.Deadline, period: c.Period}
-		default:
-			continue
-		}
+	// The window-demand extraction is shared with the analytic tier
+	// (analysis.WindowSpecs) — the search applies the same windows
+	// incrementally that DemandRefute sums in closed form. Here the
+	// element names are re-indexed onto the symbol alphabet.
+	for _, ws := range analysis.WindowSpecs(m) {
+		spec := needSpec{d: ws.D, period: ws.Period}
 		spec.pairOf = make([]int, len(p.syms))
 		for i := range spec.pairOf {
 			spec.pairOf[i] = -1
 		}
-		for _, node := range c.Task.Nodes() {
-			e := c.Task.ElementOf(node)
-			id, ok := symID[e]
+		for _, nd := range ws.Need {
+			id, ok := symID[nd.Elem]
 			if !ok {
 				continue
 			}
-			w := m.Comm.WeightOf(e)
-			if pi := spec.pairOf[id]; pi >= 0 {
-				spec.pairs[pi].k += w
-			} else {
-				spec.pairOf[id] = len(spec.pairs)
-				spec.pairs = append(spec.pairs, needPair{sym: id, k: w})
-			}
+			spec.pairOf[id] = len(spec.pairs)
+			spec.pairs = append(spec.pairs, needPair{sym: id, k: nd.Slots})
 		}
 		p.needs = append(p.needs, spec)
 	}

@@ -1,0 +1,46 @@
+package heuristic
+
+import (
+	"fmt"
+
+	"rtm/internal/core"
+	"rtm/internal/sched"
+)
+
+// LayoutServers lays out one periodic server per constraint of m under
+// caller-chosen parameters and returns the raw cyclic schedule over the
+// servers' hyperperiod. params maps constraint name to {period,
+// deadline}; every constraint of m must have an entry. preemptive
+// selects the unit-preemption EDF mode (the paper's "pipelinable"
+// hypothesis) versus run-to-completion operations.
+//
+// The layout is mechanical, not certifying: ok reports only whether
+// every released job met its server deadline inside the horizon.
+// Callers own the soundness obligation — verify the returned schedule
+// against the model's exact trace semantics (sched.Check) before
+// trusting it. analysis.Construct uses exactly this split: a cheap
+// analytic screen picks the parameters, this layout materializes the
+// candidate, and the Checker is the judge.
+func LayoutServers(m *core.Model, params map[string][2]int, preemptive bool) (*sched.Schedule, bool, error) {
+	var servers []server
+	for _, c := range m.Constraints {
+		pp, ok := params[c.Name]
+		if !ok {
+			return nil, false, fmt.Errorf("heuristic: no server parameters for constraint %q", c.Name)
+		}
+		if pp[0] < 1 || pp[1] < 1 {
+			return nil, false, fmt.Errorf("heuristic: constraint %q has bad server parameters %v", c.Name, pp)
+		}
+		ops, err := opsOf(c, m.Comm)
+		if err != nil {
+			return nil, false, err
+		}
+		servers = append(servers, server{name: c.Name, period: pp[0], deadline: pp[1], ops: ops, src: c})
+	}
+	h := hyperperiod(servers)
+	slots, ok := edfSchedule(servers, h, preemptive)
+	if !ok {
+		return nil, false, nil
+	}
+	return &sched.Schedule{Slots: slots}, true, nil
+}

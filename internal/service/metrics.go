@@ -16,17 +16,19 @@ type Metrics struct {
 	Invalid      atomic.Int64 // model validation failures
 	CacheHits    atomic.Int64 // requests served from the schedule cache
 	MemoHits     atomic.Int64 // hits served by the verified-hit fast path (no remap/re-check)
-	CacheMisses  atomic.Int64 // requests that had to enter the flight path
+	CacheMisses  atomic.Int64 // requests that had to enter the flight path (= pipelines run)
 	FlightShared atomic.Int64 // requests that piggybacked on an in-flight search
-	Searches     atomic.Int64 // admission pipelines actually executed
+	Searches     atomic.Int64 // exact searches actually executed (not analysis/heuristic decisions)
 	Overloaded   atomic.Int64 // requests shed by exact-search admission (ErrOverloaded)
 
-	AdmissionRejects atomic.Int64 // proven infeasible by static analysis
-	HeuristicSolved  atomic.Int64 // schedules produced by the paper's heuristic
-	ExactSolved      atomic.Int64 // schedules produced by exhaustive search
-	ExactRefuted     atomic.Int64 // proven infeasible by exhaustion
-	Undecided        atomic.Int64 // searches cut off by the candidate budget
-	Canceled         atomic.Int64 // searches aborted by request contexts
+	AnalysisRefuted atomic.Int64 // proven infeasible by the analytic tier (necessary tests)
+	AnalysisSolved  atomic.Int64 // verified witnesses built by the analytic tier (Construct)
+	HeuristicSolved atomic.Int64 // schedules produced by the paper's heuristic
+	HeuristicErrors atomic.Int64 // heuristic failures that were real errors, not ErrNoSchedule
+	ExactSolved     atomic.Int64 // schedules produced by exhaustive search
+	ExactRefuted    atomic.Int64 // proven infeasible by exhaustion
+	Undecided       atomic.Int64 // searches cut off by the candidate budget
+	Canceled        atomic.Int64 // searches aborted by request contexts
 
 	Evictions atomic.Int64 // cache entries displaced by newer fingerprints
 
@@ -36,12 +38,17 @@ type Metrics struct {
 	StoreCorrupt   atomic.Int64 // store loads dropped at serve time (shape or re-verification failure)
 
 	hitNanos       atomic.Int64 // cumulative latency of cache-hit requests
-	searchNanos    atomic.Int64 // cumulative latency of executed pipelines
+	missNanos      atomic.Int64 // cumulative latency of fresh (pipeline-leading) requests
+	searchNanos    atomic.Int64 // cumulative wall time inside the exact-search stage
+	exactNodes     atomic.Int64 // cumulative search-tree nodes explored by the exact stage
 	queueWaitNanos atomic.Int64 // cumulative time spent queued for exact-search admission
 }
 
 // Snapshot returns every counter by name, including the derived
-// average latencies (in nanoseconds) of the hit and search paths.
+// average latencies (in nanoseconds) of the hit, miss, and
+// exact-search paths. search_ns_avg divides by executed exact
+// searches only — analysis- and heuristic-decided pipelines never
+// dilute it.
 func (mt *Metrics) Snapshot() map[string]int64 {
 	s := map[string]int64{
 		"requests":            mt.Requests.Load(),
@@ -52,14 +59,18 @@ func (mt *Metrics) Snapshot() map[string]int64 {
 		"flight_shared":       mt.FlightShared.Load(),
 		"searches":            mt.Searches.Load(),
 		"overloaded":          mt.Overloaded.Load(),
-		"admission_rejects":   mt.AdmissionRejects.Load(),
+		"analysis_refuted":    mt.AnalysisRefuted.Load(),
+		"analysis_solved":     mt.AnalysisSolved.Load(),
 		"heuristic_solved":    mt.HeuristicSolved.Load(),
+		"heuristic_errors":    mt.HeuristicErrors.Load(),
 		"exact_solved":        mt.ExactSolved.Load(),
 		"exact_refuted":       mt.ExactRefuted.Load(),
+		"exact_nodes_total":   mt.exactNodes.Load(),
 		"undecided":           mt.Undecided.Load(),
 		"canceled":            mt.Canceled.Load(),
 		"evictions":           mt.Evictions.Load(),
 		"hit_ns_total":        mt.hitNanos.Load(),
+		"miss_ns_total":       mt.missNanos.Load(),
 		"search_ns_total":     mt.searchNanos.Load(),
 		"queue_wait_ns_total": mt.queueWaitNanos.Load(),
 
@@ -72,6 +83,9 @@ func (mt *Metrics) Snapshot() map[string]int64 {
 	}
 	if h := s["cache_hits"]; h > 0 {
 		s["hit_ns_avg"] = s["hit_ns_total"] / h
+	}
+	if n := s["cache_misses"]; n > 0 {
+		s["miss_ns_avg"] = s["miss_ns_total"] / n
 	}
 	if n := s["searches"]; n > 0 {
 		s["search_ns_avg"] = s["search_ns_total"] / n

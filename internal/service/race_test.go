@@ -70,8 +70,12 @@ func TestServiceSingleFlightUnderLoad(t *testing.T) {
 
 	mt := svc.Metrics().Snapshot()
 	want := int64(len(classes))
-	if mt["searches"] != want {
-		t.Fatalf("searches = %d, want exactly %d (one per fingerprint)", mt["searches"], want)
+	// every pipeline ends in exactly one deciding tier, and each
+	// fingerprint pipelines exactly once
+	decided := mt["analysis_solved"] + mt["analysis_refuted"] + mt["heuristic_solved"] + mt["searches"]
+	if decided != want {
+		t.Fatalf("analysis_solved(%d) + analysis_refuted(%d) + heuristic_solved(%d) + searches(%d) = %d, want exactly %d (one per fingerprint)",
+			mt["analysis_solved"], mt["analysis_refuted"], mt["heuristic_solved"], mt["searches"], decided, want)
 	}
 	if mt["cache_misses"] != want {
 		t.Fatalf("cache_misses = %d, want %d", mt["cache_misses"], want)

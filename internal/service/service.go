@@ -41,9 +41,11 @@
 //
 // Requests that miss are single-flighted per fingerprint: N
 // concurrent requests for the same workload trigger exactly one
-// admission pipeline (cheap static analysis, then the paper's
-// heuristic, then budgeted exact search under the request context),
-// and the result fans back out to every waiter. A fingerprint's cache
+// admission pipeline (the O(model) analytic tier — closed-form
+// necessary tests for NO, the constructive generalized-Theorem-3 test
+// for YES — then the paper's heuristic, then budgeted exact search
+// under the request context), and the result fans back out to every
+// waiter. A fingerprint's cache
 // slot and flight slot live in the same shard under the same mutex,
 // so a fingerprint is searched at most once for as long as its entry
 // stays resident.
@@ -107,6 +109,10 @@ type Options struct {
 	// picks the default (500ms); negative fails fast without
 	// queueing.
 	SearchQueueWait time.Duration
+	// DisableAnalysis skips the analytic tier (DecideFast), sending
+	// every miss to the heuristic/exact stages (used by benchmarks
+	// measuring what the analytic tier saves).
+	DisableAnalysis bool
 	// DisableHeuristic skips the heuristic stage, sending every miss
 	// straight to exact search (used by benchmarks and tests that
 	// need the cold path to be the exact search).
@@ -358,7 +364,7 @@ func (s *Service) Schedule(ctx context.Context, m *core.Model) (*Result, error) 
 		if !ok {
 			return nil, fmt.Errorf("service: fresh result failed verification for %s", key)
 		}
-		s.metrics.searchNanos.Add(int64(res.Elapsed))
+		s.metrics.missNanos.Add(int64(res.Elapsed))
 		return res, nil
 	}
 }
@@ -404,26 +410,40 @@ func (s *Service) acquireSearch(ctx context.Context) error {
 }
 
 // runPipeline executes the admission pipeline for one fingerprint:
-// static analysis (rejecting provably infeasible models without any
-// search), the paper's heuristic, then budgeted exact search — gated
-// by the bounded admission semaphore — under the request context. The
-// outcome is canonical.
+// the analytic tier (DecideFast — closed-form necessary tests for NO,
+// the generalized Theorem-3 construction for YES, its witness already
+// Checker-verified), the paper's heuristic, then budgeted exact
+// search — gated by the bounded admission semaphore — under the
+// request context. The outcome is canonical. Every tier's positive
+// outcome is re-verified again on the way out by materialize, so a
+// tier can cost time but never soundness.
 func (s *Service) runPipeline(ctx context.Context, m *core.Model, can *core.Canonical, key string) (*entry, error) {
-	s.metrics.Searches.Add(1)
-
-	rep, err := analysis.Analyze(m)
-	if err != nil {
-		return nil, fmt.Errorf("service: analysis: %w", err)
-	}
-	if !rep.NecessaryOK {
-		s.metrics.AdmissionRejects.Add(1)
-		return s.newEntry(key, true, false, nil, "analysis"), nil
+	if !s.opt.DisableAnalysis {
+		fd, err := analysis.DecideFast(m)
+		if err != nil {
+			return nil, fmt.Errorf("service: analysis: %w", err)
+		}
+		switch fd.Verdict {
+		case analysis.Infeasible:
+			s.metrics.AnalysisRefuted.Add(1)
+			return s.newEntry(key, true, false, nil, "analysis"), nil
+		case analysis.Feasible:
+			s.metrics.AnalysisSolved.Add(1)
+			return s.newEntry(key, true, true, canonicalSlots(can, fd.Witness), "analysis"), nil
+		}
 	}
 
 	if !s.opt.DisableHeuristic {
-		if res, err := heuristic.Schedule(m, heuristic.Options{MergeShared: true}); err == nil {
+		res, err := heuristic.Schedule(m, heuristic.Options{MergeShared: true})
+		switch {
+		case err == nil:
 			s.metrics.HeuristicSolved.Add(1)
 			return s.newEntry(key, true, true, canonicalSlots(can, res.Schedule), "heuristic"), nil
+		case !errors.Is(err, heuristic.ErrNoSchedule):
+			// a real defect (bad merge, broken task graph), not the
+			// expected "couldn't find one": count it so it is visible,
+			// then let the exact stage give the definitive answer
+			s.metrics.HeuristicErrors.Add(1)
 		}
 	}
 
@@ -443,7 +463,13 @@ func (s *Service) runPipeline(ctx context.Context, m *core.Model, can *core.Cano
 			exopt.MaxLen = s.opt.MaxLenCap
 		}
 	}
-	sc, _, err := exact.FindScheduleCtx(ctx, m, exopt)
+	s.metrics.Searches.Add(1)
+	searchStart := time.Now()
+	sc, st, err := exact.FindScheduleCtx(ctx, m, exopt)
+	s.metrics.searchNanos.Add(int64(time.Since(searchStart)))
+	if st != nil {
+		s.metrics.exactNodes.Add(int64(st.NodesExplored))
+	}
 	switch {
 	case err == nil:
 		s.metrics.ExactSolved.Add(1)

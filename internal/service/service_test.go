@@ -92,8 +92,8 @@ func TestServiceFeasibleAndCached(t *testing.T) {
 	if !r2.CacheHit || r2.Source != "cache" || !r2.Feasible {
 		t.Fatalf("warm request missed the cache: %+v", r2)
 	}
-	if got := svc.Metrics().Searches.Load(); got != 1 {
-		t.Fatalf("searches = %d, want 1", got)
+	if got := svc.Metrics().CacheMisses.Load(); got != 1 {
+		t.Fatalf("cache_misses = %d, want 1 (exactly one admission pipeline)", got)
 	}
 
 	// an isomorphic model must hit the same entry and get a schedule
@@ -154,8 +154,13 @@ func TestServiceInfeasibleCachedAndRejected(t *testing.T) {
 	if !r3.Decided || r3.Feasible || r3.Source != "analysis" {
 		t.Fatalf("overloaded instance not rejected by admission: %+v", r3)
 	}
-	if got := svc.Metrics().AdmissionRejects.Load(); got != 1 {
-		t.Fatalf("admission_rejects = %d, want 1", got)
+	if got := svc.Metrics().AnalysisRefuted.Load(); got != 1 {
+		t.Fatalf("analysis_refuted = %d, want 1", got)
+	}
+	// the hard instance reached the exact stage; the over-pressure one
+	// must not have
+	if got := svc.Metrics().Searches.Load(); got != 1 {
+		t.Fatalf("searches = %d, want 1 (analysis-refuted request must not search)", got)
 	}
 }
 

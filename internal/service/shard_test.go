@@ -142,8 +142,11 @@ func TestShardCollisionSingleFlight(t *testing.T) {
 	for err := range errs {
 		t.Fatal(err)
 	}
-	if got := svc.Metrics().Searches.Load(); got != int64(len(models)) {
-		t.Fatalf("searches = %d, want %d (one per class)", got, len(models))
+	mt := svc.Metrics().Snapshot()
+	decided := mt["analysis_solved"] + mt["analysis_refuted"] + mt["searches"]
+	if decided != int64(len(models)) {
+		t.Fatalf("analysis_solved(%d) + analysis_refuted(%d) + searches(%d) = %d, want %d (one pipeline per class)",
+			mt["analysis_solved"], mt["analysis_refuted"], mt["searches"], decided, len(models))
 	}
 }
 
