@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet bench serve fuzz fuzz-short ci bench-json bench-load bench-load-smoke bench-solver bench-solver-smoke bench-corpus bench-corpus-smoke
+.PHONY: build test race vet bench serve fuzz fuzz-short ci bench-json bench-load bench-load-smoke bench-solver bench-solver-smoke bench-corpus bench-corpus-smoke bench-queue bench-queue-smoke
 
 build:
 	$(GO) build ./...
@@ -35,22 +35,24 @@ fuzz:
 	$(GO) test -run xxx -fuzz FuzzParse -fuzztime 10s ./internal/spec/
 	$(GO) test -run xxx -fuzz FuzzFingerprint -fuzztime 10s ./internal/spec/
 
-# 100 seconds spread across every fuzz target: parser, fingerprint,
+# Two minutes spread across every fuzz target: parser, fingerprint,
 # the schedule store's segment reader (no-panic-on-any-bytes), the
-# pruned-vs-seed differential oracle of the exact search, and the
-# analytic tier's verdict-vs-oracle soundness check.
+# pruned-vs-seed differential oracle of the exact search, the analytic
+# tier's verdict-vs-oracle soundness check, and the queue journal's
+# record reader and replay state machine.
 fuzz-short:
 	$(GO) test -run xxx -fuzz FuzzParse -fuzztime 20s ./internal/spec/
 	$(GO) test -run xxx -fuzz FuzzFingerprint -fuzztime 20s ./internal/spec/
 	$(GO) test -run xxx -fuzz FuzzStoreDecode -fuzztime 20s ./internal/store/
 	$(GO) test -run xxx -fuzz FuzzExactPruned -fuzztime 20s ./internal/exact/
 	$(GO) test -run xxx -fuzz FuzzAnalysisSound -fuzztime 20s ./internal/analysis/
+	$(GO) test -run xxx -fuzz FuzzQueueDecode -fuzztime 20s ./internal/queue/
 
 # The CI gate: vet, the full suite under the race detector, the short
-# fuzz pass, then the load-, solver- and corpus-suite smokes (results
-# to throwaway dirs so the committed bench/ numbers stay the curated
-# ones).
-ci: test fuzz-short bench-load-smoke bench-solver-smoke bench-corpus-smoke
+# fuzz pass, then the load-, solver-, corpus- and queue-suite smokes
+# (results to throwaway dirs so the committed bench/ numbers stay the
+# curated ones).
+ci: test fuzz-short bench-load-smoke bench-solver-smoke bench-corpus-smoke bench-queue-smoke
 
 # Machine-readable micro-benchmarks (ns/op, allocs/op) for tracking
 # the perf trajectory across PRs; writes bench/BENCH_<suite>.json.
@@ -91,3 +93,17 @@ bench-corpus:
 # parity cross-check end to end.
 bench-corpus-smoke:
 	$(GO) run ./cmd/rtbench -corpus $$(mktemp -d) -corpus-n 200
+
+# Async-queue suite: the cold burst replayed with the durable solve
+# queue attached — sheds become journaled jobs drained by background
+# workers, with a synchronous verdict-parity oracle; writes
+# bench/BENCH_queue.json with the shed→terminal conversion rate,
+# enqueue latency, and end-to-end job latency.
+bench-queue:
+	$(GO) run ./cmd/rtbench -queue bench
+
+# Queue suite into a throwaway directory — the CI smoke that drives
+# submit → journal → worker drain → terminal verdict end to end
+# (including the parity oracle) without touching committed results.
+bench-queue-smoke:
+	$(GO) run ./cmd/rtbench -queue $$(mktemp -d)

@@ -216,19 +216,7 @@ func coldBurstScenario() (loadScenario, error) {
 		SearchQueueWait:   2 * time.Millisecond,
 		Exact:             exact.Options{MaxCandidates: 20_000},
 	})
-	// density-1 deadline multisets (Σ 1/d = 1): every class saturates
-	// the admission analysis, so the verdict is down to exact search
-	sets := [][]int{
-		{2, 3, 6}, {2, 4, 4}, {3, 3, 3}, {4, 4, 4, 4},
-		{2, 4, 6, 12}, {2, 3, 9, 18}, {3, 4, 4, 6}, {2, 5, 5, 10},
-	}
-	var models []*core.Model
-	for _, w := range []int{2, 3} {
-		for _, ds := range sets {
-			m := hardnessInstance(w, ds)
-			models = append(models, m, m) // a coalescing duplicate per class
-		}
-	}
+	models := coldBurstModels()
 	n := len(models)
 	var (
 		wg   sync.WaitGroup
@@ -264,6 +252,27 @@ func coldBurstScenario() (loadScenario, error) {
 		return loadScenario{}, err
 	}
 	return summarize("cold_burst_backpressure", "open", n, lats, shed, wall, svc.Metrics()), nil
+}
+
+// coldBurstModels builds the cold-burst workload: 16 distinct hard
+// classes — density-1 deadline multisets (Σ 1/d = 1) at weights 2 and
+// 3, so the admission analysis saturates and the verdict is down to
+// exact search — each listed twice (a coalescing duplicate per class).
+// Shared by the -load cold-burst scenario and the -queue suite, which
+// replays the same burst with the async queue attached.
+func coldBurstModels() []*core.Model {
+	sets := [][]int{
+		{2, 3, 6}, {2, 4, 4}, {3, 3, 3}, {4, 4, 4, 4},
+		{2, 4, 6, 12}, {2, 3, 9, 18}, {3, 4, 4, 6}, {2, 5, 5, 10},
+	}
+	var models []*core.Model
+	for _, w := range []int{2, 3} {
+		for _, ds := range sets {
+			m := hardnessInstance(w, ds)
+			models = append(models, m, m)
+		}
+	}
+	return models
 }
 
 // renameForLoad rebuilds m under a fresh element naming (an

@@ -16,12 +16,17 @@
 // distinct random layered-DAG classes and runs the whole set through
 // the admission pipeline with the analytic tier off and on, writing
 // per-tier decision fractions, the exact-search work saved, and a
-// verdict-parity cross-check to DIR/BENCH_corpus.json.
+// verdict-parity cross-check to DIR/BENCH_corpus.json. With -queue DIR
+// it replays the cold burst with the durable async solve queue
+// attached — sheds become journaled jobs drained by background workers
+// — and writes the shed→terminal conversion rate, enqueue latency, and
+// end-to-end job latency (with a synchronous verdict-parity oracle) to
+// DIR/BENCH_queue.json.
 //
 // Usage:
 //
 //	rtbench [-only E3] [-workers N] [-json DIR] [-load DIR] [-solver DIR]
-//	        [-corpus DIR [-corpus-n N] [-corpus-seed S]]
+//	        [-corpus DIR [-corpus-n N] [-corpus-seed S]] [-queue DIR]
 package main
 
 import (
@@ -39,10 +44,18 @@ func main() {
 	loadDir := flag.String("load", "", "run the service load suite and write BENCH_service_load.json to this directory")
 	solverDir := flag.String("solver", "", "run the exact-search pruner suite and write BENCH_exact_prune.json to this directory")
 	corpusDir := flag.String("corpus", "", "run the random-DAG corpus suite and write BENCH_corpus.json to this directory")
+	queueDir := flag.String("queue", "", "run the async-queue cold-burst suite and write BENCH_queue.json to this directory")
 	corpusN := flag.Int("corpus-n", 2000, "distinct isomorphism classes to draw for -corpus")
 	corpusSeed := flag.Int64("corpus-seed", 1, "generator seed for -corpus")
 	flag.Parse()
 
+	if *queueDir != "" {
+		if err := writeQueueJSON(*queueDir); err != nil {
+			fmt.Fprintf(os.Stderr, "rtbench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if *corpusDir != "" {
 		if err := writeCorpusJSON(*corpusDir, *corpusN, *corpusSeed); err != nil {
 			fmt.Fprintf(os.Stderr, "rtbench: %v\n", err)

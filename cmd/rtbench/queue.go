@@ -1,0 +1,238 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"rtm/internal/core"
+	"rtm/internal/exact"
+	"rtm/internal/queue"
+	"rtm/internal/service"
+)
+
+// This file implements -queue: the cold-burst scenario replayed with
+// the async solve queue attached. Where the -load cold burst prices
+// what the admission semaphore sheds (answers lost, clients retry),
+// this suite prices what the queue turns those sheds into: every
+// ErrOverloaded becomes a durable job, background workers drain the
+// distinct classes exactly once, and the suite measures the
+// shed→terminal conversion rate, the enqueue latency (what a 202
+// costs), and the end-to-end job latency (submit → terminal verdict).
+// A fresh unthrottled service re-solves every class as the parity
+// oracle: a queued verdict that disagrees with the synchronous
+// pipeline fails the suite.
+
+// queueSuiteDoc is the BENCH_queue.json document.
+type queueSuiteDoc struct {
+	Suite      string `json:"suite"`
+	GoMaxProcs int    `json:"gomaxprocs"`
+	GoVersion  string `json:"go_version"`
+
+	Requests   int   `json:"requests"`    // burst size
+	SyncServed int   `json:"sync_served"` // answered synchronously (won a slot or hit)
+	Converted  int   `json:"converted"`   // sheds converted into queued jobs
+	DurationMS int64 `json:"duration_ms"` // burst start → last job terminal
+
+	JobsJournaled int64 `json:"jobs_journaled"` // distinct classes journaled
+	JobsDeduped   int64 `json:"jobs_deduped"`   // submits coalesced onto existing jobs
+	JobsDone      int64 `json:"jobs_done"`
+	JobsFailed    int64 `json:"jobs_failed"`
+
+	// ConversionRate is terminal jobs over converted sheds' distinct
+	// classes — the headline: 1.0 means zero permanently-lost requests.
+	ConversionRate float64 `json:"conversion_rate"`
+
+	EnqueueP50US int64 `json:"enqueue_p50_us"` // ScheduleOrEnqueue shed→202 cost
+	EnqueueMaxUS int64 `json:"enqueue_max_us"`
+	E2EP50US     int64 `json:"e2e_p50_us"` // submit → terminal verdict
+	E2EP95US     int64 `json:"e2e_p95_us"`
+	E2EMaxUS     int64 `json:"e2e_max_us"`
+
+	Searches       int64 `json:"searches"`        // exact searches across sync + queue
+	ParityChecked  int   `json:"parity_checked"`  // distinct classes cross-checked
+	ParityMismatch int   `json:"parity_mismatch"` // must be 0 for the suite to pass
+}
+
+// queueVerdict is one observed terminal outcome, keyed by fingerprint.
+type queueVerdict struct {
+	decided  bool
+	feasible bool
+}
+
+// writeQueueJSON replays the cold burst with a queue attached and
+// writes BENCH_queue.json into dir.
+func writeQueueJSON(dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	qdir, err := os.MkdirTemp("", "rtbench-queue-")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(qdir)
+	q, err := queue.Open(qdir, queue.Options{Workers: 2, NoSync: true})
+	if err != nil {
+		return err
+	}
+	defer q.Close()
+
+	// the same throttle as the -load cold burst (one slot, 2ms wait),
+	// but with a budget big enough that every class decides — the suite
+	// measures conversion, not budget exhaustion
+	exopt := exact.Options{MaxCandidates: 2_000_000}
+	svc := service.New(service.Options{
+		DisableHeuristic:  true,
+		SearchConcurrency: 1,
+		SearchQueueWait:   2 * time.Millisecond,
+		Exact:             exopt,
+		Queue:             q,
+	})
+	models := coldBurstModels()
+	ctx := context.Background()
+
+	var (
+		mu          sync.Mutex
+		wg          sync.WaitGroup
+		syncServed  int
+		converted   int
+		enqueueLats []time.Duration
+		e2eLats     []time.Duration
+		observed    = map[string]queueVerdict{}
+	)
+	errCh := make(chan error, len(models))
+	start := time.Now()
+	for _, m := range models {
+		wg.Add(1)
+		go func(m *core.Model) {
+			defer wg.Done()
+			t0 := time.Now()
+			res, job, err := svc.ScheduleOrEnqueue(ctx, m)
+			enq := time.Since(t0)
+			switch {
+			case err != nil:
+				errCh <- err
+			case res != nil:
+				mu.Lock()
+				syncServed++
+				observed[res.Fingerprint] = queueVerdict{decided: res.Decided, feasible: res.Feasible}
+				mu.Unlock()
+			default:
+				wctx, cancel := context.WithTimeout(ctx, 10*time.Minute)
+				st, werr := q.Wait(wctx, job.ID)
+				cancel()
+				e2e := time.Since(t0)
+				if werr != nil {
+					errCh <- fmt.Errorf("job %s never terminated: %w", job.ID[:8], werr)
+					return
+				}
+				mu.Lock()
+				converted++
+				enqueueLats = append(enqueueLats, enq)
+				e2eLats = append(e2eLats, e2e)
+				if st.State == queue.Done {
+					observed[st.ID] = queueVerdict{decided: st.Verdict.Decided, feasible: st.Verdict.Feasible}
+				} else {
+					observed[st.ID] = queueVerdict{} // failed = no decided verdict
+				}
+				mu.Unlock()
+			}
+		}(m)
+	}
+	wg.Wait()
+	wall := time.Since(start)
+	close(errCh)
+	if err := <-errCh; err != nil {
+		return err
+	}
+
+	// parity oracle: an unthrottled synchronous service with the same
+	// pipeline shape must agree on every class the burst decided
+	oracle := service.New(service.Options{
+		DisableHeuristic: true, SearchConcurrency: -1, Exact: exopt,
+	})
+	seen := map[string]bool{}
+	parityChecked, parityMismatch := 0, 0
+	for _, m := range models {
+		fp := core.Fingerprint(m)
+		if seen[fp] {
+			continue
+		}
+		seen[fp] = true
+		ref, err := oracle.Schedule(ctx, m)
+		if err != nil {
+			return fmt.Errorf("parity oracle: %w", err)
+		}
+		got, ok := observed[fp]
+		if !ok {
+			return fmt.Errorf("class %s has no observed verdict", fp[:8])
+		}
+		parityChecked++
+		if got.decided != ref.Decided || (got.decided && got.feasible != ref.Feasible) {
+			parityMismatch++
+			fmt.Fprintf(os.Stderr, "rtbench: parity mismatch on %s: queued {decided:%v feasible:%v} vs sync {decided:%v feasible:%v}\n",
+				fp[:8], got.decided, got.feasible, ref.Decided, ref.Feasible)
+		}
+	}
+
+	qs := q.Stats()
+	mt := svc.Metrics().Snapshot()
+	sort.Slice(enqueueLats, func(i, j int) bool { return enqueueLats[i] < enqueueLats[j] })
+	sort.Slice(e2eLats, func(i, j int) bool { return e2eLats[i] < e2eLats[j] })
+	doc := queueSuiteDoc{
+		Suite:          "queue",
+		GoMaxProcs:     runtime.GOMAXPROCS(0),
+		GoVersion:      runtime.Version(),
+		Requests:       len(models),
+		SyncServed:     syncServed,
+		Converted:      converted,
+		DurationMS:     wall.Milliseconds(),
+		JobsJournaled:  qs.Submitted,
+		JobsDeduped:    qs.Deduped,
+		JobsDone:       qs.Completed,
+		JobsFailed:     qs.Failed,
+		EnqueueP50US:   percentile(enqueueLats, 50),
+		E2EP50US:       percentile(e2eLats, 50),
+		E2EP95US:       percentile(e2eLats, 95),
+		Searches:       mt["searches"],
+		ParityChecked:  parityChecked,
+		ParityMismatch: parityMismatch,
+	}
+	if len(enqueueLats) > 0 {
+		doc.EnqueueMaxUS = enqueueLats[len(enqueueLats)-1].Microseconds()
+	}
+	if len(e2eLats) > 0 {
+		doc.E2EMaxUS = e2eLats[len(e2eLats)-1].Microseconds()
+	}
+	if qs.Submitted > 0 {
+		doc.ConversionRate = float64(qs.Completed+qs.Failed) / float64(qs.Submitted)
+	}
+
+	switch {
+	case qs.Completed+qs.Failed != qs.Submitted:
+		return fmt.Errorf("queue left %d of %d jobs non-terminal", qs.Submitted-qs.Completed-qs.Failed, qs.Submitted)
+	case parityMismatch > 0:
+		return errors.New("queued verdicts diverged from the synchronous pipeline")
+	}
+
+	data, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	path := filepath.Join(dir, "BENCH_queue.json")
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("cold burst with queue: %d requests → %d sync + %d converted (%d classes, %d searches); enqueue p50=%dµs, e2e p50=%dµs p95=%dµs; conversion=%.2f parity=%d/%d\n",
+		doc.Requests, doc.SyncServed, doc.Converted, doc.JobsJournaled, doc.Searches,
+		doc.EnqueueP50US, doc.E2EP50US, doc.E2EP95US, doc.ConversionRate, parityChecked-parityMismatch, parityChecked)
+	fmt.Printf("wrote %s\n", path)
+	return nil
+}

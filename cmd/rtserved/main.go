@@ -9,13 +9,18 @@
 //	         [-workers N] [-prune] [-analysis-tier] [-maxlen L]
 //	         [-maxcand C] [-timeout 30s]
 //	         [-search-concurrency N] [-queue-wait 500ms]
-//	         [-store-dir DIR] [-max-body BYTES] [-resp-cache 1024]
-//	         [-pprof PORT]
+//	         [-store-dir DIR] [-queue-dir DIR] [-queue-workers N]
+//	         [-max-body BYTES] [-resp-cache 1024] [-pprof PORT]
 //
 // Endpoints:
 //
 //	POST /schedule   body: a specification (internal/spec syntax);
-//	                 response: JSON verdict + schedule
+//	                 response: JSON verdict + schedule — or, with the
+//	                 async queue enabled, 202 + a job handle when the
+//	                 request would otherwise shed (?async=1 skips the
+//	                 synchronous attempt entirely)
+//	GET  /job/<id>   JSON job status; ?wait=10s long-polls until the
+//	                 job is terminal or the wait expires
 //	GET  /metrics    plain-text service counters (expvar style)
 //	GET  /healthz    liveness probe
 //
@@ -32,6 +37,16 @@
 // request that cannot get a slot within -queue-wait is answered 429
 // Too Many Requests with a Retry-After header, so an overload burst
 // sheds cold traffic instead of starving cache hits.
+//
+// With -queue-dir, sheds become eventual answers instead of losses:
+// the request is journaled as a durable async job (202 Accepted + a
+// job id keyed by canonical fingerprint, so a thundering herd of
+// isomorphic specs costs one search), -queue-workers background
+// workers drain jobs through the same pipeline, decided outcomes land
+// in the store, and clients poll or long-poll GET /job/<id> until the
+// verdict is in — then re-POST the spec to collect the schedule from
+// the warmed store. Graceful shutdown checkpoints in-flight jobs back
+// to pending (they resume on the next start with the same -queue-dir).
 //
 // With -store-dir, decided outcomes additionally persist across
 // restarts: a warm-started daemon serves previously solved classes
@@ -56,10 +71,12 @@ import (
 	"os"
 	"os/signal"
 	"runtime"
+	"strings"
 	"syscall"
 	"time"
 
 	"rtm/internal/exact"
+	"rtm/internal/queue"
 	"rtm/internal/service"
 	"rtm/internal/spec"
 	"rtm/internal/store"
@@ -79,6 +96,8 @@ func main() {
 	searchConc := flag.Int("search-concurrency", 0, "concurrent exact searches (0 = GOMAXPROCS, -1 = unlimited)")
 	queueWait := flag.Duration("queue-wait", 0, "max wait for a search slot before 429 (0 = 500ms default, -1ns = fail fast)")
 	storeDir := flag.String("store-dir", "", "durable schedule store directory (empty = in-memory only)")
+	queueDir := flag.String("queue-dir", "", "durable async solve queue directory (empty = sheds stay 429)")
+	queueWorkers := flag.Int("queue-workers", 2, "async solve queue worker pool size")
 	maxBody := flag.Int64("max-body", 1<<20, "maximum /schedule request body in bytes (413 beyond)")
 	respCacheSize := flag.Int("resp-cache", 1024, "serialized response body cache capacity (0 disables)")
 	pprofPort := flag.Int("pprof", 0, "serve net/http/pprof on 127.0.0.1:PORT (0 disables)")
@@ -93,6 +112,18 @@ func main() {
 		}
 		log.Printf("rtserved: schedule store %s warm with %d records (%d bytes, %d corrupt skipped)",
 			*storeDir, st.Len(), st.Bytes(), st.CorruptSkipped())
+	}
+
+	var q *queue.Queue
+	if *queueDir != "" {
+		var err error
+		q, err = queue.Open(*queueDir, queue.Options{Workers: *queueWorkers})
+		if err != nil {
+			log.Fatal(err)
+		}
+		qs := q.Stats()
+		log.Printf("rtserved: solve queue %s open: %d pending (%d resumed mid-solve), %d corrupt-tail truncations",
+			*queueDir, qs.Depth, qs.Resumed, qs.CorruptTail)
 	}
 
 	// exact.Options rejects negative Workers (no silent clamping), so
@@ -112,6 +143,7 @@ func main() {
 		SearchQueueWait:   *queueWait,
 		DisableAnalysis:   !*analysisTier,
 		Store:             st,
+		Queue:             q,
 	})
 	d := newDaemon(svc, *timeout, *maxBody, *respCacheSize)
 	srv := &http.Server{
@@ -148,6 +180,18 @@ func main() {
 		log.Fatal(err)
 	}
 	<-shutdownDone
+	if q != nil {
+		// graceful shutdown: stop the workers — in-flight jobs
+		// checkpoint back to pending (no terminal record) and resume on
+		// the next start with the same -queue-dir
+		qs := q.Stats()
+		if err := q.Close(); err != nil {
+			log.Printf("rtserved: closing solve queue: %v", err)
+		} else {
+			log.Printf("rtserved: solve queue checkpointed (%d pending, %d running reverted, %d completed this life)",
+				qs.Depth, qs.Running, qs.Completed)
+		}
+	}
 	if st != nil {
 		// graceful shutdown: flush the store so every decided outcome
 		// survives into the next start
@@ -206,6 +250,7 @@ func newMux(svc *service.Service, timeout time.Duration, maxBody int64) *http.Se
 func (d *daemon) mux() *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/schedule", d.handleSchedule)
+	mux.HandleFunc("/job/", d.handleJob)
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		io.WriteString(w, d.svc.MetricsText())
@@ -240,6 +285,93 @@ type constraintJSON struct {
 	Latency  int    `json:"latency"`
 	Deadline int    `json:"deadline"`
 	OK       bool   `json:"ok"`
+}
+
+// jobResponse is the JSON body for 202 Accepted answers and for
+// GET /job/<id>. A done job carries only the verdict — the schedule
+// itself is collected by re-POSTing the spec, which the worker's
+// write-through has made a store hit.
+type jobResponse struct {
+	Job         string `json:"job"` // canonical fingerprint = job id
+	State       string `json:"state"`
+	Decided     bool   `json:"decided,omitempty"`
+	Feasible    bool   `json:"feasible,omitempty"`
+	Source      string `json:"source,omitempty"`
+	Error       string `json:"error,omitempty"`
+	SubmitUnix  int64  `json:"submitUnix,omitempty"`
+	Resubmitted bool   `json:"resubmitted,omitempty"`
+	Poll        string `json:"poll,omitempty"` // where to poll for the verdict
+}
+
+// writeJob renders a queue job status.
+func writeJob(w http.ResponseWriter, js *queue.Status, code int) {
+	resp := jobResponse{
+		Job:         js.ID,
+		State:       js.State.String(),
+		Decided:     js.Verdict.Decided,
+		Feasible:    js.Verdict.Feasible,
+		Source:      js.Verdict.Source,
+		Error:       js.Err,
+		SubmitUnix:  js.SubmitUnix,
+		Resubmitted: js.Resubmitted,
+	}
+	if !js.State.Terminal() {
+		resp.Poll = "/job/" + js.ID
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(resp)
+}
+
+// maxJobWait caps GET /job/<id>?wait= long-polls so a client cannot
+// pin a connection past the server's write timeout.
+const maxJobWait = 30 * time.Second
+
+// handleJob serves job status: GET /job/<id> returns the current
+// state; ?wait=10s long-polls until the job is terminal or the wait
+// expires (the poll-vs-push middle ground that costs one goroutine,
+// not one connection per retry loop).
+func (d *daemon) handleJob(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "GET /job/<id>", http.StatusMethodNotAllowed)
+		return
+	}
+	q := d.svc.Queue()
+	if q == nil {
+		http.Error(w, "async solve queue not enabled (-queue-dir)", http.StatusNotFound)
+		return
+	}
+	id := strings.TrimPrefix(r.URL.Path, "/job/")
+	if id == "" || strings.Contains(id, "/") {
+		http.Error(w, "GET /job/<id>", http.StatusBadRequest)
+		return
+	}
+	js, ok := q.Get(id)
+	if !ok {
+		http.Error(w, "no such job", http.StatusNotFound)
+		return
+	}
+	if waitStr := r.URL.Query().Get("wait"); waitStr != "" && !js.State.Terminal() {
+		wait, err := time.ParseDuration(waitStr)
+		if err != nil || wait < 0 {
+			http.Error(w, "bad wait duration", http.StatusBadRequest)
+			return
+		}
+		if wait > maxJobWait {
+			wait = maxJobWait
+		}
+		ctx, cancel := context.WithTimeout(r.Context(), wait)
+		defer cancel()
+		// Wait returns the final status, or the current one with
+		// ctx.Err() when the poll budget expires — either way the
+		// client gets a fresh snapshot
+		js, _ = q.Wait(ctx, id)
+		if js == nil {
+			http.Error(w, "no such job", http.StatusNotFound)
+			return
+		}
+	}
+	writeJob(w, js, http.StatusOK)
 }
 
 // scheduleStatus maps a service error to its HTTP status and whether
@@ -281,7 +413,21 @@ func (d *daemon) handleSchedule(w http.ResponseWriter, r *http.Request) {
 		ctx, cancel = context.WithTimeout(ctx, d.timeout)
 		defer cancel()
 	}
-	res, err := d.svc.Schedule(ctx, sp.Model)
+
+	// explicitly-async requests skip the synchronous attempt: the spec
+	// is journaled and answered 202 immediately (dedup by fingerprint
+	// makes re-posting an already-known class free)
+	if r.URL.Query().Get("async") == "1" && d.svc.Queue() != nil {
+		js, err := d.svc.Enqueue(sp.Model, queue.SubmitOptions{})
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusServiceUnavailable)
+			return
+		}
+		writeJob(w, js, http.StatusAccepted)
+		return
+	}
+
+	res, job, err := d.svc.ScheduleOrEnqueue(ctx, sp.Model)
 	if err != nil {
 		code, retryable := scheduleStatus(err)
 		if retryable {
@@ -295,6 +441,12 @@ func (d *daemon) handleSchedule(w http.ResponseWriter, r *http.Request) {
 			msg = "scheduling timed out"
 		}
 		http.Error(w, msg, code)
+		return
+	}
+	if job != nil {
+		// the exact stage would have shed this request: it is now a
+		// durable async job — 202 + the handle to poll
+		writeJob(w, job, http.StatusAccepted)
 		return
 	}
 

@@ -1,0 +1,231 @@
+package queue
+
+import (
+	"bufio"
+	"container/heap"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"rtm/internal/store"
+	"rtm/internal/trace"
+)
+
+// journalName is the queue's journal inside its directory. The file
+// shares the schedule store's segment framing (store.Frame /
+// store.ScanFrames) but never its directory: queue state and decided
+// outcomes are different lifetimes (jobs are garbage once terminal
+// and compacted; store records are forever).
+const journalName = "queue.log"
+
+// Queue is a durable, fingerprint-deduplicated solve queue. Create
+// with Open, then Start a worker pool; all methods are safe for
+// concurrent use.
+type Queue struct {
+	dir string
+	opt Options
+
+	mu   sync.Mutex
+	cond *sync.Cond // signals workers that pending gained a job (or closing)
+
+	f       *os.File // journal, positioned at the clean end
+	bytes   int64    // clean journal length
+	jobs    map[string]*job
+	pending pendingHeap
+	seq     uint64
+	closed  bool
+
+	submitted     int64
+	deduped       int64
+	completed     int64
+	failed        int64
+	resumed       int64
+	replayed      int64
+	corruptTail   int64
+	journalErrors int64
+	running       int64
+
+	workers workerPool
+}
+
+// errBadQueueRecord marks a checksummed frame whose payload is not a
+// valid queue record — replay treats it as corruption, ending the
+// clean prefix there (same policy as the schedule store).
+var errBadQueueRecord = errors.New("queue: undecodable journal record")
+
+// Open opens (creating if necessary) the queue rooted at dir,
+// replaying the journal into the job table and truncating any torn or
+// corrupt tail to the clean prefix. Recovery rules: terminal records
+// win forever (a done job is never resurrected); submitted records
+// without a surviving terminal record become pending again, whether
+// or not the crash interrupted a worker mid-solve.
+func Open(dir string, opt Options) (*Queue, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("queue: %w", err)
+	}
+	path := filepath.Join(dir, journalName)
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("queue: %w", err)
+	}
+	q := &Queue{dir: dir, opt: opt, f: f, jobs: make(map[string]*job)}
+	q.cond = sync.NewCond(&q.mu)
+
+	valid, dropped, err := store.ScanFrames(bufio.NewReader(f), func(payload []byte) error {
+		rec, derr := trace.DecodeQueueRecord(payload)
+		if derr != nil {
+			return errBadQueueRecord
+		}
+		q.replay(rec)
+		return nil
+	})
+	if errors.Is(err, errBadQueueRecord) {
+		dropped, err = true, nil
+	}
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("queue: replaying %s: %w", path, err)
+	}
+	if dropped {
+		q.corruptTail++
+	}
+	fi, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("queue: %w", err)
+	}
+	if fi.Size() != valid {
+		if err := f.Truncate(valid); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("queue: truncating torn tail: %w", err)
+		}
+	}
+	if _, err := f.Seek(valid, io.SeekStart); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("queue: %w", err)
+	}
+	q.bytes = valid
+
+	// every surviving non-terminal job is pending again; jobs a crash
+	// interrupted mid-solve (started, no terminal) count as resumed
+	for _, j := range q.jobs {
+		if j.state.Terminal() {
+			continue
+		}
+		j.state = Pending
+		heap.Push(&q.pending, j)
+		if j.started {
+			q.resumed++
+		}
+	}
+	return q, nil
+}
+
+// replay applies one journal record to the job table (Open only; no
+// locking, no appending). Records for terminal fingerprints are
+// ignored — the no-resurrection rule.
+func (q *Queue) replay(rec *trace.QueueRecordJSON) {
+	q.replayed++
+	j := q.jobs[rec.Fingerprint]
+	if j != nil && j.state.Terminal() {
+		return
+	}
+	switch rec.Type {
+	case trace.QueueSubmitted:
+		if j != nil {
+			return // duplicate submit: first wins
+		}
+		m, err := rec.Model.ToModel()
+		if err != nil {
+			// unreachable: DecodeQueueRecord validated the model; be
+			// defensive anyway and drop the job rather than panic later
+			return
+		}
+		q.seq++
+		q.jobs[rec.Fingerprint] = &job{
+			id: rec.Fingerprint, model: m,
+			priority: rec.Priority, deadline: rec.DeadlineUnix,
+			seq: q.seq, submitUnix: rec.Unix, submitted: timeNowAt(rec.Unix),
+			state: Pending, done: make(chan struct{}),
+		}
+	case trace.QueueStarted:
+		if j != nil {
+			j.started = true
+		}
+	case trace.QueueDone:
+		if j == nil {
+			j = q.stubJob(rec)
+		}
+		j.state = Done
+		j.verdict = Verdict{Decided: true, Feasible: rec.Feasible, Source: rec.Source}
+		close(j.done)
+	case trace.QueueFailed:
+		if j == nil {
+			j = q.stubJob(rec)
+		}
+		j.state = Failed
+		j.errMsg = rec.Error
+		close(j.done)
+	}
+}
+
+// stubJob registers a terminal job observed without its submitted
+// record (possible when compaction dropped the submitted frame but
+// kept the terminal one). It has no model — harmless, it never runs.
+func (q *Queue) stubJob(rec *trace.QueueRecordJSON) *job {
+	q.seq++
+	j := &job{
+		id: rec.Fingerprint, seq: q.seq, submitUnix: rec.Unix,
+		submitted: timeNowAt(rec.Unix), done: make(chan struct{}),
+	}
+	q.jobs[rec.Fingerprint] = j
+	return j
+}
+
+// appendLocked encodes, frames, writes and (policy permitting) fsyncs
+// one record. Caller holds q.mu.
+func (q *Queue) appendLocked(rec *trace.QueueRecordJSON) error {
+	payload, err := trace.EncodeQueueRecord(rec)
+	if err != nil {
+		return err
+	}
+	buf, err := store.Frame(payload)
+	if err != nil {
+		return err
+	}
+	if _, err := q.f.Write(buf); err != nil {
+		return fmt.Errorf("queue: append: %w", err)
+	}
+	if !q.opt.NoSync {
+		if err := q.f.Sync(); err != nil {
+			return fmt.Errorf("queue: sync: %w", err)
+		}
+	}
+	q.bytes += int64(len(buf))
+	return nil
+}
+
+// transitionLocked journals a non-submitted state transition. Unlike
+// Submit, a failed append here degrades durability, not state: the
+// in-memory transition proceeds and the failure is counted — the
+// replayed journal will simply re-run the job, which is idempotent
+// because outcomes land in the content-addressed store.
+func (q *Queue) transitionLocked(rec *trace.QueueRecordJSON) {
+	if err := q.appendLocked(rec); err != nil {
+		q.journalErrors++
+	}
+}
+
+// timeNowAt approximates a monotonic submit time for replayed jobs
+// from their wall-clock record stamp (ages of recovered jobs are
+// measured from their original submission, not from the restart).
+func timeNowAt(unix int64) time.Time {
+	if unix <= 0 {
+		return time.Now()
+	}
+	return time.Unix(unix, 0)
+}

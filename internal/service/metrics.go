@@ -20,6 +20,7 @@ type Metrics struct {
 	FlightShared atomic.Int64 // requests that piggybacked on an in-flight search
 	Searches     atomic.Int64 // exact searches actually executed (not analysis/heuristic decisions)
 	Overloaded   atomic.Int64 // requests shed by exact-search admission (ErrOverloaded)
+	Enqueued     atomic.Int64 // requests converted into async solve-queue jobs
 
 	AnalysisRefuted atomic.Int64 // proven infeasible by the analytic tier (necessary tests)
 	AnalysisSolved  atomic.Int64 // verified witnesses built by the analytic tier (Construct)
@@ -59,6 +60,7 @@ func (mt *Metrics) Snapshot() map[string]int64 {
 		"flight_shared":       mt.FlightShared.Load(),
 		"searches":            mt.Searches.Load(),
 		"overloaded":          mt.Overloaded.Load(),
+		"enqueued":            mt.Enqueued.Load(),
 		"analysis_refuted":    mt.AnalysisRefuted.Load(),
 		"analysis_solved":     mt.AnalysisSolved.Load(),
 		"heuristic_solved":    mt.HeuristicSolved.Load(),

@@ -65,6 +65,7 @@ import (
 	"rtm/internal/core"
 	"rtm/internal/exact"
 	"rtm/internal/heuristic"
+	"rtm/internal/queue"
 	"rtm/internal/sched"
 	"rtm/internal/store"
 )
@@ -124,6 +125,14 @@ type Options struct {
 	// before serving, so a corrupt or stale record can cost a miss,
 	// never a wrong schedule.
 	Store *store.Store
+	// Queue, when non-nil, is the durable async solve queue: New
+	// starts its worker pool against this service's ungated pipeline
+	// (workers run the same analysis→heuristic→exact stages but are
+	// bounded by the pool size instead of the admission semaphore,
+	// and their decided outcomes warm the LRU and write through to
+	// the Store), and ScheduleOrEnqueue converts exact-search sheds
+	// into queued jobs instead of ErrOverloaded.
+	Queue *queue.Queue
 }
 
 // Result is the outcome of one scheduling request.
@@ -225,7 +234,66 @@ func New(opt Options) *Service {
 	default:
 		s.queueWait = 0 // fail fast
 	}
+	if opt.Queue != nil {
+		opt.Queue.Start(s.solveQueued)
+	}
 	return s
+}
+
+// Queue returns the attached async solve queue, or nil.
+func (s *Service) Queue() *queue.Queue { return s.opt.Queue }
+
+// solveQueued is the queue workers' solver: the same serving loop as
+// Schedule — cache, store, single-flight, full pipeline — but ungated
+// by the exact-search admission semaphore (the worker pool size is
+// the concurrency bound) and reduced to the verdict (the schedule
+// itself lands in the LRU and the store, where synchronous requests
+// will find it).
+func (s *Service) solveQueued(ctx context.Context, m *core.Model) (queue.Verdict, error) {
+	res, err := s.schedule(ctx, m, false)
+	if err != nil {
+		return queue.Verdict{}, err
+	}
+	return queue.Verdict{Decided: res.Decided, Feasible: res.Feasible, Source: res.Source}, nil
+}
+
+// Enqueue submits m to the async solve queue without attempting a
+// synchronous solve, deduplicated by canonical fingerprint. Callers
+// use it for explicitly-async requests; ScheduleOrEnqueue uses it
+// when the synchronous path sheds.
+func (s *Service) Enqueue(m *core.Model, opt queue.SubmitOptions) (*queue.Status, error) {
+	if s.opt.Queue == nil {
+		return nil, fmt.Errorf("service: no queue attached")
+	}
+	st, err := s.opt.Queue.Submit(m, opt)
+	if err != nil {
+		return nil, err
+	}
+	s.metrics.Enqueued.Add(1)
+	return st, nil
+}
+
+// ScheduleOrEnqueue serves one request like Schedule, but converts an
+// exact-search shed into an eventual answer when a queue is attached:
+// instead of surfacing ErrOverloaded, the request is journaled as an
+// async job (deduplicated by fingerprint) and the job's status is
+// returned with a nil Result. Exactly one of Result and Status is
+// non-nil on success.
+func (s *Service) ScheduleOrEnqueue(ctx context.Context, m *core.Model) (*Result, *queue.Status, error) {
+	res, err := s.schedule(ctx, m, true)
+	if err == nil {
+		return res, nil, nil
+	}
+	if !errors.Is(err, ErrOverloaded) || s.opt.Queue == nil {
+		return nil, nil, err
+	}
+	js, qerr := s.Enqueue(m, queue.SubmitOptions{})
+	if qerr != nil {
+		// the queue could not durably accept the job; the honest
+		// answer is the original backpressure signal
+		return nil, nil, err
+	}
+	return nil, js, nil
 }
 
 // Metrics exposes the service counters.
@@ -254,6 +322,15 @@ func (s *Service) newEntry(key string, decided, feasible bool, slots []int, sour
 // exact-search admission slot within the queue-wait budget returns
 // ErrOverloaded.
 func (s *Service) Schedule(ctx context.Context, m *core.Model) (*Result, error) {
+	return s.schedule(ctx, m, true)
+}
+
+// schedule is the serving loop behind Schedule (gated) and the queue
+// workers (ungated: the exact stage skips the admission semaphore —
+// the worker pool bounds concurrency instead — and a piggybacked
+// flight whose leader shed retries as leader rather than surfacing
+// ErrOverloaded).
+func (s *Service) schedule(ctx context.Context, m *core.Model, gated bool) (*Result, error) {
 	start := time.Now()
 	if err := m.Validate(); err != nil {
 		s.metrics.Invalid.Add(1)
@@ -322,6 +399,9 @@ func (s *Service) Schedule(ctx context.Context, m *core.Model) (*Result, error) 
 				if errors.Is(c.err, context.Canceled) || errors.Is(c.err, context.DeadlineExceeded) {
 					continue // the leader was canceled, not us: retry
 				}
+				if !gated && errors.Is(c.err, ErrOverloaded) {
+					continue // the leader shed; an ungated caller retries as leader
+				}
 				return nil, c.err
 			}
 			res, ok := s.materialize(m, can, digest, c.out, start)
@@ -336,7 +416,7 @@ func (s *Service) Schedule(ctx context.Context, m *core.Model) (*Result, error) 
 		s.metrics.CacheMisses.Add(1)
 		sh.mu.Unlock()
 
-		c.out, c.err = s.runPipeline(ctx, m, can, key)
+		c.out, c.err = s.runPipeline(ctx, m, can, key, gated)
 		if c.err == nil && c.out.decided {
 			if st := s.opt.Store; st != nil {
 				// write-through: decided outcomes are write-once
@@ -417,7 +497,7 @@ func (s *Service) acquireSearch(ctx context.Context) error {
 // request context. The outcome is canonical. Every tier's positive
 // outcome is re-verified again on the way out by materialize, so a
 // tier can cost time but never soundness.
-func (s *Service) runPipeline(ctx context.Context, m *core.Model, can *core.Canonical, key string) (*entry, error) {
+func (s *Service) runPipeline(ctx context.Context, m *core.Model, can *core.Canonical, key string, gated bool) (*entry, error) {
 	if !s.opt.DisableAnalysis {
 		fd, err := analysis.DecideFast(m)
 		if err != nil {
@@ -448,8 +528,10 @@ func (s *Service) runPipeline(ctx context.Context, m *core.Model, can *core.Cano
 	}
 
 	// only the NP-hard stage is backpressured: a burst of cold
-	// searches must queue (briefly) and shed, not monopolize the box
-	if s.sem != nil {
+	// searches must queue (briefly) and shed, not monopolize the box.
+	// Queue workers come through ungated — their pool size is already
+	// the concurrency bound, and a worker must never shed its own job.
+	if gated && s.sem != nil {
 		if err := s.acquireSearch(ctx); err != nil {
 			return nil, err
 		}

@@ -56,7 +56,10 @@ func recordFromEntry(can *core.Canonical, e *entry) *store.Record {
 // cache and store gauges: cache_len and cache_shards, and — when a
 // store is attached — store_len and store_bytes, with the store's own
 // scan-time discard events folded into store_corrupt_skipped
-// alongside the serve-time re-verification failures.
+// alongside the serve-time re-verification failures. When an async
+// solve queue is attached, its counters and gauges are folded in
+// under queue_* names (depth, oldest job age, completion/failure
+// totals), so /metrics is the one pane of glass for all three tiers.
 func (s *Service) Snapshot() map[string]int64 {
 	snap := s.metrics.Snapshot()
 	snap["cache_len"] = int64(s.CacheLen())
@@ -65,6 +68,19 @@ func (s *Service) Snapshot() map[string]int64 {
 		snap["store_len"] = int64(st.Len())
 		snap["store_bytes"] = st.Bytes()
 		snap["store_corrupt_skipped"] += st.CorruptSkipped()
+	}
+	if q := s.opt.Queue; q != nil {
+		qs := q.Stats()
+		snap["queue_depth"] = qs.Depth
+		snap["queue_running"] = qs.Running
+		snap["queue_oldest_age_ms"] = qs.OldestAgeNS / 1e6
+		snap["queue_submitted"] = qs.Submitted
+		snap["queue_deduped"] = qs.Deduped
+		snap["queue_completed"] = qs.Completed
+		snap["queue_failed"] = qs.Failed
+		snap["queue_resumed"] = qs.Resumed
+		snap["queue_corrupt_skipped"] = qs.CorruptTail
+		snap["queue_journal_errors"] = qs.JournalErrors
 	}
 	return snap
 }

@@ -20,7 +20,7 @@ func FuzzStoreDecode(f *testing.F) {
 		if err != nil {
 			f.Fatal(err)
 		}
-		buf, err := frame(payload)
+		buf, err := Frame(payload)
 		if err != nil {
 			f.Fatal(err)
 		}

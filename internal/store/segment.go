@@ -36,8 +36,11 @@ const (
 
 var crcTable = crc32.MakeTable(crc32.Castagnoli)
 
-// frame wraps one encoded record payload in segment framing.
-func frame(payload []byte) ([]byte, error) {
+// Frame wraps one encoded record payload in segment framing. It is
+// exported so other durable logs (the async solve queue's journal)
+// can share the store's crash-recovery machinery instead of growing
+// their own framing format.
+func Frame(payload []byte) ([]byte, error) {
 	if len(payload) == 0 || len(payload) > maxRecordLen {
 		return nil, fmt.Errorf("store: payload of %d bytes outside (0,%d]", len(payload), maxRecordLen)
 	}
@@ -49,13 +52,18 @@ func frame(payload []byte) ([]byte, error) {
 	return buf, nil
 }
 
-// scanSegment reads framed records from r, invoking fn for each valid
-// one. It returns the byte length of the clean prefix (the offset the
-// log should be truncated to on recovery) and whether trailing bytes
-// were discarded as torn or corrupt. The only non-nil error it
-// returns is one produced by fn or a genuine read failure — malformed
+// ScanFrames reads framed payloads from r, invoking fn for each
+// well-framed, checksummed one. It returns the byte length of the
+// clean prefix (the offset the log should be truncated to on
+// recovery) and whether trailing bytes were discarded as torn or
+// corrupt. fn returning an error aborts the scan with that error and
+// marks the offending frame as not part of the clean prefix — a
+// checksummed payload the caller cannot decode is corruption like any
+// other, so callers enforcing a decode step simply return a sentinel
+// and treat it as a shorter clean prefix. The only non-nil error
+// ScanFrames itself produces is a genuine read failure — malformed
 // input is not an error, it is a shorter clean prefix.
-func scanSegment(r io.Reader, fn func(*trace.StoreRecordJSON) error) (valid int64, dropped bool, err error) {
+func ScanFrames(r io.Reader, fn func(payload []byte) error) (valid int64, dropped bool, err error) {
 	header := make([]byte, headerLen)
 	var payload []byte
 	for {
@@ -89,15 +97,42 @@ func scanSegment(r io.Reader, fn func(*trace.StoreRecordJSON) error) (valid int6
 		if crc32.Checksum(payload, crcTable) != binary.BigEndian.Uint32(header[8:12]) {
 			return valid, true, nil
 		}
-		rec, err := trace.DecodeStoreRecord(payload)
-		if err != nil {
-			// checksummed but undecodable: a writer bug or hand
-			// tampering; the prefix property still applies
-			return valid, true, nil
-		}
-		if err := fn(rec); err != nil {
-			return valid, false, err
+		if err := fn(payload); err != nil {
+			return valid, true, err
 		}
 		valid += int64(headerLen) + int64(length)
+	}
+}
+
+// errUndecodable marks a checksummed frame whose payload failed record
+// decoding — a writer bug or hand tampering; the prefix property still
+// applies, so the scan stops there without surfacing an error.
+var errUndecodable = fmt.Errorf("store: undecodable record payload")
+
+// scanSegment reads framed store records from r, invoking fn for each
+// valid one. Semantics are ScanFrames plus the record decode step: a
+// frame that checksums but does not decode ends the clean prefix. The
+// only non-nil error it returns is one produced by fn or a genuine
+// read failure.
+func scanSegment(r io.Reader, fn func(*trace.StoreRecordJSON) error) (valid int64, dropped bool, err error) {
+	var fnErr error
+	valid, dropped, err = ScanFrames(r, func(payload []byte) error {
+		rec, derr := trace.DecodeStoreRecord(payload)
+		if derr != nil {
+			return errUndecodable
+		}
+		if ferr := fn(rec); ferr != nil {
+			fnErr = ferr
+			return ferr
+		}
+		return nil
+	})
+	switch {
+	case err == errUndecodable:
+		return valid, true, nil
+	case fnErr != nil:
+		return valid, false, fnErr
+	default:
+		return valid, dropped, err
 	}
 }

@@ -138,7 +138,7 @@ func (s *Store) Put(rec *Record) error {
 	if err != nil {
 		return err
 	}
-	buf, err := frame(payload)
+	buf, err := Frame(payload)
 	if err != nil {
 		return err
 	}
@@ -215,7 +215,7 @@ func (s *Store) Compact() error {
 			os.Remove(tmp)
 			return fmt.Errorf("store: compact: %w", err)
 		}
-		buf, err := frame(payload)
+		buf, err := Frame(payload)
 		if err != nil {
 			tf.Close()
 			os.Remove(tmp)

@@ -295,7 +295,7 @@ func TestScanSegmentCallbackError(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	buf, err := frame(payload)
+	buf, err := Frame(payload)
 	if err != nil {
 		t.Fatal(err)
 	}

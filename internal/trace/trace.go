@@ -50,9 +50,12 @@ type StepJSON struct {
 	Elem string `json:"elem"`
 }
 
-// EncodeModel renders a model as deterministic, indented JSON.
-func EncodeModel(m *core.Model) ([]byte, error) {
-	out := ModelJSON{}
+// NewModelJSON converts a model to its wire form (deterministic field
+// order: sorted paths, constraints in model order). It is the encode
+// half shared by EncodeModel and records that embed a model, like the
+// solve queue's submitted-job journal entries.
+func NewModelJSON(m *core.Model) *ModelJSON {
+	out := &ModelJSON{}
 	for _, e := range m.Comm.Elements() {
 		out.Elements = append(out.Elements, ElementJSON{Name: e, Weight: m.Comm.WeightOf(e)})
 	}
@@ -81,7 +84,12 @@ func EncodeModel(m *core.Model) ([]byte, error) {
 		}
 		out.Constraints = append(out.Constraints, cj)
 	}
-	return json.MarshalIndent(out, "", "  ")
+	return out
+}
+
+// EncodeModel renders a model as deterministic, indented JSON.
+func EncodeModel(m *core.Model) ([]byte, error) {
+	return json.MarshalIndent(NewModelJSON(m), "", "  ")
 }
 
 // DecodeModel reconstructs a validated model from EncodeModel output.
@@ -90,6 +98,11 @@ func DecodeModel(data []byte) (*core.Model, error) {
 	if err := json.Unmarshal(data, &in); err != nil {
 		return nil, fmt.Errorf("trace: %w", err)
 	}
+	return in.ToModel()
+}
+
+// ToModel reconstructs and validates the model a ModelJSON describes.
+func (in *ModelJSON) ToModel() (*core.Model, error) {
 	m := core.NewModel()
 	for _, e := range in.Elements {
 		m.Comm.AddElement(e.Name, e.Weight)
@@ -210,13 +223,8 @@ type StoreRecordJSON struct {
 // canonical element index. It does not (cannot) check the schedule
 // against a model — that is the loader's re-verification step.
 func (r *StoreRecordJSON) Validate() error {
-	if len(r.Fingerprint) != 64 {
-		return fmt.Errorf("trace: store record fingerprint %q is not 64 hex chars", r.Fingerprint)
-	}
-	for _, c := range r.Fingerprint {
-		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
-			return fmt.Errorf("trace: store record fingerprint %q is not lowercase hex", r.Fingerprint)
-		}
+	if err := validFingerprint(r.Fingerprint); err != nil {
+		return fmt.Errorf("trace: store record: %w", err)
 	}
 	if r.Elements < 0 {
 		return fmt.Errorf("trace: store record has %d elements", r.Elements)
