@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet bench serve fuzz fuzz-short ci bench-json bench-load bench-load-smoke bench-solver bench-solver-smoke bench-corpus bench-corpus-smoke bench-queue bench-queue-smoke
+.PHONY: build test race vet bench serve fuzz fuzz-short ci bench-json bench-load bench-load-smoke bench-solver bench-solver-smoke bench-corpus bench-corpus-smoke bench-queue bench-queue-smoke bench-cluster bench-cluster-smoke
 
 build:
 	$(GO) build ./...
@@ -52,7 +52,7 @@ fuzz-short:
 # fuzz pass, then the load-, solver-, corpus- and queue-suite smokes
 # (results to throwaway dirs so the committed bench/ numbers stay the
 # curated ones).
-ci: test fuzz-short bench-load-smoke bench-solver-smoke bench-corpus-smoke bench-queue-smoke
+ci: test fuzz-short bench-load-smoke bench-solver-smoke bench-corpus-smoke bench-queue-smoke bench-cluster-smoke
 
 # Machine-readable micro-benchmarks (ns/op, allocs/op) for tracking
 # the perf trajectory across PRs; writes bench/BENCH_<suite>.json.
@@ -107,3 +107,17 @@ bench-queue:
 # (including the parity oracle) without touching committed results.
 bench-queue-smoke:
 	$(GO) run ./cmd/rtbench -queue $$(mktemp -d)
+
+# Cluster suite: a 3-node fingerprint-sharded fleet in-process — seed
+# every class on its shard owner, one anti-entropy sync round, warm
+# serves from every non-owner (zero new exact searches), then a
+# kill-one-owner burst (zero failed requests); writes
+# bench/BENCH_cluster.json. Acceptance violations fail the run.
+bench-cluster:
+	$(GO) run ./cmd/rtbench -cluster bench
+
+# Cluster suite into a throwaway directory — the CI smoke that drives
+# sharded routing, segment replication, and owner-failure fallback end
+# to end without touching committed results.
+bench-cluster-smoke:
+	$(GO) run ./cmd/rtbench -cluster $$(mktemp -d)

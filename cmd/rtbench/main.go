@@ -21,12 +21,17 @@
 // attached — sheds become journaled jobs drained by background workers
 // — and writes the shed→terminal conversion rate, enqueue latency, and
 // end-to-end job latency (with a synchronous verdict-parity oracle) to
-// DIR/BENCH_queue.json.
+// DIR/BENCH_queue.json. With -cluster DIR it stands up a 3-node
+// fingerprint-sharded fleet in-process and runs the replication
+// acceptance scenario — seed on owners, one anti-entropy round,
+// warm serves from every non-owner with zero new searches, then a
+// kill-one-owner burst with zero failed requests — writing
+// DIR/BENCH_cluster.json.
 //
 // Usage:
 //
 //	rtbench [-only E3] [-workers N] [-json DIR] [-load DIR] [-solver DIR]
-//	        [-corpus DIR [-corpus-n N] [-corpus-seed S]] [-queue DIR]
+//	        [-corpus DIR [-corpus-n N] [-corpus-seed S]] [-queue DIR] [-cluster DIR]
 package main
 
 import (
@@ -45,10 +50,18 @@ func main() {
 	solverDir := flag.String("solver", "", "run the exact-search pruner suite and write BENCH_exact_prune.json to this directory")
 	corpusDir := flag.String("corpus", "", "run the random-DAG corpus suite and write BENCH_corpus.json to this directory")
 	queueDir := flag.String("queue", "", "run the async-queue cold-burst suite and write BENCH_queue.json to this directory")
+	clusterDir := flag.String("cluster", "", "run the 3-node cluster replication suite and write BENCH_cluster.json to this directory")
 	corpusN := flag.Int("corpus-n", 2000, "distinct isomorphism classes to draw for -corpus")
 	corpusSeed := flag.Int64("corpus-seed", 1, "generator seed for -corpus")
 	flag.Parse()
 
+	if *clusterDir != "" {
+		if err := writeClusterJSON(*clusterDir); err != nil {
+			fmt.Fprintf(os.Stderr, "rtbench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if *queueDir != "" {
 		if err := writeQueueJSON(*queueDir); err != nil {
 			fmt.Fprintf(os.Stderr, "rtbench: %v\n", err)

@@ -9,6 +9,13 @@
 //	rtstore -dir DIR get <fingerprint>  print one record as JSON
 //	rtstore -dir DIR compact            rewrite the log to the live index (atomic rename)
 //	rtstore -dir DIR verify             replay the log and report integrity
+//	rtstore -dir DIR manifest           per-bucket counts and fingerprint-set digests
+//	rtstore -dir DIR diff DIR2          compare two stores' manifests, list one-sided records
+//
+// manifest prints the same per-bucket digests rtserved exposes at
+// /cluster/manifest, so an operator can compare a node's disk state
+// against the fleet by hand. diff exits non-zero when the stores
+// differ, so it doubles as a replication-convergence probe.
 //
 // Opening a store performs recovery: a torn or corrupt tail is
 // truncated to the clean prefix (the same recovery rtserved performs
@@ -43,7 +50,7 @@ func run(args []string, out io.Writer) error {
 		return fmt.Errorf("-dir is required")
 	}
 	if fs.NArg() == 0 {
-		return fmt.Errorf("missing command: ls, stat, get, compact, or verify")
+		return fmt.Errorf("missing command: ls, stat, get, compact, verify, manifest, or diff")
 	}
 	st, err := store.Open(*dir, store.Options{})
 	if err != nil {
@@ -99,7 +106,68 @@ func run(args []string, out io.Writer) error {
 		}
 		fmt.Fprintf(out, ", ok\n")
 		return nil
+	case "manifest":
+		total := 0
+		for _, b := range st.Manifest() {
+			if b.Count > 0 {
+				fmt.Fprintf(out, "bucket %x: %4d records  %s\n", b.Bucket, b.Count, b.Digest)
+			}
+			total += b.Count
+		}
+		fmt.Fprintf(out, "total: %d records in %d buckets\n", total, store.ManifestBuckets)
+		return nil
+	case "diff":
+		if fs.NArg() != 2 {
+			return fmt.Errorf("usage: rtstore -dir DIR diff DIR2")
+		}
+		other, err := store.Open(fs.Arg(1), store.Options{})
+		if err != nil {
+			return err
+		}
+		defer other.Close()
+		return diffStores(out, st, other)
 	default:
-		return fmt.Errorf("unknown command %q: want ls, stat, get, compact, or verify", cmd)
+		return fmt.Errorf("unknown command %q: want ls, stat, get, compact, verify, manifest, or diff", cmd)
 	}
+}
+
+// diffStores compares two stores bucket by bucket — the same
+// digest-first comparison the anti-entropy syncer runs over HTTP —
+// and lists the one-sided fingerprints of every differing bucket.
+// It returns a non-nil error when the stores differ.
+func diffStores(out io.Writer, a, b *store.Store) error {
+	am, bm := a.Manifest(), b.Manifest()
+	haveA, haveB := fingerprintSet(a), fingerprintSet(b)
+	differing := 0
+	for i := range am {
+		if am[i].Digest == bm[i].Digest {
+			continue
+		}
+		differing++
+		fmt.Fprintf(out, "bucket %x differs (%d vs %d records)\n", am[i].Bucket, am[i].Count, bm[i].Count)
+		for _, fp := range a.Fingerprints() {
+			if store.BucketOf(fp) == am[i].Bucket && !haveB[fp] {
+				fmt.Fprintf(out, "  only in %s: %s\n", a.Dir(), fp)
+			}
+		}
+		for _, fp := range b.Fingerprints() {
+			if store.BucketOf(fp) == bm[i].Bucket && !haveA[fp] {
+				fmt.Fprintf(out, "  only in %s: %s\n", b.Dir(), fp)
+			}
+		}
+	}
+	if differing > 0 {
+		return fmt.Errorf("stores differ in %d bucket(s)", differing)
+	}
+	fmt.Fprintf(out, "stores converged: %d records, manifests identical\n", a.Len())
+	return nil
+}
+
+// fingerprintSet snapshots a store's fingerprints for membership tests.
+func fingerprintSet(s *store.Store) map[string]bool {
+	set := make(map[string]bool, s.Len())
+	for _, fp := range s.Fingerprints() {
+		set[fp] = true
+	}
+	return set
 }

@@ -84,6 +84,72 @@ func TestRTStoreCommands(t *testing.T) {
 	}
 }
 
+func TestRTStoreManifestAndDiff(t *testing.T) {
+	dir, fps := seedStore(t)
+
+	out, err := runT(t, "-dir", dir, "manifest")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "total: 3 records in 16 buckets") {
+		t.Fatalf("manifest output:\n%s", out)
+	}
+	// the seed fingerprints %064x of 1..3 all live in bucket 0
+	if !strings.Contains(out, "bucket 0:    3 records  ") {
+		t.Fatalf("manifest output:\n%s", out)
+	}
+
+	// identical copy converges; diff exits zero
+	twin := t.TempDir()
+	st, err := store.Open(twin, store.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, fp := range fps {
+		src, err := store.Open(dir, store.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rec, _ := src.Get(fp)
+		src.Close()
+		if err := st.Put(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st.Close()
+	out, err = runT(t, "-dir", dir, "diff", twin)
+	if err != nil || !strings.Contains(out, "stores converged") {
+		t.Fatalf("diff of converged stores: err=%v out=%s", err, out)
+	}
+
+	// drop one record from the twin: diff names it and errors
+	lone := t.TempDir()
+	st2, err := store.Open(lone, store.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	src, err := store.Open(dir, store.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, _ := src.Get(fps[0])
+	src.Close()
+	if err := st2.Put(rec); err != nil {
+		t.Fatal(err)
+	}
+	st2.Close()
+	out, err = runT(t, "-dir", dir, "diff", lone)
+	if err == nil {
+		t.Fatalf("diff of differing stores succeeded:\n%s", out)
+	}
+	if !strings.Contains(out, "bucket 0 differs (3 vs 1 records)") ||
+		!strings.Contains(out, "only in "+dir+": "+fps[1]) ||
+		!strings.Contains(out, "only in "+dir+": "+fps[2]) ||
+		strings.Contains(out, "only in "+lone) {
+		t.Fatalf("diff output:\n%s", out)
+	}
+}
+
 func TestRTStoreVerifyFlagsDamage(t *testing.T) {
 	dir, _ := seedStore(t)
 	path := filepath.Join(dir, "store.log")

@@ -1,0 +1,145 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+
+	"rtm/internal/store"
+)
+
+// ForwardHeader marks a request that has already been forwarded once.
+// A node receiving it always serves locally — forwarding a forward
+// would let a stale or disagreeing ring view bounce a request around
+// the fleet forever; one hop is the protocol.
+const ForwardHeader = "X-Rtm-Forwarded"
+
+// maxSegmentBytes bounds a segment body pulled from a peer. Matches
+// the store's import bound: a larger body is a misbehaving peer, and
+// truncating at the cap degrades to a shorter clean prefix.
+const maxSegmentBytes = 64 << 20
+
+// ManifestDoc is the wire form of a node's store manifest, served at
+// /cluster/manifest.
+type ManifestDoc struct {
+	Node    string             `json:"node"`
+	Buckets []store.BucketInfo `json:"buckets"`
+}
+
+// Client talks to one peer node over HTTP. Safe for concurrent use.
+type Client struct {
+	node string
+	base string
+	hc   *http.Client
+}
+
+// NewClient builds a client for the peer with the given node ID at
+// baseURL (scheme://host:port, no trailing slash required).
+func NewClient(node, baseURL string, timeout time.Duration) *Client {
+	if timeout <= 0 {
+		timeout = 10 * time.Second
+	}
+	return &Client{
+		node: node,
+		base: strings.TrimRight(baseURL, "/"),
+		hc:   &http.Client{Timeout: timeout},
+	}
+}
+
+// Node returns the peer's node ID.
+func (c *Client) Node() string { return c.node }
+
+// Base returns the peer's base URL.
+func (c *Client) Base() string { return c.base }
+
+// Manifest fetches the peer's store manifest.
+func (c *Client) Manifest(ctx context.Context) (*ManifestDoc, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/cluster/manifest", nil)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: %w", err)
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: manifest from %s: %w", c.node, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("cluster: manifest from %s: HTTP %d", c.node, resp.StatusCode)
+	}
+	var doc ManifestDoc
+	if err := json.NewDecoder(io.LimitReader(resp.Body, 1<<20)).Decode(&doc); err != nil {
+		return nil, fmt.Errorf("cluster: manifest from %s: %w", c.node, err)
+	}
+	return &doc, nil
+}
+
+// PullSegment fetches one sealed segment (a manifest bucket) from the
+// peer. The body is not validated here — the store's import path is
+// the validator; this just bounds the size.
+func (c *Client) PullSegment(ctx context.Context, bucket int) ([]byte, error) {
+	url := fmt.Sprintf("%s/cluster/segment/%d", c.base, bucket)
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: %w", err)
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: segment %d from %s: %w", bucket, c.node, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("cluster: segment %d from %s: HTTP %d", bucket, c.node, resp.StatusCode)
+	}
+	data, err := io.ReadAll(io.LimitReader(resp.Body, maxSegmentBytes+1))
+	if err != nil {
+		return nil, fmt.Errorf("cluster: segment %d from %s: %w", bucket, c.node, err)
+	}
+	if len(data) > maxSegmentBytes {
+		return nil, fmt.Errorf("cluster: segment %d from %s exceeds %d bytes", bucket, c.node, maxSegmentBytes)
+	}
+	return data, nil
+}
+
+// ForwardSchedule proxies a POST /schedule body to the peer with the
+// forward marker set. The caller owns the response body.
+func (c *Client) ForwardSchedule(ctx context.Context, body []byte, rawQuery string) (*http.Response, error) {
+	url := c.base + "/schedule"
+	if rawQuery != "" {
+		url += "?" + rawQuery
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(body))
+	if err != nil {
+		return nil, fmt.Errorf("cluster: %w", err)
+	}
+	req.Header.Set("Content-Type", "text/plain")
+	req.Header.Set(ForwardHeader, "1")
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: forward to %s: %w", c.node, err)
+	}
+	return resp, nil
+}
+
+// ForwardJob proxies a GET /job/<id> to the peer with the forward
+// marker set. The caller owns the response body.
+func (c *Client) ForwardJob(ctx context.Context, id, rawQuery string) (*http.Response, error) {
+	url := c.base + "/job/" + id
+	if rawQuery != "" {
+		url += "?" + rawQuery
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: %w", err)
+	}
+	req.Header.Set(ForwardHeader, "1")
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: forward to %s: %w", c.node, err)
+	}
+	return resp, nil
+}

@@ -1,0 +1,125 @@
+// Package cluster is the fingerprint-sharded multi-node serving
+// subsystem: a consistent-hash ring that assigns every canonical
+// fingerprint an owning node, an HTTP peer client for forwarding
+// requests and pulling sealed store segments, and an anti-entropy
+// syncer that keeps the fleet's stores converged.
+//
+// The design leans entirely on two properties the single-node system
+// already has. First, the canonical fingerprint (core.Fingerprint) is
+// a content address: every node computes the same 64-hex key for
+// every member of an isomorphism class, so routing by fingerprint
+// needs no coordination — the ring is pure arithmetic over a shared
+// node list. Second, the store's re-verify-before-serve invariant
+// makes replication trustless: a replicated record is never believed,
+// only re-checked against the requesting model at serve time, so a
+// corrupt or malicious peer can cost a cache miss but never a wrong
+// schedule. Together these let cluster mode be a thin layer: no
+// consensus, no leader, no versioned conflict resolution — just
+// deterministic routing plus idempotent, validated segment exchange.
+package cluster
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Hash64 is the ring's key hash: FNV-1a, the same function the
+// service's sharded cache uses to pick a cache shard, lifted to the
+// cluster so that "which node owns this fingerprint" and "which shard
+// owns this key" are the same arithmetic family.
+func Hash64(key string) uint64 {
+	var h uint64 = 14695981039346656037
+	for i := 0; i < len(key); i++ {
+		h = (h ^ uint64(key[i])) * 1099511628211
+	}
+	return h
+}
+
+// mix64 is a murmur3-style finalizer layered over Hash64 for ring
+// placement. FNV-1a avalanches its low bits well (fine for the
+// cache's mask-selected shards) but moves its high bits slowly on
+// short keys, and the ring orders points by the full 64-bit value —
+// without the finalizer, a fleet's vnode points clump and ownership
+// skews badly.
+func mix64(h uint64) uint64 {
+	h ^= h >> 33
+	h *= 0xff51afd7ed558ccd
+	h ^= h >> 33
+	h *= 0xc4ceb9fe1a85ec53
+	h ^= h >> 33
+	return h
+}
+
+// DefaultReplicas is the virtual-node count per physical node. 64
+// points per node keeps the ownership spread within a few percent of
+// uniform for small fleets while keeping the ring tiny.
+const DefaultReplicas = 64
+
+// Ring is a consistent-hash ring over node IDs. It is immutable after
+// construction and safe for concurrent use; membership changes build
+// a new Ring.
+type Ring struct {
+	nodes  []string
+	points []ringPoint // sorted by hash
+}
+
+type ringPoint struct {
+	hash uint64
+	node string
+}
+
+// NewRing builds a ring over the given node IDs with the given
+// virtual-node count (replicas <= 0 selects DefaultReplicas). Node
+// IDs must be non-empty and unique; order does not matter — any
+// permutation of the same set yields identical ownership.
+func NewRing(nodes []string, replicas int) (*Ring, error) {
+	if len(nodes) == 0 {
+		return nil, fmt.Errorf("cluster: ring needs at least one node")
+	}
+	if replicas <= 0 {
+		replicas = DefaultReplicas
+	}
+	seen := make(map[string]bool, len(nodes))
+	sorted := append([]string(nil), nodes...)
+	sort.Strings(sorted)
+	r := &Ring{nodes: sorted, points: make([]ringPoint, 0, len(nodes)*replicas)}
+	for _, n := range sorted {
+		if n == "" {
+			return nil, fmt.Errorf("cluster: empty node ID")
+		}
+		if seen[n] {
+			return nil, fmt.Errorf("cluster: duplicate node ID %q", n)
+		}
+		seen[n] = true
+		for v := 0; v < replicas; v++ {
+			r.points = append(r.points, ringPoint{
+				hash: mix64(Hash64(fmt.Sprintf("%s#%d", n, v))),
+				node: n,
+			})
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool {
+		a, b := r.points[i], r.points[j]
+		if a.hash != b.hash {
+			return a.hash < b.hash
+		}
+		return a.node < b.node // deterministic on (vanishingly rare) collisions
+	})
+	return r, nil
+}
+
+// Owner returns the node ID owning key: the first ring point
+// clockwise from the key's hash.
+func (r *Ring) Owner(key string) string {
+	h := mix64(Hash64(key))
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if i == len(r.points) {
+		i = 0
+	}
+	return r.points[i].node
+}
+
+// Nodes returns the ring's member IDs in sorted order.
+func (r *Ring) Nodes() []string {
+	return append([]string(nil), r.nodes...)
+}

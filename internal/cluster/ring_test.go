@@ -1,0 +1,99 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestNewRingRejectsBadMembership(t *testing.T) {
+	if _, err := NewRing(nil, 0); err == nil {
+		t.Fatal("empty node list accepted")
+	}
+	if _, err := NewRing([]string{"a", ""}, 0); err == nil {
+		t.Fatal("empty node ID accepted")
+	}
+	if _, err := NewRing([]string{"a", "b", "a"}, 0); err == nil {
+		t.Fatal("duplicate node ID accepted")
+	}
+}
+
+func TestRingOwnershipDeterministicAndOrderFree(t *testing.T) {
+	r1, err := NewRing([]string{"n1", "n2", "n3"}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := NewRing([]string{"n3", "n1", "n2"}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 1000; i++ {
+		key := fmt.Sprintf("%064x", i)
+		o1, o2 := r1.Owner(key), r2.Owner(key)
+		if o1 != o2 {
+			t.Fatalf("key %d: ownership depends on construction order (%s vs %s)", i, o1, o2)
+		}
+		if o1 != r1.Owner(key) {
+			t.Fatalf("key %d: ownership not stable", i)
+		}
+	}
+}
+
+func TestRingSingleNodeOwnsEverything(t *testing.T) {
+	r, err := NewRing([]string{"solo"}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		if o := r.Owner(fmt.Sprintf("%064x", i)); o != "solo" {
+			t.Fatalf("single-node ring routed to %q", o)
+		}
+	}
+}
+
+func TestRingDistribution(t *testing.T) {
+	nodes := []string{"n1", "n2", "n3"}
+	r, err := NewRing(nodes, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[string]int{}
+	const n = 10000
+	for i := 0; i < n; i++ {
+		counts[r.Owner(fmt.Sprintf("%064x", i))]++
+	}
+	for _, node := range nodes {
+		frac := float64(counts[node]) / n
+		// 64 vnodes per node keeps each share within a loose band of
+		// the uniform 1/3 — the point is no node is starved or hogging.
+		if frac < 0.15 || frac > 0.55 {
+			t.Fatalf("node %s owns %.1f%% of keys: %v", node, frac*100, counts)
+		}
+	}
+}
+
+func TestRingNodesSorted(t *testing.T) {
+	r, err := NewRing([]string{"c", "a", "b"}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := r.Nodes()
+	want := []string{"a", "b", "c"}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Nodes() = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestHash64MatchesFNV1a(t *testing.T) {
+	// Pin the constants: the ring must keep hashing exactly like the
+	// service's cache shard picker.
+	if got := Hash64(""); got != 14695981039346656037 {
+		t.Fatalf("Hash64(\"\") = %d", got)
+	}
+	var want uint64 = 14695981039346656037
+	want = (want ^ 'a') * 1099511628211
+	if got := Hash64("a"); got != want {
+		t.Fatalf("Hash64(\"a\") = %d, want %d", got, want)
+	}
+}

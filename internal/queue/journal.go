@@ -43,6 +43,7 @@ type Queue struct {
 	deduped       int64
 	completed     int64
 	failed        int64
+	expired       int64
 	resumed       int64
 	replayed      int64
 	corruptTail   int64
@@ -180,6 +181,7 @@ func (q *Queue) stubJob(rec *trace.QueueRecordJSON) *job {
 	q.seq++
 	j := &job{
 		id: rec.Fingerprint, seq: q.seq, submitUnix: rec.Unix,
+		priority:  rec.Priority,
 		submitted: timeNowAt(rec.Unix), done: make(chan struct{}),
 	}
 	q.jobs[rec.Fingerprint] = j

@@ -131,9 +131,15 @@ type Status struct {
 	SubmitUnix int64
 	// Priority echoes the submit option.
 	Priority int
-	// Resubmitted reports whether this Submit deduplicated onto an
+		// Resubmitted reports whether this Submit deduplicated onto an
 	// already-known job instead of creating one.
 	Resubmitted bool
+}
+
+// DeadlineExpired reports whether the job failed because its deadline
+// passed before a worker reached it.
+func (s *Status) DeadlineExpired() bool {
+	return s.State == Failed && s.Err == ErrDeadlineExpired.Error()
 }
 
 // Stats is the queue's counter/gauge snapshot.
@@ -142,6 +148,7 @@ type Stats struct {
 	Deduped       int64 // Submits answered by an existing job
 	Completed     int64 // jobs that reached Done
 	Failed        int64 // jobs that reached Failed
+	Expired       int64 // of Failed: jobs whose deadline passed before draining
 	Resumed       int64 // pending jobs recovered by Open's replay
 	Replayed      int64 // journal records accepted by Open's replay
 	CorruptTail   int64 // torn/corrupt tail truncation events at Open
@@ -211,6 +218,17 @@ func (h *pendingHeap) Pop() any {
 
 // ErrClosed reports an operation on a closed queue.
 var ErrClosed = errors.New("queue: closed")
+
+// ErrDeadlineExpired is the failure reason of a job whose submit-time
+// deadline passed before a worker reached it. The deadline already
+// ordered the drain (EDF within a priority band); enforcement makes
+// it a contract: a late answer to a real-time question is not an
+// answer, so an expired job fails fast at drain time — the solver is
+// never invoked — instead of silently burning exponential search
+// budget on a verdict nobody can use. Expired jobs are terminal
+// failures with this error as their Err, distinguishable by
+// Status.DeadlineExpired.
+var ErrDeadlineExpired = errors.New("queue: deadline expired before the job was solved")
 
 // Submit journals a job for m and returns its status. Submission is
 // deduplicated by canonical fingerprint: if a job for m's isomorphism
@@ -315,7 +333,7 @@ func (q *Queue) Stats() Stats {
 	defer q.mu.Unlock()
 	s := Stats{
 		Submitted: q.submitted, Deduped: q.deduped,
-		Completed: q.completed, Failed: q.failed,
+		Completed: q.completed, Failed: q.failed, Expired: q.expired,
 		Resumed: q.resumed, Replayed: q.replayed,
 		CorruptTail: q.corruptTail, JournalErrors: q.journalErrors,
 		Depth: int64(len(q.pending)), Running: q.running,

@@ -51,6 +51,14 @@ func (q *Queue) drain(solve Solver) {
 			return
 		}
 		j := heap.Pop(&q.pending).(*job)
+		if j.deadline != 0 && time.Now().Unix() > j.deadline {
+			// deadline enforcement: fail fast without invoking the
+			// solver — no started record, just the terminal one
+			q.expired++
+			q.terminalLocked(j, Failed, Verdict{}, ErrDeadlineExpired.Error())
+			q.mu.Unlock()
+			continue
+		}
 		j.state = Running
 		q.running++
 		q.transitionLocked(&trace.QueueRecordJSON{

@@ -1,0 +1,162 @@
+package served
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+
+	"rtm/internal/cluster"
+	"rtm/internal/core"
+	"rtm/internal/store"
+)
+
+// Cluster request routing. The rules, in order:
+//
+//  1. A request carrying the forward marker is ALWAYS served locally.
+//     One hop is the protocol — re-forwarding would let two nodes
+//     with momentarily different ring views bounce a request forever,
+//     and a forwarded request landing on a non-owner (membership
+//     skew) is still perfectly servable: every node runs the full
+//     pipeline, the ring only optimizes where warm state lives.
+//  2. A request whose fingerprint this node owns is served locally.
+//  3. Otherwise the request is proxied to the owner verbatim (body and
+//     query string), marked as forwarded.
+//  4. If the owner cannot be reached, the node falls back to a local
+//     solve with write-through — availability over placement. The
+//     answer is correct (same pipeline), merely colder; anti-entropy
+//     sync later reconciles the out-of-place record fleet-wide.
+//
+// Correctness does not depend on routing at all — any node can decide
+// any class — so every rule here is a pure performance/availability
+// trade, which is what lets the failure handling be this simple.
+
+// owner resolves the owning peer for a fingerprint. It returns nil
+// when this daemon should serve locally: no cluster, self-owned, a
+// forwarded request, or an owner with no configured client.
+func (d *Daemon) owner(r *http.Request, fp string) *cluster.Client {
+	if d.cl == nil || r.Header.Get(cluster.ForwardHeader) != "" {
+		return nil
+	}
+	own := d.cl.Ring.Owner(fp)
+	if own == d.cl.NodeID {
+		return nil
+	}
+	return d.cl.Peers[own] // nil for an unknown owner = serve locally
+}
+
+// relay copies a peer's response through to the client.
+func relay(w http.ResponseWriter, resp *http.Response) {
+	defer resp.Body.Close()
+	for _, h := range []string{"Content-Type", "Retry-After"} {
+		if v := resp.Header.Get(h); v != "" {
+			w.Header().Set(h, v)
+		}
+	}
+	w.WriteHeader(resp.StatusCode)
+	io.Copy(w, resp.Body)
+}
+
+// forwardSchedule proxies a parsed /schedule request to its shard
+// owner. It reports true when the response was written; false means
+// the caller should serve locally (self-owned, forwarded, no cluster,
+// or the owner was unreachable — the graceful-degradation fallback).
+func (d *Daemon) forwardSchedule(w http.ResponseWriter, r *http.Request, body []byte, m *core.Model) bool {
+	if d.cl == nil {
+		return false
+	}
+	peer := d.owner(r, core.Fingerprint(m))
+	if peer == nil {
+		return false
+	}
+	resp, err := peer.ForwardSchedule(r.Context(), body, r.URL.RawQuery)
+	if err != nil {
+		// owner down mid-request: degrade to a local solve. The local
+		// pipeline write-through keeps the verdict durable here and
+		// anti-entropy carries it to the owner when it returns.
+		d.svc.Metrics().ForwardFallbacks.Add(1)
+		return false
+	}
+	d.svc.Metrics().Forwards.Add(1)
+	relay(w, resp)
+	return true
+}
+
+// forwardJob proxies GET /job/<id> for a job this node does not hold
+// to the id's shard owner. The caller tried the local queue first —
+// local knowledge always wins, because the job may have been enqueued
+// here by the owner-down fallback.
+func (d *Daemon) forwardJob(w http.ResponseWriter, r *http.Request, id string) bool {
+	if d.cl == nil || !validFingerprintShape(id) {
+		return false
+	}
+	peer := d.owner(r, id)
+	if peer == nil {
+		return false
+	}
+	resp, err := peer.ForwardJob(r.Context(), id, r.URL.RawQuery)
+	if err != nil {
+		d.svc.Metrics().ForwardFallbacks.Add(1)
+		return false
+	}
+	d.svc.Metrics().Forwards.Add(1)
+	relay(w, resp)
+	return true
+}
+
+// validFingerprintShape checks the 64-lowercase-hex job-ID shape
+// before routing on it — a garbage id is answered locally (404), not
+// bounced to a peer.
+func validFingerprintShape(id string) bool {
+	if len(id) != 64 {
+		return false
+	}
+	for i := 0; i < len(id); i++ {
+		c := id[i]
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
+}
+
+// handleManifest serves this node's store manifest for anti-entropy
+// sync: per-bucket record counts and fingerprint-set digests.
+func (d *Daemon) handleManifest(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "GET /cluster/manifest", http.StatusMethodNotAllowed)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(cluster.ManifestDoc{
+		Node:    d.cl.NodeID,
+		Buckets: d.cl.Store.Manifest(),
+	})
+}
+
+// handleSegment serves one sealed store segment
+// (GET /cluster/segment/<bucket>): the bucket's records, sorted and
+// CRC-framed — the unit of replication. The puller validates every
+// frame on import, so this endpoint needs no trust from its peers and
+// extends none.
+func (d *Daemon) handleSegment(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "GET /cluster/segment/<bucket>", http.StatusMethodNotAllowed)
+		return
+	}
+	b, err := strconv.Atoi(strings.TrimPrefix(r.URL.Path, "/cluster/segment/"))
+	if err != nil || b < 0 || b >= store.ManifestBuckets {
+		http.Error(w, fmt.Sprintf("bucket must be an integer in [0,%d)", store.ManifestBuckets), http.StatusBadRequest)
+		return
+	}
+	seg, n, err := d.cl.Store.ExportBucket(b)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("X-Rtm-Records", strconv.Itoa(n))
+	w.Write(seg)
+}

@@ -1,0 +1,348 @@
+package served
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"rtm/internal/cluster"
+	"rtm/internal/core"
+	"rtm/internal/service"
+	"rtm/internal/spec"
+	"rtm/internal/store"
+)
+
+// testNode is one in-process cluster member.
+type testNode struct {
+	id    string
+	srv   *httptest.Server
+	svc   *service.Service
+	st    *store.Store
+	peers map[string]*cluster.Client
+}
+
+// newFleet builds n in-process cluster nodes with stores, fully
+// meshed. Construction is two-phase (servers first, then peer
+// clients) because every URL only exists once its server is up.
+func newFleet(t *testing.T, n int, optFor func(st *store.Store) service.Options) []*testNode {
+	t.Helper()
+	ids := make([]string, n)
+	for i := range ids {
+		ids[i] = fmt.Sprintf("n%d", i+1)
+	}
+	ring, err := cluster.NewRing(ids, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nodes := make([]*testNode, n)
+	for i, id := range ids {
+		st, err := store.Open(t.TempDir(), store.Options{NoSync: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { st.Close() })
+		opt := service.Options{Store: st}
+		if optFor != nil {
+			opt = optFor(st)
+		}
+		svc := service.New(opt)
+		peers := map[string]*cluster.Client{}
+		d := New(Config{
+			Service: svc, Timeout: 10 * time.Second, MaxBody: 1 << 20, RespCache: 64,
+			Cluster: &Cluster{NodeID: id, Ring: ring, Peers: peers, Store: st},
+		})
+		srv := httptest.NewServer(d.Mux())
+		t.Cleanup(srv.Close)
+		nodes[i] = &testNode{id: id, srv: srv, svc: svc, st: st, peers: peers}
+	}
+	for _, me := range nodes {
+		for _, other := range nodes {
+			if other.id != me.id {
+				me.peers[other.id] = cluster.NewClient(other.id, other.srv.URL, 2*time.Second)
+			}
+		}
+	}
+	return nodes
+}
+
+// ownerOf locates the fleet node owning a spec's fingerprint.
+func ownerOf(t *testing.T, nodes []*testNode, specText string) (*testNode, string) {
+	t.Helper()
+	sp, err := spec.Parse(specText)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fp := core.Fingerprint(sp.Model)
+	ring, err := cluster.NewRing([]string{"n1", "n2", "n3"}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	own := ring.Owner(fp)
+	for _, n := range nodes {
+		if n.id == own {
+			return n, fp
+		}
+	}
+	t.Fatalf("owner %s not in fleet", own)
+	return nil, ""
+}
+
+// postForwarded POSTs a spec with the forward marker set, pinning the
+// request to the receiving node (the never-forward-a-forward rule).
+func postForwarded(t *testing.T, url, body string) (*http.Response, string) {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodPost, url+"/schedule", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set(cluster.ForwardHeader, "1")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	return resp, string(raw)
+}
+
+func TestClusterForwardingRules(t *testing.T) {
+	nodes := newFleet(t, 3, nil)
+	owner, fp := ownerOf(t, nodes, exampleSpec)
+	var nonOwner *testNode
+	for _, n := range nodes {
+		if n.id != owner.id {
+			nonOwner = n
+			break
+		}
+	}
+
+	// a plain POST to a non-owner is proxied to the owner
+	resp, out := postSpec(t, nonOwner.srv.URL, exampleSpec)
+	if resp.StatusCode != http.StatusOK || !out.Decided || out.Fingerprint != fp {
+		t.Fatalf("forwarded request: status=%d %+v", resp.StatusCode, out)
+	}
+	if got := metricValue(t, nonOwner.srv.URL, "forwards"); got != 1 {
+		t.Fatalf("non-owner forwards = %d, want 1", got)
+	}
+	if got := metricValue(t, nonOwner.srv.URL, "requests"); got != 0 {
+		t.Fatalf("non-owner served %d requests locally, want 0", got)
+	}
+	if got := metricValue(t, owner.srv.URL, "requests"); got != 1 {
+		t.Fatalf("owner requests = %d, want 1", got)
+	}
+	// the decided outcome was written through on the owner only
+	if _, ok := owner.st.Get(fp); !ok {
+		t.Fatal("owner store missing the decided record")
+	}
+	if _, ok := nonOwner.st.Get(fp); ok {
+		t.Fatal("non-owner store has the record before any sync")
+	}
+
+	// a POST already marked forwarded is served locally, never re-proxied
+	fresp, _ := postForwarded(t, nonOwner.srv.URL, renamedSpec)
+	if fresp.StatusCode != http.StatusOK {
+		t.Fatalf("forwarded-marked request: status=%d", fresp.StatusCode)
+	}
+	if got := metricValue(t, nonOwner.srv.URL, "forwards"); got != 1 {
+		t.Fatalf("forward marker re-proxied: forwards = %d, want still 1", got)
+	}
+	if got := metricValue(t, nonOwner.srv.URL, "requests"); got != 1 {
+		t.Fatalf("forwarded-marked request not served locally: requests = %d", got)
+	}
+
+	// a POST to the owner itself never forwards
+	oresp, oout := postSpec(t, owner.srv.URL, exampleSpec)
+	if oresp.StatusCode != http.StatusOK || !oout.CacheHit {
+		t.Fatalf("owner self-serve: status=%d %+v", oresp.StatusCode, oout)
+	}
+	if got := metricValue(t, owner.srv.URL, "forwards"); got != 0 {
+		t.Fatalf("owner forwards = %d, want 0", got)
+	}
+}
+
+// TestClusterOwnerDownFallback pins graceful degradation: when the
+// shard owner dies, a non-owner answers the request itself with a
+// local solve and write-through — no failed requests.
+func TestClusterOwnerDownFallback(t *testing.T) {
+	nodes := newFleet(t, 3, nil)
+	owner, fp := ownerOf(t, nodes, exampleSpec)
+	var survivor *testNode
+	for _, n := range nodes {
+		if n.id != owner.id {
+			survivor = n
+			break
+		}
+	}
+	owner.srv.Close()
+
+	resp, out := postSpec(t, survivor.srv.URL, exampleSpec)
+	if resp.StatusCode != http.StatusOK || !out.Decided || out.Fingerprint != fp {
+		t.Fatalf("fallback request failed: status=%d %+v", resp.StatusCode, out)
+	}
+	if got := metricValue(t, survivor.srv.URL, "fallbacks"); got != 1 {
+		t.Fatalf("fallbacks = %d, want 1", got)
+	}
+	// write-through happened locally: availability kept the verdict
+	if _, ok := survivor.st.Get(fp); !ok {
+		t.Fatal("survivor store missing the fallback verdict")
+	}
+}
+
+// TestClusterWarmFleet is acceptance (a) at the daemon level: a
+// verdict decided on node A is served by B and C from their stores
+// after one sync round, with zero new exact searches fleet-wide.
+func TestClusterWarmFleet(t *testing.T) {
+	// analysis and heuristic off: every cold decide is an exact search,
+	// so "searches" counts exactly the NP-hard work done
+	nodes := newFleet(t, 3, func(st *store.Store) service.Options {
+		return service.Options{Store: st, DisableAnalysis: true, DisableHeuristic: true}
+	})
+	a, b, c := nodes[0], nodes[1], nodes[2]
+
+	// decide on A, pinned local by the forward marker
+	resp, _ := postForwarded(t, a.srv.URL, exampleSpec)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("seed solve: status=%d", resp.StatusCode)
+	}
+	if got := metricValue(t, a.srv.URL, "searches"); got != 1 {
+		t.Fatalf("seed searches on A = %d, want 1", got)
+	}
+
+	// one anti-entropy round on B and C
+	for _, n := range []*testNode{b, c} {
+		sy := &cluster.Syncer{Store: n.st, Peers: []*cluster.Client{n.peers[a.id]}, Logf: t.Logf}
+		if pulls, records := sy.SyncOnce(context.Background()); pulls == 0 || records == 0 {
+			t.Fatalf("%s pulled nothing from A (%d/%d)", n.id, pulls, records)
+		}
+	}
+
+	// B and C now serve the class locally from their stores — the
+	// renamed isomorphic surface proves it is class-level warmth
+	for _, n := range []*testNode{b, c} {
+		resp, body := postForwarded(t, n.srv.URL, renamedSpec)
+		if resp.StatusCode != http.StatusOK || !strings.Contains(body, `"source":"store"`) {
+			t.Fatalf("%s warm serve: status=%d body=%.200s", n.id, resp.StatusCode, body)
+		}
+		if got := metricValue(t, n.srv.URL, "searches"); got != 0 {
+			t.Fatalf("%s ran %d searches serving a replicated class, want 0", n.id, got)
+		}
+	}
+}
+
+// TestClusterCorruptSegmentSkippedAndHealed is acceptance (c) at the
+// daemon level: a segment corrupted in flight is dropped on import
+// (the class stays a miss), and the next clean sync round heals it —
+// the corrupt bytes are never served as a verdict.
+func TestClusterCorruptSegmentSkippedAndHealed(t *testing.T) {
+	nodes := newFleet(t, 3, func(st *store.Store) service.Options {
+		return service.Options{Store: st, DisableAnalysis: true, DisableHeuristic: true}
+	})
+	a, b := nodes[0], nodes[1]
+
+	resp, _ := postForwarded(t, a.srv.URL, exampleSpec)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("seed solve: status=%d", resp.StatusCode)
+	}
+	fpList := a.st.Fingerprints()
+	if len(fpList) != 1 {
+		t.Fatalf("A has %d records, want 1", len(fpList))
+	}
+	fp := fpList[0]
+
+	// a corrupting man-in-the-middle proxy in front of A: manifests
+	// pass through, segment bytes get every byte flipped
+	evil := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		up, err := http.Get(a.srv.URL + r.URL.Path)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadGateway)
+			return
+		}
+		defer up.Body.Close()
+		raw, _ := io.ReadAll(up.Body)
+		if strings.HasPrefix(r.URL.Path, "/cluster/segment/") {
+			for i := range raw {
+				raw[i] ^= 0xa5
+			}
+		}
+		w.WriteHeader(up.StatusCode)
+		w.Write(raw)
+	}))
+	defer evil.Close()
+
+	sy := &cluster.Syncer{Store: b.st, Peers: []*cluster.Client{cluster.NewClient(a.id, evil.URL, 2*time.Second)}, Logf: t.Logf}
+	if _, records := sy.SyncOnce(context.Background()); records != 0 {
+		t.Fatalf("corrupt sync imported %d records — corruption accepted", records)
+	}
+	if _, ok := b.st.Get(fp); ok {
+		t.Fatal("corrupt segment record is resident in B's store")
+	}
+	// B serving the class now must NOT claim a store hit — the class
+	// is simply cold here (miss, never a wrong verdict)
+	if got := metricValue(t, b.srv.URL, "store_hits"); got != 0 {
+		t.Fatalf("B claims %d store hits off a dropped segment", got)
+	}
+
+	// heal: the next round against the real peer converges B
+	heal := &cluster.Syncer{Store: b.st, Peers: []*cluster.Client{b.peers[a.id]}, Logf: t.Logf}
+	if _, records := heal.SyncOnce(context.Background()); records != 1 {
+		t.Fatalf("healing sync imported %d records, want 1", records)
+	}
+	resp2, body := postForwarded(t, b.srv.URL, renamedSpec)
+	if resp2.StatusCode != http.StatusOK || !strings.Contains(body, `"source":"store"`) {
+		t.Fatalf("healed serve: status=%d body=%.200s", resp2.StatusCode, body)
+	}
+	if got := metricValue(t, b.srv.URL, "searches"); got != 0 {
+		t.Fatalf("healed serve ran %d searches, want 0", got)
+	}
+}
+
+// TestClusterManifestEndpoints exercises the replication wire surface
+// directly: manifest shape, segment framing, and bad-bucket rejection.
+func TestClusterManifestEndpoints(t *testing.T) {
+	nodes := newFleet(t, 3, nil)
+	a := nodes[0]
+	if resp, _ := postForwarded(t, a.srv.URL, exampleSpec); resp.StatusCode != http.StatusOK {
+		t.Fatal("seed failed")
+	}
+
+	cli := cluster.NewClient(a.id, a.srv.URL, 2*time.Second)
+	doc, err := cli.Manifest(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if doc.Node != a.id || len(doc.Buckets) != store.ManifestBuckets {
+		t.Fatalf("manifest: %+v", doc)
+	}
+	total := 0
+	for _, b := range doc.Buckets {
+		total += b.Count
+		if b.Count > 0 {
+			seg, err := cli.PullSegment(context.Background(), b.Bucket)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(seg) == 0 {
+				t.Fatalf("bucket %d: empty segment for %d records", b.Bucket, b.Count)
+			}
+		}
+	}
+	if total != 1 {
+		t.Fatalf("manifest total = %d, want 1", total)
+	}
+
+	for _, path := range []string{"/cluster/segment/16", "/cluster/segment/-1", "/cluster/segment/zzz"} {
+		resp, err := http.Get(a.srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("%s: status=%d, want 400", path, resp.StatusCode)
+		}
+	}
+}

@@ -1,0 +1,36 @@
+package served
+
+import (
+	"fmt"
+	"log"
+	"net/http"
+	"net/http/pprof"
+	"runtime"
+	"time"
+)
+
+// StartPprof serves net/http/pprof on a loopback-only port with mutex
+// and block profiling enabled — diagnostic surface for the sharded
+// hot path, never exposed on the service address.
+func StartPprof(port int) {
+	runtime.SetMutexProfileFraction(100)
+	runtime.SetBlockProfileRate(int(time.Millisecond)) // sample blocking ≳1ms on average
+	addr := fmt.Sprintf("127.0.0.1:%d", port)
+	go func() {
+		log.Printf("rtserved: pprof on http://%s/debug/pprof/ (loopback only)", addr)
+		log.Printf("rtserved: pprof server: %v", http.ListenAndServe(addr, pprofMux()))
+	}()
+}
+
+// pprofMux registers the net/http/pprof handlers on a dedicated mux
+// (the default mux is never used, so the service address cannot leak
+// profiling endpoints).
+func pprofMux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}

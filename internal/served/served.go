@@ -1,0 +1,370 @@
+// Package served is the HTTP serving layer of the scheduling service
+// — the daemon behind cmd/rtserved, factored into a library so the
+// cluster bench (cmd/rtbench -cluster) and tests can run whole
+// in-process fleets of nodes without listeners or subprocesses.
+//
+// A Daemon wraps one service.Service (pipeline + cache + optional
+// store and queue) with the HTTP surface: POST /schedule, GET
+// /job/<id>, /metrics, /healthz, a serialized-response-body cache for
+// verified hits, and — when a Cluster config is attached — the
+// fingerprint-sharded peer protocol: non-owner nodes proxy /schedule
+// and /job requests to the shard owner (one hop max, with graceful
+// fallback to a local solve when the owner is unreachable), and the
+// /cluster/manifest + /cluster/segment/<bucket> endpoints serve the
+// store's anti-entropy replication.
+package served
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+
+	"rtm/internal/cluster"
+	"rtm/internal/queue"
+	"rtm/internal/service"
+	"rtm/internal/spec"
+	"rtm/internal/store"
+)
+
+// Cluster is the daemon's view of fleet membership. Nil means
+// single-node serving (the pre-cluster behavior, byte for byte).
+type Cluster struct {
+	// NodeID is this node's ring member ID.
+	NodeID string
+	// Ring maps fingerprints to owning node IDs; it must contain
+	// NodeID.
+	Ring *cluster.Ring
+	// Peers maps peer node IDs (never NodeID) to their clients.
+	Peers map[string]*cluster.Client
+	// Store, when non-nil, is served to peers at /cluster/manifest and
+	// /cluster/segment/<bucket> for anti-entropy replication.
+	Store *store.Store
+}
+
+// Config assembles a Daemon.
+type Config struct {
+	// Service is the scheduling pipeline the daemon serves.
+	Service *service.Service
+	// Timeout bounds each scheduling request (0 = no per-request
+	// timeout beyond the client's).
+	Timeout time.Duration
+	// MaxBody bounds the /schedule request body in bytes.
+	MaxBody int64
+	// RespCache is the serialized response body cache capacity
+	// (0 disables).
+	RespCache int
+	// Cluster, when non-nil, enables fingerprint-sharded peer
+	// forwarding and segment replication.
+	Cluster *Cluster
+}
+
+// Daemon bundles the serving state behind the HTTP handlers.
+type Daemon struct {
+	svc     *service.Service
+	timeout time.Duration
+	maxBody int64
+	resp    *respCache
+	cl      *Cluster
+}
+
+// New builds a Daemon from cfg.
+func New(cfg Config) *Daemon {
+	return &Daemon{
+		svc:     cfg.Service,
+		timeout: cfg.Timeout,
+		maxBody: cfg.MaxBody,
+		resp:    newRespCache(cfg.RespCache),
+		cl:      cfg.Cluster,
+	}
+}
+
+// newDaemon is the single-node constructor tests use.
+func newDaemon(svc *service.Service, timeout time.Duration, maxBody int64, respCacheSize int) *Daemon {
+	return New(Config{Service: svc, Timeout: timeout, MaxBody: maxBody, RespCache: respCacheSize})
+}
+
+// newMux wires the service endpoints for a single-node daemon;
+// factored out so tests can drive the handler without a listener.
+func newMux(svc *service.Service, timeout time.Duration, maxBody int64) *http.ServeMux {
+	return newDaemon(svc, timeout, maxBody, 1024).mux()
+}
+
+// Mux returns the daemon's HTTP handler.
+func (d *Daemon) Mux() *http.ServeMux { return d.mux() }
+
+func (d *Daemon) mux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/schedule", d.handleSchedule)
+	mux.HandleFunc("/job/", d.handleJob)
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		io.WriteString(w, d.svc.MetricsText())
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		io.WriteString(w, "ok\n")
+	})
+	if d.cl != nil && d.cl.Store != nil {
+		mux.HandleFunc("/cluster/manifest", d.handleManifest)
+		mux.HandleFunc("/cluster/segment/", d.handleSegment)
+	}
+	return mux
+}
+
+// scheduleResponse is the JSON verdict for one request. ElapsedUS
+// must stay the final field: the response body cache stores the
+// serialized bytes up to the elapsedMicros value and stamps each
+// request's own elapsed time into the tail.
+type scheduleResponse struct {
+	System      string           `json:"system,omitempty"`
+	Fingerprint string           `json:"fingerprint"`
+	OrderDigest string           `json:"orderDigest,omitempty"`
+	Decided     bool             `json:"decided"`
+	Feasible    bool             `json:"feasible"`
+	Source      string           `json:"source"`
+	CacheHit    bool             `json:"cacheHit"`
+	Shared      bool             `json:"shared,omitempty"`
+	Cycle       int              `json:"cycle,omitempty"`
+	Schedule    []string         `json:"schedule,omitempty"`
+	Constraints []constraintJSON `json:"constraints,omitempty"`
+	ElapsedUS   int64            `json:"elapsedMicros"`
+}
+
+type constraintJSON struct {
+	Name     string `json:"name"`
+	Latency  int    `json:"latency"`
+	Deadline int    `json:"deadline"`
+	OK       bool   `json:"ok"`
+}
+
+// jobResponse is the JSON body for 202 Accepted answers and for
+// GET /job/<id>. A done job carries only the verdict — the schedule
+// itself is collected by re-POSTing the spec, which the worker's
+// write-through has made a store hit.
+type jobResponse struct {
+	Job         string `json:"job"` // canonical fingerprint = job id
+	State       string `json:"state"`
+	Decided     bool   `json:"decided,omitempty"`
+	Feasible    bool   `json:"feasible,omitempty"`
+	Source      string `json:"source,omitempty"`
+	Error       string `json:"error,omitempty"`
+	SubmitUnix  int64  `json:"submitUnix,omitempty"`
+	Resubmitted bool   `json:"resubmitted,omitempty"`
+	Poll        string `json:"poll,omitempty"` // where to poll for the verdict
+}
+
+// writeJob renders a queue job status.
+func writeJob(w http.ResponseWriter, js *queue.Status, code int) {
+	resp := jobResponse{
+		Job:         js.ID,
+		State:       js.State.String(),
+		Decided:     js.Verdict.Decided,
+		Feasible:    js.Verdict.Feasible,
+		Source:      js.Verdict.Source,
+		Error:       js.Err,
+		SubmitUnix:  js.SubmitUnix,
+		Resubmitted: js.Resubmitted,
+	}
+	if !js.State.Terminal() {
+		resp.Poll = "/job/" + js.ID
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(resp)
+}
+
+// maxJobWait caps GET /job/<id>?wait= long-polls so a client cannot
+// pin a connection past the server's write timeout.
+const maxJobWait = 30 * time.Second
+
+// handleJob serves job status: GET /job/<id> returns the current
+// state; ?wait=10s long-polls until the job is terminal or the wait
+// expires (the poll-vs-push middle ground that costs one goroutine,
+// not one connection per retry loop). In cluster mode a job unknown
+// locally is looked up at its shard owner — the job ID is the
+// canonical fingerprint, so routing needs no extra state.
+func (d *Daemon) handleJob(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "GET /job/<id>", http.StatusMethodNotAllowed)
+		return
+	}
+	id := strings.TrimPrefix(r.URL.Path, "/job/")
+	if id == "" || strings.Contains(id, "/") {
+		http.Error(w, "GET /job/<id>", http.StatusBadRequest)
+		return
+	}
+	q := d.svc.Queue()
+	var js *queue.Status
+	var ok bool
+	if q != nil {
+		js, ok = q.Get(id)
+	}
+	if !ok && d.forwardJob(w, r, id) {
+		return
+	}
+	if q == nil {
+		http.Error(w, "async solve queue not enabled (-queue-dir)", http.StatusNotFound)
+		return
+	}
+	if !ok {
+		http.Error(w, "no such job", http.StatusNotFound)
+		return
+	}
+	if waitStr := r.URL.Query().Get("wait"); waitStr != "" && !js.State.Terminal() {
+		wait, err := time.ParseDuration(waitStr)
+		if err != nil || wait < 0 {
+			http.Error(w, "bad wait duration", http.StatusBadRequest)
+			return
+		}
+		if wait > maxJobWait {
+			wait = maxJobWait
+		}
+		ctx, cancel := context.WithTimeout(r.Context(), wait)
+		defer cancel()
+		// Wait returns the final status, or the current one with
+		// ctx.Err() when the poll budget expires — either way the
+		// client gets a fresh snapshot
+		js, _ = q.Wait(ctx, id)
+		if js == nil {
+			http.Error(w, "no such job", http.StatusNotFound)
+			return
+		}
+	}
+	writeJob(w, js, http.StatusOK)
+}
+
+// scheduleStatus maps a service error to its HTTP status and whether
+// the client should be told to retry (429 carries Retry-After).
+func scheduleStatus(err error) (code int, retryable bool) {
+	switch {
+	case errors.Is(err, service.ErrOverloaded):
+		return http.StatusTooManyRequests, true
+	case errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled):
+		return http.StatusGatewayTimeout, false
+	default:
+		return http.StatusBadRequest, false
+	}
+}
+
+func (d *Daemon) handleSchedule(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST a specification to /schedule", http.StatusMethodNotAllowed)
+		return
+	}
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, d.maxBody))
+	if err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			http.Error(w, "specification exceeds the request body limit", http.StatusRequestEntityTooLarge)
+			return
+		}
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	sp, err := spec.Parse(string(body))
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+
+	// cluster routing: a non-owner proxies the request to the shard
+	// owner (never a forward of a forward); on owner failure it falls
+	// through to a local solve
+	if d.forwardSchedule(w, r, body, sp.Model) {
+		return
+	}
+
+	ctx := r.Context()
+	if d.timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, d.timeout)
+		defer cancel()
+	}
+
+	// explicitly-async requests skip the synchronous attempt: the spec
+	// is journaled and answered 202 immediately (dedup by fingerprint
+	// makes re-posting an already-known class free)
+	if r.URL.Query().Get("async") == "1" && d.svc.Queue() != nil {
+		js, err := d.svc.Enqueue(sp.Model, queue.SubmitOptions{})
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusServiceUnavailable)
+			return
+		}
+		writeJob(w, js, http.StatusAccepted)
+		return
+	}
+
+	res, job, err := d.svc.ScheduleOrEnqueue(ctx, sp.Model)
+	if err != nil {
+		code, retryable := scheduleStatus(err)
+		if retryable {
+			w.Header().Set("Retry-After", "1")
+		}
+		msg := err.Error()
+		switch code {
+		case http.StatusTooManyRequests:
+			msg = "scheduler overloaded; retry later"
+		case http.StatusGatewayTimeout:
+			msg = "scheduling timed out"
+		}
+		http.Error(w, msg, code)
+		return
+	}
+	if job != nil {
+		// the exact stage would have shed this request: it is now a
+		// durable async job — 202 + the handle to poll
+		writeJob(w, job, http.StatusAccepted)
+		return
+	}
+
+	// verified-hit fast path, response layer: a repeat of an already
+	// served surface reuses the serialized body, stamping only the
+	// fresh elapsed time
+	key := respKey(sp.Name, res.Fingerprint, res.OrderDigest)
+	if res.CacheHit {
+		if pre := d.resp.get(key); pre != nil {
+			w.Header().Set("Content-Type", "application/json")
+			w.Write(appendElapsed(pre, res.Elapsed.Microseconds()))
+			return
+		}
+	}
+
+	resp := scheduleResponse{
+		System:      sp.Name,
+		Fingerprint: res.Fingerprint,
+		OrderDigest: res.OrderDigest,
+		Decided:     res.Decided,
+		Feasible:    res.Feasible,
+		Source:      res.Source,
+		CacheHit:    res.CacheHit,
+		Shared:      res.Shared,
+		// ElapsedUS stays zero here: the zero is the serialization
+		// placeholder every response stamps over
+	}
+	if res.Feasible {
+		resp.Cycle = res.Schedule.Len()
+		resp.Schedule = append([]string{}, res.Schedule.Slots...)
+		for _, c := range res.Report.Constraints {
+			resp.Constraints = append(resp.Constraints, constraintJSON{
+				Name: c.Name, Latency: c.Latency, Deadline: c.Deadline, OK: c.OK,
+			})
+		}
+	}
+	b, err := json.Marshal(resp)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	prefix := b[: len(b)-2 : len(b)-2] // strip the `0}` placeholder tail
+	if res.CacheHit {
+		// only LRU-hit bodies are cached: their content is stable for
+		// the (fingerprint, digest, system) identity by the verified-hit
+		// memo's guarantee
+		d.resp.put(key, prefix)
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(appendElapsed(prefix, res.Elapsed.Microseconds()))
+}

@@ -1,4 +1,4 @@
-package main
+package served
 
 import (
 	"encoding/json"

@@ -1,0 +1,203 @@
+package served
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+
+	"rtm/internal/core"
+	"rtm/internal/service"
+	"rtm/internal/spec"
+	"rtm/internal/store"
+)
+
+// soakInstance builds a one-element-per-constraint model whose exact
+// search is cheap but real (mirrors the service race-test corpus).
+func soakInstance(w int, ds []int) *core.Model {
+	m := core.NewModel()
+	for i, d := range ds {
+		name := fmt.Sprintf("u%d", i)
+		m.Comm.AddElement(name, w)
+		m.AddConstraint(&core.Constraint{
+			Name: "c" + name, Task: core.ChainTask(name),
+			Period: d * w, Deadline: d * w, Kind: core.Asynchronous,
+		})
+	}
+	return m
+}
+
+// renameSurface rebuilds m under fresh element/node names and a
+// shuffled constraint order: an isomorphic surface with the same
+// canonical fingerprint, which the cluster must dedup on.
+func renameSurface(rng *rand.Rand, m *core.Model) *core.Model {
+	elems := m.Comm.Elements()
+	perm := rng.Perm(len(elems))
+	ren := make(map[string]string, len(elems))
+	for i, e := range elems {
+		ren[e] = fmt.Sprintf("x%03d", perm[i])
+	}
+	out := core.NewModel()
+	for _, i := range rng.Perm(len(elems)) {
+		out.Comm.AddElement(ren[elems[i]], m.Comm.WeightOf(elems[i]))
+	}
+	for _, e := range m.Comm.G.Edges() {
+		out.Comm.AddPath(ren[e.From], ren[e.To])
+	}
+	for _, ci := range rng.Perm(len(m.Constraints)) {
+		c := m.Constraints[ci]
+		task := core.NewTaskGraph()
+		nodes := c.Task.Nodes()
+		nren := make(map[string]string, len(nodes))
+		for j, nd := range rng.Perm(len(nodes)) {
+			nren[nodes[nd]] = fmt.Sprintf("y%d_%d", ci, j)
+		}
+		for _, nd := range nodes {
+			task.AddStep(nren[nd], ren[c.Task.ElementOf(nd)])
+		}
+		for _, e := range c.Task.G.Edges() {
+			task.AddPrec(nren[e.From], nren[e.To])
+		}
+		out.AddConstraint(&core.Constraint{
+			Name: fmt.Sprintf("w%d", ci), Task: task,
+			Period: c.Period, Deadline: c.Deadline, Kind: c.Kind,
+		})
+	}
+	return out
+}
+
+// TestClusterSoakUnderRace is the cluster race/soak test: 3 in-process
+// nodes, 40 concurrent submitters spraying isomorphic surfaces of 4
+// fingerprint classes round-robin across the fleet with NO routing
+// hints. Pinned fleet-wide properties, all under -race via `make test`:
+//
+//   - exactly one exact search runs per class across ALL nodes — the
+//     ring concentrates each class on its owner and the owner's
+//     single-flight dedups the concurrent burst;
+//   - every request gets a decided 200, and every observer of a class
+//     sees the same verdict;
+//   - non-owner nodes really did route (forwards observed) and never
+//     fell back (all owners stayed up).
+func TestClusterSoakUnderRace(t *testing.T) {
+	nodes := newFleet(t, 3, func(st *store.Store) service.Options {
+		return service.Options{Store: st, DisableAnalysis: true, DisableHeuristic: true}
+	})
+
+	classes := []*core.Model{
+		soakInstance(1, []int{2, 6, 6, 6}),
+		soakInstance(1, []int{2, 3, 6}),
+		soakInstance(1, []int{2, 4, 4}),
+		soakInstance(1, []int{3, 3, 3}),
+	}
+	const surfacesPerClass = 8
+	texts := make([][]string, len(classes))
+	fps := make([]string, len(classes))
+	for ci, m := range classes {
+		fps[ci] = core.Fingerprint(m)
+		texts[ci] = make([]string, surfacesPerClass)
+		for s := 0; s < surfacesPerClass; s++ {
+			surf := m
+			if s > 0 {
+				surf = renameSurface(rand.New(rand.NewSource(int64(ci*100+s))), m)
+			}
+			text := spec.Print(fmt.Sprintf("soak%d_%d", ci, s), surf)
+			// the rendered surface must round-trip to the class
+			// fingerprint, or the dedup assertion below is meaningless
+			sp, err := spec.Parse(text)
+			if err != nil {
+				t.Fatalf("class %d surface %d does not re-parse: %v", ci, s, err)
+			}
+			if got := core.Fingerprint(sp.Model); got != fps[ci] {
+				t.Fatalf("class %d surface %d fingerprint drifted: %s != %s", ci, s, got, fps[ci])
+			}
+			texts[ci][s] = text
+		}
+	}
+
+	const submittersPerClass = 10 // 4 classes x 10 = 40 concurrent posters
+	type obs struct {
+		class    int
+		feasible bool
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, len(classes)*submittersPerClass)
+	obsCh := make(chan obs, len(classes)*submittersPerClass)
+	for ci := range classes {
+		for g := 0; g < submittersPerClass; g++ {
+			wg.Add(1)
+			go func(ci, g int) {
+				defer wg.Done()
+				node := nodes[(ci*submittersPerClass+g)%len(nodes)]
+				body := texts[ci][g%surfacesPerClass]
+				resp, err := http.Post(node.srv.URL+"/schedule", "text/plain", strings.NewReader(body))
+				if err != nil {
+					errs <- fmt.Errorf("class %d submitter %d: %v", ci, g, err)
+					return
+				}
+				raw, _ := io.ReadAll(resp.Body)
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK {
+					errs <- fmt.Errorf("class %d submitter %d: status %d: %.200s", ci, g, resp.StatusCode, raw)
+					return
+				}
+				var out scheduleResponse
+				if err := json.Unmarshal(raw, &out); err != nil {
+					errs <- fmt.Errorf("class %d submitter %d: bad body: %v", ci, g, err)
+					return
+				}
+				if !out.Decided || out.Fingerprint != fps[ci] {
+					errs <- fmt.Errorf("class %d submitter %d: undecided or wrong class: %+v", ci, g, out)
+					return
+				}
+				obsCh <- obs{class: ci, feasible: out.Feasible}
+			}(ci, g)
+		}
+	}
+	wg.Wait()
+	close(errs)
+	close(obsCh)
+	for err := range errs {
+		t.Error(err)
+	}
+	if t.Failed() {
+		t.FailNow()
+	}
+
+	// verdict agreement: every observer of a class saw one answer
+	verdict := make(map[int]bool, len(classes))
+	seen := make(map[int]int, len(classes))
+	for o := range obsCh {
+		if n := seen[o.class]; n > 0 && verdict[o.class] != o.feasible {
+			t.Fatalf("class %d: conflicting verdicts observed", o.class)
+		}
+		verdict[o.class] = o.feasible
+		seen[o.class]++
+	}
+	for ci := range classes {
+		if seen[ci] != submittersPerClass {
+			t.Fatalf("class %d: %d/%d observations", ci, seen[ci], submittersPerClass)
+		}
+	}
+
+	// exactly one search per class fleet-wide, with real routing and
+	// zero degraded (fallback) serves
+	var searches, forwards, fallbacks int64
+	for _, n := range nodes {
+		searches += metricValue(t, n.srv.URL, "searches")
+		forwards += metricValue(t, n.srv.URL, "forwards")
+		fallbacks += metricValue(t, n.srv.URL, "fallbacks")
+	}
+	if searches != int64(len(classes)) {
+		t.Fatalf("fleet searches = %d, want exactly %d (one per class)", searches, len(classes))
+	}
+	if forwards == 0 {
+		t.Fatal("no forwards observed: the soak never exercised routing")
+	}
+	if fallbacks != 0 {
+		t.Fatalf("fallbacks = %d with all owners up, want 0", fallbacks)
+	}
+}

@@ -38,6 +38,11 @@ type Metrics struct {
 	StorePutErrors atomic.Int64 // write-throughs that failed (durability lost, not correctness)
 	StoreCorrupt   atomic.Int64 // store loads dropped at serve time (shape or re-verification failure)
 
+	Forwards         atomic.Int64 // requests proxied to their shard owner (cluster mode)
+	ForwardFallbacks atomic.Int64 // forwards that failed over to a local solve (owner unreachable)
+	SyncPulls        atomic.Int64 // sealed segments pulled from peers by anti-entropy sync
+	SyncRecords      atomic.Int64 // records imported from pulled segments
+
 	hitNanos       atomic.Int64 // cumulative latency of cache-hit requests
 	missNanos      atomic.Int64 // cumulative latency of fresh (pipeline-leading) requests
 	searchNanos    atomic.Int64 // cumulative wall time inside the exact-search stage
@@ -82,6 +87,11 @@ func (mt *Metrics) Snapshot() map[string]int64 {
 		"store_puts":            mt.StorePuts.Load(),
 		"store_put_errors":      mt.StorePutErrors.Load(),
 		"store_corrupt_skipped": mt.StoreCorrupt.Load(),
+
+		"forwards":     mt.Forwards.Load(),
+		"fallbacks":    mt.ForwardFallbacks.Load(),
+		"sync_pulls":   mt.SyncPulls.Load(),
+		"sync_records": mt.SyncRecords.Load(),
 	}
 	if h := s["cache_hits"]; h > 0 {
 		s["hit_ns_avg"] = s["hit_ns_total"] / h

@@ -1,0 +1,215 @@
+package store
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"sort"
+
+	"rtm/internal/trace"
+)
+
+// Segment manifests and sealed-segment exchange — the store half of
+// cluster replication. The fingerprint space is split into
+// ManifestBuckets buckets by the fingerprint's first hex nibble; a
+// manifest summarizes each bucket as (count, digest over the sorted
+// fingerprint set). Two nodes compare manifests bucket by bucket and
+// pull only the buckets whose digests differ, as sealed CRC-framed
+// segments — the same wire format as the on-disk log, so the import
+// path is the same longest-clean-prefix scan plus record validation
+// the store already trusts for its own log. Replication stays
+// trustless because nothing here is believed: a pulled record is
+// indexed like any local one and re-verified against the requesting
+// model before it is ever served, so a corrupt or malicious segment
+// degrades to a miss, never a wrong schedule.
+
+// ManifestBuckets is the number of manifest buckets — one per leading
+// hex nibble of the canonical fingerprint.
+const ManifestBuckets = 16
+
+// maxSegmentLen bounds a sealed segment a peer will accept —
+// ManifestBuckets of these covers a store far larger than any
+// deployment we bench, while keeping a malicious peer from forcing an
+// unbounded allocation.
+const maxSegmentLen = 64 << 20
+
+// BucketOf maps a canonical fingerprint to its manifest bucket. An
+// invalid leading character maps to bucket 0 — such a record cannot
+// exist in a store index (fingerprints are validated on Put), so the
+// mapping only needs to be total, not forgiving.
+func BucketOf(fp string) int {
+	if len(fp) == 0 {
+		return 0
+	}
+	switch c := fp[0]; {
+	case c >= '0' && c <= '9':
+		return int(c - '0')
+	case c >= 'a' && c <= 'f':
+		return int(c-'a') + 10
+	}
+	return 0
+}
+
+// BucketInfo summarizes one manifest bucket: how many records it
+// holds and a digest of its fingerprint set. The digest is SHA-256
+// over the sorted fingerprints concatenated, so it is a pure function
+// of the set — insertion order, record contents, and log layout do
+// not move it. Equal digests mean equal fingerprint sets; record
+// bodies may still differ between nodes (two nodes can decide the
+// same class with different valid schedules), which is fine because
+// every serve re-verifies.
+type BucketInfo struct {
+	Bucket int    `json:"bucket"`
+	Count  int    `json:"count"`
+	Digest string `json:"digest"`
+}
+
+// Manifest summarizes the store's index as ManifestBuckets bucket
+// entries (all buckets always present, empty ones with Count 0).
+func (s *Store) Manifest() []BucketInfo {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	byBucket := make([][]string, ManifestBuckets)
+	for fp := range s.index {
+		b := BucketOf(fp)
+		byBucket[b] = append(byBucket[b], fp)
+	}
+	out := make([]BucketInfo, ManifestBuckets)
+	for b, fps := range byBucket {
+		sort.Strings(fps)
+		h := sha256.New()
+		for _, fp := range fps {
+			h.Write([]byte(fp))
+		}
+		out[b] = BucketInfo{
+			Bucket: b,
+			Count:  len(fps),
+			Digest: hex.EncodeToString(h.Sum(nil)),
+		}
+	}
+	return out
+}
+
+// ExportBucket seals bucket b as a self-contained segment: every
+// indexed record in the bucket, sorted by fingerprint, in the store's
+// CRC frame format. The segment is byte-deterministic for a given
+// record set, so re-exporting an unchanged bucket yields identical
+// bytes. Returns the segment and the record count.
+func (s *Store) ExportBucket(b int) ([]byte, int, error) {
+	if b < 0 || b >= ManifestBuckets {
+		return nil, 0, fmt.Errorf("store: bucket %d outside [0,%d)", b, ManifestBuckets)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, 0, fmt.Errorf("store: closed")
+	}
+	var fps []string
+	for fp := range s.index {
+		if BucketOf(fp) == b {
+			fps = append(fps, fp)
+		}
+	}
+	sort.Strings(fps)
+	var buf bytes.Buffer
+	for _, fp := range fps {
+		payload, err := trace.EncodeStoreRecord(s.index[fp])
+		if err != nil {
+			return nil, 0, fmt.Errorf("store: export: %w", err)
+		}
+		frame, err := Frame(payload)
+		if err != nil {
+			return nil, 0, fmt.Errorf("store: export: %w", err)
+		}
+		buf.Write(frame)
+	}
+	return buf.Bytes(), len(fps), nil
+}
+
+// ImportStats reports what an ImportFrames call did.
+type ImportStats struct {
+	// Imported counts records appended to the log and indexed.
+	Imported int
+	// Unchanged counts records skipped because the fingerprint was
+	// already indexed locally (first write wins; the local record is
+	// kept — serve-time re-verification makes the choice harmless).
+	Unchanged int
+	// Dropped reports that the segment had a torn, corrupt, or
+	// undecodable tail; the clean prefix before it was still imported.
+	Dropped bool
+}
+
+// ImportFrames replays a sealed segment into the store. The segment
+// passes through exactly the validation the store's own log gets on
+// Open — frame magic, length bound, CRC, record decode+validate — and
+// the longest clean prefix wins: a corrupt frame ends the import with
+// Dropped set and everything before it kept. Records for fingerprints
+// already indexed are skipped (Unchanged); new records are appended
+// to the local log in one write and indexed, so they survive restarts
+// and show up in this node's own manifest and exports. ImportFrames
+// never returns an error for bad segment content — malformed input is
+// a shorter clean prefix, same as the on-disk log.
+func (s *Store) ImportFrames(data []byte) (ImportStats, error) {
+	var st ImportStats
+	if len(data) > maxSegmentLen {
+		data = data[:maxSegmentLen:maxSegmentLen]
+		st.Dropped = true
+	}
+	var recs []*Record
+	_, dropped, err := scanSegment(bytes.NewReader(data), func(r *Record) error {
+		cp := *r
+		cp.Slots = append([]int(nil), r.Slots...)
+		recs = append(recs, &cp)
+		return nil
+	})
+	if err != nil {
+		return st, fmt.Errorf("store: import: %w", err)
+	}
+	st.Dropped = st.Dropped || dropped
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return st, fmt.Errorf("store: closed")
+	}
+	var log bytes.Buffer
+	var fresh []*Record
+	for _, rec := range recs {
+		if _, ok := s.index[rec.Fingerprint]; ok {
+			st.Unchanged++
+			continue
+		}
+		payload, err := trace.EncodeStoreRecord(rec)
+		if err != nil {
+			// scanSegment only yields records that decode+validate, so
+			// re-encoding cannot fail; guard anyway and skip.
+			st.Dropped = true
+			continue
+		}
+		frame, err := Frame(payload)
+		if err != nil {
+			st.Dropped = true
+			continue
+		}
+		log.Write(frame)
+		fresh = append(fresh, rec)
+	}
+	if len(fresh) == 0 {
+		return st, nil
+	}
+	if _, err := s.f.Write(log.Bytes()); err != nil {
+		return st, fmt.Errorf("store: import append: %w", err)
+	}
+	if !s.opt.NoSync {
+		if err := s.f.Sync(); err != nil {
+			return st, fmt.Errorf("store: import sync: %w", err)
+		}
+	}
+	for _, rec := range fresh {
+		s.index[rec.Fingerprint] = rec
+	}
+	s.bytes += int64(log.Len())
+	st.Imported = len(fresh)
+	return st, nil
+}

@@ -1,0 +1,248 @@
+package store
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// bucketRecord builds a valid record pinned to a specific manifest
+// bucket via the fingerprint's leading nibble.
+func bucketRecord(bucket, i int) *Record {
+	fp := fmt.Sprintf("%x%063x", bucket, i+1)
+	if i%3 == 2 {
+		return &Record{Fingerprint: fp, Feasible: false, Elements: 2, Source: "exact"}
+	}
+	return &Record{
+		Fingerprint: fp, Feasible: true, Elements: 3,
+		Slots: []int{0, -1, i % 3, 1}, Source: "heuristic", Unix: 1754_000_000,
+	}
+}
+
+func TestBucketOf(t *testing.T) {
+	cases := map[string]int{
+		"0abc": 0, "9abc": 9, "aabc": 10, "fabc": 15, "": 0, "zabc": 0,
+	}
+	for fp, want := range cases {
+		if got := BucketOf(fp); got != want {
+			t.Errorf("BucketOf(%q) = %d, want %d", fp, got, want)
+		}
+	}
+}
+
+func TestManifestShape(t *testing.T) {
+	s := openT(t, t.TempDir())
+	for _, b := range []int{0, 3, 3, 15} {
+		if err := s.Put(bucketRecord(b, b*10+s.Len())); err != nil {
+			t.Fatal(err)
+		}
+	}
+	man := s.Manifest()
+	if len(man) != ManifestBuckets {
+		t.Fatalf("manifest has %d buckets, want %d", len(man), ManifestBuckets)
+	}
+	counts := map[int]int{0: 1, 3: 2, 15: 1}
+	var empty BucketInfo
+	for b, info := range man {
+		if info.Bucket != b {
+			t.Fatalf("bucket %d labeled %d", b, info.Bucket)
+		}
+		if info.Count != counts[b] {
+			t.Fatalf("bucket %d count = %d, want %d", b, info.Count, counts[b])
+		}
+		if info.Digest == "" {
+			t.Fatalf("bucket %d has empty digest", b)
+		}
+		if counts[b] == 0 {
+			if empty == (BucketInfo{}) {
+				empty = info
+				empty.Bucket = 0
+			}
+			got := info
+			got.Bucket = 0
+			if got != empty {
+				t.Fatalf("empty buckets disagree: %+v vs %+v", got, empty)
+			}
+		}
+	}
+}
+
+// TestManifestDigestStableAcrossOrderings pins that the bucket digest
+// is a pure function of the fingerprint set: inserting the same
+// records in different orders (and via different code paths —
+// Put vs ImportFrames) yields identical digests.
+func TestManifestDigestStableAcrossOrderings(t *testing.T) {
+	recs := make([]*Record, 0, 12)
+	for i := 0; i < 12; i++ {
+		recs = append(recs, bucketRecord(i%4, i))
+	}
+
+	manifestOf := func(order []int) []BucketInfo {
+		t.Helper()
+		s := openT(t, t.TempDir())
+		for _, i := range order {
+			if err := s.Put(recs[i]); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return s.Manifest()
+	}
+
+	base := manifestOf([]int{0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11})
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 4; trial++ {
+		order := rng.Perm(len(recs))
+		got := manifestOf(order)
+		for b := range base {
+			if got[b] != base[b] {
+				t.Fatalf("trial %d bucket %d: %+v != %+v (order %v)", trial, b, got[b], base[b], order)
+			}
+		}
+	}
+}
+
+// TestExportImportByteExact pins the round trip: export → import into
+// an empty store → re-export is byte-identical, and a second import is
+// fully deduplicated.
+func TestExportImportByteExact(t *testing.T) {
+	src := openT(t, t.TempDir())
+	for i := 0; i < 9; i++ {
+		if err := src.Put(bucketRecord(i%2, i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for b := 0; b < ManifestBuckets; b++ {
+		seg, n, err := src.ExportBucket(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if b > 1 {
+			if n != 0 || len(seg) != 0 {
+				t.Fatalf("bucket %d: expected empty export, got %d records", b, n)
+			}
+			continue
+		}
+
+		dstDir := t.TempDir()
+		dst := openT(t, dstDir)
+		st, err := dst.ImportFrames(seg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.Imported != n || st.Unchanged != 0 || st.Dropped {
+			t.Fatalf("bucket %d import: %+v, want %d imported", b, st, n)
+		}
+		back, n2, err := dst.ExportBucket(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n2 != n || !bytes.Equal(back, seg) {
+			t.Fatalf("bucket %d: re-export differs (%d vs %d records)", b, n2, n)
+		}
+		// idempotence: importing again changes nothing
+		st2, err := dst.ImportFrames(seg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st2.Imported != 0 || st2.Unchanged != n || st2.Dropped {
+			t.Fatalf("bucket %d re-import: %+v, want %d unchanged", b, st2, n)
+		}
+
+		// imported records survive a restart through the local log
+		if err := dst.Close(); err != nil {
+			t.Fatal(err)
+		}
+		re := openT(t, dstDir)
+		if re.Len() != n || re.CorruptSkipped() != 0 {
+			t.Fatalf("bucket %d reopen after import: len=%d corrupt=%d", b, re.Len(), re.CorruptSkipped())
+		}
+	}
+}
+
+// TestImportCorruptSegmentSkippedNotServed flips every byte of a small
+// sealed segment and asserts the import path never errors, never
+// panics, and never indexes a record that was not in the original set
+// — a corrupt segment degrades to missing records, not wrong ones.
+func TestImportCorruptSegmentSkippedNotServed(t *testing.T) {
+	src := openT(t, t.TempDir())
+	want := map[string]*Record{}
+	for i := 0; i < 3; i++ {
+		r := bucketRecord(5, i)
+		want[r.Fingerprint] = r
+		if err := src.Put(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	seg, n, err := src.ExportBucket(5)
+	if err != nil || n != 3 {
+		t.Fatalf("export: n=%d err=%v", n, err)
+	}
+
+	var sawDrop, sawPartial bool
+	for off := 0; off < len(seg); off++ {
+		for _, delta := range []byte{0x01, 0xff} {
+			mut := append([]byte(nil), seg...)
+			mut[off] ^= delta
+			dst := openT(t, t.TempDir())
+			st, err := dst.ImportFrames(mut)
+			if err != nil {
+				t.Fatalf("offset %d: import errored: %v", off, err)
+			}
+			if st.Dropped {
+				sawDrop = true
+			}
+			if st.Imported < n {
+				sawPartial = true
+			}
+			// whatever survived must be a subset of the originals,
+			// byte-for-byte
+			for _, fp := range dst.Fingerprints() {
+				orig, ok := want[fp]
+				if !ok {
+					t.Fatalf("offset %d: imported unknown fingerprint %s", off, fp)
+				}
+				got, _ := dst.Get(fp)
+				if !sameRecord(got, orig) {
+					t.Fatalf("offset %d: record %s mutated in flight", off, fp)
+				}
+			}
+			dst.Close()
+		}
+	}
+	if !sawDrop || !sawPartial {
+		t.Fatalf("corruption sweep never tripped the drop path (drop=%v partial=%v)", sawDrop, sawPartial)
+	}
+}
+
+// TestImportFirstWriteWins pins the conflict rule: a record for an
+// already-indexed fingerprint is skipped, keeping the local verdict.
+func TestImportFirstWriteWins(t *testing.T) {
+	local := openT(t, t.TempDir())
+	mine := &Record{Fingerprint: bucketRecord(2, 0).Fingerprint, Feasible: true, Elements: 2, Slots: []int{0, 1}, Source: "exact"}
+	if err := local.Put(mine); err != nil {
+		t.Fatal(err)
+	}
+
+	remote := openT(t, t.TempDir())
+	theirs := &Record{Fingerprint: mine.Fingerprint, Feasible: true, Elements: 2, Slots: []int{1, 0}, Source: "heuristic"}
+	if err := remote.Put(theirs); err != nil {
+		t.Fatal(err)
+	}
+	seg, _, err := remote.ExportBucket(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	st, err := local.ImportFrames(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Imported != 0 || st.Unchanged != 1 {
+		t.Fatalf("import: %+v, want 1 unchanged", st)
+	}
+	got, _ := local.Get(mine.Fingerprint)
+	if !sameRecord(got, mine) {
+		t.Fatalf("import overwrote the local record: %+v", got)
+	}
+}
