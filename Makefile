@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet bench serve fuzz fuzz-short ci bench-json bench-load bench-load-smoke bench-solver bench-solver-smoke bench-corpus bench-corpus-smoke bench-queue bench-queue-smoke bench-cluster bench-cluster-smoke
+.PHONY: build test race vet bench serve fuzz fuzz-short ci bench-json bench-load bench-load-smoke bench-solver bench-solver-smoke bench-corpus bench-corpus-smoke bench-queue bench-queue-smoke bench-cluster bench-cluster-smoke bench-memostore bench-memostore-smoke
 
 build:
 	$(GO) build ./...
@@ -35,15 +35,17 @@ fuzz:
 	$(GO) test -run xxx -fuzz FuzzParse -fuzztime 10s ./internal/spec/
 	$(GO) test -run xxx -fuzz FuzzFingerprint -fuzztime 10s ./internal/spec/
 
-# Two minutes spread across every fuzz target: parser, fingerprint,
-# the schedule store's segment reader (no-panic-on-any-bytes), the
-# pruned-vs-seed differential oracle of the exact search, the analytic
-# tier's verdict-vs-oracle soundness check, and the queue journal's
-# record reader and replay state machine.
+# Short fuzz passes spread across every fuzz target: parser,
+# fingerprint, the schedule store's segment reader
+# (no-panic-on-any-bytes), the memo segment reader and import path,
+# the pruned-vs-seed differential oracle of the exact search, the
+# analytic tier's verdict-vs-oracle soundness check, and the queue
+# journal's record reader and replay state machine.
 fuzz-short:
 	$(GO) test -run xxx -fuzz FuzzParse -fuzztime 20s ./internal/spec/
 	$(GO) test -run xxx -fuzz FuzzFingerprint -fuzztime 20s ./internal/spec/
 	$(GO) test -run xxx -fuzz FuzzStoreDecode -fuzztime 20s ./internal/store/
+	$(GO) test -run xxx -fuzz FuzzMemoSegmentDecode -fuzztime 20s ./internal/store/
 	$(GO) test -run xxx -fuzz FuzzExactPruned -fuzztime 20s ./internal/exact/
 	$(GO) test -run xxx -fuzz FuzzAnalysisSound -fuzztime 20s ./internal/analysis/
 	$(GO) test -run xxx -fuzz FuzzQueueDecode -fuzztime 20s ./internal/queue/
@@ -52,7 +54,7 @@ fuzz-short:
 # fuzz pass, then the load-, solver-, corpus- and queue-suite smokes
 # (results to throwaway dirs so the committed bench/ numbers stay the
 # curated ones).
-ci: test fuzz-short bench-load-smoke bench-solver-smoke bench-corpus-smoke bench-queue-smoke bench-cluster-smoke
+ci: test fuzz-short bench-load-smoke bench-solver-smoke bench-corpus-smoke bench-queue-smoke bench-cluster-smoke bench-memostore-smoke
 
 # Machine-readable micro-benchmarks (ns/op, allocs/op) for tracking
 # the perf trajectory across PRs; writes bench/BENCH_<suite>.json.
@@ -121,3 +123,18 @@ bench-cluster:
 # to end without touching committed results.
 bench-cluster-smoke:
 	$(GO) run ./cmd/rtbench -cluster $$(mktemp -d)
+
+# Memo store suite: hard-NO 3-PARTITION classes solved cold with a
+# store attached, the service restarted, and perturbed near-miss
+# variants replayed warm from the persisted transposition table —
+# warm-vs-cold node ratios with tiered verdict-parity oracles; writes
+# bench/BENCH_memo_store.json. A ratio below 2x or any verdict
+# mismatch fails the run.
+bench-memostore:
+	$(GO) run ./cmd/rtbench -memostore bench
+
+# The two small families into a throwaway directory — the CI smoke
+# that drives cold solve → restart → warm seeded replay → oracle
+# parity end to end without touching committed results.
+bench-memostore-smoke:
+	$(GO) run ./cmd/rtbench -memostore $$(mktemp -d) -memostore-n 2

@@ -26,12 +26,18 @@
 // acceptance scenario — seed on owners, one anti-entropy round,
 // warm serves from every non-owner with zero new searches, then a
 // kill-one-owner burst with zero failed requests — writing
-// DIR/BENCH_cluster.json.
+// DIR/BENCH_cluster.json. With -memostore DIR it runs the durable
+// refutation-cache near-miss suite — hard-NO 3-PARTITION classes
+// solved cold with a store attached, the service restarted, and
+// perturbed near-miss variants replayed warm from the persisted
+// transposition table, with tiered verdict-parity oracles — writing
+// warm-vs-cold node ratios to DIR/BENCH_memo_store.json.
 //
 // Usage:
 //
 //	rtbench [-only E3] [-workers N] [-json DIR] [-load DIR] [-solver DIR]
 //	        [-corpus DIR [-corpus-n N] [-corpus-seed S]] [-queue DIR] [-cluster DIR]
+//	        [-memostore DIR [-memostore-n N]]
 package main
 
 import (
@@ -53,8 +59,17 @@ func main() {
 	clusterDir := flag.String("cluster", "", "run the 3-node cluster replication suite and write BENCH_cluster.json to this directory")
 	corpusN := flag.Int("corpus-n", 2000, "distinct isomorphism classes to draw for -corpus")
 	corpusSeed := flag.Int64("corpus-seed", 1, "generator seed for -corpus")
+	memoDir := flag.String("memostore", "", "run the durable refutation-cache near-miss suite and write BENCH_memo_store.json to this directory")
+	memoN := flag.Int("memostore-n", 0, "family sizes to run for -memostore (0 = all)")
 	flag.Parse()
 
+	if *memoDir != "" {
+		if err := writeMemoStoreJSON(*memoDir, *memoN); err != nil {
+			fmt.Fprintf(os.Stderr, "rtbench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if *clusterDir != "" {
 		if err := writeClusterJSON(*clusterDir); err != nil {
 			fmt.Fprintf(os.Stderr, "rtbench: %v\n", err)

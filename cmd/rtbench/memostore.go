@@ -1,0 +1,363 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"time"
+
+	"rtm/internal/core"
+	"rtm/internal/exact"
+	"rtm/internal/nphard"
+	"rtm/internal/service"
+	"rtm/internal/store"
+)
+
+// This file implements -memostore: the durable refutation-cache
+// (persistent transposition table) near-miss suite. A hard NO class —
+// a 3-PARTITION encoding whose blocker item fits no frame — is solved
+// cold through a service with a store attached, the service is torn
+// down and rebuilt on the same directory (a restart), and perturbed
+// near-miss variants of the class (extra communication paths: the
+// canonical fingerprint changes, the memo class does not) are replayed
+// warm. Each variant's warm node count is compared against a storeless
+// cold baseline; the suite fails unless every family's worst
+// warm-vs-cold ratio is at least minMemoRatio and every verdict
+// matches its oracle.
+//
+// The oracle is tiered by tractability: the smallest family is
+// cross-checked against the fully-unpruned search (pruners_off), the
+// next against a memo-less search (memo_off — the exact control for
+// the channel this suite exercises), and the large families against
+// the unseeded cold baseline itself (cold_unseeded), which the
+// tier-1 differential tests pin to the reference oracle. Families the
+// full oracle cannot reach in reasonable time are reported as such
+// rather than silently skipped.
+
+// minMemoRatio is the acceptance floor: a warm replay must cost at
+// most half the nodes of the cold baseline on every variant.
+const minMemoRatio = 2.0
+
+// memoVariantDoc is one perturbed near-miss replay.
+type memoVariantDoc struct {
+	Fingerprint string  `json:"fingerprint"`
+	ColdNodes   int64   `json:"cold_nodes"` // storeless baseline
+	WarmNodes   int64   `json:"warm_nodes"` // seeded from the store
+	Ratio       float64 `json:"ratio"`      // cold / warm
+	SeedSigs    int64   `json:"seed_sigs"`  // signatures seeded into the search
+}
+
+// memoFamilyDoc is one hard-NO class: a cold solve, a restart, and a
+// set of warm near-miss replays.
+type memoFamilyDoc struct {
+	Name          string           `json:"name"`
+	B             int              `json:"b"`
+	Sizes         []int            `json:"sizes"`
+	ScheduleLen   int              `json:"schedule_len"`
+	MemoKey       string           `json:"memo_key"`
+	ColdBaseNodes int64            `json:"cold_base_nodes"` // life-1 cold solve
+	SnapshotSigs  int              `json:"snapshot_sigs"`   // exported by the cold solve
+	StoredSigs    int              `json:"stored_sigs"`     // durable after the cap
+	Oracle        string           `json:"oracle"`          // pruners_off | memo_off | cold_unseeded
+	OracleNodes   int64            `json:"oracle_nodes,omitempty"`
+	OracleAgrees  bool             `json:"oracle_agrees"`
+	Variants      []memoVariantDoc `json:"variants"`
+	MinRatio      float64          `json:"min_ratio"`
+	MedianRatio   float64          `json:"median_ratio"`
+}
+
+// memoSuiteDoc is the BENCH_memo_store.json document.
+type memoSuiteDoc struct {
+	Suite      string `json:"suite"`
+	GoMaxProcs int    `json:"gomaxprocs"`
+	GoVersion  string `json:"go_version"`
+
+	SigCap   int             `json:"sig_cap"` // store per-class signature cap
+	Families []memoFamilyDoc `json:"families"`
+
+	MinRatio          float64 `json:"min_ratio"` // worst ratio across all variants
+	VerdictMismatches int     `json:"verdict_mismatches"`
+	DurationMS        int64   `json:"duration_ms"`
+}
+
+// memoFamily is the blocker construction: with item sizes strictly
+// inside (B/4, B/2), the largest legal size cannot complete a frame —
+// at B=24 an 11 needs 13 from two sizes ≥ 7, at B=32 a 15 needs 17
+// from two sizes ≥ 9, at B=40 a 19 needs 21 from two sizes ≥ 11 — so
+// any multiset containing the blocker is a NO instance whose
+// refutation must explore all the near-feasible packings of the rest.
+// Multiplicities stay small because the canonical fingerprint's
+// orbit enumeration is factorial in the largest same-weight group.
+type memoFamily struct {
+	name   string
+	b      int
+	sizes  []int
+	oracle string // pruners_off | memo_off | cold_unseeded
+}
+
+func memoFamilies() []memoFamily {
+	return []memoFamily{
+		{"B24-m2", 24, []int{7, 7, 7, 7, 7, 11, 8, 9, 9}, "pruners_off"},
+		{"B24-m4", 24, []int{7, 7, 7, 7, 7, 7, 11, 11, 8, 8, 8, 8}, "memo_off"},
+		{"B32-m4", 32, []int{15, 9, 9, 9, 9, 10, 10, 10, 11, 11, 12, 13}, "memo_off"},
+		{"B40-m6", 40, []int{19, 11, 11, 11, 11, 12, 12, 12, 12, 13, 13, 13, 13, 14, 14, 14, 17, 18}, "cold_unseeded"},
+	}
+}
+
+// memoEncode builds the scheduling instance and the exact options the
+// service will run it under (fixed length, contiguous — the encoding's
+// iff needs both).
+func memoEncode(fam memoFamily) (*core.Model, exact.Options, error) {
+	tp := nphard.ThreePartition{Sizes: fam.sizes, B: fam.b}
+	m, err := nphard.EncodeThreePartition(tp)
+	if err != nil {
+		return nil, exact.Options{}, err
+	}
+	n := tp.M() * (fam.b + 1)
+	return m, exact.Options{MinLen: n, MaxLen: n, RequireContiguous: true, MaxCandidates: 5_000_000}, nil
+}
+
+// memoPerturb re-encodes the family with an extra communication path —
+// the canonical fingerprint changes, the search problem and hence the
+// memo class do not.
+func memoPerturb(fam memoFamily, i int) (*core.Model, error) {
+	m, _, err := memoEncode(fam)
+	if err != nil {
+		return nil, err
+	}
+	// chain length varies per variant: the canonical form is
+	// isomorphism-invariant, so same-weight endpoints collapse — but
+	// different edge counts never do
+	for j := 0; j <= i; j++ {
+		m.Comm.AddPath(nphard.ItemElem(j), nphard.ItemElem(j+1))
+	}
+	return m, nil
+}
+
+// memoServiceOpts is the pipeline shape of the suite: analysis and
+// heuristic off so every request reaches the exact stage, exact
+// options fixed by the family.
+func memoServiceOpts(st *store.Store, exopt exact.Options) service.Options {
+	return service.Options{
+		Store:            st,
+		DisableAnalysis:  true,
+		DisableHeuristic: true,
+		Exact:            exopt,
+	}
+}
+
+// refuteVia runs one model through svc and returns the exact-stage
+// node delta, asserting the class is refuted by the exact tier.
+func refuteVia(ctx context.Context, svc *service.Service, m *core.Model, label string) (int64, error) {
+	before := svc.Snapshot()["exact_nodes_total"]
+	res, err := svc.Schedule(ctx, m)
+	if err != nil {
+		return 0, fmt.Errorf("%s: %w", label, err)
+	}
+	if res.Feasible || !res.Decided || res.Source != "exact" {
+		return 0, fmt.Errorf("%s: want exact refutation, got %+v", label, res)
+	}
+	return svc.Snapshot()["exact_nodes_total"] - before, nil
+}
+
+// runMemoFamily drives one family through cold solve → restart → warm
+// near-miss replays → cold baselines → oracle.
+func runMemoFamily(ctx context.Context, fam memoFamily, variants int) (memoFamilyDoc, error) {
+	doc := memoFamilyDoc{Name: fam.name, B: fam.b, Sizes: fam.sizes, Oracle: fam.oracle}
+	base, exopt, err := memoEncode(fam)
+	if err != nil {
+		return doc, err
+	}
+	doc.ScheduleLen = exopt.MaxLen
+	key, ok := exact.MemoKey(base, exopt)
+	if !ok {
+		return doc, fmt.Errorf("%s: no memo key for the family", fam.name)
+	}
+	doc.MemoKey = key[:16]
+
+	sdir, err := os.MkdirTemp("", "rtbench-memostore-")
+	if err != nil {
+		return doc, err
+	}
+	defer os.RemoveAll(sdir)
+
+	// life 1: cold solve, snapshot written back to the store
+	st1, err := store.Open(sdir, store.Options{NoSync: true})
+	if err != nil {
+		return doc, err
+	}
+	svc1 := service.New(memoServiceOpts(st1, exopt))
+	doc.ColdBaseNodes, err = refuteVia(ctx, svc1, base, fam.name+" cold base")
+	if err != nil {
+		st1.Close()
+		return doc, err
+	}
+	if puts := svc1.Snapshot()["memo_snapshot_puts"]; puts != 1 {
+		st1.Close()
+		return doc, fmt.Errorf("%s: memo_snapshot_puts = %d after the cold solve, want 1", fam.name, puts)
+	}
+	rec1, ok := st1.GetMemo(key)
+	if !ok {
+		st1.Close()
+		return doc, fmt.Errorf("%s: cold solve left no memo class in the store", fam.name)
+	}
+	doc.StoredSigs = len(rec1.Sigs)
+	if err := st1.Close(); err != nil {
+		return doc, err
+	}
+
+	// restart: same directory, fresh store handle, fresh service
+	st2, err := store.Open(sdir, store.Options{NoSync: true})
+	if err != nil {
+		return doc, err
+	}
+	defer st2.Close()
+	svc2 := service.New(memoServiceOpts(st2, exopt))
+	// cold baselines run storeless: no seeds, no verdict cache
+	cold := service.New(memoServiceOpts(nil, exopt))
+
+	baseFP := core.Fingerprint(base)
+	seenFP := map[string]bool{baseFP: true}
+	for i := 0; i < variants; i++ {
+		v, err := memoPerturb(fam, i)
+		if err != nil {
+			return doc, err
+		}
+		fp := core.Fingerprint(v)
+		if seenFP[fp] {
+			return doc, fmt.Errorf("%s variant %d: fingerprint %s collides — perturbation did not change the class member", fam.name, i, fp[:8])
+		}
+		seenFP[fp] = true
+		vkey, ok := exact.MemoKey(v, exopt)
+		if !ok || vkey != key {
+			return doc, fmt.Errorf("%s variant %d: memo key diverged — not a near miss", fam.name, i)
+		}
+
+		preHits := svc2.Snapshot()["memo_seed_hits"]
+		preSigs := svc2.Snapshot()["memo_seed_sigs"]
+		warmNodes, err := refuteVia(ctx, svc2, v, fmt.Sprintf("%s warm variant %d", fam.name, i))
+		if err != nil {
+			return doc, err
+		}
+		snap := svc2.Snapshot()
+		if snap["memo_seed_hits"] != preHits+1 {
+			return doc, fmt.Errorf("%s variant %d: warm replay did not seed (hits %d → %d)", fam.name, i, preHits, snap["memo_seed_hits"])
+		}
+		if snap["store_hits"] != 0 {
+			return doc, fmt.Errorf("%s variant %d: near miss was served by the verdict store", fam.name, i)
+		}
+		coldNodes, err := refuteVia(ctx, cold, v, fmt.Sprintf("%s cold variant %d", fam.name, i))
+		if err != nil {
+			return doc, err
+		}
+		if warmNodes <= 0 || coldNodes <= 0 {
+			return doc, fmt.Errorf("%s variant %d: degenerate node counts cold=%d warm=%d", fam.name, i, coldNodes, warmNodes)
+		}
+		doc.Variants = append(doc.Variants, memoVariantDoc{
+			Fingerprint: fp[:16],
+			ColdNodes:   coldNodes,
+			WarmNodes:   warmNodes,
+			Ratio:       float64(coldNodes) / float64(warmNodes),
+			SeedSigs:    snap["memo_seed_sigs"] - preSigs,
+		})
+	}
+	// the cold solve's exported snapshot size comes from the first
+	// variant's seed count (what the store handed back after the cap)
+	doc.SnapshotSigs = int(doc.Variants[0].SeedSigs)
+
+	ratios := make([]float64, len(doc.Variants))
+	for i, v := range doc.Variants {
+		ratios[i] = v.Ratio
+	}
+	sort.Float64s(ratios)
+	doc.MinRatio = ratios[0]
+	doc.MedianRatio = ratios[len(ratios)/2]
+
+	// oracle cross-check at the family's tractable tier
+	switch fam.oracle {
+	case "pruners_off", "memo_off":
+		oopt := exopt
+		oopt.DisableMemo = true
+		if fam.oracle == "pruners_off" {
+			oopt.DisableSymmetry = true
+			oopt.DisableBounds = true
+		}
+		_, ost, oerr := exact.FindScheduleCtx(ctx, base, oopt)
+		if oerr != nil && !errors.Is(oerr, exact.ErrNotFound) {
+			return doc, fmt.Errorf("%s: %s oracle failed: %w", fam.name, fam.oracle, oerr)
+		}
+		doc.OracleNodes = int64(ost.NodesExplored)
+		doc.OracleAgrees = errors.Is(oerr, exact.ErrNotFound) // suite refuted everywhere
+	case "cold_unseeded":
+		// the storeless baselines above are the unseeded control; they
+		// refuted every variant or refuteVia would have failed
+		doc.OracleAgrees = true
+	default:
+		return doc, fmt.Errorf("%s: unknown oracle tier %q", fam.name, fam.oracle)
+	}
+	return doc, nil
+}
+
+// writeMemoStoreJSON runs the near-miss suite over the first n
+// families (n <= 0 means all) and writes BENCH_memo_store.json.
+func writeMemoStoreJSON(dir string, n int) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	fams := memoFamilies()
+	if n > 0 && n < len(fams) {
+		fmt.Printf("memostore: running %d of %d families (smoke)\n", n, len(fams))
+		fams = fams[:n]
+	}
+	ctx := context.Background()
+	start := time.Now()
+	doc := memoSuiteDoc{
+		Suite:      "memo_store",
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		GoVersion:  runtime.Version(),
+		SigCap:     store.DefaultMemoSigCap,
+		MinRatio:   -1,
+	}
+	for _, fam := range fams {
+		fd, err := runMemoFamily(ctx, fam, 3)
+		if err != nil {
+			return err
+		}
+		if !fd.OracleAgrees {
+			doc.VerdictMismatches++
+		}
+		if doc.MinRatio < 0 || fd.MinRatio < doc.MinRatio {
+			doc.MinRatio = fd.MinRatio
+		}
+		doc.Families = append(doc.Families, fd)
+		fmt.Printf("%-8s n=%-3d cold=%8d sigs=%6d→%-5d warm min/median ratio %.0fx/%.0fx  oracle=%s\n",
+			fd.Name, fd.ScheduleLen, fd.ColdBaseNodes, fd.StoredSigs, fd.SnapshotSigs,
+			fd.MinRatio, fd.MedianRatio, fd.Oracle)
+	}
+	doc.DurationMS = time.Since(start).Milliseconds()
+
+	switch {
+	case doc.VerdictMismatches > 0:
+		return errors.New("seeded verdicts diverged from the oracle")
+	case doc.MinRatio < minMemoRatio:
+		return fmt.Errorf("warm/cold node ratio %.2f below the %.1fx acceptance floor", doc.MinRatio, minMemoRatio)
+	}
+
+	data, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	path := filepath.Join(dir, "BENCH_memo_store.json")
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("memo store suite: %d families, worst ratio %.0fx, %d verdict mismatches, %dms\n",
+		len(doc.Families), doc.MinRatio, doc.VerdictMismatches, doc.DurationMS)
+	fmt.Printf("wrote %s\n", path)
+	return nil
+}

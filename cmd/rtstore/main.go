@@ -4,12 +4,13 @@
 //
 // Usage:
 //
-//	rtstore -dir DIR ls                 list records (fingerprint, verdict, slots, source)
-//	rtstore -dir DIR stat               store totals (records, bytes, corrupt skipped)
+//	rtstore -dir DIR ls                 list records (fingerprint, verdict, slots, source) and memo classes
+//	rtstore -dir DIR stat               store totals (records, bytes, memo classes/sigs, corrupt skipped)
 //	rtstore -dir DIR get <fingerprint>  print one record as JSON
-//	rtstore -dir DIR compact            rewrite the log to the live index (atomic rename)
-//	rtstore -dir DIR verify             replay the log and report integrity
-//	rtstore -dir DIR manifest           per-bucket counts and fingerprint-set digests
+//	rtstore -dir DIR memo <fingerprint> refutation-cache summary for a fingerprint's memo class
+//	rtstore -dir DIR compact            rewrite both logs to the live indexes (atomic rename)
+//	rtstore -dir DIR verify             replay the logs and report integrity
+//	rtstore -dir DIR manifest           per-bucket counts and digests (verdicts and memo tier)
 //	rtstore -dir DIR diff DIR2          compare two stores' manifests, list one-sided records
 //
 // manifest prints the same per-bucket digests rtserved exposes at
@@ -50,7 +51,7 @@ func run(args []string, out io.Writer) error {
 		return fmt.Errorf("-dir is required")
 	}
 	if fs.NArg() == 0 {
-		return fmt.Errorf("missing command: ls, stat, get, compact, verify, manifest, or diff")
+		return fmt.Errorf("missing command: ls, stat, get, memo, compact, verify, manifest, or diff")
 	}
 	st, err := store.Open(*dir, store.Options{})
 	if err != nil {
@@ -68,11 +69,18 @@ func run(args []string, out io.Writer) error {
 			}
 			fmt.Fprintf(out, "%s  %-20s elems=%-3d source=%s\n", fp, verdict, rec.Elements, rec.Source)
 		}
+		for _, k := range st.MemoKeys() {
+			rec, _ := st.GetMemo(k)
+			fmt.Fprintf(out, "%s  memo class          sigs=%-5d fingerprints=%d\n", k, len(rec.Sigs), len(rec.Fingerprints))
+		}
 		return nil
 	case "stat":
 		fmt.Fprintf(out, "dir:             %s\n", st.Dir())
 		fmt.Fprintf(out, "records:         %d\n", st.Len())
 		fmt.Fprintf(out, "bytes:           %d\n", st.Bytes())
+		fmt.Fprintf(out, "memo classes:    %d\n", st.MemoLen())
+		fmt.Fprintf(out, "memo sigs:       %d\n", st.MemoSigs())
+		fmt.Fprintf(out, "memo bytes:      %d\n", st.MemoBytes())
 		fmt.Fprintf(out, "corrupt skipped: %d\n", st.CorruptSkipped())
 		return nil
 	case "get":
@@ -89,17 +97,36 @@ func run(args []string, out io.Writer) error {
 		}
 		fmt.Fprintf(out, "%s\n", data)
 		return nil
+	case "memo":
+		if fs.NArg() != 2 {
+			return fmt.Errorf("usage: rtstore -dir DIR memo <fingerprint-or-key>")
+		}
+		rec, ok := st.MemoForFingerprint(fs.Arg(1))
+		if !ok {
+			rec, ok = st.GetMemo(fs.Arg(1)) // also accept a class key directly
+		}
+		if !ok {
+			return fmt.Errorf("no memo class for %s", fs.Arg(1))
+		}
+		fmt.Fprintf(out, "class:        %s\n", rec.Key)
+		fmt.Fprintf(out, "signatures:   %d\n", len(rec.Sigs))
+		fmt.Fprintf(out, "fingerprints: %d\n", len(rec.Fingerprints))
+		for _, fp := range rec.Fingerprints {
+			fmt.Fprintf(out, "  %s\n", fp)
+		}
+		return nil
 	case "compact":
-		before := st.Bytes()
+		before := st.Bytes() + st.MemoBytes()
 		if err := st.Compact(); err != nil {
 			return err
 		}
-		fmt.Fprintf(out, "compacted %d records: %d -> %d bytes\n", st.Len(), before, st.Bytes())
+		fmt.Fprintf(out, "compacted %d records + %d memo classes: %d -> %d bytes\n",
+			st.Len(), st.MemoLen(), before, st.Bytes()+st.MemoBytes())
 		return nil
 	case "verify":
-		// Open already replayed the log, validated every frame and
+		// Open already replayed both logs, validated every frame and
 		// record, and truncated any damage to the clean prefix
-		fmt.Fprintf(out, "%d records, %d bytes clean", st.Len(), st.Bytes())
+		fmt.Fprintf(out, "%d records + %d memo classes, %d bytes clean", st.Len(), st.MemoLen(), st.Bytes()+st.MemoBytes())
 		if n := st.CorruptSkipped(); n > 0 {
 			fmt.Fprintf(out, ", %d torn/corrupt tail(s) discarded\n", n)
 			return fmt.Errorf("log had damage (now truncated to the clean prefix)")
@@ -107,14 +134,18 @@ func run(args []string, out io.Writer) error {
 		fmt.Fprintf(out, ", ok\n")
 		return nil
 	case "manifest":
-		total := 0
+		total, memoTotal := 0, 0
 		for _, b := range st.Manifest() {
 			if b.Count > 0 {
 				fmt.Fprintf(out, "bucket %x: %4d records  %s\n", b.Bucket, b.Count, b.Digest)
 			}
+			if b.MemoCount > 0 {
+				fmt.Fprintf(out, "bucket %x: %4d memo     %s\n", b.Bucket, b.MemoCount, b.MemoDigest)
+			}
 			total += b.Count
+			memoTotal += b.MemoCount
 		}
-		fmt.Fprintf(out, "total: %d records in %d buckets\n", total, store.ManifestBuckets)
+		fmt.Fprintf(out, "total: %d records, %d memo classes in %d buckets\n", total, memoTotal, store.ManifestBuckets)
 		return nil
 	case "diff":
 		if fs.NArg() != 2 {
@@ -127,7 +158,7 @@ func run(args []string, out io.Writer) error {
 		defer other.Close()
 		return diffStores(out, st, other)
 	default:
-		return fmt.Errorf("unknown command %q: want ls, stat, get, compact, verify, manifest, or diff", cmd)
+		return fmt.Errorf("unknown command %q: want ls, stat, get, memo, compact, verify, manifest, or diff", cmd)
 	}
 }
 
@@ -140,6 +171,11 @@ func diffStores(out io.Writer, a, b *store.Store) error {
 	haveA, haveB := fingerprintSet(a), fingerprintSet(b)
 	differing := 0
 	for i := range am {
+		if am[i].MemoDigest != bm[i].MemoDigest {
+			differing++
+			fmt.Fprintf(out, "bucket %x memo tier differs (%d vs %d classes)\n",
+				am[i].Bucket, am[i].MemoCount, bm[i].MemoCount)
+		}
 		if am[i].Digest == bm[i].Digest {
 			continue
 		}
@@ -159,7 +195,7 @@ func diffStores(out io.Writer, a, b *store.Store) error {
 	if differing > 0 {
 		return fmt.Errorf("stores differ in %d bucket(s)", differing)
 	}
-	fmt.Fprintf(out, "stores converged: %d records, manifests identical\n", a.Len())
+	fmt.Fprintf(out, "stores converged: %d records, %d memo classes, manifests identical\n", a.Len(), a.MemoLen())
 	return nil
 }
 

@@ -91,7 +91,7 @@ func TestRTStoreManifestAndDiff(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !strings.Contains(out, "total: 3 records in 16 buckets") {
+	if !strings.Contains(out, "total: 3 records, 0 memo classes in 16 buckets") {
 		t.Fatalf("manifest output:\n%s", out)
 	}
 	// the seed fingerprints %064x of 1..3 all live in bucket 0
@@ -147,6 +147,73 @@ func TestRTStoreManifestAndDiff(t *testing.T) {
 		!strings.Contains(out, "only in "+dir+": "+fps[2]) ||
 		strings.Contains(out, "only in "+lone) {
 		t.Fatalf("diff output:\n%s", out)
+	}
+}
+
+func TestRTStoreMemoCommands(t *testing.T) {
+	dir, fps := seedStore(t)
+	key := strings.Repeat("ab", 32)
+	st, err := store.Open(dir, store.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.PutMemo(key, []string{fps[0]}, [][]byte{[]byte("sig-1"), []byte("sig-2")}); err != nil {
+		t.Fatal(err)
+	}
+	st.Close()
+
+	// memo resolves via a member fingerprint and via the class key itself
+	for _, arg := range []string{fps[0], key} {
+		out, err := runT(t, "-dir", dir, "memo", arg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !strings.Contains(out, "class:        "+key) ||
+			!strings.Contains(out, "signatures:   2") ||
+			!strings.Contains(out, "  "+fps[0]) {
+			t.Fatalf("memo %s output:\n%s", arg, out)
+		}
+	}
+	if _, err := runT(t, "-dir", dir, "memo", strings.Repeat("0", 64)); err == nil {
+		t.Fatal("memo of an unknown fingerprint succeeded")
+	}
+
+	out, err := runT(t, "-dir", dir, "stat")
+	if err != nil || !strings.Contains(out, "memo classes:    1") || !strings.Contains(out, "memo sigs:       2") {
+		t.Fatalf("stat: err=%v out=%s", err, out)
+	}
+
+	out, err = runT(t, "-dir", dir, "ls")
+	if err != nil || !strings.Contains(out, key+"  memo class") {
+		t.Fatalf("ls: err=%v out=%s", err, out)
+	}
+
+	out, err = runT(t, "-dir", dir, "manifest")
+	if err != nil || !strings.Contains(out, "memo") || !strings.Contains(out, "1 memo classes in 16 buckets") {
+		t.Fatalf("manifest: err=%v out=%s", err, out)
+	}
+
+	// a memo-less twin with identical verdicts: diff flags the memo tier
+	twin := t.TempDir()
+	tw, err := store.Open(twin, store.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	src, err := store.Open(dir, store.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, fp := range fps {
+		rec, _ := src.Get(fp)
+		if err := tw.Put(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	src.Close()
+	tw.Close()
+	out, err = runT(t, "-dir", dir, "diff", twin)
+	if err == nil || !strings.Contains(out, "memo tier differs") {
+		t.Fatalf("diff: err=%v out=%s", err, out)
 	}
 }
 

@@ -105,6 +105,33 @@ func (c *Client) PullSegment(ctx context.Context, bucket int) ([]byte, error) {
 	return data, nil
 }
 
+// PullMemoSegment fetches one sealed memo segment (a manifest
+// bucket's refutation-cache slice) from the peer. Like PullSegment,
+// the store's import path is the validator; this just bounds the size.
+func (c *Client) PullMemoSegment(ctx context.Context, bucket int) ([]byte, error) {
+	url := fmt.Sprintf("%s/cluster/memoseg/%d", c.base, bucket)
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: %w", err)
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: memo segment %d from %s: %w", bucket, c.node, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("cluster: memo segment %d from %s: HTTP %d", bucket, c.node, resp.StatusCode)
+	}
+	data, err := io.ReadAll(io.LimitReader(resp.Body, maxSegmentBytes+1))
+	if err != nil {
+		return nil, fmt.Errorf("cluster: memo segment %d from %s: %w", bucket, c.node, err)
+	}
+	if len(data) > maxSegmentBytes {
+		return nil, fmt.Errorf("cluster: memo segment %d from %s exceeds %d bytes", bucket, c.node, maxSegmentBytes)
+	}
+	return data, nil
+}
+
 // ForwardSchedule proxies a POST /schedule body to the peer with the
 // forward marker set. The caller owns the response body.
 func (c *Client) ForwardSchedule(ctx context.Context, body []byte, rawQuery string) (*http.Response, error) {

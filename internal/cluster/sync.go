@@ -19,6 +19,14 @@ import (
 // prefix and leaves the digest unequal, so the next round retries —
 // damage heals instead of propagating, and because serves re-verify,
 // the damaged window costs misses, never wrong verdicts.
+//
+// The memo tier replicates through the same loop: per-bucket memo
+// digests compare, divergent buckets pull as sealed memo segments, and
+// the import merges signature sets under the order-independent
+// union-and-cap rule, so replicas converge regardless of pull order. A
+// poisoned memo segment is even safer than a poisoned verdict segment:
+// a seeded signature only ever matches by exact bytes, so corruption
+// that survives framing costs table memory, never a verdict.
 type Syncer struct {
 	// Store is the local store replicated into.
 	Store *store.Store
@@ -51,29 +59,52 @@ func (sy *Syncer) SyncOnce(ctx context.Context) (pulls, records int) {
 		// peer this round may have already converged some buckets.
 		mine := sy.Store.Manifest()
 		for _, b := range theirs.Buckets {
-			if b.Bucket < 0 || b.Bucket >= store.ManifestBuckets || b.Count == 0 {
+			if b.Bucket < 0 || b.Bucket >= store.ManifestBuckets {
 				continue
 			}
-			if b.Digest == mine[b.Bucket].Digest {
-				continue
+			if b.Count > 0 && b.Digest != mine[b.Bucket].Digest {
+				seg, err := peer.PullSegment(ctx, b.Bucket)
+				if err != nil {
+					sy.logf("cluster: sync: %v", err)
+					continue
+				}
+				st, err := sy.Store.ImportFrames(seg)
+				if err != nil {
+					sy.logf("cluster: sync: importing bucket %d from %s: %v", b.Bucket, peer.Node(), err)
+					continue
+				}
+				if st.Dropped {
+					sy.logf("cluster: sync: bucket %d from %s had a corrupt tail; kept %d-record clean prefix", b.Bucket, peer.Node(), st.Imported)
+				}
+				pulls++
+				records += st.Imported
+				if sy.OnPull != nil {
+					sy.OnPull(int64(st.Imported))
+				}
 			}
-			seg, err := peer.PullSegment(ctx, b.Bucket)
-			if err != nil {
-				sy.logf("cluster: sync: %v", err)
-				continue
-			}
-			st, err := sy.Store.ImportFrames(seg)
-			if err != nil {
-				sy.logf("cluster: sync: importing bucket %d from %s: %v", b.Bucket, peer.Node(), err)
-				continue
-			}
-			if st.Dropped {
-				sy.logf("cluster: sync: bucket %d from %s had a corrupt tail; kept %d-record clean prefix", b.Bucket, peer.Node(), st.Imported)
-			}
-			pulls++
-			records += st.Imported
-			if sy.OnPull != nil {
-				sy.OnPull(int64(st.Imported))
+			// Memo tier: same digest-compare-then-pull, but the import
+			// merges (union + cap) instead of first-write-wins, and an
+			// empty peer MemoDigest means the peer predates the memo
+			// tier — nothing to pull.
+			if b.MemoCount > 0 && b.MemoDigest != "" && b.MemoDigest != mine[b.Bucket].MemoDigest {
+				seg, err := peer.PullMemoSegment(ctx, b.Bucket)
+				if err != nil {
+					sy.logf("cluster: sync: %v", err)
+					continue
+				}
+				st, err := sy.Store.ImportMemoFrames(seg)
+				if err != nil {
+					sy.logf("cluster: sync: importing memo bucket %d from %s: %v", b.Bucket, peer.Node(), err)
+					continue
+				}
+				if st.Dropped {
+					sy.logf("cluster: sync: memo bucket %d from %s had a corrupt tail; kept %d-record clean prefix", b.Bucket, peer.Node(), st.Imported)
+				}
+				pulls++
+				records += st.Imported
+				if sy.OnPull != nil {
+					sy.OnPull(int64(st.Imported))
+				}
 			}
 		}
 	}

@@ -41,6 +41,24 @@ func peerServer(t *testing.T, node string, st *store.Store, mangle *atomic.Bool)
 		}
 		w.Write(seg)
 	})
+	mux.HandleFunc("/cluster/memoseg/", func(w http.ResponseWriter, r *http.Request) {
+		b, err := strconv.Atoi(strings.TrimPrefix(r.URL.Path, "/cluster/memoseg/"))
+		if err != nil {
+			http.Error(w, "bad bucket", http.StatusBadRequest)
+			return
+		}
+		seg, _, err := st.ExportMemoBucket(b)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		if mangle != nil && mangle.Load() {
+			for i := range seg {
+				seg[i] ^= 0x5a
+			}
+		}
+		w.Write(seg)
+	})
 	srv := httptest.NewServer(mux)
 	t.Cleanup(srv.Close)
 	return srv
@@ -139,6 +157,134 @@ func TestSyncCorruptPullHealsNextRound(t *testing.T) {
 	sm, dm := src.Manifest(), dst.Manifest()
 	if sm[9] != dm[9] {
 		t.Fatalf("bucket 9 not healed: %+v vs %+v", sm[9], dm[9])
+	}
+}
+
+// TestSyncMemoConverges pins memo-tier replication: after one sync
+// round each way, both stores hold the merged (union) signature sets
+// and their manifests — memo digests included — are identical. Unlike
+// verdicts there is no first-write-wins: overlapping classes merge.
+func TestSyncMemoConverges(t *testing.T) {
+	a, b := openStore(t), openStore(t)
+	key := fmt.Sprintf("%x%063x", 5, 0x42)
+	sigsA := [][]byte{[]byte("sig-a1"), []byte("sig-shared")}
+	sigsB := [][]byte{[]byte("sig-b1"), []byte("sig-b2"), []byte("sig-shared")}
+	if err := a.PutMemo(key, []string{fmt.Sprintf("%064x", 1)}, sigsA); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.PutMemo(key, []string{fmt.Sprintf("%064x", 2)}, sigsB); err != nil {
+		t.Fatal(err)
+	}
+	// a second class only A holds, plus a verdict so both tiers move
+	keyOnlyA := fmt.Sprintf("%x%063x", 3, 0x43)
+	if err := a.PutMemo(keyOnlyA, nil, [][]byte{[]byte("lone")}); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Put(seedRecord(2, 1)); err != nil {
+		t.Fatal(err)
+	}
+
+	srvA := peerServer(t, "a", a, nil)
+	srvB := peerServer(t, "b", b, nil)
+	syA := &Syncer{Store: a, Peers: []*Client{NewClient("b", srvB.URL, time.Second)}, Logf: t.Logf}
+	syB := &Syncer{Store: b, Peers: []*Client{NewClient("a", srvA.URL, time.Second)}, Logf: t.Logf}
+
+	ctx := context.Background()
+	syA.SyncOnce(ctx)
+	syB.SyncOnce(ctx)
+
+	for _, st := range []*store.Store{a, b} {
+		rec, ok := st.GetMemo(key)
+		if !ok || len(rec.Sigs) != 4 { // union of {a1, shared} and {b1, b2, shared}
+			t.Fatalf("merged class: ok=%v sigs=%d, want 4", ok, len(rec.Sigs))
+		}
+		if len(rec.Fingerprints) != 2 {
+			t.Fatalf("fingerprint union: %v", rec.Fingerprints)
+		}
+		if _, ok := st.GetMemo(keyOnlyA); !ok {
+			t.Fatal("one-sided class not replicated")
+		}
+	}
+	am, bm := a.Manifest(), b.Manifest()
+	for i := range am {
+		if am[i] != bm[i] {
+			t.Fatalf("bucket %d diverged after sync: %+v vs %+v", i, am[i], bm[i])
+		}
+	}
+	// quiescent round: converged replicas pull nothing
+	if pulls, records := syA.SyncOnce(ctx); pulls != 0 || records != 0 {
+		t.Fatalf("quiescent round pulled %d/%d", pulls, records)
+	}
+}
+
+// TestSyncMemoPoisonedSegmentDropped pins the trustless import: a memo
+// segment mangled in flight contributes nothing (every byte flipped →
+// empty clean prefix), the local store stays intact, and the next clean
+// round heals.
+func TestSyncMemoPoisonedSegmentDropped(t *testing.T) {
+	src, dst := openStore(t), openStore(t)
+	key := fmt.Sprintf("%x%063x", 9, 0x51)
+	if err := src.PutMemo(key, nil, [][]byte{[]byte("deep-refutation")}); err != nil {
+		t.Fatal(err)
+	}
+	var mangle atomic.Bool
+	mangle.Store(true)
+	srv := peerServer(t, "src", src, &mangle)
+	sy := &Syncer{Store: dst, Peers: []*Client{NewClient("src", srv.URL, time.Second)}, Logf: t.Logf}
+
+	ctx := context.Background()
+	sy.SyncOnce(ctx)
+	if dst.MemoLen() != 0 {
+		t.Fatalf("poisoned round imported %d memo classes", dst.MemoLen())
+	}
+
+	mangle.Store(false)
+	sy.SyncOnce(ctx)
+	rec, ok := dst.GetMemo(key)
+	if !ok || len(rec.Sigs) != 1 {
+		t.Fatalf("healing round: ok=%v rec=%+v", ok, rec)
+	}
+}
+
+// TestSyncMemoOldPeerSkipped pins wire compatibility: a peer whose
+// manifest predates the memo tier (no memoDigest fields) syncs verdicts
+// normally and is never asked for memo segments.
+func TestSyncMemoOldPeerSkipped(t *testing.T) {
+	src, dst := openStore(t), openStore(t)
+	if err := src.Put(seedRecord(4, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := src.PutMemo(fmt.Sprintf("%x%063x", 4, 0x61), nil, [][]byte{[]byte("s")}); err != nil {
+		t.Fatal(err)
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/cluster/manifest", func(w http.ResponseWriter, r *http.Request) {
+		buckets := src.Manifest()
+		for i := range buckets {
+			buckets[i].MemoCount, buckets[i].MemoDigest = 0, "" // pre-memo peer
+		}
+		json.NewEncoder(w).Encode(ManifestDoc{Node: "old", Buckets: buckets})
+	})
+	mux.HandleFunc("/cluster/segment/", func(w http.ResponseWriter, r *http.Request) {
+		b, _ := strconv.Atoi(strings.TrimPrefix(r.URL.Path, "/cluster/segment/"))
+		seg, _, err := src.ExportBucket(b)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		w.Write(seg)
+	})
+	// note: no /cluster/memoseg/ route — an old peer 404s it
+	srv := httptest.NewServer(mux)
+	t.Cleanup(srv.Close)
+
+	sy := &Syncer{Store: dst, Peers: []*Client{NewClient("old", srv.URL, time.Second)}, Logf: t.Logf}
+	pulls, records := sy.SyncOnce(context.Background())
+	if pulls != 1 || records != 1 || dst.Len() != 1 {
+		t.Fatalf("verdict sync against old peer: pulls=%d records=%d len=%d", pulls, records, dst.Len())
+	}
+	if dst.MemoLen() != 0 {
+		t.Fatal("memo classes appeared from a peer that advertises none")
 	}
 }
 

@@ -1,0 +1,229 @@
+package exact
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+
+	"rtm/internal/core"
+)
+
+// coldWarm runs a model cold (snapshotting), then warm (seeded with the
+// cold snapshot), and returns both stats. It fails the test unless the
+// two runs agree on verdict, witness, and lengths tried.
+func coldWarm(t *testing.T, name string, m *core.Model, opt Options) (cold, warm *Stats) {
+	t.Helper()
+	coldOpt := opt
+	coldOpt.SnapshotMemo = true
+	coldS, coldSt, coldErr := FindSchedule(m, coldOpt)
+
+	warmOpt := opt
+	warmOpt.SeedMemo = coldSt.MemoSnapshot
+	warmS, warmSt, warmErr := FindSchedule(m, warmOpt)
+
+	if (warmErr == nil) != (coldErr == nil) || (warmErr != nil && !errors.Is(warmErr, coldErr)) {
+		t.Fatalf("%s: warm err = %v, cold = %v", name, warmErr, coldErr)
+	}
+	if (warmS == nil) != (coldS == nil) || (warmS != nil && !warmS.Equal(coldS)) {
+		t.Fatalf("%s: warm schedule %v, cold %v", name, warmS, coldS)
+	}
+	if !reflect.DeepEqual(warmSt.LengthsTried, coldSt.LengthsTried) {
+		t.Fatalf("%s: warm lengths %v, cold %v", name, warmSt.LengthsTried, coldSt.LengthsTried)
+	}
+	return coldSt, warmSt
+}
+
+// TestMemoSnapshotSeedRoundTrip pins the warm-restart contract on the
+// refutation-heavy E3 NO row: the cold search exports a non-empty
+// snapshot, the seeded re-run returns the identical verdict, uses the
+// seeds (PrunedBySeededMemo > 0), and explores strictly fewer nodes.
+func TestMemoSnapshotSeedRoundTrip(t *testing.T) {
+	m, opt := e3Model(t, []int{7, 5, 5, 5, 5, 5}, 16)
+	cold, warm := coldWarm(t, "e3-NO", m, opt)
+	if len(cold.MemoSnapshot) == 0 {
+		t.Fatal("cold NO search exported an empty snapshot")
+	}
+	if warm.MemoSeeded == 0 || warm.PrunedBySeededMemo == 0 {
+		t.Fatalf("warm run ignored its seeds: %+v", warm)
+	}
+	if warm.NodesExplored >= cold.NodesExplored {
+		t.Fatalf("warm explored %d nodes, cold %d — no speedup", warm.NodesExplored, cold.NodesExplored)
+	}
+	// the warm snapshot-less run must not have mutated the seed slices
+	if len(cold.MemoSnapshot) == 0 || len(cold.MemoSnapshot[0]) == 0 {
+		t.Fatalf("seed slices mutated: %v", cold.MemoSnapshot)
+	}
+}
+
+// TestMemoSeedParityAcrossSuite re-runs the cold/warm parity check on
+// feasible, infeasible, and mixed instances, sequential and parallel —
+// seeding is an optimization and must never be verdict-visible.
+func TestMemoSeedParityAcrossSuite(t *testing.T) {
+	m3, opt3 := e3Model(t, []int{7, 5, 5, 5, 5, 5}, 16)
+	m3y, opt3y := e3Model(t, []int{6, 5, 5, 6, 5, 5}, 16)
+	cases := []struct {
+		name string
+		m    *core.Model
+		opt  Options
+	}{
+		{"e2-tight-NO", e2TightModel([]int{2, 3, 6}), Options{MaxLen: 6}},
+		{"e2-YES", e2TightModel([]int{2, 6, 6, 6}), Options{MaxLen: 6}},
+		{"e3-NO", m3, opt3},
+		{"e3-YES", m3y, opt3y},
+		{"single", asyncModel(asyncChain("A", 2, "a")), Options{MaxLen: 4}},
+	}
+	for _, tc := range cases {
+		for _, workers := range []int{0, 4} {
+			opt := tc.opt
+			opt.Workers = workers
+			coldWarm(t, tc.name, tc.m, opt)
+		}
+	}
+}
+
+// TestMemoSeedPoisonedDifferential is the soundness pin for untrusted
+// seeds: garbage bytes, truncated and bit-flipped real signatures, and
+// signatures lifted from a different problem must leave verdict,
+// witness, and lengths tried identical to an unseeded run — a foreign
+// signature can never match a probe, so poison costs memory, not
+// correctness.
+func TestMemoSeedPoisonedDifferential(t *testing.T) {
+	m3, opt3 := e3Model(t, []int{7, 5, 5, 5, 5, 5}, 16)
+	m3y, opt3y := e3Model(t, []int{6, 5, 5, 6, 5, 5}, 16)
+
+	// real signatures from the OTHER problem: the nastiest poison,
+	// since they are well-formed sigs — just for the wrong class.
+	foreignOpt := opt3
+	foreignOpt.SnapshotMemo = true
+	_, foreignSt, _ := FindSchedule(m3, foreignOpt)
+	if len(foreignSt.MemoSnapshot) == 0 {
+		t.Fatal("no foreign signatures to poison with")
+	}
+
+	poisons := [][][]byte{
+		{[]byte("garbage"), []byte{0xff, 0xff, 0xff, 0xff}, {}, []byte{0}},
+		foreignSt.MemoSnapshot,
+	}
+	// truncated and bit-flipped variants of the foreign sigs
+	var mangled [][]byte
+	for _, sig := range foreignSt.MemoSnapshot[:min(8, len(foreignSt.MemoSnapshot))] {
+		if len(sig) > 1 {
+			mangled = append(mangled, sig[:len(sig)/2])
+		}
+		flipped := append([]byte(nil), sig...)
+		flipped[0] ^= 0x80
+		mangled = append(mangled, flipped)
+	}
+	poisons = append(poisons, mangled)
+
+	cases := []struct {
+		name string
+		m    *core.Model
+		opt  Options
+	}{
+		{"e3-YES", m3y, opt3y},
+		{"e2-tight-NO", e2TightModel([]int{2, 3, 6}), Options{MaxLen: 6}},
+		{"e2-YES", e2TightModel([]int{2, 6, 6, 6}), Options{MaxLen: 6}},
+	}
+	for _, tc := range cases {
+		wantS, wantSt, wantErr := FindSchedule(tc.m, tc.opt)
+		for pi, poison := range poisons {
+			opt := tc.opt
+			opt.SeedMemo = poison
+			s, st, err := FindSchedule(tc.m, opt)
+			if (err == nil) != (wantErr == nil) || (err != nil && !errors.Is(err, wantErr)) {
+				t.Fatalf("%s poison %d: err = %v, clean = %v", tc.name, pi, err, wantErr)
+			}
+			if (s == nil) != (wantS == nil) || (s != nil && !s.Equal(wantS)) {
+				t.Fatalf("%s poison %d: schedule %v, clean %v", tc.name, pi, s, wantS)
+			}
+			if !reflect.DeepEqual(st.LengthsTried, wantSt.LengthsTried) {
+				t.Fatalf("%s poison %d: lengths %v, clean %v", tc.name, pi, st.LengthsTried, wantSt.LengthsTried)
+			}
+		}
+	}
+}
+
+// TestMemoSnapshotExcludesSeeds pins the no-echo property: a search
+// seeded with a snapshot and snapshotting again must not re-export the
+// seeds it was given (the seeded set is immutable and excluded), so
+// write-back never re-persists what the store already holds.
+func TestMemoSnapshotExcludesSeeds(t *testing.T) {
+	m, opt := e3Model(t, []int{7, 5, 5, 5, 5, 5}, 16)
+	coldOpt := opt
+	coldOpt.SnapshotMemo = true
+	_, cold, _ := FindSchedule(m, coldOpt)
+
+	warmOpt := opt
+	warmOpt.SeedMemo = cold.MemoSnapshot
+	warmOpt.SnapshotMemo = true
+	_, warm, _ := FindSchedule(m, warmOpt)
+
+	seeded := make(map[string]bool, len(cold.MemoSnapshot))
+	for _, sig := range cold.MemoSnapshot {
+		seeded[string(sig)] = true
+	}
+	for _, sig := range warm.MemoSnapshot {
+		if seeded[string(sig)] {
+			t.Fatalf("warm snapshot re-exported a seed (%d bytes)", len(sig))
+		}
+	}
+}
+
+// TestMemoKeyClasses pins the equivalence-class semantics of MemoKey:
+// stable across runs, blind to structure-preserving fingerprint changes
+// (the near-miss case), and sensitive to weights, windows, and the
+// pruner regime that refutations are derived under.
+func TestMemoKeyClasses(t *testing.T) {
+	base := func() *core.Model {
+		return asyncModel(
+			asyncChain("A", 3, "a"),
+			asyncChain("B", 3, "b"),
+		)
+	}
+	opt := Options{MaxLen: 6}
+
+	k1, ok := MemoKey(base(), opt)
+	if !ok || k1 == "" {
+		t.Fatalf("MemoKey: %q %v", k1, ok)
+	}
+	if k2, _ := MemoKey(base(), opt); k2 != k1 {
+		t.Fatalf("MemoKey unstable: %s vs %s", k1, k2)
+	}
+
+	// near miss: an extra communication path changes the fingerprint
+	// but not the problem structure — same class, warm restart works.
+	perturbed := base()
+	perturbed.Comm.AddPath("a", "b")
+	if core.Fingerprint(perturbed) == core.Fingerprint(base()) {
+		t.Fatal("perturbation did not change the fingerprint")
+	}
+	if kp, _ := MemoKey(perturbed, opt); kp != k1 {
+		t.Fatalf("structure-preserving perturbation changed the class: %s vs %s", kp, k1)
+	}
+
+	// weight change: different signatures, different class
+	heavier := base()
+	heavier.Comm.AddElement("c", 2)
+	heavier.AddConstraint(&core.Constraint{
+		Name: "C", Task: core.ChainTask("c"),
+		Period: 6, Deadline: 6, Kind: core.Asynchronous,
+	})
+	if kw, _ := MemoKey(heavier, opt); kw == k1 {
+		t.Fatal("added element did not change the class")
+	}
+
+	// symmetry off: orbit chains leave the key, class must differ
+	noSym := opt
+	noSym.DisableSymmetry = true
+	if kn, _ := MemoKey(base(), noSym); kn == k1 {
+		t.Fatal("pruner regime change did not change the class")
+	}
+
+	// memo disabled: not memoizable, no class
+	noMemo := opt
+	noMemo.DisableMemo = true
+	if _, ok := MemoKey(base(), noMemo); ok {
+		t.Fatal("DisableMemo still produced a class")
+	}
+}

@@ -36,7 +36,7 @@ import (
 // pruneTally accumulates one worker's pruner cuts; merged into Stats
 // after the pool drains.
 type pruneTally struct {
-	sym, memo, bound int64
+	sym, memo, seeded, bound int64
 }
 
 // workerMemo is one worker's view of the transposition table: the
@@ -126,6 +126,7 @@ func searchLengthParallel(ctx context.Context, p *problem, n, workers, splitDept
 				return
 			}
 			ls := newState(p, n, minCount, totalMin, ck)
+			defer ls.releaseSigbuf()
 			var wm workerMemo
 			if mt != nil {
 				if p.memoPerWorker {
@@ -166,6 +167,7 @@ func searchLengthParallel(ctx context.Context, p *problem, n, workers, splitDept
 	for w := range tallies {
 		st.PrunedBySymmetry += int(tallies[w].sym)
 		st.PrunedByMemo += int(tallies[w].memo)
+		st.PrunedBySeededMemo += int(tallies[w].seeded)
 		st.PrunedByBound += int(tallies[w].bound)
 	}
 	if mt != nil && p.memoPerWorker {
@@ -218,6 +220,7 @@ func autoSplitDepth(syms, n, workers int) int {
 // directly into st: this phase is sequential.
 func enumPrefixes(p *problem, n int, minCount []int, totalMin, depth int, mt *memoTable, st *Stats) ([][]int, int) {
 	s := newState(p, n, minCount, totalMin, nil) // leafCheck never reached
+	defer s.releaseSigbuf()
 	var prefixes [][]int
 	nodes := 0
 	var rec func(pos int)
@@ -227,9 +230,15 @@ func enumPrefixes(p *problem, n int, minCount []int, totalMin, depth int, mt *me
 			return
 		}
 		nodes++
-		if mt != nil && s.memoEligible(pos) && mt.probe(s.buildSig(pos)) {
-			st.PrunedByMemo++
-			return
+		if mt != nil && s.memoEligible(pos) {
+			switch mt.probe(s.buildSig(pos)) {
+			case memoHitDerived:
+				st.PrunedByMemo++
+				return
+			case memoHitSeeded:
+				st.PrunedBySeededMemo++
+				return
+			}
 		}
 		for sym := 0; sym < len(p.syms); sym++ {
 			if p.breakRotations && pos > 0 && sym < s.slots[0] {
@@ -297,8 +306,12 @@ func searchSubtree(ls *state, idx, from int, nodes *int64, tally *pruneTally, wm
 		if memoable {
 			sig := ls.buildSig(pos)
 			for _, t := range wm.probe {
-				if t.probe(sig) {
+				switch t.probe(sig) {
+				case memoHitDerived:
 					tally.memo++
+					return true, true
+				case memoHitSeeded:
+					tally.seeded++
 					return true, true
 				}
 			}

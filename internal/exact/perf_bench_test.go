@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"rtm/internal/core"
+	"rtm/internal/nphard"
 )
 
 // hardnessInstance is the deadline-density-1 infeasible instance the
@@ -50,5 +51,86 @@ func BenchmarkSearchRewritten(b *testing.B) {
 		if !errors.Is(err, ErrNotFound) {
 			b.Fatal(err)
 		}
+	}
+}
+
+// e3Sigs solves the E3 NO row once and returns its real memo
+// signatures — benchmark inputs with production sizes and contents.
+func e3Sigs(b *testing.B) [][]byte {
+	b.Helper()
+	m, opt := e3BenchModel(b, []int{7, 5, 5, 5, 5, 5}, 16)
+	opt.SnapshotMemo = true
+	_, stats, _ := FindSchedule(m, opt)
+	if len(stats.MemoSnapshot) == 0 {
+		b.Fatal("no signatures to benchmark with")
+	}
+	return stats.MemoSnapshot
+}
+
+// e3BenchModel is e3Model for benchmarks (testing.B has no t.Helper
+// pairing with e3Model's *testing.T parameter).
+func e3BenchModel(b *testing.B, sizes []int, bound int) (*core.Model, Options) {
+	b.Helper()
+	tp := nphard.ThreePartition{Sizes: sizes, B: bound}
+	m, err := nphard.EncodeThreePartition(tp)
+	if err != nil {
+		b.Fatalf("encode: %v", err)
+	}
+	n := tp.M() * (bound + 1)
+	return m, Options{MinLen: n, MaxLen: n, RequireContiguous: true, MaxCandidates: 5_000_000}
+}
+
+// BenchmarkMemoProbeStore prices the transposition-table hot path in
+// isolation: a probe plus a store-if-miss per iteration over real
+// signatures. Both map operations ride the compiler's string(sig)
+// lookup elision, so the steady state (signature already present) is
+// zero allocations — the point of the probe/store perf fix. A
+// regression (a []byte→string conversion creeping back in) shows up
+// directly in allocs/op.
+func BenchmarkMemoProbeStore(b *testing.B) {
+	sigs := e3Sigs(b)
+	mt := newMemoTable(0, 1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sig := sigs[i%len(sigs)]
+		if mt.probe(sig) == memoMiss {
+			mt.store(sig)
+		}
+	}
+}
+
+// BenchmarkMemoSeededProbe prices a probe against a seeded set — the
+// warm-restart read path. Seeded probes take no locks and must not
+// allocate.
+func BenchmarkMemoSeededProbe(b *testing.B) {
+	sigs := e3Sigs(b)
+	mt := newMemoTable(0, 1)
+	mt.Seed(sigs)
+	sig := sigs[len(sigs)/2]
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if mt.probe(sig) != memoHitSeeded {
+			b.Fatal("seeded signature missed")
+		}
+	}
+}
+
+// BenchmarkMemoMergeInto prices the parallel barrier merge: per-worker
+// tables union into the survivor as strings (storeString), never
+// round-tripping through []byte. Allocations stay bounded by map
+// growth, not by entry count × conversions.
+func BenchmarkMemoMergeInto(b *testing.B) {
+	sigs := e3Sigs(b)
+	src := newMemoTable(0, 1)
+	for _, sig := range sigs {
+		src.store(sig)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dst := newMemoTable(0, 1)
+		src.mergeInto(dst)
 	}
 }

@@ -50,9 +50,16 @@ const memoStripes = 64
 // individually locked; a full stripe is cleared wholesale (the cheap
 // generational eviction — entries are pure caches, losing them only
 // costs re-exploration).
+//
+// A table may additionally carry a seeded set (Seed): signatures
+// imported from a previous search of the same memo class. The seeded
+// set is immutable once the search starts, so probes read it without
+// locking, and it is never evicted — imported refutations survive the
+// generational clears of the derived stripes.
 type memoTable struct {
 	stripes   []memoStripe
 	stripeCap int
+	seeded    map[string]struct{} // immutable during search; may be nil
 }
 
 type memoStripe struct {
@@ -90,32 +97,81 @@ func (t *memoTable) stripeFor(sig []byte) *memoStripe {
 	return &t.stripes[h%uint32(len(t.stripes))]
 }
 
-// probe reports whether sig is a known-empty subtree.
-func (t *memoTable) probe(sig []byte) bool {
+// probe outcomes. Derived and seeded hits license the identical prune;
+// they are distinguished only so Stats can attribute the cut.
+const (
+	memoMiss = iota
+	memoHitDerived
+	memoHitSeeded
+)
+
+// probe reports whether sig is a known-empty subtree, and whether the
+// refutation was derived this search or imported via Seed. The seeded
+// set is checked first and lock-free (it is immutable during search).
+func (t *memoTable) probe(sig []byte) int {
+	if t.seeded != nil {
+		if _, ok := t.seeded[string(sig)]; ok { // no-alloc map lookup
+			return memoHitSeeded
+		}
+	}
 	s := t.stripeFor(sig)
 	s.mu.Lock()
 	_, ok := s.m[string(sig)] // no-alloc map lookup
 	s.mu.Unlock()
-	return ok
+	if ok {
+		return memoHitDerived
+	}
+	return memoMiss
 }
 
-// store records sig as a known-empty subtree.
+// store records sig as a known-empty subtree. The presence check uses
+// the compiler-elided []byte→string lookup, so re-storing a signature
+// already present (the common case under the parallel barrier merge)
+// allocates nothing.
 func (t *memoTable) store(sig []byte) {
 	s := t.stripeFor(sig)
 	s.mu.Lock()
-	if len(s.m) >= t.stripeCap {
-		clear(s.m)
+	if _, ok := s.m[string(sig)]; !ok { // no-alloc when present
+		if len(s.m) >= t.stripeCap {
+			clear(s.m)
+		}
+		s.m[string(sig)] = struct{}{}
 	}
-	s.m[string(sig)] = struct{}{}
+	s.mu.Unlock()
+}
+
+// storeString is store for a signature already held as a map key: the
+// string is inserted directly, avoiding the []byte round-trip (and its
+// two allocations) the barrier merge used to pay per entry.
+func (t *memoTable) storeString(sig string) {
+	var s *memoStripe
+	if len(t.stripes) == 1 {
+		s = &t.stripes[0]
+	} else {
+		h := uint32(2166136261)
+		for i := 0; i < len(sig); i++ {
+			h ^= uint32(sig[i])
+			h *= 16777619
+		}
+		s = &t.stripes[h%uint32(len(t.stripes))]
+	}
+	s.mu.Lock()
+	if _, ok := s.m[sig]; !ok {
+		if len(s.m) >= t.stripeCap {
+			clear(s.m)
+		}
+		s.m[sig] = struct{}{}
+	}
 	s.mu.Unlock()
 }
 
 // mergeInto unions t's entries into dst (the per-worker-table barrier
-// merge of the parallel search).
+// merge of the parallel search). Keys move as strings — no per-entry
+// byte-slice copies.
 func (t *memoTable) mergeInto(dst *memoTable) {
 	for i := range t.stripes {
 		for sig := range t.stripes[i].m {
-			dst.store([]byte(sig))
+			dst.storeString(sig)
 		}
 	}
 }

@@ -70,6 +70,19 @@ type Options struct {
 	// barrier (no lock contention, less sharing). Ignored when
 	// Workers ≤ 1.
 	MemoPerWorker bool
+	// SeedMemo pre-loads the transposition table with signatures
+	// exported by a previous search (Stats.MemoSnapshot) of a problem
+	// in the same memo class (MemoKey). Seeding is verdict-invisible
+	// by the memo soundness contract: a signature matching no
+	// reachable residual state is simply never probed, so corrupt or
+	// foreign seeds cost memory, never correctness. Ignored when
+	// memoization is off.
+	SeedMemo [][]byte
+	// SnapshotMemo asks the search to export the refutations it
+	// derived (Stats.MemoSnapshot) when it returns — including on
+	// ErrNotFound, whose snapshot is the valuable one: the complete
+	// refutation of every length tried.
+	SnapshotMemo bool
 }
 
 // BadOptionsError reports an Options field whose value is invalid.
@@ -109,8 +122,19 @@ type Stats struct {
 	LengthsTried  []int
 
 	PrunedBySymmetry int // placements skipped by the orbit symmetry break
-	PrunedByMemo     int // subtrees skipped by the transposition table
+	PrunedByMemo     int // subtrees skipped by refutations derived this search
 	PrunedByBound    int // demand-bound cuts (nodes and whole lengths)
+
+	// MemoSeeded counts the signatures pre-loaded from
+	// Options.SeedMemo; PrunedBySeededMemo counts the subtrees those
+	// imported refutations cut (disjoint from PrunedByMemo).
+	MemoSeeded         int
+	PrunedBySeededMemo int
+	// MemoSnapshot carries the derived (non-seeded) refutation
+	// signatures when Options.SnapshotMemo is set, sorted descending —
+	// deepest subtrees first — so truncation under a storage cap keeps
+	// the most valuable entries.
+	MemoSnapshot [][]byte
 }
 
 // ErrBudget is returned when MaxCandidates is exhausted before the
@@ -165,6 +189,15 @@ func FindScheduleCtx(ctx context.Context, m *core.Model, opt Options) (*sched.Sc
 			stripes = memoStripes
 		}
 		mt = newMemoTable(p.memoEntries, stripes)
+		if len(opt.SeedMemo) > 0 {
+			st.MemoSeeded = mt.Seed(opt.SeedMemo)
+		}
+		if opt.SnapshotMemo {
+			// export on every exit path — ErrNotFound carries the
+			// complete refutation, but a found schedule or an abort
+			// still snapshots whatever was soundly derived
+			defer func() { st.MemoSnapshot = mt.Snapshot() }()
+		}
 	}
 	for n := minLen; n <= opt.MaxLen; n++ {
 		if err := ctx.Err(); err != nil {
@@ -230,6 +263,7 @@ func searchLength(ctx context.Context, p *problem, n int, ck *sched.Checker, mt 
 		return nil, nil // exact-cover certificate: no descent needed
 	}
 	s := newState(p, n, minCount, totalMin, ck)
+	defer s.releaseSigbuf()
 	var found *sched.Schedule
 
 	// rec explores the subtree below pos. leafFree reports that the
@@ -258,8 +292,12 @@ func searchLength(ctx context.Context, p *problem, n int, ck *sched.Checker, mt 
 		}
 		memoable := mt != nil && s.memoEligible(pos)
 		if memoable {
-			if mt.probe(s.buildSig(pos)) {
+			switch mt.probe(s.buildSig(pos)) {
+			case memoHitDerived:
 				st.PrunedByMemo++
+				return true, nil
+			case memoHitSeeded:
+				st.PrunedBySeededMemo++
 				return true, nil
 			}
 		}

@@ -231,6 +231,7 @@ type state struct {
 	anchorGate int
 	activeMask uint64
 	sigbuf     []byte
+	sigpool    *[]byte // pooled backing of sigbuf (memo.go)
 	hallDelta  []int
 }
 
@@ -289,7 +290,7 @@ func newState(p *problem, n int, minCount []int, totalMin int, ck *sched.Checker
 		s.hallDelta = make([]int, n+1)
 	}
 	if p.memoOK {
-		s.sigbuf = make([]byte, 0, 4*len(p.syms)+s.slideWin+16)
+		s.acquireSigbuf()
 	}
 	return s
 }

@@ -131,7 +131,7 @@ type Status struct {
 	SubmitUnix int64
 	// Priority echoes the submit option.
 	Priority int
-		// Resubmitted reports whether this Submit deduplicated onto an
+	// Resubmitted reports whether this Submit deduplicated onto an
 	// already-known job instead of creating one.
 	Resubmitted bool
 }

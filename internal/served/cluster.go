@@ -160,3 +160,28 @@ func (d *Daemon) handleSegment(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("X-Rtm-Records", strconv.Itoa(n))
 	w.Write(seg)
 }
+
+// handleMemoSegment serves one sealed memo segment
+// (GET /cluster/memoseg/<bucket>): the bucket's refutation-cache
+// records, sorted by memo key and CRC-framed. Same trust model as
+// handleSegment — the puller's import validates every frame, and a
+// seeded signature can only ever match by exact bytes.
+func (d *Daemon) handleMemoSegment(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "GET /cluster/memoseg/<bucket>", http.StatusMethodNotAllowed)
+		return
+	}
+	b, err := strconv.Atoi(strings.TrimPrefix(r.URL.Path, "/cluster/memoseg/"))
+	if err != nil || b < 0 || b >= store.ManifestBuckets {
+		http.Error(w, fmt.Sprintf("bucket must be an integer in [0,%d)", store.ManifestBuckets), http.StatusBadRequest)
+		return
+	}
+	seg, n, err := d.cl.Store.ExportMemoBucket(b)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("X-Rtm-Records", strconv.Itoa(n))
+	w.Write(seg)
+}

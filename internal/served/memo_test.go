@@ -1,0 +1,95 @@
+package served
+
+import (
+	"testing"
+
+	"rtm/internal/service"
+	"rtm/internal/store"
+)
+
+// hardNoSpec is the density-1 weight-3 refutation family: the static
+// analysis cannot reject it, the heuristic cannot schedule it, and the
+// exhaustion leaves a non-empty memo snapshot behind.
+const hardNoSpec = `system hardno
+element u0 weight 3
+element u1 weight 3
+element u2 weight 3
+
+sporadic c0 separation 6 deadline 6 { u0 }
+sporadic c1 separation 9 deadline 9 { u1 }
+sporadic c2 separation 18 deadline 18 { u2 }
+`
+
+// hardNoVariantSpec is the near miss: one extra communication path
+// changes the canonical fingerprint (the verdict store cannot answer
+// it) but not the search structure (the memo class can warm it).
+const hardNoVariantSpec = `system hardno2
+element u0 weight 3
+element u1 weight 3
+element u2 weight 3
+path u0 -> u1
+
+sporadic c0 separation 6 deadline 6 { u0 }
+sporadic c1 separation 9 deadline 9 { u1 }
+sporadic c2 separation 18 deadline 18 { u2 }
+`
+
+// TestServedMemoWarmRestart drives the durable refutation cache end to
+// end over HTTP: life 1 refutes a hard NO class and exports its
+// transposition table; life 2 — same store directory — is asked a
+// near-miss variant, seeds its search from disk, and /metrics shows the
+// seed hit and the write-backs.
+func TestServedMemoWarmRestart(t *testing.T) {
+	sdir := t.TempDir()
+
+	st1, err := store.Open(sdir, store.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv1, _ := newTestServerOpts(t, service.Options{
+		Store: st1, DisableAnalysis: true, DisableHeuristic: true,
+	}, 1<<20)
+	if _, res := postSpec(t, srv1.URL, hardNoSpec); res.Feasible || res.Source != "exact" {
+		t.Fatalf("life 1 refute: %+v", res)
+	}
+	if got := metricValue(t, srv1.URL, "memo_snapshot_puts"); got != 1 {
+		t.Fatalf("life 1 memo_snapshot_puts = %d, want 1", got)
+	}
+	if got := metricValue(t, srv1.URL, "memo_seed_hits"); got != 0 {
+		t.Fatalf("life 1 memo_seed_hits = %d, want 0 (cold)", got)
+	}
+	if st1.MemoLen() != 1 {
+		t.Fatalf("life 1 store memo classes = %d, want 1", st1.MemoLen())
+	}
+	srv1.Close()
+	if err := st1.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// life 2: same store directory, fresh daemon, near-miss request
+	st2, err := store.Open(sdir, store.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	srv2, _ := newTestServerOpts(t, service.Options{
+		Store: st2, DisableAnalysis: true, DisableHeuristic: true,
+	}, 1<<20)
+	if _, res := postSpec(t, srv2.URL, hardNoVariantSpec); res.Feasible || res.Source != "exact" {
+		t.Fatalf("life 2 near-miss refute: %+v", res)
+	}
+	if got := metricValue(t, srv2.URL, "memo_seed_hits"); got != 1 {
+		t.Fatalf("life 2 memo_seed_hits = %d, want 1", got)
+	}
+	if got := metricValue(t, srv2.URL, "memo_seed_sigs"); got <= 0 {
+		t.Fatalf("life 2 memo_seed_sigs = %d, want > 0", got)
+	}
+	if got := metricValue(t, srv2.URL, "store_hits"); got != 0 {
+		t.Fatalf("life 2 store_hits = %d — near miss must not hit the verdict store", got)
+	}
+	// both fingerprints are now members of the one class
+	rec, ok := st2.GetMemo(st2.MemoKeys()[0])
+	if !ok || len(rec.Fingerprints) != 2 {
+		t.Fatalf("class membership after life 2: ok=%v rec=%+v", ok, rec)
+	}
+}

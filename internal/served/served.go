@@ -110,6 +110,7 @@ func (d *Daemon) mux() *http.ServeMux {
 	if d.cl != nil && d.cl.Store != nil {
 		mux.HandleFunc("/cluster/manifest", d.handleManifest)
 		mux.HandleFunc("/cluster/segment/", d.handleSegment)
+		mux.HandleFunc("/cluster/memoseg/", d.handleMemoSegment)
 	}
 	return mux
 }

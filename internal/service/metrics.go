@@ -38,6 +38,10 @@ type Metrics struct {
 	StorePutErrors atomic.Int64 // write-throughs that failed (durability lost, not correctness)
 	StoreCorrupt   atomic.Int64 // store loads dropped at serve time (shape or re-verification failure)
 
+	MemoSeedHits     atomic.Int64 // exact searches seeded from the durable refutation cache
+	MemoSeedSigs     atomic.Int64 // signatures loaded into seeded searches (cumulative)
+	MemoSnapshotPuts atomic.Int64 // post-search refutation snapshots merged into the store
+
 	Forwards         atomic.Int64 // requests proxied to their shard owner (cluster mode)
 	ForwardFallbacks atomic.Int64 // forwards that failed over to a local solve (owner unreachable)
 	SyncPulls        atomic.Int64 // sealed segments pulled from peers by anti-entropy sync
@@ -87,6 +91,10 @@ func (mt *Metrics) Snapshot() map[string]int64 {
 		"store_puts":            mt.StorePuts.Load(),
 		"store_put_errors":      mt.StorePutErrors.Load(),
 		"store_corrupt_skipped": mt.StoreCorrupt.Load(),
+
+		"memo_seed_hits":     mt.MemoSeedHits.Load(),
+		"memo_seed_sigs":     mt.MemoSeedSigs.Load(),
+		"memo_snapshot_puts": mt.MemoSnapshotPuts.Load(),
 
 		"forwards":     mt.Forwards.Load(),
 		"fallbacks":    mt.ForwardFallbacks.Load(),

@@ -545,12 +545,42 @@ func (s *Service) runPipeline(ctx context.Context, m *core.Model, can *core.Cano
 			exopt.MaxLen = s.opt.MaxLenCap
 		}
 	}
+	// Durable refutation cache (DESIGN.md §14): when a store is
+	// attached, seed the search with the memo class's persisted
+	// transposition table — any structurally identical problem solved
+	// anywhere (before a restart, on a fleet peer, a near-miss variant
+	// of this class) pre-prunes this search — and export what this
+	// search derives for the next one. Seeding is verdict-invisible:
+	// signatures prune only on exact byte match against the search's
+	// own signature builder.
+	var memoClass string
+	if s.opt.Store != nil {
+		if k, ok := exact.MemoKey(m, exopt); ok {
+			memoClass = k
+			exopt.SnapshotMemo = true
+			if rec, ok := s.opt.Store.GetMemo(k); ok {
+				exopt.SeedMemo = rec.Sigs
+				s.metrics.MemoSeedHits.Add(1)
+				s.metrics.MemoSeedSigs.Add(int64(len(rec.Sigs)))
+			}
+		}
+	}
 	s.metrics.Searches.Add(1)
 	searchStart := time.Now()
 	sc, st, err := exact.FindScheduleCtx(ctx, m, exopt)
 	s.metrics.searchNanos.Add(int64(time.Since(searchStart)))
 	if st != nil {
 		s.metrics.exactNodes.Add(int64(st.NodesExplored))
+		if memoClass != "" {
+			// write-back is merge-by-union, so concurrent searches of
+			// the class and repeated solves only ever grow the cache;
+			// a failed append degrades future warmth, not correctness.
+			// Runs whose refutations were all seeded still merge — it
+			// registers this fingerprint as a member of the class
+			if perr := s.opt.Store.PutMemo(memoClass, []string{key}, st.MemoSnapshot); perr == nil && len(st.MemoSnapshot) > 0 {
+				s.metrics.MemoSnapshotPuts.Add(1)
+			}
+		}
 	}
 	switch {
 	case err == nil:

@@ -2,6 +2,7 @@ package store
 
 import (
 	"bytes"
+	"fmt"
 	"testing"
 
 	"rtm/internal/trace"
@@ -51,6 +52,72 @@ func FuzzStoreDecode(f *testing.F) {
 		}
 		if valid < 0 || valid > int64(len(data)) {
 			t.Fatalf("clean prefix %d outside [0,%d]", valid, len(data))
+		}
+	})
+}
+
+// FuzzMemoSegmentDecode pins the same no-panic contract for the memo
+// tier, one level deeper: hostile bytes must scan to valid memo records
+// or a clean prefix, and importing them into a live store must leave
+// only records that re-validate — the full path a poisoned anti-entropy
+// pull would take before its signatures ever reach a search.
+func FuzzMemoSegmentDecode(f *testing.F) {
+	var seg bytes.Buffer
+	for i := 0; i < 3; i++ {
+		payload, err := trace.EncodeMemoRecord(&trace.MemoRecordJSON{
+			Key:          fmt.Sprintf("%064x", i+0x2000),
+			Fingerprints: []string{fmt.Sprintf("%064x", i+1)},
+			Sigs:         [][]byte{[]byte("sig-a"), {0x01, 0x02, byte(i)}},
+		})
+		if err != nil {
+			f.Fatal(err)
+		}
+		buf, err := Frame(payload)
+		if err != nil {
+			f.Fatal(err)
+		}
+		seg.Write(buf)
+	}
+	whole := seg.Bytes()
+	f.Add([]byte(nil))
+	f.Add(whole)
+	f.Add(whole[:len(whole)/2])
+	f.Add(whole[:headerLen-3])
+	flipped := append([]byte(nil), whole...)
+	flipped[headerLen+5] ^= 0x40
+	f.Add(flipped)
+	f.Add(append(append([]byte(nil), whole...), "trailing junk"...))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		valid, _, err := scanMemoSegment(bytes.NewReader(data), func(r *MemoRecord) error {
+			if r == nil {
+				t.Fatal("reader produced a nil record")
+			}
+			if err := r.Validate(); err != nil {
+				t.Fatalf("reader produced an invalid record: %v", err)
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("in-memory scan errored: %v", err)
+		}
+		if valid < 0 || valid > int64(len(data)) {
+			t.Fatalf("clean prefix %d outside [0,%d]", valid, len(data))
+		}
+
+		s, err := Open(t.TempDir(), Options{NoSync: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer s.Close()
+		if _, err := s.ImportMemoFrames(data); err != nil {
+			t.Fatalf("import errored: %v", err)
+		}
+		for _, k := range s.MemoKeys() {
+			rec, _ := s.GetMemo(k)
+			if err := rec.Validate(); err != nil {
+				t.Fatalf("imported record invalid: %v", err)
+			}
 		}
 	})
 }

@@ -63,6 +63,15 @@ type BucketInfo struct {
 	Bucket int    `json:"bucket"`
 	Count  int    `json:"count"`
 	Digest string `json:"digest"`
+	// MemoCount/MemoDigest summarize the bucket's slice of the memo
+	// tier (classes whose memo key falls in the bucket). The memo
+	// digest covers record CONTENT, not just the key set — memo
+	// records grow by merging, so two replicas with equal key sets can
+	// still need a pull. An empty MemoDigest in a received manifest
+	// means the peer predates the memo tier; syncers skip memo pulls
+	// for it.
+	MemoCount  int    `json:"memoCount"`
+	MemoDigest string `json:"memoDigest,omitempty"`
 }
 
 // Manifest summarizes the store's index as ManifestBuckets bucket
@@ -82,10 +91,13 @@ func (s *Store) Manifest() []BucketInfo {
 		for _, fp := range fps {
 			h.Write([]byte(fp))
 		}
+		memo := s.memoBucketLocked(b)
 		out[b] = BucketInfo{
-			Bucket: b,
-			Count:  len(fps),
-			Digest: hex.EncodeToString(h.Sum(nil)),
+			Bucket:     b,
+			Count:      len(fps),
+			Digest:     hex.EncodeToString(h.Sum(nil)),
+			MemoCount:  len(memo),
+			MemoDigest: memoBucketDigest(memo),
 		}
 	}
 	return out

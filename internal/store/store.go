@@ -55,6 +55,11 @@ type Options struct {
 	// for tests and benchmarks; a crash may then lose recently
 	// appended records (but never corrupt the recovered prefix).
 	NoSync bool
+	// MemoSigCap bounds the signatures kept per memo class (0 =
+	// DefaultMemoSigCap; negative = uncapped). Truncation keeps the
+	// byte-wise largest signatures — the deepest refuted subtrees —
+	// and is order-independent, so replicas converge.
+	MemoSigCap int
 }
 
 // Store is a durable schedule store. All methods are safe for
@@ -69,6 +74,15 @@ type Store struct {
 	bytes   int64              // clean log length
 	corrupt int64              // discard events observed while scanning
 	closed  bool
+
+	// Memo tier (memo.go): the refutation-cache log, kept as a second
+	// segment file so a memo record can never masquerade as a verdict.
+	memoF    *os.File
+	memo     map[string]*MemoRecord // memo key → record
+	fpKey    map[string]string      // fingerprint → memo key
+	frameLen map[string]int64       // memo key → live frame bytes
+	memoB    int64                  // clean memo log length
+	memoLive int64                  // framed bytes of the live memo index
 }
 
 // Open opens (creating if necessary) the store rooted at dir,
@@ -113,6 +127,10 @@ func Open(dir string, opt Options) (*Store, error) {
 		return nil, fmt.Errorf("store: %w", err)
 	}
 	s.bytes = valid
+	if err := s.openMemoLog(); err != nil {
+		f.Close()
+		return nil, err
+	}
 	return s, nil
 }
 
@@ -259,7 +277,7 @@ func (s *Store) Compact() error {
 	s.f.Close()
 	s.f = f
 	s.bytes = size
-	return nil
+	return s.compactMemoLocked()
 }
 
 // Close flushes and closes the log. The store is unusable afterwards.
@@ -273,8 +291,14 @@ func (s *Store) Close() error {
 	var err error
 	if !s.opt.NoSync {
 		err = s.f.Sync()
+		if merr := s.memoF.Sync(); err == nil {
+			err = merr
+		}
 	}
 	if cerr := s.f.Close(); err == nil {
+		err = cerr
+	}
+	if cerr := s.memoF.Close(); err == nil {
 		err = cerr
 	}
 	return err

@@ -1,0 +1,93 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// MemoRecordJSON is the wire form of one durable refutation-cache
+// record (internal/store's memo tier): the exported transposition
+// table of one memo class — exact.MemoKey over the problem structure —
+// as derived by a finished exact search. Signatures are opaque bytes
+// to every layer but internal/exact; the store's soundness contract
+// (a seeded signature can only ever be wasted memory, never a wrong
+// verdict) means validation here is purely structural.
+type MemoRecordJSON struct {
+	// Key is the memo-class key (64 hex chars, exact.MemoKey) — the
+	// record's content address. Problems with equal keys share
+	// signature semantics; nothing else may be seeded from this record.
+	Key string `json:"key"`
+	// Fingerprints lists canonical model fingerprints observed to
+	// belong to this memo class, sorted ascending — informational
+	// reverse index for tooling and replication bucketing, capped at
+	// MaxMemoFingerprints.
+	Fingerprints []string `json:"fingerprints,omitempty"`
+	// Sigs are the refutation signatures, each non-empty, sorted
+	// descending (deepest subtrees first) so a capped truncation keeps
+	// the most valuable entries. JSON carries them base64-encoded.
+	Sigs [][]byte `json:"sigs"`
+	// Unix is the last-update time in seconds (informational).
+	Unix int64 `json:"unix,omitempty"`
+}
+
+const (
+	// MaxMemoSigLen bounds one signature; real signatures are tens of
+	// bytes, so anything huge in a decoded record is corruption.
+	MaxMemoSigLen = 4096
+	// MaxMemoFingerprints bounds the reverse index per class.
+	MaxMemoFingerprints = 64
+)
+
+// Validate checks structural consistency: a well-formed content
+// address, well-formed fingerprints in strictly ascending order, and
+// bounded non-empty signatures. It cannot (and need not) check that
+// signatures are reachable buildSig outputs — unreachable ones are
+// dead weight by the seeding contract.
+func (r *MemoRecordJSON) Validate() error {
+	if err := validFingerprint(r.Key); err != nil {
+		return fmt.Errorf("trace: memo record key: %w", err)
+	}
+	if len(r.Fingerprints) > MaxMemoFingerprints {
+		return fmt.Errorf("trace: memo record carries %d fingerprints, max %d", len(r.Fingerprints), MaxMemoFingerprints)
+	}
+	for i, fp := range r.Fingerprints {
+		if err := validFingerprint(fp); err != nil {
+			return fmt.Errorf("trace: memo record fingerprint %d: %w", i, err)
+		}
+		if i > 0 && r.Fingerprints[i-1] >= fp {
+			return fmt.Errorf("trace: memo record fingerprints out of order at %d", i)
+		}
+	}
+	if len(r.Sigs) == 0 {
+		return fmt.Errorf("trace: memo record carries no signatures")
+	}
+	for i, sig := range r.Sigs {
+		if len(sig) == 0 {
+			return fmt.Errorf("trace: memo record signature %d is empty", i)
+		}
+		if len(sig) > MaxMemoSigLen {
+			return fmt.Errorf("trace: memo record signature %d is %d bytes, max %d", i, len(sig), MaxMemoSigLen)
+		}
+	}
+	return nil
+}
+
+// EncodeMemoRecord renders a validated record as compact JSON.
+func EncodeMemoRecord(r *MemoRecordJSON) ([]byte, error) {
+	if err := r.Validate(); err != nil {
+		return nil, err
+	}
+	return json.Marshal(r)
+}
+
+// DecodeMemoRecord reconstructs and validates a record.
+func DecodeMemoRecord(data []byte) (*MemoRecordJSON, error) {
+	var r MemoRecordJSON
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, fmt.Errorf("trace: %w", err)
+	}
+	if err := r.Validate(); err != nil {
+		return nil, err
+	}
+	return &r, nil
+}
