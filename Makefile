@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet bench serve fuzz fuzz-short ci bench-json bench-load bench-load-smoke bench-solver bench-solver-smoke bench-corpus bench-corpus-smoke bench-queue bench-queue-smoke bench-cluster bench-cluster-smoke bench-memostore bench-memostore-smoke
+.PHONY: build test race vet bench serve fuzz fuzz-short ci bench-json bench-load bench-load-smoke bench-solver bench-solver-smoke bench-corpus bench-corpus-smoke bench-queue bench-queue-smoke bench-cluster bench-cluster-smoke bench-sync bench-sync-smoke bench-memostore bench-memostore-smoke
 
 build:
 	$(GO) build ./...
@@ -54,7 +54,7 @@ fuzz-short:
 # fuzz pass, then the load-, solver-, corpus- and queue-suite smokes
 # (results to throwaway dirs so the committed bench/ numbers stay the
 # curated ones).
-ci: test fuzz-short bench-load-smoke bench-solver-smoke bench-corpus-smoke bench-queue-smoke bench-cluster-smoke bench-memostore-smoke
+ci: test fuzz-short bench-load-smoke bench-solver-smoke bench-corpus-smoke bench-queue-smoke bench-cluster-smoke bench-sync-smoke bench-memostore-smoke
 
 # Machine-readable micro-benchmarks (ns/op, allocs/op) for tracking
 # the perf trajectory across PRs; writes bench/BENCH_<suite>.json.
@@ -123,6 +123,19 @@ bench-cluster:
 # to end without touching committed results.
 bench-cluster-smoke:
 	$(GO) run ./cmd/rtbench -cluster $$(mktemp -d)
+
+# Delta-replication suite: nearly-converged two-node fleets (10k
+# records, 1-32 divergent) synced to convergence over whole-bucket
+# pulls vs Merkle narrowing, comparing bytes on the wire; writes
+# bench/BENCH_sync.json. A reduction below 10x fails the run.
+bench-sync:
+	$(GO) run ./cmd/rtbench -sync bench
+
+# Sync suite into a throwaway directory — the CI smoke that drives
+# both replication protocols to byte-identical manifests (including
+# the 10x acceptance floor) without touching committed results.
+bench-sync-smoke:
+	$(GO) run ./cmd/rtbench -sync $$(mktemp -d)
 
 # Memo store suite: hard-NO 3-PARTITION classes solved cold with a
 # store attached, the service restarted, and perturbed near-miss

@@ -222,9 +222,9 @@ func writeClusterJSON(dir string) error {
 			peers = append(peers, c)
 		}
 		sy := &cluster.Syncer{Store: n.st, Peers: peers}
-		p, r := sy.SyncOnce(context.Background())
-		syncPulls += p
-		syncRecords += r
+		rs := sy.SyncOnce(context.Background())
+		syncPulls += rs.Pulls
+		syncRecords += rs.Records
 	}
 	syncWall := time.Since(syncStart)
 	converged := true

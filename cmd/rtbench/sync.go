@@ -1,0 +1,265 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"runtime"
+	"time"
+
+	"rtm/internal/cluster"
+	"rtm/internal/served"
+	"rtm/internal/service"
+	"rtm/internal/store"
+)
+
+// This file implements -sync: the delta-replication suite. It builds
+// nearly-converged two-node fleets — a fully populated source daemon
+// and a joiner missing a handful of records — and syncs the joiner to
+// convergence twice: once over the whole-bucket protocol (the
+// pre-Merkle fallback, forced with DisableMerkle) and once over Merkle
+// narrowing. Bytes on the wire come from the cluster client's own
+// rx/tx accounting, so the numbers are what replication actually
+// moved, headers excluded, compression none.
+//
+// Acceptance: for every nearly-converged scenario (≤32 of 10k records
+// divergent) the narrowing protocol must move at least syncMinRatio×
+// fewer bytes than whole buckets, and both protocols must land
+// byte-identical manifests. A miss is a hard suite failure.
+
+// syncMinRatio is the acceptance floor for bytes-on-wire reduction.
+const syncMinRatio = 10.0
+
+// syncSuiteDoc is the BENCH_sync.json document.
+type syncSuiteDoc struct {
+	Suite      string `json:"suite"`
+	GoMaxProcs int    `json:"gomaxprocs"`
+	GoVersion  string `json:"go_version"`
+
+	MinRatio  float64           `json:"min_ratio"` // acceptance floor
+	Scenarios []syncScenarioDoc `json:"scenarios"`
+
+	DurationMS int64 `json:"duration_ms"`
+}
+
+// syncScenarioDoc compares the two protocols on one divergence shape.
+type syncScenarioDoc struct {
+	Name          string  `json:"name"`
+	Records       int     `json:"records"`        // verdict records in the source store
+	MemoClasses   int     `json:"memo_classes"`   // memo classes in the source store
+	Divergent     int     `json:"divergent"`      // verdict records the joiner is missing
+	MemoDivergent int     `json:"memo_divergent"` // memo classes the joiner is missing
+	Old           syncRun `json:"whole_bucket"`
+	New           syncRun `json:"merkle_delta"`
+	BytesRatio    float64 `json:"bytes_ratio"` // old total / new total
+}
+
+// syncRun is one protocol's cost to convergence.
+type syncRun struct {
+	Rounds     int   `json:"rounds"`
+	Pulls      int   `json:"pulls"`
+	Records    int   `json:"records"` // imported, both tiers
+	BytesRx    int64 `json:"bytes_rx"`
+	BytesTx    int64 `json:"bytes_tx"`
+	BytesTotal int64 `json:"bytes_total"`
+	MS         int64 `json:"ms"`
+	Converged  bool  `json:"converged"`
+}
+
+// syncScenario describes one fleet shape to measure.
+type syncScenario struct {
+	name          string
+	records       int
+	memoClasses   int
+	divergent     int
+	memoDivergent int
+}
+
+// randHexFP draws a random well-formed fingerprint.
+func randHexFP(rng *rand.Rand) string {
+	const hexDigits = "0123456789abcdef"
+	b := make([]byte, 64)
+	for i := range b {
+		b[i] = hexDigits[rng.Intn(16)]
+	}
+	return string(b)
+}
+
+// buildSyncPair populates a source store and a joiner that shares all
+// but the divergent tail, stands the source up as a full daemon, and
+// returns the joiner's syncer plus the peer client whose byte
+// counters the caller samples. Seeding is deterministic in seed, so
+// the old- and new-protocol runs of a scenario sync identical fleets.
+func buildSyncPair(sc syncScenario, seed int64, disableMerkle bool) (*cluster.Syncer, *cluster.Client, *store.Store, *store.Store, func(), error) {
+	rng := rand.New(rand.NewSource(seed))
+	var cleanups []func()
+	cleanup := func() {
+		for i := len(cleanups) - 1; i >= 0; i-- {
+			cleanups[i]()
+		}
+	}
+	open := func() (*store.Store, error) {
+		dir, err := os.MkdirTemp("", "rtbench-sync-")
+		if err != nil {
+			return nil, err
+		}
+		cleanups = append(cleanups, func() { os.RemoveAll(dir) })
+		st, err := store.Open(dir, store.Options{NoSync: true})
+		if err != nil {
+			return nil, err
+		}
+		cleanups = append(cleanups, func() { st.Close() })
+		return st, nil
+	}
+	src, err := open()
+	if err != nil {
+		cleanup()
+		return nil, nil, nil, nil, nil, err
+	}
+	join, err := open()
+	if err != nil {
+		cleanup()
+		return nil, nil, nil, nil, nil, err
+	}
+	// shared prefix goes to both stores; the divergent tail only to
+	// the source — the joiner is a nearly-converged replica
+	for i := 0; i < sc.records; i++ {
+		rec := &store.Record{Fingerprint: randHexFP(rng), Elements: 3, Source: "exact"}
+		if err := src.Put(rec); err != nil {
+			cleanup()
+			return nil, nil, nil, nil, nil, err
+		}
+		if i >= sc.divergent {
+			if err := join.Put(rec); err != nil {
+				cleanup()
+				return nil, nil, nil, nil, nil, err
+			}
+		}
+	}
+	for i := 0; i < sc.memoClasses; i++ {
+		key := randHexFP(rng)
+		sigs := [][]byte{make([]byte, 24), make([]byte, 24)}
+		rng.Read(sigs[0])
+		rng.Read(sigs[1])
+		if err := src.PutMemo(key, nil, sigs); err != nil {
+			cleanup()
+			return nil, nil, nil, nil, nil, err
+		}
+		if i >= sc.memoDivergent {
+			if err := join.PutMemo(key, nil, sigs); err != nil {
+				cleanup()
+				return nil, nil, nil, nil, nil, err
+			}
+		}
+	}
+
+	ring, err := cluster.NewRing([]string{"src", "join"}, 0)
+	if err != nil {
+		cleanup()
+		return nil, nil, nil, nil, nil, err
+	}
+	svc := service.New(service.Options{DisableAnalysis: true, DisableHeuristic: true, Store: src})
+	d := served.New(served.Config{
+		Service: svc, Timeout: 30 * time.Second, MaxBody: 1 << 20, RespCache: 16,
+		Cluster: &served.Cluster{NodeID: "src", Ring: ring, Peers: map[string]*cluster.Client{}, Store: src},
+	})
+	srv := httptest.NewServer(d.Mux())
+	cleanups = append(cleanups, srv.Close)
+	cli := cluster.NewClient("src", srv.URL, 30*time.Second)
+	sy := &cluster.Syncer{Store: join, Peers: []*cluster.Client{cli}, DisableMerkle: disableMerkle}
+	return sy, cli, src, join, cleanup, nil
+}
+
+// runSyncToConvergence drives rounds until the joiner's manifest
+// matches the source's (or five rounds pass) and reports the cost.
+func runSyncToConvergence(sc syncScenario, seed int64, disableMerkle bool) (syncRun, error) {
+	sy, cli, src, join, cleanup, err := buildSyncPair(sc, seed, disableMerkle)
+	if err != nil {
+		return syncRun{}, err
+	}
+	defer cleanup()
+	var run syncRun
+	t0 := time.Now()
+	for run.Rounds < 5 {
+		rs := sy.SyncOnce(context.Background())
+		run.Rounds++
+		run.Pulls += rs.Pulls
+		run.Records += rs.Records
+		if rs.Failures > 0 {
+			return run, fmt.Errorf("sync round %d had %d failures", run.Rounds, rs.Failures)
+		}
+		want, _ := json.Marshal(src.Manifest())
+		got, _ := json.Marshal(join.Manifest())
+		if string(want) == string(got) {
+			run.Converged = true
+			break
+		}
+	}
+	run.MS = time.Since(t0).Milliseconds()
+	run.BytesRx, run.BytesTx = cli.BytesRx(), cli.BytesTx()
+	run.BytesTotal = run.BytesRx + run.BytesTx
+	if !run.Converged {
+		return run, fmt.Errorf("no convergence after %d rounds", run.Rounds)
+	}
+	return run, nil
+}
+
+// writeSyncJSON runs the delta-replication suite and writes
+// BENCH_sync.json into dir.
+func writeSyncJSON(dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	scenarios := []syncScenario{
+		{name: "verdicts-1-of-10k", records: 10_000, divergent: 1},
+		{name: "verdicts-8-of-10k", records: 10_000, divergent: 8},
+		{name: "verdicts-32-of-10k", records: 10_000, divergent: 32},
+		{name: "memo-8-of-2k", records: 10_000, memoClasses: 2_000, memoDivergent: 8},
+	}
+	start := time.Now()
+	doc := syncSuiteDoc{
+		Suite:      "sync",
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		GoVersion:  runtime.Version(),
+		MinRatio:   syncMinRatio,
+	}
+	for i, sc := range scenarios {
+		seed := int64(1000 + i)
+		old, err := runSyncToConvergence(sc, seed, true)
+		if err != nil {
+			return fmt.Errorf("%s whole-bucket: %w", sc.name, err)
+		}
+		neo, err := runSyncToConvergence(sc, seed, false)
+		if err != nil {
+			return fmt.Errorf("%s merkle: %w", sc.name, err)
+		}
+		ratio := float64(old.BytesTotal) / float64(neo.BytesTotal)
+		divergent := sc.divergent + sc.memoDivergent
+		if divergent <= 32 && ratio < syncMinRatio {
+			return fmt.Errorf("%s: bytes ratio %.1f below the %.0fx floor (old=%d new=%d)",
+				sc.name, ratio, syncMinRatio, old.BytesTotal, neo.BytesTotal)
+		}
+		doc.Scenarios = append(doc.Scenarios, syncScenarioDoc{
+			Name: sc.name, Records: sc.records, MemoClasses: sc.memoClasses,
+			Divergent: sc.divergent, MemoDivergent: sc.memoDivergent,
+			Old: old, New: neo, BytesRatio: ratio,
+		})
+		fmt.Printf("sync %-20s whole-bucket %8d B / merkle %6d B  = %5.1fx  (%d+%d divergent, %d/%d rounds)\n",
+			sc.name, old.BytesTotal, neo.BytesTotal, ratio, sc.divergent, sc.memoDivergent, old.Rounds, neo.Rounds)
+	}
+	doc.DurationMS = time.Since(start).Milliseconds()
+	data, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	path := filepath.Join(dir, "BENCH_sync.json")
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", path)
+	return nil
+}

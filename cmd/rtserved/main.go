@@ -205,6 +205,12 @@ func main() {
 				m.SyncPulls.Add(1)
 				m.SyncRecords.Add(records)
 			},
+			OnRound: func(rs cluster.RoundStats) {
+				m.SyncRounds.Add(1)
+				m.SyncBytesRx.Add(rs.BytesRx)
+				m.SyncPeerFailures.Add(int64(rs.Failures))
+				m.SyncLastUnix.Store(time.Now().Unix())
+			},
 			Logf: log.Printf,
 		}
 		go sy.Run(ctx)

@@ -10,13 +10,15 @@
 //	rtstore -dir DIR memo <fingerprint> refutation-cache summary for a fingerprint's memo class
 //	rtstore -dir DIR compact            rewrite both logs to the live indexes (atomic rename)
 //	rtstore -dir DIR verify             replay the logs and report integrity
-//	rtstore -dir DIR manifest           per-bucket counts and digests (verdicts and memo tier)
-//	rtstore -dir DIR diff DIR2          compare two stores' manifests, list one-sided records
+//	rtstore -dir DIR [-depth N] manifest   per-prefix counts and digests (verdicts and memo tier)
+//	rtstore -dir DIR [-depth N] diff DIR2  compare two stores' digests, list one-sided records
 //
-// manifest prints the same per-bucket digests rtserved exposes at
+// manifest prints the same digests rtserved exposes at
 // /cluster/manifest, so an operator can compare a node's disk state
-// against the fleet by hand. diff exits non-zero when the stores
-// differ, so it doubles as a replication-convergence probe.
+// against the fleet by hand. -depth widens the view from the default
+// 16-bucket manifest (depth 1) down to Merkle leaves (depth 3) — the
+// same narrowing levels the syncer walks. diff exits non-zero when
+// the stores differ, so it doubles as a replication-convergence probe.
 //
 // Opening a store performs recovery: a torn or corrupt tail is
 // truncated to the clean prefix (the same recovery rtserved performs
@@ -30,6 +32,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"sort"
+	"strings"
 
 	"rtm/internal/store"
 )
@@ -44,11 +48,15 @@ func main() {
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("rtstore", flag.ContinueOnError)
 	dir := fs.String("dir", "", "schedule store directory")
+	depth := fs.Int("depth", 1, fmt.Sprintf("digest depth for manifest/diff: 1 (buckets) to %d (Merkle leaves)", store.MerkleDepth))
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *dir == "" {
 		return fmt.Errorf("-dir is required")
+	}
+	if *depth < 1 || *depth > store.MerkleDepth {
+		return fmt.Errorf("-depth must be in [1,%d]", store.MerkleDepth)
 	}
 	if fs.NArg() == 0 {
 		return fmt.Errorf("missing command: ls, stat, get, memo, compact, verify, manifest, or diff")
@@ -134,18 +142,23 @@ func run(args []string, out io.Writer) error {
 		fmt.Fprintf(out, ", ok\n")
 		return nil
 	case "manifest":
-		total, memoTotal := 0, 0
-		for _, b := range st.Manifest() {
-			if b.Count > 0 {
-				fmt.Fprintf(out, "bucket %x: %4d records  %s\n", b.Bucket, b.Count, b.Digest)
-			}
-			if b.MemoCount > 0 {
-				fmt.Fprintf(out, "bucket %x: %4d memo     %s\n", b.Bucket, b.MemoCount, b.MemoDigest)
-			}
-			total += b.Count
-			memoTotal += b.MemoCount
+		ds, err := st.Digests("", *depth, true, true)
+		if err != nil {
+			return err
 		}
-		fmt.Fprintf(out, "total: %d records, %d memo classes in %d buckets\n", total, memoTotal, store.ManifestBuckets)
+		total, memoTotal := 0, 0
+		for _, d := range ds {
+			if d.Count > 0 {
+				fmt.Fprintf(out, "prefix %-3s: %4d records  %s\n", d.Prefix, d.Count, d.Digest)
+			}
+			if d.MemoCount > 0 {
+				fmt.Fprintf(out, "prefix %-3s: %4d memo     %s\n", d.Prefix, d.MemoCount, d.MemoDigest)
+			}
+			total += d.Count
+			memoTotal += d.MemoCount
+		}
+		fmt.Fprintf(out, "total: %d records, %d memo classes in %d non-empty depth-%d prefixes\n",
+			total, memoTotal, len(ds), *depth)
 		return nil
 	case "diff":
 		if fs.NArg() != 2 {
@@ -156,47 +169,80 @@ func run(args []string, out io.Writer) error {
 			return err
 		}
 		defer other.Close()
-		return diffStores(out, st, other)
+		return diffStores(out, st, other, *depth)
 	default:
 		return fmt.Errorf("unknown command %q: want ls, stat, get, memo, compact, verify, manifest, or diff", cmd)
 	}
 }
 
-// diffStores compares two stores bucket by bucket — the same
-// digest-first comparison the anti-entropy syncer runs over HTTP —
-// and lists the one-sided fingerprints of every differing bucket.
-// It returns a non-nil error when the stores differ.
-func diffStores(out io.Writer, a, b *store.Store) error {
-	am, bm := a.Manifest(), b.Manifest()
+// diffStores compares two stores prefix by prefix at the chosen
+// depth — the same digest-first comparison the anti-entropy syncer
+// runs over HTTP — and lists the one-sided fingerprints of every
+// differing prefix. It returns a non-nil error when the stores
+// differ.
+func diffStores(out io.Writer, a, b *store.Store, depth int) error {
+	am, err := digestsByPrefix(a, depth)
+	if err != nil {
+		return err
+	}
+	bm, err := digestsByPrefix(b, depth)
+	if err != nil {
+		return err
+	}
+	prefixes := make([]string, 0, len(am))
+	for p := range am {
+		prefixes = append(prefixes, p)
+	}
+	for p := range bm {
+		if _, ok := am[p]; !ok {
+			prefixes = append(prefixes, p)
+		}
+	}
+	sort.Strings(prefixes)
 	haveA, haveB := fingerprintSet(a), fingerprintSet(b)
 	differing := 0
-	for i := range am {
-		if am[i].MemoDigest != bm[i].MemoDigest {
+	for _, p := range prefixes {
+		ad, bd := am[p], bm[p]
+		if ad.MemoDigest != bd.MemoDigest {
 			differing++
-			fmt.Fprintf(out, "bucket %x memo tier differs (%d vs %d classes)\n",
-				am[i].Bucket, am[i].MemoCount, bm[i].MemoCount)
+			fmt.Fprintf(out, "prefix %s memo tier differs (%d vs %d classes)\n", p, ad.MemoCount, bd.MemoCount)
 		}
-		if am[i].Digest == bm[i].Digest {
+		if ad.Digest == bd.Digest {
 			continue
 		}
 		differing++
-		fmt.Fprintf(out, "bucket %x differs (%d vs %d records)\n", am[i].Bucket, am[i].Count, bm[i].Count)
+		fmt.Fprintf(out, "prefix %s differs (%d vs %d records)\n", p, ad.Count, bd.Count)
 		for _, fp := range a.Fingerprints() {
-			if store.BucketOf(fp) == am[i].Bucket && !haveB[fp] {
+			if strings.HasPrefix(fp, p) && !haveB[fp] {
 				fmt.Fprintf(out, "  only in %s: %s\n", a.Dir(), fp)
 			}
 		}
 		for _, fp := range b.Fingerprints() {
-			if store.BucketOf(fp) == bm[i].Bucket && !haveA[fp] {
+			if strings.HasPrefix(fp, p) && !haveA[fp] {
 				fmt.Fprintf(out, "  only in %s: %s\n", b.Dir(), fp)
 			}
 		}
 	}
 	if differing > 0 {
-		return fmt.Errorf("stores differ in %d bucket(s)", differing)
+		return fmt.Errorf("stores differ in %d prefix(es)", differing)
 	}
 	fmt.Fprintf(out, "stores converged: %d records, %d memo classes, manifests identical\n", a.Len(), a.MemoLen())
 	return nil
+}
+
+// digestsByPrefix indexes a store's non-empty depth-d digest nodes by
+// prefix. Prefixes absent from the map compare as the zero digest —
+// empty on both sides is converged, one-sided is a difference.
+func digestsByPrefix(s *store.Store, depth int) (map[string]store.PrefixDigest, error) {
+	ds, err := s.Digests("", depth, true, true)
+	if err != nil {
+		return nil, err
+	}
+	m := make(map[string]store.PrefixDigest, len(ds))
+	for _, d := range ds {
+		m[d.Prefix] = d
+	}
+	return m, nil
 }
 
 // fingerprintSet snapshots a store's fingerprints for membership tests.

@@ -91,11 +91,11 @@ func TestRTStoreManifestAndDiff(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !strings.Contains(out, "total: 3 records, 0 memo classes in 16 buckets") {
+	if !strings.Contains(out, "total: 3 records, 0 memo classes in 1 non-empty depth-1 prefixes") {
 		t.Fatalf("manifest output:\n%s", out)
 	}
 	// the seed fingerprints %064x of 1..3 all live in bucket 0
-	if !strings.Contains(out, "bucket 0:    3 records  ") {
+	if !strings.Contains(out, "prefix 0  :    3 records  ") {
 		t.Fatalf("manifest output:\n%s", out)
 	}
 
@@ -142,7 +142,7 @@ func TestRTStoreManifestAndDiff(t *testing.T) {
 	if err == nil {
 		t.Fatalf("diff of differing stores succeeded:\n%s", out)
 	}
-	if !strings.Contains(out, "bucket 0 differs (3 vs 1 records)") ||
+	if !strings.Contains(out, "prefix 0 differs (3 vs 1 records)") ||
 		!strings.Contains(out, "only in "+dir+": "+fps[1]) ||
 		!strings.Contains(out, "only in "+dir+": "+fps[2]) ||
 		strings.Contains(out, "only in "+lone) {
@@ -189,7 +189,7 @@ func TestRTStoreMemoCommands(t *testing.T) {
 	}
 
 	out, err = runT(t, "-dir", dir, "manifest")
-	if err != nil || !strings.Contains(out, "memo") || !strings.Contains(out, "1 memo classes in 16 buckets") {
+	if err != nil || !strings.Contains(out, "memo") || !strings.Contains(out, "1 memo classes in") {
 		t.Fatalf("manifest: err=%v out=%s", err, out)
 	}
 
@@ -248,5 +248,42 @@ func TestRTStoreUsageErrors(t *testing.T) {
 		if _, err := runT(t, args...); err == nil {
 			t.Fatalf("args %v succeeded", args)
 		}
+	}
+}
+
+func TestRTStoreManifestDepth(t *testing.T) {
+	dir, fps := seedStore(t)
+
+	// leaf depth: each record shows under its own 3-nibble prefix
+	out, err := runT(t, "-dir", dir, "-depth", "3", "manifest")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, fp := range fps {
+		if !strings.Contains(out, "prefix "+fp[:3]) {
+			t.Fatalf("depth-3 manifest missing leaf %s:\n%s", fp[:3], out)
+		}
+	}
+	if !strings.Contains(out, "depth-3 prefixes") {
+		t.Fatalf("depth-3 manifest output:\n%s", out)
+	}
+
+	// diff at leaf depth names the exact divergent prefix
+	twin := t.TempDir()
+	st, err := store.Open(twin, store.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Put(&store.Record{Fingerprint: fps[0], Feasible: true, Elements: 2, Slots: []int{0, 1}, Source: "exact"}); err != nil {
+		t.Fatal(err)
+	}
+	st.Close()
+	out, _ = runT(t, "-dir", dir, "-depth", "3", "diff", twin)
+	if !strings.Contains(out, "prefix "+fps[1][:3]+" differs") {
+		t.Fatalf("depth-3 diff output:\n%s", out)
+	}
+
+	if _, err := runT(t, "-dir", dir, "-depth", "9", "manifest"); err == nil {
+		t.Fatal("depth 9 accepted")
 	}
 }

@@ -8,6 +8,7 @@ import (
 	"io"
 	"net/http"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"rtm/internal/store"
@@ -29,6 +30,11 @@ const maxSegmentBytes = 64 << 20
 type ManifestDoc struct {
 	Node    string             `json:"node"`
 	Buckets []store.BucketInfo `json:"buckets"`
+	// MerkleDepth advertises the node's Merkle leaf depth. Zero (or
+	// absent) marks a pre-Merkle peer: the syncer then falls back to
+	// whole-bucket pulls. Version negotiation rides on the manifest
+	// itself so no probe request is needed.
+	MerkleDepth int `json:"merkleDepth,omitempty"`
 }
 
 // Client talks to one peer node over HTTP. Safe for concurrent use.
@@ -36,6 +42,14 @@ type Client struct {
 	node string
 	base string
 	hc   *http.Client
+
+	// Wire accounting for the sync protocol: request and response
+	// body bytes moved by the replication methods (Manifest, Digests,
+	// leaf/segment/record pulls). Serve-path forwarding is excluded —
+	// these counters exist to price anti-entropy, and they are what
+	// the sync metrics and rtbench -sync report.
+	rx atomic.Int64
+	tx atomic.Int64
 }
 
 // NewClient builds a client for the peer with the given node ID at
@@ -57,25 +71,118 @@ func (c *Client) Node() string { return c.node }
 // Base returns the peer's base URL.
 func (c *Client) Base() string { return c.base }
 
-// Manifest fetches the peer's store manifest.
-func (c *Client) Manifest(ctx context.Context) (*ManifestDoc, error) {
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/cluster/manifest", nil)
+// BytesRx returns the cumulative response-body bytes received over
+// the replication methods.
+func (c *Client) BytesRx() int64 { return c.rx.Load() }
+
+// BytesTx returns the cumulative request-body bytes sent over the
+// replication methods.
+func (c *Client) BytesTx() int64 { return c.tx.Load() }
+
+// getBytes runs a bounded GET against the peer and returns the body,
+// counting it against the wire stats.
+func (c *Client) getBytes(ctx context.Context, url, what string, bound int64) ([]byte, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
 	if err != nil {
 		return nil, fmt.Errorf("cluster: %w", err)
 	}
 	resp, err := c.hc.Do(req)
 	if err != nil {
-		return nil, fmt.Errorf("cluster: manifest from %s: %w", c.node, err)
+		return nil, fmt.Errorf("cluster: %s from %s: %w", what, c.node, err)
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
-		return nil, fmt.Errorf("cluster: manifest from %s: HTTP %d", c.node, resp.StatusCode)
+		return nil, fmt.Errorf("cluster: %s from %s: HTTP %d", what, c.node, resp.StatusCode)
+	}
+	data, err := io.ReadAll(io.LimitReader(resp.Body, bound+1))
+	c.rx.Add(int64(len(data)))
+	if err != nil {
+		return nil, fmt.Errorf("cluster: %s from %s: %w", what, c.node, err)
+	}
+	if int64(len(data)) > bound {
+		return nil, fmt.Errorf("cluster: %s from %s exceeds %d bytes", what, c.node, bound)
+	}
+	return data, nil
+}
+
+// Manifest fetches the peer's store manifest.
+func (c *Client) Manifest(ctx context.Context) (*ManifestDoc, error) {
+	data, err := c.getBytes(ctx, c.base+"/cluster/manifest", "manifest", 1<<20)
+	if err != nil {
+		return nil, err
 	}
 	var doc ManifestDoc
-	if err := json.NewDecoder(io.LimitReader(resp.Body, 1<<20)).Decode(&doc); err != nil {
+	if err := json.Unmarshal(data, &doc); err != nil {
 		return nil, fmt.Errorf("cluster: manifest from %s: %w", c.node, err)
 	}
 	return &doc, nil
+}
+
+// Digests fetches the peer's Merkle digests for the children of
+// prefix at the given depth. Tier selects the digest tiers included:
+// "v" (verdict), "m" (memo), or "" for both — narrowing one tier
+// excludes the other's digests so the walk's wire cost stays minimal.
+func (c *Client) Digests(ctx context.Context, prefix string, depth int, tier string) ([]store.PrefixDigest, error) {
+	url := fmt.Sprintf("%s/cluster/digests/%s?depth=%d", c.base, prefix, depth)
+	if tier != "" {
+		url += "&tier=" + tier
+	}
+	data, err := c.getBytes(ctx, url, fmt.Sprintf("digests %q", prefix), 1<<20)
+	if err != nil {
+		return nil, err
+	}
+	var out []store.PrefixDigest
+	if err := json.Unmarshal(data, &out); err != nil {
+		return nil, fmt.Errorf("cluster: digests %q from %s: %w", prefix, c.node, err)
+	}
+	return out, nil
+}
+
+// LeafFingerprints fetches the peer's fingerprint set for one Merkle
+// leaf — the set the syncer diffs locally to decide what to fetch.
+func (c *Client) LeafFingerprints(ctx context.Context, prefix string) ([]string, error) {
+	data, err := c.getBytes(ctx, c.base+"/cluster/leaf/"+prefix, fmt.Sprintf("leaf %q", prefix), maxSegmentBytes)
+	if err != nil {
+		return nil, err
+	}
+	var out []string
+	if err := json.Unmarshal(data, &out); err != nil {
+		return nil, fmt.Errorf("cluster: leaf %q from %s: %w", prefix, c.node, err)
+	}
+	return out, nil
+}
+
+// FetchRecords pulls exactly the requested records from the peer as a
+// sealed CRC-framed segment — the delta pull. Like the bucket pulls,
+// the store's import path is the validator; this bounds the size.
+func (c *Client) FetchRecords(ctx context.Context, fps []string) ([]byte, error) {
+	body, err := json.Marshal(fps)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: %w", err)
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+"/cluster/fetch", bytes.NewReader(body))
+	if err != nil {
+		return nil, fmt.Errorf("cluster: %w", err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	c.tx.Add(int64(len(body)))
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: fetch from %s: %w", c.node, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("cluster: fetch from %s: HTTP %d", c.node, resp.StatusCode)
+	}
+	data, err := io.ReadAll(io.LimitReader(resp.Body, maxSegmentBytes+1))
+	c.rx.Add(int64(len(data)))
+	if err != nil {
+		return nil, fmt.Errorf("cluster: fetch from %s: %w", c.node, err)
+	}
+	if len(data) > maxSegmentBytes {
+		return nil, fmt.Errorf("cluster: fetch from %s exceeds %d bytes", c.node, maxSegmentBytes)
+	}
+	return data, nil
 }
 
 // PullSegment fetches one sealed segment (a manifest bucket) from the
@@ -83,53 +190,23 @@ func (c *Client) Manifest(ctx context.Context) (*ManifestDoc, error) {
 // the validator; this just bounds the size.
 func (c *Client) PullSegment(ctx context.Context, bucket int) ([]byte, error) {
 	url := fmt.Sprintf("%s/cluster/segment/%d", c.base, bucket)
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
-	if err != nil {
-		return nil, fmt.Errorf("cluster: %w", err)
-	}
-	resp, err := c.hc.Do(req)
-	if err != nil {
-		return nil, fmt.Errorf("cluster: segment %d from %s: %w", bucket, c.node, err)
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		return nil, fmt.Errorf("cluster: segment %d from %s: HTTP %d", bucket, c.node, resp.StatusCode)
-	}
-	data, err := io.ReadAll(io.LimitReader(resp.Body, maxSegmentBytes+1))
-	if err != nil {
-		return nil, fmt.Errorf("cluster: segment %d from %s: %w", bucket, c.node, err)
-	}
-	if len(data) > maxSegmentBytes {
-		return nil, fmt.Errorf("cluster: segment %d from %s exceeds %d bytes", bucket, c.node, maxSegmentBytes)
-	}
-	return data, nil
+	return c.getBytes(ctx, url, fmt.Sprintf("segment %d", bucket), maxSegmentBytes)
 }
 
 // PullMemoSegment fetches one sealed memo segment (a manifest
-// bucket's refutation-cache slice) from the peer. Like PullSegment,
-// the store's import path is the validator; this just bounds the size.
+// bucket's refutation-cache slice) from the peer.
 func (c *Client) PullMemoSegment(ctx context.Context, bucket int) ([]byte, error) {
 	url := fmt.Sprintf("%s/cluster/memoseg/%d", c.base, bucket)
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
-	if err != nil {
-		return nil, fmt.Errorf("cluster: %w", err)
-	}
-	resp, err := c.hc.Do(req)
-	if err != nil {
-		return nil, fmt.Errorf("cluster: memo segment %d from %s: %w", bucket, c.node, err)
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		return nil, fmt.Errorf("cluster: memo segment %d from %s: HTTP %d", bucket, c.node, resp.StatusCode)
-	}
-	data, err := io.ReadAll(io.LimitReader(resp.Body, maxSegmentBytes+1))
-	if err != nil {
-		return nil, fmt.Errorf("cluster: memo segment %d from %s: %w", bucket, c.node, err)
-	}
-	if len(data) > maxSegmentBytes {
-		return nil, fmt.Errorf("cluster: memo segment %d from %s exceeds %d bytes", bucket, c.node, maxSegmentBytes)
-	}
-	return data, nil
+	return c.getBytes(ctx, url, fmt.Sprintf("memo segment %d", bucket), maxSegmentBytes)
+}
+
+// PullMemoLeaf fetches the sealed memo segment for one Merkle leaf —
+// memo deltas pull whole divergent leaves because memo records
+// converge by content merge, so there is no per-record set
+// difference to compute.
+func (c *Client) PullMemoLeaf(ctx context.Context, prefix string) ([]byte, error) {
+	url := c.base + "/cluster/memoleaf/" + prefix
+	return c.getBytes(ctx, url, fmt.Sprintf("memo leaf %q", prefix), maxSegmentBytes)
 }
 
 // ForwardSchedule proxies a POST /schedule body to the peer with the

@@ -2,31 +2,47 @@ package cluster
 
 import (
 	"context"
+	"fmt"
+	"sync"
 	"time"
 
 	"rtm/internal/store"
 )
 
 // Syncer is the anti-entropy loop: periodically compare this node's
-// store manifest with each peer's and pull the buckets whose digests
-// differ, as sealed segments, replaying them through the store's
-// validate-or-drop import. Convergence argument: the digest is a pure
-// function of a bucket's fingerprint set and imports only ever add
-// fingerprints (first write wins, no deletes in the protocol), so
-// after one full round in a quiet fleet every node's fingerprint set
-// is the union of the fleet's sets and all digests for
-// equal-membership buckets agree. A corrupt pull imports the clean
-// prefix and leaves the digest unequal, so the next round retries —
-// damage heals instead of propagating, and because serves re-verify,
-// the damaged window costs misses, never wrong verdicts.
+// store manifest with each peer's and pull what differs, replaying it
+// through the store's validate-or-drop import. Convergence argument:
+// the digest is a pure function of a bucket's fingerprint set and
+// imports only ever add fingerprints (first write wins, no deletes in
+// the protocol), so after one full round in a quiet fleet every
+// node's fingerprint set is the union of the fleet's sets and all
+// digests for equal-membership buckets agree. A corrupt pull imports
+// the clean prefix and leaves the digest unequal, so the next round
+// retries — damage heals instead of propagating, and because serves
+// re-verify, the damaged window costs misses, never wrong verdicts.
 //
-// The memo tier replicates through the same loop: per-bucket memo
-// digests compare, divergent buckets pull as sealed memo segments, and
-// the import merges signature sets under the order-independent
-// union-and-cap rule, so replicas converge regardless of pull order. A
-// poisoned memo segment is even safer than a poisoned verdict segment:
-// a seeded signature only ever matches by exact bytes, so corruption
-// that survives framing costs table memory, never a verdict.
+// Against a peer advertising the Merkle manifest (ManifestDoc.
+// MerkleDepth), a divergent bucket is narrowed instead of pulled
+// whole: the syncer walks the peer's prefix digests level by level to
+// the divergent leaves, fetches each leaf's fingerprint set, computes
+// the missing set locally, and pulls exactly those records — so the
+// wire cost of a round is proportional to the divergence, not the
+// store size. Whole-bucket pulls survive as the fallback for
+// pre-Merkle peers (and behind DisableMerkle as an operational escape
+// hatch). The trustlessness argument is unchanged: narrowing only
+// decides WHAT to pull; every pulled byte still goes through the same
+// validate-or-drop import, and a peer lying in its digests can cost
+// redundant or missing pulls, never a wrong record.
+//
+// The memo tier replicates through the same loop but pulls whole
+// divergent leaves (or buckets, on the fallback path): memo records
+// converge by content merge under the order-independent union-and-cap
+// rule, so there is no per-record set difference to compute. A
+// poisoned memo segment is even safer than a poisoned verdict
+// segment: a seeded signature only ever matches by exact bytes, so
+// corruption that survives framing costs table memory, never a
+// verdict. The two tiers fail independently — a dead verdict endpoint
+// defers verdict convergence one round, never memo convergence.
 type Syncer struct {
 	// Store is the local store replicated into.
 	Store *store.Store
@@ -35,88 +51,377 @@ type Syncer struct {
 	// Interval is the period between rounds for Run. Zero defaults to
 	// 10 seconds.
 	Interval time.Duration
-	// OnPull, when non-nil, observes each successful segment pull with
-	// the number of records imported (metrics hook).
+	// Concurrency bounds how many peers are synced in parallel within
+	// one round. Zero defaults to 4.
+	Concurrency int
+	// DisableMerkle forces whole-bucket pulls even against peers that
+	// advertise Merkle manifests — the operational escape hatch, and
+	// the old-protocol arm of rtbench -sync.
+	DisableMerkle bool
+	// OnPull, when non-nil, observes each successful pull with the
+	// number of records imported (metrics hook).
 	OnPull func(records int64)
+	// OnRound, when non-nil, observes each completed round's
+	// aggregate stats (metrics hook).
+	OnRound func(RoundStats)
 	// Logf, when non-nil, receives one line per failed peer exchange.
 	Logf func(format string, args ...any)
+
+	mu      sync.Mutex
+	backoff map[string]*peerBackoff // peer base URL → failure state
 }
 
-// SyncOnce runs one anti-entropy round against every peer and returns
-// the number of segments pulled and records imported. Peer failures
-// are logged and skipped — a dead peer never fails the round.
-func (sy *Syncer) SyncOnce(ctx context.Context) (pulls, records int) {
+// RoundStats aggregates one anti-entropy round.
+type RoundStats struct {
+	// Peers counts peers attempted; Deferred counts peers skipped
+	// because they are in failure backoff; Failures counts attempted
+	// peers with at least one failed exchange.
+	Peers    int
+	Deferred int
+	Failures int
+	// Pulls counts successful pull+import operations (bucket, leaf,
+	// or record-fetch); Records counts records imported by them.
+	Pulls   int
+	Records int
+	// BytesRx / BytesTx are the wire bytes moved this round across
+	// all peers (request and response bodies of the sync protocol).
+	BytesRx int64
+	BytesTx int64
+}
+
+func (r *RoundStats) addPull(imported int, onPull func(int64)) {
+	r.Pulls++
+	r.Records += imported
+	if onPull != nil {
+		onPull(int64(imported))
+	}
+}
+
+// peerBackoff tracks consecutive failures against one peer. Backoff
+// is counted in rounds, not wall time, so manually-driven syncs (and
+// tests) see the same behavior as the ticker loop: after the k-th
+// consecutive failed round the peer sits out min(2^(k-1)-1, 7)
+// rounds. Any successful round resets it.
+type peerBackoff struct {
+	fails int
+	skip  int
+}
+
+// fetchBatch bounds one record-fetch request — large enough that a
+// typical round needs one request per peer, small enough to keep a
+// single response far below the segment cap.
+const fetchBatch = 512
+
+// SyncOnce runs one anti-entropy round: every peer not in backoff is
+// synced on its own goroutine (at most Concurrency in flight), each
+// tier of each divergent bucket narrowed or pulled independently.
+func (sy *Syncer) SyncOnce(ctx context.Context) RoundStats {
+	conc := sy.Concurrency
+	if conc <= 0 {
+		conc = 4
+	}
+	var (
+		round RoundStats
+		mu    sync.Mutex
+		wg    sync.WaitGroup
+		sem   = make(chan struct{}, conc)
+	)
 	for _, peer := range sy.Peers {
-		if ctx.Err() != nil {
-			return pulls, records
-		}
-		theirs, err := peer.Manifest(ctx)
-		if err != nil {
-			sy.logf("cluster: sync: %v", err)
+		if !sy.admitPeer(peer) {
+			round.Deferred++
 			continue
 		}
-		// Re-read the local manifest per peer: pulls from an earlier
-		// peer this round may have already converged some buckets.
-		mine := sy.Store.Manifest()
-		for _, b := range theirs.Buckets {
-			if b.Bucket < 0 || b.Bucket >= store.ManifestBuckets {
-				continue
+		wg.Add(1)
+		go func(p *Client) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			if ctx.Err() != nil {
+				return
 			}
-			if b.Count > 0 && b.Digest != mine[b.Bucket].Digest {
-				seg, err := peer.PullSegment(ctx, b.Bucket)
-				if err != nil {
-					sy.logf("cluster: sync: %v", err)
-					continue
-				}
-				st, err := sy.Store.ImportFrames(seg)
-				if err != nil {
-					sy.logf("cluster: sync: importing bucket %d from %s: %v", b.Bucket, peer.Node(), err)
-					continue
-				}
-				if st.Dropped {
-					sy.logf("cluster: sync: bucket %d from %s had a corrupt tail; kept %d-record clean prefix", b.Bucket, peer.Node(), st.Imported)
-				}
-				pulls++
-				records += st.Imported
-				if sy.OnPull != nil {
-					sy.OnPull(int64(st.Imported))
-				}
+			rx0, tx0 := p.BytesRx(), p.BytesTx()
+			st, failed := sy.syncPeer(ctx, p)
+			sy.notePeer(p, failed)
+			mu.Lock()
+			defer mu.Unlock()
+			round.Peers++
+			if failed {
+				round.Failures++
 			}
-			// Memo tier: same digest-compare-then-pull, but the import
-			// merges (union + cap) instead of first-write-wins, and an
-			// empty peer MemoDigest means the peer predates the memo
-			// tier — nothing to pull.
-			if b.MemoCount > 0 && b.MemoDigest != "" && b.MemoDigest != mine[b.Bucket].MemoDigest {
-				seg, err := peer.PullMemoSegment(ctx, b.Bucket)
-				if err != nil {
-					sy.logf("cluster: sync: %v", err)
-					continue
-				}
-				st, err := sy.Store.ImportMemoFrames(seg)
-				if err != nil {
-					sy.logf("cluster: sync: importing memo bucket %d from %s: %v", b.Bucket, peer.Node(), err)
-					continue
-				}
-				if st.Dropped {
-					sy.logf("cluster: sync: memo bucket %d from %s had a corrupt tail; kept %d-record clean prefix", b.Bucket, peer.Node(), st.Imported)
-				}
-				pulls++
-				records += st.Imported
-				if sy.OnPull != nil {
-					sy.OnPull(int64(st.Imported))
-				}
-			}
-		}
+			round.Pulls += st.Pulls
+			round.Records += st.Records
+			round.BytesRx += p.BytesRx() - rx0
+			round.BytesTx += p.BytesTx() - tx0
+		}(peer)
 	}
-	return pulls, records
+	wg.Wait()
+	if sy.OnRound != nil {
+		sy.OnRound(round)
+	}
+	return round
 }
 
-// Run loops SyncOnce every Interval until ctx is cancelled.
+// admitPeer consumes one backoff round for p and reports whether it
+// should be attempted.
+func (sy *Syncer) admitPeer(p *Client) bool {
+	sy.mu.Lock()
+	defer sy.mu.Unlock()
+	ps := sy.backoff[p.Base()]
+	if ps == nil || ps.skip == 0 {
+		return true
+	}
+	ps.skip--
+	return false
+}
+
+func (sy *Syncer) notePeer(p *Client, failed bool) {
+	sy.mu.Lock()
+	defer sy.mu.Unlock()
+	if !failed {
+		delete(sy.backoff, p.Base())
+		return
+	}
+	if sy.backoff == nil {
+		sy.backoff = make(map[string]*peerBackoff)
+	}
+	ps := sy.backoff[p.Base()]
+	if ps == nil {
+		ps = &peerBackoff{}
+		sy.backoff[p.Base()] = ps
+	}
+	ps.fails++
+	shift := ps.fails - 1
+	if shift > 3 {
+		shift = 3
+	}
+	ps.skip = 1<<shift - 1
+}
+
+// syncPeer runs both tiers of one peer exchange and reports the
+// pulls/records plus whether anything failed (for backoff).
+func (sy *Syncer) syncPeer(ctx context.Context, peer *Client) (st RoundStats, failed bool) {
+	theirs, err := peer.Manifest(ctx)
+	if err != nil {
+		sy.logf("cluster: sync: %v", err)
+		return st, true
+	}
+	// Re-read the local manifest per peer: pulls from an earlier peer
+	// this round may have already converged some buckets.
+	mine := sy.Store.Manifest()
+	merkle := !sy.DisableMerkle && theirs.MerkleDepth == store.MerkleDepth
+
+	// Verdict tier: narrow divergent buckets to missing fingerprints
+	// (Merkle peers) or pull them whole (fallback), then fetch the
+	// missing records in batches.
+	var want []string
+	for _, b := range theirs.Buckets {
+		if b.Bucket < 0 || b.Bucket >= store.ManifestBuckets || ctx.Err() != nil {
+			continue
+		}
+		if b.Count == 0 || b.Digest == mine[b.Bucket].Digest {
+			continue
+		}
+		if !merkle {
+			seg, err := peer.PullSegment(ctx, b.Bucket)
+			if err != nil {
+				sy.logf("cluster: sync: %v", err)
+				failed = true
+				continue
+			}
+			ist, err := sy.Store.ImportFrames(seg)
+			if err != nil {
+				sy.logf("cluster: sync: importing bucket %d from %s: %v", b.Bucket, peer.Node(), err)
+				failed = true
+				continue
+			}
+			if ist.Dropped {
+				sy.logf("cluster: sync: bucket %d from %s had a corrupt tail; kept %d-record clean prefix", b.Bucket, peer.Node(), ist.Imported)
+			}
+			st.addPull(ist.Imported, sy.OnPull)
+			continue
+		}
+		missing, err := sy.narrowVerdict(ctx, peer, fmt.Sprintf("%x", b.Bucket))
+		want = append(want, missing...)
+		if err != nil {
+			sy.logf("cluster: sync: %v", err)
+			failed = true
+		}
+	}
+	for len(want) > 0 && ctx.Err() == nil {
+		batch := want
+		if len(batch) > fetchBatch {
+			batch = batch[:fetchBatch]
+		}
+		want = want[len(batch):]
+		seg, err := peer.FetchRecords(ctx, batch)
+		if err != nil {
+			sy.logf("cluster: sync: %v", err)
+			failed = true
+			break
+		}
+		ist, err := sy.Store.ImportFrames(seg)
+		if err != nil {
+			sy.logf("cluster: sync: importing fetch from %s: %v", peer.Node(), err)
+			failed = true
+			break
+		}
+		if ist.Dropped {
+			sy.logf("cluster: sync: fetch from %s had a corrupt tail; kept %d-record clean prefix", peer.Node(), ist.Imported)
+		}
+		st.addPull(ist.Imported, sy.OnPull)
+	}
+
+	// Memo tier, independently of any verdict-tier failure: a dead
+	// segment endpoint must not defer memo convergence a full round.
+	// An empty peer MemoDigest means the peer predates the memo tier —
+	// nothing to pull.
+	for _, b := range theirs.Buckets {
+		if b.Bucket < 0 || b.Bucket >= store.ManifestBuckets || ctx.Err() != nil {
+			continue
+		}
+		if b.MemoCount == 0 || b.MemoDigest == "" || b.MemoDigest == mine[b.Bucket].MemoDigest {
+			continue
+		}
+		if !merkle {
+			seg, err := peer.PullMemoSegment(ctx, b.Bucket)
+			if err != nil {
+				sy.logf("cluster: sync: %v", err)
+				failed = true
+				continue
+			}
+			ist, err := sy.Store.ImportMemoFrames(seg)
+			if err != nil {
+				sy.logf("cluster: sync: importing memo bucket %d from %s: %v", b.Bucket, peer.Node(), err)
+				failed = true
+				continue
+			}
+			if ist.Dropped {
+				sy.logf("cluster: sync: memo bucket %d from %s had a corrupt tail; kept %d-record clean prefix", b.Bucket, peer.Node(), ist.Imported)
+			}
+			st.addPull(ist.Imported, sy.OnPull)
+			continue
+		}
+		if err := sy.narrowMemo(ctx, peer, fmt.Sprintf("%x", b.Bucket), &st); err != nil {
+			sy.logf("cluster: sync: %v", err)
+			failed = true
+		}
+	}
+	return st, failed
+}
+
+// narrowVerdict walks the peer's verdict digests under prefix down to
+// the divergent leaves and returns the fingerprints the peer has that
+// this node lacks. Children the peer has empty are skipped — the
+// protocol is pull-only; a peer missing OUR records converges by
+// pulling from us. An error returns the missing set found so far, so
+// a partial walk still heals what it reached.
+func (sy *Syncer) narrowVerdict(ctx context.Context, peer *Client, prefix string) ([]string, error) {
+	if len(prefix) == store.MerkleDepth {
+		peerFps, err := peer.LeafFingerprints(ctx, prefix)
+		if err != nil {
+			return nil, err
+		}
+		local, err := sy.Store.LeafFingerprints(prefix)
+		if err != nil {
+			return nil, err
+		}
+		have := make(map[string]bool, len(local))
+		for _, fp := range local {
+			have[fp] = true
+		}
+		var missing []string
+		for _, fp := range peerFps {
+			if !have[fp] {
+				missing = append(missing, fp)
+			}
+		}
+		return missing, nil
+	}
+	peerDs, err := peer.Digests(ctx, prefix, len(prefix)+1, "v")
+	if err != nil {
+		return nil, err
+	}
+	localDs, err := sy.Store.Digests(prefix, len(prefix)+1, true, false)
+	if err != nil {
+		return nil, err
+	}
+	local := make(map[string]store.PrefixDigest, len(localDs))
+	for _, d := range localDs {
+		local[d.Prefix] = d
+	}
+	var missing []string
+	for _, d := range peerDs {
+		if d.Count == 0 || ctx.Err() != nil {
+			continue
+		}
+		if l := local[d.Prefix]; l.Count == d.Count && l.Digest == d.Digest {
+			continue
+		}
+		sub, err := sy.narrowVerdict(ctx, peer, d.Prefix)
+		missing = append(missing, sub...)
+		if err != nil {
+			return missing, err
+		}
+	}
+	return missing, nil
+}
+
+// narrowMemo walks the peer's memo digests under prefix and pulls
+// each divergent leaf as a sealed memo segment.
+func (sy *Syncer) narrowMemo(ctx context.Context, peer *Client, prefix string, st *RoundStats) error {
+	if len(prefix) == store.MerkleDepth {
+		seg, err := peer.PullMemoLeaf(ctx, prefix)
+		if err != nil {
+			return err
+		}
+		ist, err := sy.Store.ImportMemoFrames(seg)
+		if err != nil {
+			return fmt.Errorf("importing memo leaf %q from %s: %w", prefix, peer.Node(), err)
+		}
+		if ist.Dropped {
+			sy.logf("cluster: sync: memo leaf %q from %s had a corrupt tail; kept %d-record clean prefix", prefix, peer.Node(), ist.Imported)
+		}
+		st.addPull(ist.Imported, sy.OnPull)
+		return nil
+	}
+	peerDs, err := peer.Digests(ctx, prefix, len(prefix)+1, "m")
+	if err != nil {
+		return err
+	}
+	localDs, err := sy.Store.Digests(prefix, len(prefix)+1, false, true)
+	if err != nil {
+		return err
+	}
+	local := make(map[string]store.PrefixDigest, len(localDs))
+	for _, d := range localDs {
+		local[d.Prefix] = d
+	}
+	for _, d := range peerDs {
+		if d.MemoCount == 0 || ctx.Err() != nil {
+			continue
+		}
+		if l := local[d.Prefix]; l.MemoCount == d.MemoCount && l.MemoDigest == d.MemoDigest {
+			continue
+		}
+		if err := sy.narrowMemo(ctx, peer, d.Prefix, st); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Run loops SyncOnce every Interval until ctx is cancelled. The first
+// round runs immediately, so a fresh or restarted node converges
+// right away instead of serving cold for a full interval.
 func (sy *Syncer) Run(ctx context.Context) {
 	iv := sy.Interval
 	if iv <= 0 {
 		iv = 10 * time.Second
 	}
+	if ctx.Err() != nil {
+		return
+	}
+	sy.SyncOnce(ctx)
 	t := time.NewTicker(iv)
 	defer t.Stop()
 	for {

@@ -15,8 +15,11 @@ import (
 	"rtm/internal/store"
 )
 
-// peerServer exposes a store over the cluster's manifest/segment wire
-// protocol, with an optional segment mangler for corruption tests.
+// peerServer exposes a store over the cluster's PRE-MERKLE wire
+// protocol — manifest without a merkleDepth field, whole-bucket
+// segments only — with an optional segment mangler for corruption
+// tests. Syncing against it exercises the fallback path; see
+// merklePeerServer for the narrowing protocol.
 func peerServer(t *testing.T, node string, st *store.Store, mangle *atomic.Bool) *httptest.Server {
 	t.Helper()
 	mux := http.NewServeMux()
@@ -102,9 +105,9 @@ func TestSyncOnceConverges(t *testing.T) {
 	syB := &Syncer{Store: b, Peers: []*Client{NewClient("a", srvA.URL, time.Second)}, Logf: t.Logf}
 
 	ctx := context.Background()
-	pulls, records := syA.SyncOnce(ctx)
-	if pulls != 1 || records != 4 {
-		t.Fatalf("A's round pulled %d segments / %d records, want 1/4", pulls, records)
+	rs := syA.SyncOnce(ctx)
+	if rs.Pulls != 1 || rs.Records != 4 {
+		t.Fatalf("A's round pulled %d segments / %d records, want 1/4", rs.Pulls, rs.Records)
 	}
 	if pulled.Load() != 4 {
 		t.Fatalf("OnPull observed %d records, want 4", pulled.Load())
@@ -122,8 +125,8 @@ func TestSyncOnceConverges(t *testing.T) {
 	}
 
 	// quiescent round: nothing left to pull
-	if pulls, records := syA.SyncOnce(ctx); pulls != 0 || records != 0 {
-		t.Fatalf("quiescent round pulled %d/%d", pulls, records)
+	if rs := syA.SyncOnce(ctx); rs.Pulls != 0 || rs.Records != 0 {
+		t.Fatalf("quiescent round pulled %d/%d", rs.Pulls, rs.Records)
 	}
 }
 
@@ -144,15 +147,15 @@ func TestSyncCorruptPullHealsNextRound(t *testing.T) {
 	sy := &Syncer{Store: dst, Peers: []*Client{NewClient("src", srv.URL, time.Second)}, Logf: t.Logf}
 
 	ctx := context.Background()
-	pulls, records := sy.SyncOnce(ctx)
-	if records != 0 || dst.Len() != 0 {
-		t.Fatalf("corrupt round imported %d records (pulls=%d, len=%d) — corruption served", records, pulls, dst.Len())
+	rs := sy.SyncOnce(ctx)
+	if rs.Records != 0 || dst.Len() != 0 {
+		t.Fatalf("corrupt round imported %d records (pulls=%d, len=%d) — corruption served", rs.Records, rs.Pulls, dst.Len())
 	}
 
 	mangle.Store(false)
-	pulls, records = sy.SyncOnce(ctx)
-	if pulls != 1 || records != 4 || dst.Len() != 4 {
-		t.Fatalf("healing round: pulls=%d records=%d len=%d, want 1/4/4", pulls, records, dst.Len())
+	rs = sy.SyncOnce(ctx)
+	if rs.Pulls != 1 || rs.Records != 4 || dst.Len() != 4 {
+		t.Fatalf("healing round: pulls=%d records=%d len=%d, want 1/4/4", rs.Pulls, rs.Records, dst.Len())
 	}
 	sm, dm := src.Manifest(), dst.Manifest()
 	if sm[9] != dm[9] {
@@ -212,8 +215,8 @@ func TestSyncMemoConverges(t *testing.T) {
 		}
 	}
 	// quiescent round: converged replicas pull nothing
-	if pulls, records := syA.SyncOnce(ctx); pulls != 0 || records != 0 {
-		t.Fatalf("quiescent round pulled %d/%d", pulls, records)
+	if rs := syA.SyncOnce(ctx); rs.Pulls != 0 || rs.Records != 0 {
+		t.Fatalf("quiescent round pulled %d/%d", rs.Pulls, rs.Records)
 	}
 }
 
@@ -279,9 +282,9 @@ func TestSyncMemoOldPeerSkipped(t *testing.T) {
 	t.Cleanup(srv.Close)
 
 	sy := &Syncer{Store: dst, Peers: []*Client{NewClient("old", srv.URL, time.Second)}, Logf: t.Logf}
-	pulls, records := sy.SyncOnce(context.Background())
-	if pulls != 1 || records != 1 || dst.Len() != 1 {
-		t.Fatalf("verdict sync against old peer: pulls=%d records=%d len=%d", pulls, records, dst.Len())
+	rs := sy.SyncOnce(context.Background())
+	if rs.Pulls != 1 || rs.Records != 1 || dst.Len() != 1 {
+		t.Fatalf("verdict sync against old peer: pulls=%d records=%d len=%d", rs.Pulls, rs.Records, dst.Len())
 	}
 	if dst.MemoLen() != 0 {
 		t.Fatal("memo classes appeared from a peer that advertises none")
@@ -296,8 +299,335 @@ func TestSyncDeadPeerSkipped(t *testing.T) {
 	sy := &Syncer{Store: dst,
 		Peers: []*Client{NewClient("gone", "http://127.0.0.1:1", 200*time.Millisecond)},
 		Logf:  t.Logf}
-	pulls, records := sy.SyncOnce(context.Background())
-	if pulls != 0 || records != 0 || dst.Len() != 1 {
-		t.Fatalf("dead peer round: pulls=%d records=%d len=%d", pulls, records, dst.Len())
+	rs := sy.SyncOnce(context.Background())
+	if rs.Pulls != 0 || rs.Records != 0 || dst.Len() != 1 {
+		t.Fatalf("dead peer round: pulls=%d records=%d len=%d", rs.Pulls, rs.Records, dst.Len())
+	}
+	if rs.Failures != 1 || rs.Peers != 1 {
+		t.Fatalf("dead peer round stats: %+v, want 1 failure of 1 peer", rs)
+	}
+}
+
+// merklePeerServer exposes a store over the full Merkle wire protocol
+// — the test-side mirror of the served daemon's handlers — and counts
+// requests per endpoint so tests can pin which protocol ran.
+func merklePeerServer(t *testing.T, node string, st *store.Store, hits map[string]*atomic.Int64) *httptest.Server {
+	t.Helper()
+	count := func(name string) {
+		if hits != nil {
+			if c, ok := hits[name]; ok {
+				c.Add(1)
+			}
+		}
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/cluster/manifest", func(w http.ResponseWriter, r *http.Request) {
+		count("manifest")
+		json.NewEncoder(w).Encode(ManifestDoc{Node: node, Buckets: st.Manifest(), MerkleDepth: store.MerkleDepth})
+	})
+	mux.HandleFunc("/cluster/digests/", func(w http.ResponseWriter, r *http.Request) {
+		count("digests")
+		prefix := strings.TrimPrefix(r.URL.Path, "/cluster/digests/")
+		depth, _ := strconv.Atoi(r.URL.Query().Get("depth"))
+		v, m := true, true
+		switch r.URL.Query().Get("tier") {
+		case "v":
+			m = false
+		case "m":
+			v = false
+		}
+		ds, err := st.Digests(prefix, depth, v, m)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		json.NewEncoder(w).Encode(ds)
+	})
+	mux.HandleFunc("/cluster/leaf/", func(w http.ResponseWriter, r *http.Request) {
+		count("leaf")
+		fps, err := st.LeafFingerprints(strings.TrimPrefix(r.URL.Path, "/cluster/leaf/"))
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		if fps == nil {
+			fps = []string{}
+		}
+		json.NewEncoder(w).Encode(fps)
+	})
+	mux.HandleFunc("/cluster/fetch", func(w http.ResponseWriter, r *http.Request) {
+		count("fetch")
+		var fps []string
+		if err := json.NewDecoder(r.Body).Decode(&fps); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		seg, _, err := st.ExportRecords(fps)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		w.Write(seg)
+	})
+	mux.HandleFunc("/cluster/memoleaf/", func(w http.ResponseWriter, r *http.Request) {
+		count("memoleaf")
+		seg, _, err := st.ExportMemoPrefix(strings.TrimPrefix(r.URL.Path, "/cluster/memoleaf/"))
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		w.Write(seg)
+	})
+	mux.HandleFunc("/cluster/segment/", func(w http.ResponseWriter, r *http.Request) {
+		count("segment")
+		b, _ := strconv.Atoi(strings.TrimPrefix(r.URL.Path, "/cluster/segment/"))
+		seg, _, err := st.ExportBucket(b)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		w.Write(seg)
+	})
+	mux.HandleFunc("/cluster/memoseg/", func(w http.ResponseWriter, r *http.Request) {
+		count("memoseg")
+		b, _ := strconv.Atoi(strings.TrimPrefix(r.URL.Path, "/cluster/memoseg/"))
+		seg, _, err := st.ExportMemoBucket(b)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		w.Write(seg)
+	})
+	srv := httptest.NewServer(mux)
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+func hitCounters() map[string]*atomic.Int64 {
+	m := map[string]*atomic.Int64{}
+	for _, k := range []string{"manifest", "digests", "leaf", "fetch", "memoleaf", "segment", "memoseg"} {
+		m[k] = &atomic.Int64{}
+	}
+	return m
+}
+
+// TestSyncMerkleDeltaPull pins the tentpole protocol: against a
+// Merkle peer, a nearly-converged store pulls exactly its missing
+// records through narrowing — no whole-bucket endpoint is ever
+// touched, both tiers converge, and a second round is a no-op that
+// stops at the manifest.
+func TestSyncMerkleDeltaPull(t *testing.T) {
+	src, dst := openStore(t), openStore(t)
+	for i := 0; i < 50; i++ {
+		r := seedRecord(i%16, i)
+		if err := src.Put(r); err != nil {
+			t.Fatal(err)
+		}
+		if i%2 == 0 { // dst holds a shared prefix of the fleet's state
+			if err := dst.Put(r); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if err := src.PutMemo(fmt.Sprintf("%x%063x", 6, 0x99), nil, [][]byte{[]byte("sig")}); err != nil {
+		t.Fatal(err)
+	}
+	hits := hitCounters()
+	srv := merklePeerServer(t, "src", src, hits)
+	sy := &Syncer{Store: dst, Peers: []*Client{NewClient("src", srv.URL, time.Second)}, Logf: t.Logf}
+
+	rs := sy.SyncOnce(context.Background())
+	if rs.Records != 26 || rs.Failures != 0 { // 25 verdicts + 1 memo class
+		t.Fatalf("delta round: %+v, want 26 records", rs)
+	}
+	if dst.Len() != 50 || dst.MemoLen() != 1 {
+		t.Fatalf("after delta round: len=%d memo=%d", dst.Len(), dst.MemoLen())
+	}
+	if hits["segment"].Load() != 0 || hits["memoseg"].Load() != 0 {
+		t.Fatalf("delta sync fell back to whole buckets: %d/%d hits", hits["segment"].Load(), hits["memoseg"].Load())
+	}
+	if hits["fetch"].Load() == 0 || hits["leaf"].Load() == 0 || hits["memoleaf"].Load() == 0 {
+		t.Fatalf("delta endpoints unused: fetch=%d leaf=%d memoleaf=%d", hits["fetch"].Load(), hits["leaf"].Load(), hits["memoleaf"].Load())
+	}
+	sm, dm := src.Manifest(), dst.Manifest()
+	for i := range sm {
+		if sm[i] != dm[i] {
+			t.Fatalf("bucket %d diverged: %+v vs %+v", i, sm[i], dm[i])
+		}
+	}
+
+	// quiescent round: equal manifests stop the walk at the manifest
+	before := hits["digests"].Load()
+	if rs := sy.SyncOnce(context.Background()); rs.Pulls != 0 || rs.BytesTx != 0 {
+		t.Fatalf("quiescent round: %+v", rs)
+	}
+	if hits["digests"].Load() != before {
+		t.Fatal("quiescent round still walked digests")
+	}
+	if rs := sy.SyncOnce(context.Background()); rs.BytesRx == 0 {
+		t.Fatal("wire accounting lost the manifest bytes")
+	}
+}
+
+// TestSyncMixedVersionFallback pins version negotiation: a Merkle
+// node syncing from a whole-bucket-only peer (no merkleDepth in its
+// manifest) falls back to bucket pulls, converges, and — because the
+// bucket digest formula is unchanged — detects convergence the next
+// round instead of re-pulling forever.
+func TestSyncMixedVersionFallback(t *testing.T) {
+	old, neo := openStore(t), openStore(t)
+	for i := 0; i < 12; i++ {
+		if err := old.Put(seedRecord(i%4, i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := old.PutMemo(fmt.Sprintf("%x%063x", 2, 0x77), nil, [][]byte{[]byte("m")}); err != nil {
+		t.Fatal(err)
+	}
+	srv := peerServer(t, "old", old, nil) // pre-Merkle wire surface
+	sy := &Syncer{Store: neo, Peers: []*Client{NewClient("old", srv.URL, time.Second)}, Logf: t.Logf}
+
+	rs := sy.SyncOnce(context.Background())
+	if rs.Failures != 0 || neo.Len() != 12 || neo.MemoLen() != 1 {
+		t.Fatalf("fallback round: %+v len=%d memo=%d", rs, neo.Len(), neo.MemoLen())
+	}
+	om, nm := old.Manifest(), neo.Manifest()
+	for i := range om {
+		if om[i] != nm[i] {
+			t.Fatalf("bucket %d diverged across versions: %+v vs %+v", i, om[i], nm[i])
+		}
+	}
+	if rs := sy.SyncOnce(context.Background()); rs.Pulls != 0 {
+		t.Fatalf("converged mixed-version round still pulled %d — digest formula drifted", rs.Pulls)
+	}
+}
+
+// TestSyncTiersFailIndependently pins the satellite fix: a peer whose
+// verdict endpoints are down still replicates its memo tier in the
+// same round (the old loop's `continue` deferred memo a full round).
+func TestSyncTiersFailIndependently(t *testing.T) {
+	src, dst := openStore(t), openStore(t)
+	if err := src.Put(seedRecord(3, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := src.PutMemo(fmt.Sprintf("%x%063x", 3, 0x88), nil, [][]byte{[]byte("sig")}); err != nil {
+		t.Fatal(err)
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/cluster/manifest", func(w http.ResponseWriter, r *http.Request) {
+		json.NewEncoder(w).Encode(ManifestDoc{Node: "src", Buckets: src.Manifest()})
+	})
+	mux.HandleFunc("/cluster/segment/", func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "verdict tier down", http.StatusInternalServerError)
+	})
+	mux.HandleFunc("/cluster/memoseg/", func(w http.ResponseWriter, r *http.Request) {
+		b, _ := strconv.Atoi(strings.TrimPrefix(r.URL.Path, "/cluster/memoseg/"))
+		seg, _, err := src.ExportMemoBucket(b)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		w.Write(seg)
+	})
+	srv := httptest.NewServer(mux)
+	t.Cleanup(srv.Close)
+
+	sy := &Syncer{Store: dst, Peers: []*Client{NewClient("src", srv.URL, time.Second)}, Logf: t.Logf}
+	rs := sy.SyncOnce(context.Background())
+	if rs.Failures != 1 {
+		t.Fatalf("round stats: %+v, want the verdict failure counted", rs)
+	}
+	if dst.MemoLen() != 1 {
+		t.Fatalf("memo tier deferred by a verdict failure: memo=%d, want 1", dst.MemoLen())
+	}
+	if dst.Len() != 0 {
+		t.Fatalf("verdict appeared through a dead endpoint: len=%d", dst.Len())
+	}
+}
+
+// TestSyncRunImmediateFirstRound pins the satellite fix: Run syncs
+// once at start instead of sleeping a full interval, so a fresh node
+// converges right away.
+func TestSyncRunImmediateFirstRound(t *testing.T) {
+	src, dst := openStore(t), openStore(t)
+	for i := 0; i < 3; i++ {
+		if err := src.Put(seedRecord(8, i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	srv := merklePeerServer(t, "src", src, nil)
+	done := make(chan RoundStats, 1)
+	sy := &Syncer{
+		Store: dst, Peers: []*Client{NewClient("src", srv.URL, time.Second)},
+		Interval: time.Hour, Logf: t.Logf,
+		OnRound: func(rs RoundStats) {
+			select {
+			case done <- rs:
+			default:
+			}
+		},
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	go sy.Run(ctx)
+	select {
+	case rs := <-done:
+		if rs.Records != 3 {
+			t.Fatalf("first round: %+v, want 3 records", rs)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Run slept its interval away instead of syncing immediately")
+	}
+	if dst.Len() != 3 {
+		t.Fatalf("len after immediate round = %d", dst.Len())
+	}
+}
+
+// TestSyncPeerFailureBackoff pins the backoff schedule: a failing
+// peer is retried once, then sits out exponentially growing numbers
+// of rounds, and a recovered peer resets to every round.
+func TestSyncPeerFailureBackoff(t *testing.T) {
+	dst := openStore(t)
+	sy := &Syncer{Store: dst,
+		Peers: []*Client{NewClient("gone", "http://127.0.0.1:1", 100*time.Millisecond)},
+		Logf:  t.Logf}
+	ctx := context.Background()
+	// fails=1 → no skip; fails=2 → skip 1; fails=3 → skip 3
+	wantAttempts := []bool{true, true, false, true, false, false, false, true}
+	for i, want := range wantAttempts {
+		rs := sy.SyncOnce(ctx)
+		if got := rs.Peers == 1; got != want {
+			t.Fatalf("round %d: attempted=%v (stats %+v), want %v", i, got, rs, want)
+		}
+		if rs.Peers == 0 && rs.Deferred != 1 {
+			t.Fatalf("round %d: skipped peer not reported deferred: %+v", i, rs)
+		}
+	}
+	// recovery resets the failure count
+	sy.notePeer(sy.Peers[0], false)
+	if rs := sy.SyncOnce(ctx); rs.Peers != 1 {
+		t.Fatalf("recovered peer still deferred: %+v", rs)
+	}
+}
+
+// TestSyncParallelPeersConverge runs one round against several Merkle
+// peers with bounded concurrency and checks the union lands.
+func TestSyncParallelPeersConverge(t *testing.T) {
+	dst := openStore(t)
+	var peers []*Client
+	for p := 0; p < 5; p++ {
+		src := openStore(t)
+		for i := 0; i < 4; i++ {
+			if err := src.Put(seedRecord(p*3%16, p*100+i)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		srv := merklePeerServer(t, fmt.Sprintf("p%d", p), src, nil)
+		peers = append(peers, NewClient(fmt.Sprintf("p%d", p), srv.URL, time.Second))
+	}
+	sy := &Syncer{Store: dst, Peers: peers, Concurrency: 2, Logf: t.Logf}
+	rs := sy.SyncOnce(context.Background())
+	if rs.Failures != 0 || rs.Peers != 5 || dst.Len() != 20 {
+		t.Fatalf("parallel round: %+v len=%d, want 5 peers 20 records", rs, dst.Len())
 	}
 }

@@ -131,9 +131,122 @@ func (d *Daemon) handleManifest(w http.ResponseWriter, r *http.Request) {
 	}
 	w.Header().Set("Content-Type", "application/json")
 	json.NewEncoder(w).Encode(cluster.ManifestDoc{
-		Node:    d.cl.NodeID,
-		Buckets: d.cl.Store.Manifest(),
+		Node:        d.cl.NodeID,
+		Buckets:     d.cl.Store.Manifest(),
+		MerkleDepth: store.MerkleDepth,
 	})
+}
+
+// handleDigests serves the Merkle narrowing step
+// (GET /cluster/digests/<prefix>?depth=D[&tier=v|m]): the non-empty
+// prefix nodes at depth D under <prefix>, with counts and digests for
+// the requested tiers. Same trust model as the manifest: digests only
+// decide what a peer pulls; every pulled byte is re-validated on
+// import.
+func (d *Daemon) handleDigests(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "GET /cluster/digests/<prefix>", http.StatusMethodNotAllowed)
+		return
+	}
+	prefix := strings.TrimPrefix(r.URL.Path, "/cluster/digests/")
+	depth := len(prefix) + 1
+	if v := r.URL.Query().Get("depth"); v != "" {
+		var err error
+		if depth, err = strconv.Atoi(v); err != nil {
+			http.Error(w, "depth must be an integer", http.StatusBadRequest)
+			return
+		}
+	}
+	withVerdict, withMemo := true, true
+	switch r.URL.Query().Get("tier") {
+	case "":
+	case "v":
+		withMemo = false
+	case "m":
+		withVerdict = false
+	default:
+		http.Error(w, "tier must be v or m", http.StatusBadRequest)
+		return
+	}
+	ds, err := d.cl.Store.Digests(prefix, depth, withVerdict, withMemo)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(ds)
+}
+
+// handleLeaf serves one Merkle leaf's fingerprint set
+// (GET /cluster/leaf/<prefix>) — the set a peer diffs locally to
+// decide which records to fetch.
+func (d *Daemon) handleLeaf(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "GET /cluster/leaf/<prefix>", http.StatusMethodNotAllowed)
+		return
+	}
+	fps, err := d.cl.Store.LeafFingerprints(strings.TrimPrefix(r.URL.Path, "/cluster/leaf/"))
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	if fps == nil {
+		fps = []string{}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(fps)
+}
+
+// maxFetchBody bounds a /cluster/fetch request body — a full
+// fetch-batch of fingerprints is ~34 KB; anything near the cap is a
+// misbehaving peer.
+const maxFetchBody = 1 << 20
+
+// handleFetch serves the delta pull (POST /cluster/fetch with a JSON
+// fingerprint array): exactly the requested records, CRC-framed.
+// Unknown fingerprints are skipped — the peer's digest view may be a
+// round stale.
+func (d *Daemon) handleFetch(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST /cluster/fetch", http.StatusMethodNotAllowed)
+		return
+	}
+	body, err := io.ReadAll(io.LimitReader(r.Body, maxFetchBody+1))
+	if err != nil || len(body) > maxFetchBody {
+		http.Error(w, "request body unreadable or too large", http.StatusBadRequest)
+		return
+	}
+	var fps []string
+	if err := json.Unmarshal(body, &fps); err != nil {
+		http.Error(w, "body must be a JSON fingerprint array", http.StatusBadRequest)
+		return
+	}
+	seg, n, err := d.cl.Store.ExportRecords(fps)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("X-Rtm-Records", strconv.Itoa(n))
+	w.Write(seg)
+}
+
+// handleMemoLeaf serves one Merkle leaf of the memo tier
+// (GET /cluster/memoleaf/<prefix>) as a sealed memo segment — memo
+// deltas are whole divergent leaves, merged convergently on import.
+func (d *Daemon) handleMemoLeaf(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "GET /cluster/memoleaf/<prefix>", http.StatusMethodNotAllowed)
+		return
+	}
+	seg, n, err := d.cl.Store.ExportMemoPrefix(strings.TrimPrefix(r.URL.Path, "/cluster/memoleaf/"))
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("X-Rtm-Records", strconv.Itoa(n))
+	w.Write(seg)
 }
 
 // handleSegment serves one sealed store segment

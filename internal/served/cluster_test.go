@@ -216,8 +216,8 @@ func TestClusterWarmFleet(t *testing.T) {
 	// one anti-entropy round on B and C
 	for _, n := range []*testNode{b, c} {
 		sy := &cluster.Syncer{Store: n.st, Peers: []*cluster.Client{n.peers[a.id]}, Logf: t.Logf}
-		if pulls, records := sy.SyncOnce(context.Background()); pulls == 0 || records == 0 {
-			t.Fatalf("%s pulled nothing from A (%d/%d)", n.id, pulls, records)
+		if rs := sy.SyncOnce(context.Background()); rs.Pulls == 0 || rs.Records == 0 {
+			t.Fatalf("%s pulled nothing from A (%d/%d)", n.id, rs.Pulls, rs.Records)
 		}
 	}
 
@@ -254,17 +254,24 @@ func TestClusterCorruptSegmentSkippedAndHealed(t *testing.T) {
 	}
 	fp := fpList[0]
 
-	// a corrupting man-in-the-middle proxy in front of A: manifests
-	// pass through, segment bytes get every byte flipped
+	// a corrupting man-in-the-middle proxy in front of A: manifests and
+	// digests pass through, record bytes (whole-bucket segments AND
+	// Merkle delta fetches) get every byte flipped
 	evil := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		up, err := http.Get(a.srv.URL + r.URL.Path)
+		req, err := http.NewRequest(r.Method, a.srv.URL+r.URL.String(), r.Body)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadGateway)
+			return
+		}
+		req.Header = r.Header
+		up, err := http.DefaultClient.Do(req)
 		if err != nil {
 			http.Error(w, err.Error(), http.StatusBadGateway)
 			return
 		}
 		defer up.Body.Close()
 		raw, _ := io.ReadAll(up.Body)
-		if strings.HasPrefix(r.URL.Path, "/cluster/segment/") {
+		if strings.HasPrefix(r.URL.Path, "/cluster/segment/") || r.URL.Path == "/cluster/fetch" {
 			for i := range raw {
 				raw[i] ^= 0xa5
 			}
@@ -275,8 +282,8 @@ func TestClusterCorruptSegmentSkippedAndHealed(t *testing.T) {
 	defer evil.Close()
 
 	sy := &cluster.Syncer{Store: b.st, Peers: []*cluster.Client{cluster.NewClient(a.id, evil.URL, 2*time.Second)}, Logf: t.Logf}
-	if _, records := sy.SyncOnce(context.Background()); records != 0 {
-		t.Fatalf("corrupt sync imported %d records — corruption accepted", records)
+	if rs := sy.SyncOnce(context.Background()); rs.Records != 0 {
+		t.Fatalf("corrupt sync imported %d records — corruption accepted", rs.Records)
 	}
 	if _, ok := b.st.Get(fp); ok {
 		t.Fatal("corrupt segment record is resident in B's store")
@@ -289,8 +296,8 @@ func TestClusterCorruptSegmentSkippedAndHealed(t *testing.T) {
 
 	// heal: the next round against the real peer converges B
 	heal := &cluster.Syncer{Store: b.st, Peers: []*cluster.Client{b.peers[a.id]}, Logf: t.Logf}
-	if _, records := heal.SyncOnce(context.Background()); records != 1 {
-		t.Fatalf("healing sync imported %d records, want 1", records)
+	if rs := heal.SyncOnce(context.Background()); rs.Records != 1 {
+		t.Fatalf("healing sync imported %d records, want 1", rs.Records)
 	}
 	resp2, body := postForwarded(t, b.srv.URL, renamedSpec)
 	if resp2.StatusCode != http.StatusOK || !strings.Contains(body, `"source":"store"`) {
@@ -344,5 +351,94 @@ func TestClusterManifestEndpoints(t *testing.T) {
 		if resp.StatusCode != http.StatusBadRequest {
 			t.Fatalf("%s: status=%d, want 400", path, resp.StatusCode)
 		}
+	}
+}
+
+// TestClusterMerkleEndpoints exercises the narrowing wire surface on
+// a real daemon: version advertisement, digest walks at every depth,
+// leaf fingerprint sets, delta fetches, and the 400s for malformed
+// prefixes/depths/bodies.
+func TestClusterMerkleEndpoints(t *testing.T) {
+	nodes := newFleet(t, 1, nil)
+	a := nodes[0]
+	if resp, _ := postForwarded(t, a.srv.URL, exampleSpec); resp.StatusCode != http.StatusOK {
+		t.Fatal("seed failed")
+	}
+	cli := cluster.NewClient(a.id, a.srv.URL, 2*time.Second)
+	ctx := context.Background()
+
+	doc, err := cli.Manifest(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if doc.MerkleDepth != store.MerkleDepth {
+		t.Fatalf("manifest merkleDepth = %d, want %d", doc.MerkleDepth, store.MerkleDepth)
+	}
+
+	// walk the single record from the root down to its leaf
+	prefix := ""
+	for depth := 1; depth <= store.MerkleDepth; depth++ {
+		ds, err := cli.Digests(ctx, prefix, depth, "v")
+		if err != nil {
+			t.Fatalf("digests %q depth %d: %v", prefix, depth, err)
+		}
+		if len(ds) != 1 || ds[0].Count != 1 || ds[0].Digest == "" || ds[0].MemoDigest != "" {
+			t.Fatalf("digests %q depth %d: %+v", prefix, depth, ds)
+		}
+		prefix = ds[0].Prefix
+	}
+	fps, err := cli.LeafFingerprints(ctx, prefix)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fps) != 1 {
+		t.Fatalf("leaf %q: %v", prefix, fps)
+	}
+	seg, err := cli.FetchRecords(ctx, fps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seg) == 0 {
+		t.Fatal("fetch returned an empty segment for a known fingerprint")
+	}
+	// unknown fingerprints are skipped, not errors
+	if seg, err = cli.FetchRecords(ctx, []string{strings.Repeat("0", 64)}); err != nil || len(seg) != 0 {
+		t.Fatalf("unknown-fp fetch: seg=%d err=%v", len(seg), err)
+	}
+	// memo leaf of an empty prefix: empty segment, no error
+	if seg, err = cli.PullMemoLeaf(ctx, "fff"); err != nil || len(seg) != 0 {
+		t.Fatalf("empty memo leaf: seg=%d err=%v", len(seg), err)
+	}
+
+	for _, bad := range []string{
+		"/cluster/digests/xyz",            // non-hex prefix
+		"/cluster/digests/?depth=9",       // depth beyond the tree
+		"/cluster/digests/ab?depth=1",     // depth not past the prefix
+		"/cluster/leaf/ab",                // not a leaf-depth prefix
+		"/cluster/memoleaf/",              // root: whole-store memo export refused
+	} {
+		resp, err := http.Get(a.srv.URL + bad)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("%s: status=%d, want 400", bad, resp.StatusCode)
+		}
+	}
+	resp, err := http.Post(a.srv.URL+"/cluster/fetch", "application/json", strings.NewReader("not json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("malformed fetch body: status=%d, want 400", resp.StatusCode)
+	}
+	if resp, err = http.Get(a.srv.URL + "/cluster/fetch"); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET fetch: status=%d, want 405", resp.StatusCode)
 	}
 }

@@ -111,6 +111,10 @@ func (d *Daemon) mux() *http.ServeMux {
 		mux.HandleFunc("/cluster/manifest", d.handleManifest)
 		mux.HandleFunc("/cluster/segment/", d.handleSegment)
 		mux.HandleFunc("/cluster/memoseg/", d.handleMemoSegment)
+		mux.HandleFunc("/cluster/digests/", d.handleDigests)
+		mux.HandleFunc("/cluster/leaf/", d.handleLeaf)
+		mux.HandleFunc("/cluster/fetch", d.handleFetch)
+		mux.HandleFunc("/cluster/memoleaf/", d.handleMemoLeaf)
 	}
 	return mux
 }

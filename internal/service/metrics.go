@@ -44,8 +44,12 @@ type Metrics struct {
 
 	Forwards         atomic.Int64 // requests proxied to their shard owner (cluster mode)
 	ForwardFallbacks atomic.Int64 // forwards that failed over to a local solve (owner unreachable)
-	SyncPulls        atomic.Int64 // sealed segments pulled from peers by anti-entropy sync
+	SyncPulls        atomic.Int64 // segments/leaves/batches pulled from peers by anti-entropy sync
 	SyncRecords      atomic.Int64 // records imported from pulled segments
+	SyncRounds       atomic.Int64 // completed anti-entropy rounds
+	SyncBytesRx      atomic.Int64 // replication bytes received from peers (manifests, digests, segments)
+	SyncPeerFailures atomic.Int64 // per-peer sync attempts that ended in failure
+	SyncLastUnix     atomic.Int64 // unix time of the most recent completed round (gauge, not a counter)
 
 	hitNanos       atomic.Int64 // cumulative latency of cache-hit requests
 	missNanos      atomic.Int64 // cumulative latency of fresh (pipeline-leading) requests
@@ -96,10 +100,14 @@ func (mt *Metrics) Snapshot() map[string]int64 {
 		"memo_seed_sigs":     mt.MemoSeedSigs.Load(),
 		"memo_snapshot_puts": mt.MemoSnapshotPuts.Load(),
 
-		"forwards":     mt.Forwards.Load(),
-		"fallbacks":    mt.ForwardFallbacks.Load(),
-		"sync_pulls":   mt.SyncPulls.Load(),
-		"sync_records": mt.SyncRecords.Load(),
+		"forwards":           mt.Forwards.Load(),
+		"fallbacks":          mt.ForwardFallbacks.Load(),
+		"sync_pulls":         mt.SyncPulls.Load(),
+		"sync_records":       mt.SyncRecords.Load(),
+		"sync_rounds":        mt.SyncRounds.Load(),
+		"sync_bytes_rx":      mt.SyncBytesRx.Load(),
+		"sync_peer_failures": mt.SyncPeerFailures.Load(),
+		"sync_last_unix":     mt.SyncLastUnix.Load(),
 	}
 	if h := s["cache_hits"]; h > 0 {
 		s["hit_ns_avg"] = s["hit_ns_total"] / h

@@ -2,10 +2,7 @@ package store
 
 import (
 	"bytes"
-	"crypto/sha256"
-	"encoding/hex"
 	"fmt"
-	"sort"
 
 	"rtm/internal/trace"
 )
@@ -76,28 +73,23 @@ type BucketInfo struct {
 
 // Manifest summarizes the store's index as ManifestBuckets bucket
 // entries (all buckets always present, empty ones with Count 0).
+// Digests come from the incrementally-maintained Merkle leaf state
+// (merkle.go): on a quiescent store this is a cache copy, and after k
+// mutations only the dirtied buckets re-hash — never a full re-sort
+// or re-hash of the index under the lock, even though the digest
+// bytes remain identical to the pre-Merkle from-scratch formula.
 func (s *Store) Manifest() []BucketInfo {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	byBucket := make([][]string, ManifestBuckets)
-	for fp := range s.index {
-		b := BucketOf(fp)
-		byBucket[b] = append(byBucket[b], fp)
-	}
 	out := make([]BucketInfo, ManifestBuckets)
-	for b, fps := range byBucket {
-		sort.Strings(fps)
-		h := sha256.New()
-		for _, fp := range fps {
-			h.Write([]byte(fp))
-		}
-		memo := s.memoBucketLocked(b)
+	for b := 0; b < ManifestBuckets; b++ {
+		lo, hi := b*leavesPerBucket, (b+1)*leavesPerBucket
 		out[b] = BucketInfo{
 			Bucket:     b,
-			Count:      len(fps),
-			Digest:     hex.EncodeToString(h.Sum(nil)),
-			MemoCount:  len(memo),
-			MemoDigest: memoBucketDigest(memo),
+			Count:      s.vleaf.count(lo, hi),
+			Digest:     s.verdictBucketDigestLocked(b),
+			MemoCount:  s.mleaf.count(lo, hi),
+			MemoDigest: s.memoBucketDigestLocked(b),
 		}
 	}
 	return out
@@ -117,26 +109,23 @@ func (s *Store) ExportBucket(b int) ([]byte, int, error) {
 	if s.closed {
 		return nil, 0, fmt.Errorf("store: closed")
 	}
-	var fps []string
-	for fp := range s.index {
-		if BucketOf(fp) == b {
-			fps = append(fps, fp)
-		}
-	}
-	sort.Strings(fps)
 	var buf bytes.Buffer
-	for _, fp := range fps {
-		payload, err := trace.EncodeStoreRecord(s.index[fp])
-		if err != nil {
-			return nil, 0, fmt.Errorf("store: export: %w", err)
+	n := 0
+	for l := b * leavesPerBucket; l < (b+1)*leavesPerBucket; l++ {
+		for _, fp := range s.vleaf.items[l] {
+			payload, err := trace.EncodeStoreRecord(s.index[fp])
+			if err != nil {
+				return nil, 0, fmt.Errorf("store: export: %w", err)
+			}
+			frame, err := Frame(payload)
+			if err != nil {
+				return nil, 0, fmt.Errorf("store: export: %w", err)
+			}
+			buf.Write(frame)
+			n++
 		}
-		frame, err := Frame(payload)
-		if err != nil {
-			return nil, 0, fmt.Errorf("store: export: %w", err)
-		}
-		buf.Write(frame)
 	}
-	return buf.Bytes(), len(fps), nil
+	return buf.Bytes(), n, nil
 }
 
 // ImportStats reports what an ImportFrames call did.
@@ -220,6 +209,7 @@ func (s *Store) ImportFrames(data []byte) (ImportStats, error) {
 	}
 	for _, rec := range fresh {
 		s.index[rec.Fingerprint] = rec
+		s.vleaf.add(rec.Fingerprint)
 	}
 	s.bytes += int64(log.Len())
 	st.Imported = len(fresh)

@@ -147,6 +147,7 @@ func (s *Store) indexMemoLocked(rec *MemoRecord) {
 		}
 	}
 	s.memo[rec.Key] = rec
+	s.mleaf.touch(rec.Key)
 	fl := memoFrameLen(rec)
 	s.frameLen[rec.Key] = fl
 	s.memoLive += fl
@@ -447,24 +448,34 @@ func (s *Store) compactMemoLocked() error {
 // excluded so converged replicas agree.
 func memoBucketDigest(recs []*MemoRecord) string {
 	h := sha256.New()
+	for _, r := range recs {
+		writeMemoRecordDigest(h, r)
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// writeMemoRecordDigest streams one record's digest content into h —
+// shared between the bucket digest and the Merkle leaf digests so a
+// leaf concatenation reproduces the bucket stream byte for byte.
+func writeMemoRecordDigest(h io.Writer, r *MemoRecord) {
+	if r == nil {
+		return
+	}
 	var buf [binary.MaxVarintLen64]byte
 	wInt := func(v int) {
 		n := binary.PutUvarint(buf[:], uint64(v))
 		h.Write(buf[:n])
 	}
-	for _, r := range recs {
-		h.Write([]byte(r.Key))
-		wInt(len(r.Fingerprints))
-		for _, fp := range r.Fingerprints {
-			h.Write([]byte(fp))
-		}
-		wInt(len(r.Sigs))
-		for _, sg := range r.Sigs {
-			wInt(len(sg))
-			h.Write(sg)
-		}
+	h.Write([]byte(r.Key))
+	wInt(len(r.Fingerprints))
+	for _, fp := range r.Fingerprints {
+		h.Write([]byte(fp))
 	}
-	return hex.EncodeToString(h.Sum(nil))
+	wInt(len(r.Sigs))
+	for _, sg := range r.Sigs {
+		wInt(len(sg))
+		h.Write(sg)
+	}
 }
 
 // memoBucketLocked returns the bucket's records sorted by key.
@@ -491,20 +502,7 @@ func (s *Store) ExportMemoBucket(b int) ([]byte, int, error) {
 	if s.closed {
 		return nil, 0, fmt.Errorf("store: closed")
 	}
-	recs := s.memoBucketLocked(b)
-	var buf bytes.Buffer
-	for _, r := range recs {
-		payload, err := encodeMemoBounded(r)
-		if err != nil {
-			return nil, 0, fmt.Errorf("store: memo export: %w", err)
-		}
-		frame, err := Frame(payload)
-		if err != nil {
-			return nil, 0, fmt.Errorf("store: memo export: %w", err)
-		}
-		buf.Write(frame)
-	}
-	return buf.Bytes(), len(recs), nil
+	return s.exportMemoRangeLocked(b*leavesPerBucket, (b+1)*leavesPerBucket)
 }
 
 // ImportMemoFrames replays a sealed memo segment, merging each record

@@ -1,0 +1,446 @@
+package store
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"sort"
+
+	"rtm/internal/trace"
+)
+
+// The Merkle layer of the manifest: the fingerprint space is
+// partitioned by the first MerkleDepth hex nibbles into MerkleLeaves
+// leaves, and the store maintains each leaf's sorted member set
+// incrementally as records are put, imported, and dropped — so a
+// manifest or a prefix-digest query never re-sorts or re-hashes the
+// whole index under the lock. Digests are cached per leaf and per
+// bucket behind dirty flags: a mutation marks exactly one leaf (and
+// its bucket) stale, and the next reader re-hashes only what moved.
+//
+// The digest of a prefix node is the SAME formula at every depth —
+// SHA-256 over the sorted member stream under the prefix (fingerprint
+// concatenation for the verdict tier, the length-prefixed record
+// content stream of memoBucketDigest for the memo tier). Because leaf
+// order equals lexicographic member order, concatenating the leaves'
+// pre-sorted slices in leaf order reproduces the fully-sorted stream,
+// which keeps the depth-1 (bucket) digests byte-identical to the
+// pre-Merkle manifest format: a new node and an old node looking at
+// equal record sets still agree, so mixed-version fleets detect
+// convergence instead of re-pulling forever.
+
+const (
+	// MerkleDepth is the leaf depth of the manifest tree, in hex
+	// nibbles of the canonical fingerprint (or memo key). Depth 3
+	// yields 4096 leaves — a handful of records per leaf at the store
+	// sizes the fleet benches, so a divergent leaf costs a pull of a
+	// few records, not a bucket.
+	MerkleDepth = 3
+	// MerkleLeaves is the number of leaves, 16^MerkleDepth.
+	MerkleLeaves = 1 << (4 * MerkleDepth)
+
+	// leavesPerBucket is the leaf span of one depth-1 bucket.
+	leavesPerBucket = MerkleLeaves / ManifestBuckets
+)
+
+// maxFetchRecords bounds one record-subset fetch request — far above
+// what leaf narrowing produces per round, low enough that a malicious
+// request body cannot force an unbounded export.
+const maxFetchRecords = 8192
+
+func nibbleVal(c byte) int {
+	switch {
+	case c >= '0' && c <= '9':
+		return int(c - '0')
+	case c >= 'a' && c <= 'f':
+		return int(c-'a') + 10
+	}
+	return -1
+}
+
+// LeafOf maps a canonical fingerprint (or memo key) to its Merkle
+// leaf — the value of its first MerkleDepth hex nibbles. Invalid
+// characters map to leaf 0, same totality-not-forgiveness argument as
+// BucketOf: such keys cannot enter a store index.
+func LeafOf(key string) int {
+	leaf := 0
+	for i := 0; i < MerkleDepth; i++ {
+		if i >= len(key) {
+			return 0
+		}
+		v := nibbleVal(key[i])
+		if v < 0 {
+			return 0
+		}
+		leaf = leaf<<4 | v
+	}
+	return leaf
+}
+
+// ValidPrefix reports whether p is a well-formed tree prefix: at most
+// MerkleDepth lowercase hex nibbles (the empty prefix is the root).
+func ValidPrefix(p string) bool {
+	if len(p) > MerkleDepth {
+		return false
+	}
+	for i := 0; i < len(p); i++ {
+		if nibbleVal(p[i]) < 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// leafRange returns the half-open leaf interval [lo, hi) covered by
+// prefix p (caller has validated p).
+func leafRange(p string) (lo, hi int) {
+	v := 0
+	for i := 0; i < len(p); i++ {
+		v = v<<4 | nibbleVal(p[i])
+	}
+	span := 1 << (4 * (MerkleDepth - len(p)))
+	return v * span, (v + 1) * span
+}
+
+// leafSet tracks one tier's keys partitioned into Merkle leaves, with
+// cached digests behind dirty flags. All methods assume the store
+// lock is held. Digest recomputation itself lives on the Store (the
+// memo tier's digest covers record content, which needs the index).
+type leafSet struct {
+	items [MerkleLeaves][]string // sorted members per leaf
+	dirty [MerkleLeaves]bool
+	leafD [MerkleLeaves]string // cached leaf digest ("" = never computed)
+
+	bucketDirty [ManifestBuckets]bool
+	bucketD     [ManifestBuckets]string
+}
+
+func (ls *leafSet) markDirty(leaf int) {
+	ls.dirty[leaf] = true
+	ls.bucketDirty[leaf/leavesPerBucket] = true
+}
+
+// add inserts key into its leaf, keeping the leaf sorted; a no-op if
+// the key is already a member (verdict digests are pure functions of
+// the fingerprint SET, so a re-put of an indexed fingerprint moves
+// nothing).
+func (ls *leafSet) add(key string) {
+	leaf := LeafOf(key)
+	s := ls.items[leaf]
+	i := sort.SearchStrings(s, key)
+	if i < len(s) && s[i] == key {
+		return
+	}
+	s = append(s, "")
+	copy(s[i+1:], s[i:])
+	s[i] = key
+	ls.items[leaf] = s
+	ls.markDirty(leaf)
+}
+
+// remove deletes key from its leaf; a no-op if absent.
+func (ls *leafSet) remove(key string) {
+	leaf := LeafOf(key)
+	s := ls.items[leaf]
+	i := sort.SearchStrings(s, key)
+	if i >= len(s) || s[i] != key {
+		return
+	}
+	ls.items[leaf] = append(s[:i], s[i+1:]...)
+	ls.markDirty(leaf)
+}
+
+// touch ensures membership and marks the leaf stale regardless — the
+// memo tier's records mutate in place by merging, which moves the
+// content digest without moving the key set.
+func (ls *leafSet) touch(key string) {
+	ls.add(key)
+	ls.markDirty(LeafOf(key))
+}
+
+// count sums the members over a leaf range.
+func (ls *leafSet) count(lo, hi int) int {
+	n := 0
+	for l := lo; l < hi; l++ {
+		n += len(ls.items[l])
+	}
+	return n
+}
+
+// PrefixDigest summarizes the records under one prefix node of the
+// Merkle tree, both tiers. The JSON keys are deliberately terse —
+// digest narrowing is the hot wire path, and the whole point of the
+// protocol is to keep its byte cost below a record pull. A tier a
+// query excluded (or an empty tier) carries a zero count and an empty
+// digest; two nodes agree on a tier exactly when (count, digest)
+// match.
+type PrefixDigest struct {
+	Prefix     string `json:"p"`
+	Count      int    `json:"n,omitempty"`
+	Digest     string `json:"d,omitempty"`
+	MemoCount  int    `json:"mn,omitempty"`
+	MemoDigest string `json:"md,omitempty"`
+}
+
+// verdictLeafDigestLocked returns leaf's cached verdict digest,
+// re-hashing only if a mutation dirtied it.
+func (s *Store) verdictLeafDigestLocked(leaf int) string {
+	ls := s.vleaf
+	if ls.dirty[leaf] || ls.leafD[leaf] == "" {
+		ls.leafD[leaf] = hashStrings(ls.items[leaf])
+		ls.dirty[leaf] = false
+	}
+	return ls.leafD[leaf]
+}
+
+// verdictBucketDigestLocked returns bucket b's cached digest — the
+// pre-Merkle manifest formula (SHA-256 over the bucket's sorted
+// fingerprint concatenation), reproduced by streaming the pre-sorted
+// leaf slices in leaf order.
+func (s *Store) verdictBucketDigestLocked(b int) string {
+	ls := s.vleaf
+	if ls.bucketDirty[b] || ls.bucketD[b] == "" {
+		h := sha256.New()
+		lo, hi := b*leavesPerBucket, (b+1)*leavesPerBucket
+		for l := lo; l < hi; l++ {
+			for _, fp := range ls.items[l] {
+				h.Write([]byte(fp))
+			}
+		}
+		ls.bucketD[b] = hex.EncodeToString(h.Sum(nil))
+		ls.bucketDirty[b] = false
+	}
+	return ls.bucketD[b]
+}
+
+// memoLeafDigestLocked is the memo tier's leaf digest — the
+// memoBucketDigest content stream restricted to the leaf's classes.
+func (s *Store) memoLeafDigestLocked(leaf int) string {
+	ls := s.mleaf
+	if ls.dirty[leaf] || ls.leafD[leaf] == "" {
+		h := sha256.New()
+		for _, k := range ls.items[leaf] {
+			writeMemoRecordDigest(h, s.memo[k])
+		}
+		ls.leafD[leaf] = hex.EncodeToString(h.Sum(nil))
+		ls.dirty[leaf] = false
+	}
+	return ls.leafD[leaf]
+}
+
+// memoBucketDigestLocked returns memo bucket b's cached digest,
+// byte-identical to memoBucketDigest over the bucket's records sorted
+// by key (leaf order is key order).
+func (s *Store) memoBucketDigestLocked(b int) string {
+	ls := s.mleaf
+	if ls.bucketDirty[b] || ls.bucketD[b] == "" {
+		h := sha256.New()
+		lo, hi := b*leavesPerBucket, (b+1)*leavesPerBucket
+		for l := lo; l < hi; l++ {
+			for _, k := range ls.items[l] {
+				writeMemoRecordDigest(h, s.memo[k])
+			}
+		}
+		ls.bucketD[b] = hex.EncodeToString(h.Sum(nil))
+		ls.bucketDirty[b] = false
+	}
+	return ls.bucketD[b]
+}
+
+func hashStrings(ss []string) string {
+	h := sha256.New()
+	for _, s := range ss {
+		h.Write([]byte(s))
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// DigestPrefixLen is the hex length Digests truncates its digests to
+// (64 bits). Narrowing digests only ROUTE pulls inside a bucket the
+// full-width manifest digests already proved divergent — a collision
+// cannot corrupt anything (imports validate every byte regardless),
+// it can only make one round pull too little, at ~2^-64 odds per
+// comparison. The truncation matters: digest bytes dominate the
+// narrowing walk, and nearly-converged sync is exactly the regime
+// where that walk is most of the wire cost.
+const DigestPrefixLen = 16
+
+// Digests returns the non-empty prefix nodes at the given depth under
+// prefix, sorted by prefix. Depth counts nibbles from the root and
+// must satisfy len(prefix) < depth <= MerkleDepth; withVerdict /
+// withMemo select the tiers summarized (a deselected tier stays
+// zero). Nodes empty in every selected tier are omitted — on the
+// wire, absence means emptiness. Digests are truncated to
+// DigestPrefixLen hex chars; both sync sides compare through this
+// method, so the truncation is symmetric.
+//
+// Leaf-depth queries are served from the per-leaf digest cache;
+// interior nodes hash their (pre-sorted) member streams on the fly,
+// which only the narrowing path for a divergent bucket ever pays.
+func (s *Store) Digests(prefix string, depth int, withVerdict, withMemo bool) ([]PrefixDigest, error) {
+	if !ValidPrefix(prefix) {
+		return nil, fmt.Errorf("store: invalid prefix %q", prefix)
+	}
+	if depth <= len(prefix) || depth > MerkleDepth {
+		return nil, fmt.Errorf("store: depth %d outside (%d,%d]", depth, len(prefix), MerkleDepth)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, fmt.Errorf("store: closed")
+	}
+	span := 1 << (4 * (depth - len(prefix)))
+	out := make([]PrefixDigest, 0, 16)
+	for v := 0; v < span; v++ {
+		node := prefix + fmt.Sprintf("%0*x", depth-len(prefix), v)
+		lo, hi := leafRange(node)
+		d := PrefixDigest{Prefix: node}
+		if withVerdict {
+			if d.Count = s.vleaf.count(lo, hi); d.Count > 0 {
+				d.Digest = s.verdictRangeDigestLocked(lo, hi)[:DigestPrefixLen]
+			}
+		}
+		if withMemo {
+			if d.MemoCount = s.mleaf.count(lo, hi); d.MemoCount > 0 {
+				d.MemoDigest = s.memoRangeDigestLocked(lo, hi)[:DigestPrefixLen]
+			}
+		}
+		if d.Count > 0 || d.MemoCount > 0 {
+			out = append(out, d)
+		}
+	}
+	return out, nil
+}
+
+// verdictRangeDigestLocked digests the verdict members over a leaf
+// range — the cached leaf digest when the range is one leaf.
+func (s *Store) verdictRangeDigestLocked(lo, hi int) string {
+	if hi-lo == 1 {
+		return s.verdictLeafDigestLocked(lo)
+	}
+	h := sha256.New()
+	for l := lo; l < hi; l++ {
+		for _, fp := range s.vleaf.items[l] {
+			h.Write([]byte(fp))
+		}
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+func (s *Store) memoRangeDigestLocked(lo, hi int) string {
+	if hi-lo == 1 {
+		return s.memoLeafDigestLocked(lo)
+	}
+	h := sha256.New()
+	for l := lo; l < hi; l++ {
+		for _, k := range s.mleaf.items[l] {
+			writeMemoRecordDigest(h, s.memo[k])
+		}
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// LeafFingerprints returns the sorted fingerprints whose leaf falls
+// under prefix — the set a peer diffs locally to decide which records
+// to fetch. Prefix must be leaf depth: coarser set exchange is what
+// the Merkle walk exists to avoid.
+func (s *Store) LeafFingerprints(prefix string) ([]string, error) {
+	if !ValidPrefix(prefix) || len(prefix) != MerkleDepth {
+		return nil, fmt.Errorf("store: invalid leaf prefix %q", prefix)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, fmt.Errorf("store: closed")
+	}
+	lo, _ := leafRange(prefix)
+	return append([]string(nil), s.vleaf.items[lo]...), nil
+}
+
+// ExportRecords seals the requested fingerprints' records as a
+// CRC-framed segment — the delta-pull counterpart of ExportBucket.
+// Unknown fingerprints are skipped (the peer's view may be stale),
+// duplicates are collapsed, and the output is sorted, so the segment
+// is byte-deterministic for a given request and store state. The
+// request is bounded by maxFetchRecords and the segment by
+// maxSegmentLen.
+func (s *Store) ExportRecords(fps []string) ([]byte, int, error) {
+	if len(fps) > maxFetchRecords {
+		return nil, 0, fmt.Errorf("store: fetch of %d records exceeds %d", len(fps), maxFetchRecords)
+	}
+	want := append([]string(nil), fps...)
+	sort.Strings(want)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, 0, fmt.Errorf("store: closed")
+	}
+	var buf bytes.Buffer
+	n := 0
+	prev := ""
+	for i, fp := range want {
+		if i > 0 && fp == prev {
+			continue
+		}
+		prev = fp
+		rec, ok := s.index[fp]
+		if !ok {
+			continue
+		}
+		payload, err := trace.EncodeStoreRecord(rec)
+		if err != nil {
+			return nil, 0, fmt.Errorf("store: export: %w", err)
+		}
+		frame, err := Frame(payload)
+		if err != nil {
+			return nil, 0, fmt.Errorf("store: export: %w", err)
+		}
+		if buf.Len()+len(frame) > maxSegmentLen {
+			return nil, 0, fmt.Errorf("store: fetch exceeds segment bound")
+		}
+		buf.Write(frame)
+		n++
+	}
+	return buf.Bytes(), n, nil
+}
+
+// ExportMemoPrefix seals the memo classes under prefix as a
+// self-contained segment of CRC-framed memo records, sorted by key —
+// the leaf-granularity counterpart of ExportMemoBucket. Memo pulls
+// stay whole-subtree rather than per-record because records converge
+// by content merge: importing a leaf is idempotent and
+// order-independent, so there is no per-record set difference to
+// compute.
+func (s *Store) ExportMemoPrefix(prefix string) ([]byte, int, error) {
+	if !ValidPrefix(prefix) || prefix == "" {
+		return nil, 0, fmt.Errorf("store: invalid memo prefix %q", prefix)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, 0, fmt.Errorf("store: closed")
+	}
+	lo, hi := leafRange(prefix)
+	return s.exportMemoRangeLocked(lo, hi)
+}
+
+func (s *Store) exportMemoRangeLocked(lo, hi int) ([]byte, int, error) {
+	var buf bytes.Buffer
+	n := 0
+	for l := lo; l < hi; l++ {
+		for _, k := range s.mleaf.items[l] {
+			payload, err := encodeMemoBounded(s.memo[k])
+			if err != nil {
+				return nil, 0, fmt.Errorf("store: memo export: %w", err)
+			}
+			frame, err := Frame(payload)
+			if err != nil {
+				return nil, 0, fmt.Errorf("store: memo export: %w", err)
+			}
+			buf.Write(frame)
+			n++
+		}
+	}
+	return buf.Bytes(), n, nil
+}

@@ -83,6 +83,12 @@ type Store struct {
 	frameLen map[string]int64       // memo key → live frame bytes
 	memoB    int64                  // clean memo log length
 	memoLive int64                  // framed bytes of the live memo index
+
+	// Merkle leaf state (merkle.go): each tier's keys partitioned by
+	// leaf prefix with dirty-flagged digest caches, maintained
+	// incrementally by every index mutation.
+	vleaf *leafSet // verdict tier (fingerprints)
+	mleaf *leafSet // memo tier (class keys)
 }
 
 // Open opens (creating if necessary) the store rooted at dir,
@@ -97,9 +103,10 @@ func Open(dir string, opt Options) (*Store, error) {
 	if err != nil {
 		return nil, fmt.Errorf("store: %w", err)
 	}
-	s := &Store{dir: dir, opt: opt, f: f, index: make(map[string]*Record)}
+	s := &Store{dir: dir, opt: opt, f: f, index: make(map[string]*Record), vleaf: &leafSet{}, mleaf: &leafSet{}}
 	valid, dropped, err := scanSegment(bufio.NewReader(f), func(r *Record) error {
 		s.index[r.Fingerprint] = r
+		s.vleaf.add(r.Fingerprint)
 		return nil
 	})
 	if err != nil {
@@ -179,6 +186,7 @@ func (s *Store) Put(rec *Record) error {
 	cp := *rec
 	cp.Slots = append([]int(nil), rec.Slots...)
 	s.index[rec.Fingerprint] = &cp
+	s.vleaf.add(rec.Fingerprint)
 	s.bytes += int64(len(buf))
 	return nil
 }
@@ -206,6 +214,7 @@ func (s *Store) Drop(fp string) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	delete(s.index, fp)
+	s.vleaf.remove(fp)
 }
 
 // Compact rewrites the log to exactly the live index (one record per
